@@ -1,0 +1,462 @@
+//! Annotated control-flow graphs and the DroidNative-like matcher.
+//!
+//! Each MAIL function becomes an [`Acfg`]: basic blocks annotated with a
+//! pattern signature (the hash of the block's statement sequence plus its
+//! out-degree). Detection is subgraph matching against trained family
+//! signatures: a test binary is flagged when, for some training sample,
+//! at least `threshold` (default 90%, as in the paper) of the training
+//! sample's annotated blocks have a parallel match in the test binary.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::mail::{CodeBinary, MailFunction};
+
+/// The default match threshold from the paper (≥ 90% ACFG match).
+pub const DEFAULT_THRESHOLD: f64 = 0.9;
+
+/// A basic block's annotation: a stable hash of its MAIL statement
+/// sequence, plus its out-degree in the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockSig {
+    /// Hash of the statement sequence.
+    pub pattern: u64,
+    /// Number of CFG successors.
+    pub out_degree: u8,
+}
+
+/// An annotated CFG for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Acfg {
+    /// Function identifier.
+    pub name: String,
+    /// One signature per basic block.
+    pub blocks: Vec<BlockSig>,
+}
+
+impl Acfg {
+    /// Builds the ACFG of a MAIL function.
+    pub fn build(func: &MailFunction) -> Self {
+        let code = &func.code;
+        let n = code.len();
+        // Leaders: entry, every branch target, every instruction after a
+        // control transfer.
+        let mut is_leader = vec![false; n.max(1)];
+        if n > 0 {
+            is_leader[0] = true;
+        }
+        for (i, insn) in code.iter().enumerate() {
+            if let Some(t) = insn.target {
+                if (t as usize) < n {
+                    is_leader[t as usize] = true;
+                }
+            }
+            if (insn.target.is_some() || !insn.falls_through) && i + 1 < n {
+                is_leader[i + 1] = true;
+            }
+        }
+        // Block spans.
+        let mut starts: Vec<usize> = (0..n).filter(|&i| is_leader[i]).collect();
+        starts.push(n);
+        let mut block_of = vec![0usize; n];
+        for w in 0..starts.len().saturating_sub(1) {
+            block_of[starts[w]..starts[w + 1]].fill(w);
+        }
+        let block_count = starts.len().saturating_sub(1);
+        // Successors.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); block_count];
+        for w in 0..block_count {
+            let last = starts[w + 1] - 1;
+            let insn = &code[last];
+            if let Some(t) = insn.target {
+                if (t as usize) < n {
+                    let tb = block_of[t as usize];
+                    if !succs[w].contains(&tb) {
+                        succs[w].push(tb);
+                    }
+                }
+            }
+            if insn.falls_through && last + 1 < n {
+                let nb = block_of[last + 1];
+                if !succs[w].contains(&nb) {
+                    succs[w].push(nb);
+                }
+            }
+        }
+        // Signatures.
+        let mut blocks = Vec::with_capacity(block_count);
+        for w in 0..block_count {
+            let mut hasher = DefaultHasher::new();
+            for insn in &code[starts[w]..starts[w + 1]] {
+                insn.stmt.hash(&mut hasher);
+            }
+            blocks.push(BlockSig {
+                pattern: hasher.finish(),
+                out_degree: succs[w].len().min(255) as u8,
+            });
+        }
+        Acfg {
+            name: func.name.clone(),
+            blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Fraction of `training`'s blocks with a parallel match in `test`
+/// (multiset containment over block signatures).
+pub fn match_fraction(training: &[BlockSig], test: &[BlockSig]) -> f64 {
+    if training.is_empty() {
+        return 0.0;
+    }
+    let mut pool: HashMap<BlockSig, usize> = HashMap::new();
+    for sig in test {
+        *pool.entry(*sig).or_insert(0) += 1;
+    }
+    let mut matched = 0usize;
+    for sig in training {
+        if let Some(count) = pool.get_mut(sig) {
+            if *count > 0 {
+                *count -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / training.len() as f64
+}
+
+/// A whole binary's signature: the flattened block multiset of all its
+/// function ACFGs (weighted subgraph matching across functions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySig {
+    blocks: Vec<BlockSig>,
+    functions: usize,
+}
+
+impl BinarySig {
+    /// Builds the signature of a binary.
+    pub fn build(binary: &CodeBinary) -> Self {
+        let funcs = binary.to_mail();
+        let acfgs: Vec<Acfg> = funcs.iter().map(Acfg::build).collect();
+        let blocks: Vec<BlockSig> = acfgs.iter().flat_map(|a| a.blocks.clone()).collect();
+        BinarySig {
+            blocks,
+            functions: acfgs.len(),
+        }
+    }
+
+    /// Total annotated blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// A positive detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyMatch {
+    /// Matched family name.
+    pub family: String,
+    /// ACFG match score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The trained detector.
+///
+/// # Example
+///
+/// ```
+/// use dydroid_analysis::mail::CodeBinary;
+/// use dydroid_analysis::MalwareDetector;
+/// use dydroid_dex::DexFile;
+///
+/// let mut detector = MalwareDetector::new();
+/// // Train on family samples (empty here for brevity)...
+/// let benign = CodeBinary::Dex(DexFile::new());
+/// assert!(detector.detect(&benign).is_none());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MalwareDetector {
+    threshold: f64,
+    families: Vec<(String, Vec<BinarySig>)>,
+}
+
+impl MalwareDetector {
+    /// Creates a detector with the paper's 90% threshold.
+    pub fn new() -> Self {
+        MalwareDetector {
+            threshold: DEFAULT_THRESHOLD,
+            families: Vec::new(),
+        }
+    }
+
+    /// Creates a detector with a custom threshold (ablation benches sweep
+    /// this).
+    pub fn with_threshold(threshold: f64) -> Self {
+        MalwareDetector {
+            threshold,
+            families: Vec::new(),
+        }
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Trains a family from sample binaries. Call once per family.
+    pub fn train(&mut self, family: impl Into<String>, samples: &[CodeBinary]) {
+        let sigs: Vec<BinarySig> = samples
+            .iter()
+            .map(BinarySig::build)
+            .filter(|s| s.block_count() > 0)
+            .collect();
+        self.families.push((family.into(), sigs));
+    }
+
+    /// Number of trained samples across all families.
+    pub fn sample_count(&self) -> usize {
+        self.families.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Detects whether `binary` matches any trained family; returns the
+    /// best match at or above the threshold.
+    pub fn detect(&self, binary: &CodeBinary) -> Option<FamilyMatch> {
+        let test = BinarySig::build(binary);
+        self.detect_sig(&test)
+    }
+
+    /// Detection over a prebuilt signature (for batch pipelines).
+    pub fn detect_sig(&self, test: &BinarySig) -> Option<FamilyMatch> {
+        let mut best: Option<FamilyMatch> = None;
+        for (family, samples) in &self.families {
+            for sample in samples {
+                // Guard against trivial training samples over-matching:
+                // a training signature needs substance.
+                if sample.block_count() < 2 {
+                    continue;
+                }
+                let score = match_fraction(&sample.blocks, &test.blocks);
+                if score >= self.threshold && best.as_ref().map(|b| score > b.score).unwrap_or(true)
+                {
+                    best = Some(FamilyMatch {
+                        family: family.clone(),
+                        score,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::native::{Arch, NativeFunction};
+    use dydroid_dex::{AccessFlags, CmpKind, DexFile, MethodRef, NativeInsn, NativeLibrary};
+
+    /// A malicious-looking dex: exfiltrates identifiers over SMS inside a
+    /// conditional.
+    fn mal_dex(pkg: &str, konst: i64) -> DexFile {
+        let mut b = DexBuilder::new();
+        let c = b.class(format!("{pkg}.Payload"), "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.registers(8);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        m.const_int(2, konst);
+        let end = m.label();
+        m.if_zero(CmpKind::Eq, 2, end);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.SmsManager",
+                "sendTextMessage",
+                "(Ljava/lang/String;Ljava/lang/String;)V",
+            ),
+            vec![1, 1],
+        );
+        m.bind(end);
+        m.ret_void();
+        b.build()
+    }
+
+    fn benign_dex() -> DexFile {
+        let mut b = DexBuilder::new();
+        let c = b.class("com.app.Ui", "android.app.Activity");
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_str(1, "hello");
+        m.invoke_static(
+            MethodRef::new("android.util.Log", "d", "(Ljava/lang/String;)I"),
+            vec![1],
+        );
+        m.ret_void();
+        b.build()
+    }
+
+    fn ptrace_lib(target: &str) -> NativeLibrary {
+        // Root check → branch → ptrace/hook/exfiltrate: the control-flow
+        // shape is what the ACFG keys on; the target string varies.
+        let code = vec![
+            NativeInsn::Syscall {
+                name: "setuid".to_string(),
+                arg: None,
+            },
+            NativeInsn::Branch {
+                cond: dydroid_dex::NativeCond::Zero,
+                reg: 0,
+                target: 6,
+            },
+            NativeInsn::Syscall {
+                name: "ptrace".to_string(),
+                arg: Some(target.to_string()),
+            },
+            NativeInsn::Syscall {
+                name: "hook".to_string(),
+                arg: Some("chat".to_string()),
+            },
+            NativeInsn::Syscall {
+                name: "send".to_string(),
+                arg: Some("c2.example.com:chatlog".to_string()),
+            },
+            NativeInsn::Ret,
+            NativeInsn::Ret,
+        ];
+        NativeLibrary::new("libhook.so", Arch::Arm)
+            .with_function(NativeFunction::exported("JNI_OnLoad", code))
+    }
+
+    #[test]
+    fn acfg_block_structure() {
+        let dex = mal_dex("com.m", 1);
+        let funcs = crate::mail::translate_dex(&dex);
+        let acfg = Acfg::build(&funcs[0]);
+        // Blocks: [entry..ifz], [sms call], [ret]
+        assert_eq!(acfg.len(), 3);
+        assert!(!acfg.is_empty());
+        // Entry block branches two ways.
+        assert_eq!(acfg.blocks[0].out_degree, 2);
+    }
+
+    #[test]
+    fn variant_detected_exact_structure() {
+        let mut d = MalwareDetector::new();
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        // Variant: different package name and constant.
+        let variant = CodeBinary::Dex(mal_dex("com.other.pkg", 777));
+        let m = d.detect(&variant).expect("variant must match");
+        assert_eq!(m.family, "swiss_sms");
+        assert!(m.score >= 0.99, "score {}", m.score);
+    }
+
+    #[test]
+    fn benign_not_flagged() {
+        let mut d = MalwareDetector::new();
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        assert!(d.detect(&CodeBinary::Dex(benign_dex())).is_none());
+    }
+
+    #[test]
+    fn native_family_detected_across_variants() {
+        let mut d = MalwareDetector::new();
+        d.train(
+            "chathook_ptrace",
+            &[CodeBinary::Native(ptrace_lib("com.tencent.mobileqq"))],
+        );
+        let variant = CodeBinary::Native(ptrace_lib("com.tencent.mm"));
+        assert!(d.detect(&variant).is_some());
+    }
+
+    #[test]
+    fn threshold_sweep_changes_sensitivity() {
+        // A test sample embedding the malicious function plus benign code:
+        // strict containment still matches; an impossible threshold never
+        // does.
+        let mut strict = MalwareDetector::with_threshold(0.9);
+        let mut lax = MalwareDetector::with_threshold(0.5);
+        let training = CodeBinary::Dex(mal_dex("com.m", 1));
+        strict.train("fam", std::slice::from_ref(&training));
+        lax.train("fam", std::slice::from_ref(&training));
+
+        // Build a partial variant: same source call, but no SMS block.
+        let mut b = DexBuilder::new();
+        let c = b.class("com.p.Partial", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.registers(8);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        m.ret_void();
+        let partial = CodeBinary::Dex(b.build());
+
+        assert!(strict.detect(&partial).is_none(), "90% must reject partial");
+        // At 50% the shared source block may or may not match depending on
+        // block shapes; the full variant always matches both.
+        let full = CodeBinary::Dex(mal_dex("com.q", 5));
+        assert!(strict.detect(&full).is_some());
+        assert!(lax.detect(&full).is_some());
+    }
+
+    #[test]
+    fn empty_training_sample_ignored() {
+        let mut d = MalwareDetector::new();
+        d.train("empty", &[CodeBinary::Dex(DexFile::new())]);
+        assert_eq!(d.sample_count(), 0);
+        assert!(d.detect(&CodeBinary::Dex(benign_dex())).is_none());
+    }
+
+    #[test]
+    fn match_fraction_bounds() {
+        let a = BlockSig {
+            pattern: 1,
+            out_degree: 1,
+        };
+        let b = BlockSig {
+            pattern: 2,
+            out_degree: 1,
+        };
+        assert_eq!(match_fraction(&[], &[a]), 0.0);
+        assert_eq!(match_fraction(&[a], &[a]), 1.0);
+        assert_eq!(match_fraction(&[a, b], &[a]), 0.5);
+        // Multiset semantics: one test block can't match two training blocks.
+        assert_eq!(match_fraction(&[a, a], &[a]), 0.5);
+    }
+
+    #[test]
+    fn best_family_wins() {
+        let mut d = MalwareDetector::new();
+        d.train("exact", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        d.train(
+            "native_fam",
+            &[CodeBinary::Native(ptrace_lib("com.tencent.mm"))],
+        );
+        let m = d.detect(&CodeBinary::Dex(mal_dex("x.y", 3))).unwrap();
+        assert_eq!(m.family, "exact");
+    }
+}

@@ -1,0 +1,122 @@
+//! Responsible-entity identification (own vs. third-party).
+//!
+//! As in the paper (Figure 2): each app has a unique application package
+//! name containing the developer's classes; third-party libraries live in
+//! other package namespaces. The call-site class of a DCL event therefore
+//! attributes the load.
+
+use serde::{Deserialize, Serialize};
+
+/// Who launched a DCL event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Entity {
+    /// The app developer's own code.
+    Own,
+    /// A bundled third-party SDK or library.
+    ThirdParty,
+}
+
+/// Classifies a call-site class against the app's package name.
+///
+/// A class belongs to the developer when it sits in the application
+/// package or a subpackage of it (`com.example.app.ui.X` is "own" for
+/// package `com.example.app`).
+pub fn classify(app_package: &str, call_site_class: &str) -> Entity {
+    if call_site_class == app_package {
+        return Entity::Own;
+    }
+    if let Some(rest) = call_site_class.strip_prefix(app_package) {
+        if rest.starts_with('.') {
+            return Entity::Own;
+        }
+    }
+    Entity::ThirdParty
+}
+
+/// Aggregate attribution for an app: which entities launched DCL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EntityMix {
+    /// At least one load from the developer's own classes.
+    pub own: bool,
+    /// At least one load from third-party classes.
+    pub third_party: bool,
+}
+
+impl EntityMix {
+    /// Folds one classified call site into the mix.
+    pub fn add(&mut self, entity: Entity) {
+        match entity {
+            Entity::Own => self.own = true,
+            Entity::ThirdParty => self.third_party = true,
+        }
+    }
+
+    /// Builds a mix from an app package and call-site classes.
+    pub fn from_call_sites<'a>(
+        app_package: &str,
+        call_sites: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        let mut mix = EntityMix::default();
+        for cs in call_sites {
+            mix.add(classify(app_package, cs));
+        }
+        mix
+    }
+
+    /// Whether both entities appear (the "3rd-party & Own" column of
+    /// Table IV).
+    pub fn both(self) -> bool {
+        self.own && self.third_party
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_package_classified() {
+        assert_eq!(
+            classify("com.example.app", "com.example.app.Main"),
+            Entity::Own
+        );
+        assert_eq!(classify("com.example.app", "com.example.app"), Entity::Own);
+        assert_eq!(
+            classify("com.example.app", "com.example.app.ui.Loader"),
+            Entity::Own
+        );
+    }
+
+    #[test]
+    fn third_party_classified() {
+        assert_eq!(
+            classify("com.example.app", "com.google.ads.AdLoader"),
+            Entity::ThirdParty
+        );
+        assert_eq!(
+            classify("com.example.app", "com.baidu.mobads.Remote"),
+            Entity::ThirdParty
+        );
+    }
+
+    #[test]
+    fn prefix_collision_is_not_own() {
+        // com.example.appother is NOT a subpackage of com.example.app.
+        assert_eq!(
+            classify("com.example.app", "com.example.appother.X"),
+            Entity::ThirdParty
+        );
+    }
+
+    #[test]
+    fn mix_aggregation() {
+        let mix = EntityMix::from_call_sites("com.a", ["com.a.Main", "com.ads.Loader"]);
+        assert!(mix.own && mix.third_party && mix.both());
+
+        let only_third = EntityMix::from_call_sites("com.a", ["com.ads.Loader", "com.other.Y"]);
+        assert!(!only_third.own && only_third.third_party && !only_third.both());
+
+        let empty = EntityMix::from_call_sites("com.a", []);
+        assert!(!empty.own && !empty.third_party);
+    }
+}

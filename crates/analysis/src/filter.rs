@@ -1,0 +1,167 @@
+//! The static DCL pre-filter.
+//!
+//! As in the paper's system overview: after decompilation, check whether
+//! the app *contains* DCL-related code — class-loader construction for DEX
+//! or the JNI load APIs for native code. Reachability is deliberately not
+//! verified; the filter only selects which apps enter the (expensive)
+//! dynamic analysis.
+
+use dydroid_dex::{DexFile, Instruction, InvokeKind};
+use serde::{Deserialize, Serialize};
+
+/// Class-loader classes whose construction indicates DEX DCL. Includes
+/// the Grab'n-Run-style verified loader extension so hardened apps are
+/// still measured.
+pub const DEX_LOADER_CLASSES: [&str; 3] = [
+    "dalvik.system.DexClassLoader",
+    "dalvik.system.PathClassLoader",
+    "dalvik.system.SecureDexClassLoader",
+];
+
+/// `(class, method)` pairs indicating native DCL via JNI.
+pub const NATIVE_LOAD_APIS: [(&str, &str); 4] = [
+    ("java.lang.System", "load"),
+    ("java.lang.System", "loadLibrary"),
+    ("java.lang.Runtime", "load"),
+    ("java.lang.Runtime", "loadLibrary"),
+];
+
+/// The filter verdict for one app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DclFilter {
+    /// The app references a DEX class loader.
+    pub has_dex_dcl: bool,
+    /// The app references a JNI native-load API.
+    pub has_native_dcl: bool,
+}
+
+impl DclFilter {
+    /// Whether the app passes the filter at all.
+    pub fn any(self) -> bool {
+        self.has_dex_dcl || self.has_native_dcl
+    }
+
+    /// Scans a DEX file for DCL-related code.
+    pub fn scan(dex: &DexFile) -> Self {
+        let mut result = DclFilter::default();
+        for (_, method) in dex.methods() {
+            for insn in &method.code {
+                match insn {
+                    Instruction::NewInstance { class, .. }
+                        if DEX_LOADER_CLASSES.contains(&class.as_str()) =>
+                    {
+                        result.has_dex_dcl = true;
+                    }
+                    Instruction::Invoke {
+                        method: mref, kind, ..
+                    } => {
+                        if DEX_LOADER_CLASSES.contains(&mref.class.as_str())
+                            && (mref.name == "<init>" || *kind == InvokeKind::Direct)
+                        {
+                            result.has_dex_dcl = true;
+                        }
+                        if NATIVE_LOAD_APIS
+                            .iter()
+                            .any(|(c, m)| mref.class == *c && mref.name.starts_with(m))
+                        {
+                            result.has_native_dcl = true;
+                        }
+                    }
+                    _ => {}
+                }
+                if result.has_dex_dcl && result.has_native_dcl {
+                    return result;
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{AccessFlags, MethodRef};
+
+    #[test]
+    fn plain_app_filtered_out() {
+        let mut b = DexBuilder::new();
+        b.class("a.Main", "android.app.Activity")
+            .method("onCreate", "()V", AccessFlags::PUBLIC)
+            .ret_void();
+        let f = DclFilter::scan(&b.build());
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn dex_loader_detected_via_new_instance() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.L", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.new_instance(0, "dalvik.system.DexClassLoader");
+        m.ret_void();
+        let f = DclFilter::scan(&b.build());
+        assert!(f.has_dex_dcl);
+        assert!(!f.has_native_dcl);
+    }
+
+    #[test]
+    fn path_class_loader_detected() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.L", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.new_instance(0, "dalvik.system.PathClassLoader");
+        m.ret_void();
+        assert!(DclFilter::scan(&b.build()).has_dex_dcl);
+    }
+
+    #[test]
+    fn native_load_apis_detected() {
+        for (class, method) in NATIVE_LOAD_APIS {
+            let mut b = DexBuilder::new();
+            let c = b.class("a.N", "java.lang.Object");
+            let m = c.method("go", "()V", AccessFlags::PUBLIC);
+            m.const_str(0, "x");
+            m.invoke_static(
+                MethodRef::new(class, method, "(Ljava/lang/String;)V"),
+                vec![0],
+            );
+            m.ret_void();
+            let f = DclFilter::scan(&b.build());
+            assert!(f.has_native_dcl, "{class}.{method} not detected");
+            assert!(!f.has_dex_dcl);
+        }
+    }
+
+    #[test]
+    fn load0_variant_detected() {
+        // Android 7.1's Runtime.load0 — the paper notes one added hook.
+        let mut b = DexBuilder::new();
+        let c = b.class("a.N", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.const_str(0, "x");
+        m.invoke_static(
+            MethodRef::new("java.lang.Runtime", "load0", "(Ljava/lang/String;)V"),
+            vec![0],
+        );
+        m.ret_void();
+        assert!(DclFilter::scan(&b.build()).has_native_dcl);
+    }
+
+    #[test]
+    fn both_kinds_detected() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.B", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.new_instance(0, "dalvik.system.DexClassLoader");
+        m.const_str(1, "x");
+        m.invoke_static(
+            MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+            vec![1],
+        );
+        m.ret_void();
+        let f = DclFilter::scan(&b.build());
+        assert!(f.has_dex_dcl && f.has_native_dcl && f.any());
+    }
+}

@@ -1,0 +1,356 @@
+//! MAIL — the Malware Analysis Intermediate Language (after Alam et al.).
+//!
+//! Both DEX bytecode and native pseudo-code translate into a common,
+//! platform-independent statement stream that keeps exactly what the
+//! detector needs: control-flow structure and call/syscall patterns,
+//! while erasing registers, constants and addresses (malware variants
+//! differ only in those, as the paper observes: "the identified testing
+//! samples only differ from the matched malicious samples in the memory
+//! addresses").
+
+use std::fmt;
+
+use dydroid_dex::{DexFile, Instruction, NativeInsn, NativeLibrary};
+use serde::{Deserialize, Serialize};
+
+/// One MAIL statement kind. Variants deliberately drop operands that vary
+/// across malware variants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MailStmt {
+    /// Data movement / arithmetic (registers and constants erased).
+    Assign,
+    /// Allocation of a platform type.
+    New(String),
+    /// Call into the app's own code (callee identity erased — variants
+    /// rename internal classes).
+    Call,
+    /// Call into a platform library API (identity kept — it is the
+    /// behavioural fingerprint).
+    LibCall(String),
+    /// OS-level effect (native code).
+    Syscall(String),
+    /// Unconditional control transfer.
+    Jump,
+    /// Conditional control transfer.
+    CondJump,
+    /// Function exit (returns and throws).
+    Return,
+}
+
+/// A translated statement plus its control-flow metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MailInsn {
+    /// The statement.
+    pub stmt: MailStmt,
+    /// Branch target (absolute index), for jumps.
+    pub target: Option<u32>,
+    /// Whether control can continue to the next statement.
+    pub falls_through: bool,
+}
+
+/// A function in MAIL form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MailFunction {
+    /// Identifier (`class->method` or native symbol).
+    pub name: String,
+    /// Statement stream.
+    pub code: Vec<MailInsn>,
+}
+
+impl fmt::Display for MailStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MailStmt::Assign => write!(f, "ASSIGN"),
+            MailStmt::New(class) => write!(f, "NEW {class}"),
+            MailStmt::Call => write!(f, "CALL <local>"),
+            MailStmt::LibCall(api) => write!(f, "LIBCALL {api}"),
+            MailStmt::Syscall(name) => write!(f, "SYSCALL {name}"),
+            MailStmt::Jump => write!(f, "JMP"),
+            MailStmt::CondJump => write!(f, "CJMP"),
+            MailStmt::Return => write!(f, "RET"),
+        }
+    }
+}
+
+impl fmt::Display for MailFunction {
+    /// Renders the function in a readable MAIL listing, with branch
+    /// targets as `-> N` suffixes — DroidNative-style debug output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} {{", self.name)?;
+        for (i, insn) in self.code.iter().enumerate() {
+            write!(f, "  {i:>4}: {}", insn.stmt)?;
+            if let Some(t) = insn.target {
+                write!(f, " -> {t}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Renders a whole binary's MAIL listing.
+pub fn render(functions: &[MailFunction]) -> String {
+    functions
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+/// A binary that can be translated to MAIL: the two shapes DyDroid
+/// intercepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodeBinary {
+    /// DEX bytecode.
+    Dex(DexFile),
+    /// A native library.
+    Native(NativeLibrary),
+}
+
+impl CodeBinary {
+    /// Parses intercepted bytes as either format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the DEX parse error when neither format matches.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, dydroid_dex::DexError> {
+        match DexFile::parse(data) {
+            Ok(dex) => Ok(CodeBinary::Dex(dex)),
+            Err(dex_err) => match NativeLibrary::parse(data) {
+                Ok(lib) => Ok(CodeBinary::Native(lib)),
+                Err(_) => Err(dex_err),
+            },
+        }
+    }
+
+    /// Whether this is native code.
+    pub fn is_native(&self) -> bool {
+        matches!(self, CodeBinary::Native(_))
+    }
+
+    /// Translates the binary to MAIL functions.
+    pub fn to_mail(&self) -> Vec<MailFunction> {
+        match self {
+            CodeBinary::Dex(dex) => translate_dex(dex),
+            CodeBinary::Native(lib) => translate_native(lib),
+        }
+    }
+}
+
+fn is_platform(class: &str) -> bool {
+    class.starts_with("java.")
+        || class.starts_with("javax.")
+        || class.starts_with("android.")
+        || class.starts_with("dalvik.")
+        || class.starts_with("com.android.")
+}
+
+/// Translates every method of a DEX file.
+pub fn translate_dex(dex: &DexFile) -> Vec<MailFunction> {
+    dex.methods()
+        .filter(|(_, m)| m.has_code())
+        .map(|(c, m)| MailFunction {
+            name: format!("{}->{}", c.name, m.name),
+            code: m.code.iter().map(translate_dex_insn).collect(),
+        })
+        .collect()
+}
+
+fn translate_dex_insn(insn: &Instruction) -> MailInsn {
+    let (stmt, target) = match insn {
+        Instruction::Invoke { method, .. } => {
+            if is_platform(&method.class) {
+                (
+                    MailStmt::LibCall(format!("{}.{}", method.class, method.name)),
+                    None,
+                )
+            } else {
+                (MailStmt::Call, None)
+            }
+        }
+        Instruction::NewInstance { class, .. } if is_platform(class) => {
+            (MailStmt::New(class.clone()), None)
+        }
+        Instruction::IfZero { target, .. } | Instruction::IfCmp { target, .. } => {
+            (MailStmt::CondJump, Some(*target))
+        }
+        Instruction::Goto { target } => (MailStmt::Jump, Some(*target)),
+        Instruction::ReturnVoid | Instruction::Return { .. } | Instruction::Throw { .. } => {
+            (MailStmt::Return, None)
+        }
+        _ => (MailStmt::Assign, None),
+    };
+    MailInsn {
+        stmt,
+        target,
+        falls_through: insn.falls_through(),
+    }
+}
+
+/// Translates every function of a native library.
+pub fn translate_native(lib: &NativeLibrary) -> Vec<MailFunction> {
+    lib.functions
+        .iter()
+        .filter(|f| !f.code.is_empty())
+        .map(|f| {
+            let local: Vec<&str> = lib.functions.iter().map(|g| g.name.as_str()).collect();
+            MailFunction {
+                name: f.name.clone(),
+                code: f
+                    .code
+                    .iter()
+                    .map(|i| translate_native_insn(i, &local))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn translate_native_insn(insn: &NativeInsn, local_symbols: &[&str]) -> MailInsn {
+    let (stmt, target) = match insn {
+        NativeInsn::Call { symbol } => {
+            if local_symbols.contains(&symbol.as_str()) {
+                (MailStmt::Call, None)
+            } else {
+                (MailStmt::LibCall(symbol.clone()), None)
+            }
+        }
+        NativeInsn::Syscall { name, .. } => (MailStmt::Syscall(name.clone()), None),
+        NativeInsn::Jump { target } => (MailStmt::Jump, Some(*target)),
+        NativeInsn::Branch { target, .. } => (MailStmt::CondJump, Some(*target)),
+        NativeInsn::Ret => (MailStmt::Return, None),
+        _ => (MailStmt::Assign, None),
+    };
+    MailInsn {
+        stmt,
+        target,
+        falls_through: insn.falls_through(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::native::{Arch, NativeFunction};
+    use dydroid_dex::{AccessFlags, CmpKind, MethodRef};
+
+    #[test]
+    fn dex_translation_shapes() {
+        let mut b = DexBuilder::new();
+        let c = b.class("com.m.X", "java.lang.Object");
+        let m = c.method("f", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(0, 5);
+        let end = m.label();
+        m.if_zero(CmpKind::Eq, 0, end);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.invoke_static(MethodRef::new("com.m.Y", "helper", "()V"), vec![]);
+        m.bind(end);
+        m.ret_void();
+        let funcs = translate_dex(&b.build());
+        assert_eq!(funcs.len(), 1);
+        let stmts: Vec<&MailStmt> = funcs[0].code.iter().map(|i| &i.stmt).collect();
+        assert_eq!(stmts[0], &MailStmt::Assign);
+        assert_eq!(stmts[1], &MailStmt::CondJump);
+        assert_eq!(
+            stmts[2],
+            &MailStmt::LibCall("android.telephony.TelephonyManager.getDeviceId".to_string())
+        );
+        assert_eq!(stmts[3], &MailStmt::Call);
+        assert_eq!(stmts[4], &MailStmt::Return);
+        assert_eq!(funcs[0].code[1].target, Some(4));
+    }
+
+    #[test]
+    fn native_translation_shapes() {
+        let lib = NativeLibrary::new("libm.so", Arch::Arm)
+            .with_function(NativeFunction::exported(
+                "JNI_OnLoad",
+                vec![
+                    NativeInsn::Syscall {
+                        name: "ptrace".to_string(),
+                        arg: Some("com.tencent.mm".to_string()),
+                    },
+                    NativeInsn::Call {
+                        symbol: "helper".to_string(),
+                    },
+                    NativeInsn::Call {
+                        symbol: "dlopen".to_string(),
+                    },
+                    NativeInsn::Ret,
+                ],
+            ))
+            .with_function(NativeFunction::local("helper", vec![NativeInsn::Ret]));
+        let funcs = translate_native(&lib);
+        assert_eq!(funcs.len(), 2);
+        let stmts: Vec<&MailStmt> = funcs[0].code.iter().map(|i| &i.stmt).collect();
+        assert_eq!(stmts[0], &MailStmt::Syscall("ptrace".to_string()));
+        assert_eq!(stmts[1], &MailStmt::Call);
+        assert_eq!(stmts[2], &MailStmt::LibCall("dlopen".to_string()));
+        assert_eq!(stmts[3], &MailStmt::Return);
+    }
+
+    #[test]
+    fn variants_translate_identically() {
+        // Two "variants": same structure, different constants/registers.
+        let build = |konst: i64, reg: u16| {
+            let mut b = DexBuilder::new();
+            let c = b.class("com.m.V", "java.lang.Object");
+            let m = c.method("f", "()V", AccessFlags::PUBLIC);
+            m.registers(8);
+            m.const_int(reg, konst);
+            m.invoke_static(
+                MethodRef::new(
+                    "android.telephony.SmsManager",
+                    "sendTextMessage",
+                    "(Ljava/lang/String;Ljava/lang/String;)V",
+                ),
+                vec![reg, reg],
+            );
+            m.ret_void();
+            translate_dex(&b.build())
+        };
+        assert_eq!(build(1, 0), build(999, 5));
+    }
+
+    #[test]
+    fn display_renders_listing() {
+        let lib = NativeLibrary::new("libm.so", Arch::Arm).with_function(NativeFunction::exported(
+            "JNI_OnLoad",
+            vec![
+                NativeInsn::Syscall {
+                    name: "ptrace".to_string(),
+                    arg: None,
+                },
+                NativeInsn::Jump { target: 0 },
+            ],
+        ));
+        let funcs = translate_native(&lib);
+        let text = render(&funcs);
+        assert!(text.contains("func JNI_OnLoad {"));
+        assert!(text.contains("SYSCALL ptrace"));
+        assert!(text.contains("JMP -> 0"));
+        assert_eq!(MailStmt::Return.to_string(), "RET");
+        assert_eq!(
+            MailStmt::LibCall("a.B.c".to_string()).to_string(),
+            "LIBCALL a.B.c"
+        );
+    }
+
+    #[test]
+    fn from_bytes_dispatches_by_format() {
+        let dex = DexFile::new().to_bytes();
+        assert!(!CodeBinary::from_bytes(&dex).unwrap().is_native());
+        let lib = NativeLibrary::new("l.so", Arch::X86).to_bytes();
+        assert!(CodeBinary::from_bytes(&lib).unwrap().is_native());
+        assert!(CodeBinary::from_bytes(b"junk").is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! Obfuscation analysis (Section III-D, Table VI, Figure 3).
+//!
+//! Five detectors:
+//!
+//! - **Lexical obfuscation** — identifiers checked against the word
+//!   database; ProGuard/Allatori-style renamed apps have mostly
+//!   meaningless identifiers.
+//! - **Reflection** — presence of `java.lang.reflect` APIs.
+//! - **Native code** — bundled `.so` libraries or `native` methods.
+//! - **DEX encryption** (packing) — the three-rule pattern shared by
+//!   Bangcle/Ijiami/360/Alibaba: (1) a custom `Application` container
+//!   that creates a class loader, (2) manifest components missing from
+//!   the decompiled code while a bytecode-capable file sits in local
+//!   resources, (3) the container loading a native decryption stub.
+//! - **Anti-decompilation** — reported by the decompiler itself (the app
+//!   never reaches this module); see [`crate::decompiler`].
+
+use dydroid_dex::{ClassDef, DexFile, Instruction, Manifest};
+use serde::{Deserialize, Serialize};
+
+use crate::decompiler::DecompiledApp;
+use crate::filter::{DEX_LOADER_CLASSES, NATIVE_LOAD_APIS};
+use crate::wordlist;
+
+/// One anti-reverse-engineering technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Identifier renaming.
+    Lexical,
+    /// Runtime reflection.
+    Reflection,
+    /// Native code.
+    Native,
+    /// Bytecode encryption + dynamic loading (packing).
+    DexEncryption,
+    /// Decompiler-crashing tricks.
+    AntiDecompilation,
+}
+
+/// Per-app obfuscation verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObfuscationReport {
+    /// Lexical obfuscation detected.
+    pub lexical: bool,
+    /// Reflection usage detected.
+    pub reflection: bool,
+    /// Native code present.
+    pub native: bool,
+    /// The DEX-encryption packing pattern matched.
+    pub dex_encryption: bool,
+    /// Anti-decompilation (set by the caller when decompilation failed).
+    pub anti_decompilation: bool,
+}
+
+impl ObfuscationReport {
+    /// Whether `technique` was detected.
+    pub fn has(&self, technique: Technique) -> bool {
+        match technique {
+            Technique::Lexical => self.lexical,
+            Technique::Reflection => self.reflection,
+            Technique::Native => self.native,
+            Technique::DexEncryption => self.dex_encryption,
+            Technique::AntiDecompilation => self.anti_decompilation,
+        }
+    }
+
+    /// The report recorded for apps that crashed the decompiler: nothing
+    /// else can be measured, only anti-decompilation.
+    pub fn anti_decompilation_only() -> Self {
+        ObfuscationReport {
+            anti_decompilation: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs all detectors on a successfully decompiled app.
+pub fn analyze(app: &DecompiledApp) -> ObfuscationReport {
+    ObfuscationReport {
+        lexical: detect_lexical(&app.classes),
+        reflection: detect_reflection(&app.classes),
+        native: detect_native(app),
+        dex_encryption: detect_dex_encryption(app),
+        anti_decompilation: false,
+    }
+}
+
+/// Lifecycle/entry-point method names that survive renaming and must not
+/// count toward "meaningful" identifiers.
+const KEPT_NAMES: [&str; 10] = [
+    "onCreate",
+    "onStart",
+    "onResume",
+    "onPause",
+    "onStop",
+    "onDestroy",
+    "onClick",
+    "main",
+    "<init>",
+    "<clinit>",
+];
+
+/// Decides lexical obfuscation: fewer than half of the app's renameable
+/// identifiers are meaningful words.
+pub fn detect_lexical(dex: &DexFile) -> bool {
+    let mut total = 0usize;
+    let mut meaningful = 0usize;
+    for class in dex.classes() {
+        let (_, simple) = dydroid_dex::types::split_class_name(&class.name);
+        total += 1;
+        if wordlist::is_meaningful(simple) {
+            meaningful += 1;
+        }
+        for field in &class.fields {
+            total += 1;
+            if wordlist::is_meaningful(&field.name) {
+                meaningful += 1;
+            }
+        }
+        for method in &class.methods {
+            if KEPT_NAMES.contains(&method.name.as_str()) {
+                continue;
+            }
+            total += 1;
+            if wordlist::is_meaningful(&method.name) {
+                meaningful += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return false;
+    }
+    meaningful * 2 < total
+}
+
+/// Detects reflection: any reference to the `java.lang.reflect` package —
+/// exactly the paper's rule. (`Class.newInstance` alone is deliberately
+/// not counted: every class-loader user calls it, and the paper measures
+/// reflection as a distinct technique.)
+pub fn detect_reflection(dex: &DexFile) -> bool {
+    for (_, method) in dex.methods() {
+        for insn in &method.code {
+            if let Some(mref) = insn.invoked_method() {
+                if mref.class.starts_with("java.lang.reflect") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Detects native code: bundled `.so` entries or `native` methods.
+pub fn detect_native(app: &DecompiledApp) -> bool {
+    if app.apk.entries_under("lib/").next().is_some() {
+        return true;
+    }
+    app.classes
+        .methods()
+        .any(|(_, m)| m.flags.contains(dydroid_dex::AccessFlags::NATIVE))
+}
+
+fn class_creates_class_loader(class: &ClassDef) -> bool {
+    class.methods.iter().any(|m| {
+        m.code.iter().any(|insn| match insn {
+            Instruction::NewInstance { class, .. } => DEX_LOADER_CLASSES.contains(&class.as_str()),
+            Instruction::Invoke { method, .. } => {
+                DEX_LOADER_CLASSES.contains(&method.class.as_str()) && method.name == "<init>"
+            }
+            _ => false,
+        })
+    })
+}
+
+fn class_loads_native(class: &ClassDef) -> bool {
+    class.methods.iter().any(|m| {
+        m.code.iter().any(|insn| {
+            insn.invoked_method()
+                .map(|mref| {
+                    NATIVE_LOAD_APIS
+                        .iter()
+                        .any(|(c, n)| mref.class == *c && mref.name.starts_with(n))
+                })
+                .unwrap_or(false)
+        })
+    })
+}
+
+/// Whether all manifest-declared components exist in the decompiled code.
+pub fn components_all_present(manifest: &Manifest, dex: &DexFile) -> bool {
+    manifest
+        .components
+        .iter()
+        .all(|c| dex.class(&c.class).is_some())
+}
+
+/// Whether a local resource could hold encrypted bytecode (any asset).
+fn has_local_bytecode_store(app: &DecompiledApp) -> bool {
+    app.apk.entries_under("assets/").next().is_some()
+}
+
+/// The three-rule DEX-encryption detector.
+pub fn detect_dex_encryption(app: &DecompiledApp) -> bool {
+    // Rule 1: a custom Application container that creates a class loader.
+    let Some(container_name) = &app.manifest.application_class else {
+        return false;
+    };
+    let Some(container) = app.classes.class(container_name) else {
+        return false;
+    };
+    if !class_creates_class_loader(container) {
+        return false;
+    }
+    // Rule 2: declared components missing from the decompiled code, and a
+    // file that can store bytecode packed locally.
+    if components_all_present(&app.manifest, &app.classes) {
+        return false;
+    }
+    if !has_local_bytecode_store(app) {
+        return false;
+    }
+    // Rule 3: the container loads a native decryption stub.
+    if !class_loads_native(container) {
+        return false;
+    }
+    app.apk.entries_under("lib/").next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompiler::decompile;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{AccessFlags, Apk, Component, MethodRef};
+
+    fn decompiled(apk: Apk) -> DecompiledApp {
+        decompile(&apk.to_bytes()).unwrap()
+    }
+
+    fn plain_classes(pkg: &str) -> DexFile {
+        let mut b = DexBuilder::new();
+        let c = b.class(format!("{pkg}.MainActivity"), "android.app.Activity");
+        c.field("downloadManager", "I", AccessFlags::PRIVATE);
+        c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+        c.method("refreshContent", "()V", AccessFlags::PUBLIC)
+            .ret_void();
+        c.method("loadUserProfile", "()V", AccessFlags::PUBLIC)
+            .ret_void();
+        b.build()
+    }
+
+    fn proguard_classes() -> DexFile {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.a.a", "android.app.Activity");
+        c.field("a", "I", AccessFlags::PRIVATE);
+        c.field("b", "I", AccessFlags::PRIVATE);
+        c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+        c.method("a", "()V", AccessFlags::PUBLIC).ret_void();
+        c.method("b", "()V", AccessFlags::PUBLIC).ret_void();
+        c.method("c", "()V", AccessFlags::PUBLIC).ret_void();
+        b.build()
+    }
+
+    #[test]
+    fn lexical_detector() {
+        assert!(!detect_lexical(&plain_classes("com.x")));
+        assert!(detect_lexical(&proguard_classes()));
+        assert!(!detect_lexical(&DexFile::new()));
+    }
+
+    #[test]
+    fn reflection_detector() {
+        // Class.forName alone is NOT reflection per the paper's rule.
+        let mut b = DexBuilder::new();
+        let c = b.class("com.x.R", "java.lang.Object");
+        let m = c.method("peek", "()V", AccessFlags::PUBLIC);
+        m.const_str(0, "com.x.Hidden");
+        m.invoke_static(
+            MethodRef::new(
+                "java.lang.Class",
+                "forName",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+            ),
+            vec![0],
+        );
+        m.ret_void();
+        assert!(!detect_reflection(&b.build()));
+        assert!(!detect_reflection(&plain_classes("com.x")));
+
+        let mut b = DexBuilder::new();
+        let c = b.class("com.x.R2", "java.lang.Object");
+        let m = c.method("call", "()V", AccessFlags::PUBLIC);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.reflect.Method",
+                "invoke",
+                "(Ljava/lang/Object;)Ljava/lang/Object;",
+            ),
+            vec![0, 1],
+        );
+        m.ret_void();
+        assert!(detect_reflection(&b.build()));
+    }
+
+    #[test]
+    fn native_detector() {
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::main_activity("com.x.MainActivity"));
+        let mut apk = Apk::build(manifest.clone(), plain_classes("com.x"));
+        assert!(!detect_native(&decompiled(apk.clone())));
+        apk.put("lib/armeabi/libfoo.so", vec![1]);
+        assert!(detect_native(&decompiled(apk)));
+
+        // Native methods without a bundled lib also count.
+        let mut b = DexBuilder::new();
+        let c = b.class("com.x.MainActivity", "android.app.Activity");
+        c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+        c.method("decrypt", "()V", AccessFlags::PUBLIC | AccessFlags::NATIVE);
+        let apk = Apk::build(manifest, b.build());
+        assert!(detect_native(&decompiled(apk)));
+    }
+
+    /// Builds the canonical packed-app shape.
+    fn packed_apk(
+        with_container_loader: bool,
+        with_missing_components: bool,
+        with_assets: bool,
+        with_native_stub: bool,
+    ) -> Apk {
+        let pkg = "com.packed";
+        let mut manifest = Manifest::new(pkg);
+        manifest.application_class = Some(format!("{pkg}.StubApp"));
+        manifest
+            .components
+            .push(Component::main_activity(format!("{pkg}.RealMain")));
+
+        let mut b = DexBuilder::new();
+        {
+            let c = b.class(format!("{pkg}.StubApp"), "android.app.Application");
+            let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+            m.registers(8);
+            if with_native_stub {
+                m.const_str(1, "shield");
+                m.invoke_static(
+                    MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+                    vec![1],
+                );
+            }
+            if with_container_loader {
+                m.new_instance(2, "dalvik.system.DexClassLoader");
+                m.const_str(3, "/data/data/com.packed/files/dec.dex");
+                m.const_str(4, "/data/data/com.packed/odex");
+                m.invoke_direct(
+                    MethodRef::new(
+                        "dalvik.system.DexClassLoader",
+                        "<init>",
+                        "(Ljava/lang/String;Ljava/lang/String;)V",
+                    ),
+                    vec![2, 3, 4],
+                );
+            }
+            m.ret_void();
+        }
+        if !with_missing_components {
+            let c = b.class(format!("{pkg}.RealMain"), "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+        }
+        let mut apk = Apk::build(manifest, b.build());
+        if with_assets {
+            apk.put("assets/enc.bin", vec![0xAA; 32]);
+        }
+        if with_native_stub {
+            apk.put("lib/armeabi/libshield.so", vec![1]);
+        }
+        apk
+    }
+
+    #[test]
+    fn dex_encryption_full_pattern_detected() {
+        let app = decompiled(packed_apk(true, true, true, true));
+        assert!(detect_dex_encryption(&app));
+        let report = analyze(&app);
+        assert!(report.dex_encryption);
+        assert!(report.has(Technique::DexEncryption));
+    }
+
+    #[test]
+    fn dex_encryption_requires_all_three_rules() {
+        // Missing container loader.
+        assert!(!detect_dex_encryption(&decompiled(packed_apk(
+            false, true, true, true
+        ))));
+        // Components all present (rule 2 fails).
+        assert!(!detect_dex_encryption(&decompiled(packed_apk(
+            true, false, true, true
+        ))));
+        // No local bytecode store.
+        assert!(!detect_dex_encryption(&decompiled(packed_apk(
+            true, true, false, true
+        ))));
+        // No native stub.
+        assert!(!detect_dex_encryption(&decompiled(packed_apk(
+            true, true, true, false
+        ))));
+    }
+
+    #[test]
+    fn plain_app_has_clean_report() {
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::main_activity("com.x.MainActivity"));
+        let app = decompiled(Apk::build(manifest, plain_classes("com.x")));
+        let report = analyze(&app);
+        assert!(!report.lexical);
+        assert!(!report.reflection);
+        assert!(!report.native);
+        assert!(!report.dex_encryption);
+        assert!(!report.anti_decompilation);
+    }
+
+    #[test]
+    fn anti_decompilation_only_report() {
+        let report = ObfuscationReport::anti_decompilation_only();
+        assert!(report.anti_decompilation);
+        assert!(report.has(Technique::AntiDecompilation));
+        assert!(!report.has(Technique::Lexical));
+    }
+
+    #[test]
+    fn components_presence_check() {
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::main_activity("com.x.MainActivity"));
+        let dex = plain_classes("com.x");
+        assert!(components_all_present(&manifest, &dex));
+        manifest
+            .components
+            .push(Component::main_activity("com.x.Ghost"));
+        assert!(!components_all_present(&manifest, &dex));
+    }
+}

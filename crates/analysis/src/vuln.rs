@@ -1,0 +1,151 @@
+//! Code-injection vulnerability classification (Table IX).
+//!
+//! An app loading code from a location writable by other parties is open
+//! to code injection. Two categories, as in the paper:
+//!
+//! 1. **external storage** — world-writable before Android 4.4; flagged
+//!    only when the app's manifest supports pre-KitKat OS versions
+//!    (`minSdkVersion < 19`), which the paper verified manually;
+//! 2. **internal storage of other apps** — the paper's new variant: the
+//!    load path sits inside `/data/data/<otherPkg>/…`.
+
+use dydroid_avm::paths;
+use dydroid_dex::Manifest;
+use serde::{Deserialize, Serialize};
+
+/// A vulnerable DCL location category.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VulnKind {
+    /// Loading from world-writable external storage while supporting
+    /// pre-4.4 devices.
+    ExternalStorage,
+    /// Loading from another app's private internal storage.
+    ForeignInternalStorage {
+        /// The package whose storage the file lives in.
+        provider: String,
+    },
+}
+
+/// Classifies one loaded path for the app `package` with `manifest`.
+/// Returns `None` for safe locations (own internal storage, system paths).
+pub fn classify(package: &str, manifest: &Manifest, loaded_path: &str) -> Option<VulnKind> {
+    if paths::is_system(loaded_path) {
+        return None;
+    }
+    if paths::is_external(loaded_path) {
+        // Post-KitKat-only apps are not exposed (writes need a permission
+        // and the paper scopes the category to < 4.4 support).
+        if manifest.supports_pre_kitkat() {
+            return Some(VulnKind::ExternalStorage);
+        }
+        return None;
+    }
+    if let Some(owner) = paths::internal_owner(loaded_path) {
+        if owner != package {
+            return Some(VulnKind::ForeignInternalStorage {
+                provider: owner.to_string(),
+            });
+        }
+    }
+    None
+}
+
+/// Classifies every loaded path of an app, deduplicated by kind.
+pub fn classify_all<'a>(
+    package: &str,
+    manifest: &Manifest,
+    loaded_paths: impl IntoIterator<Item = &'a str>,
+) -> Vec<VulnKind> {
+    let mut out: Vec<VulnKind> = Vec::new();
+    for path in loaded_paths {
+        if let Some(kind) = classify(package, manifest, path) {
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(min_sdk: u32) -> Manifest {
+        let mut m = Manifest::new("com.victim");
+        m.min_sdk = min_sdk;
+        m
+    }
+
+    #[test]
+    fn external_storage_pre_kitkat_flagged() {
+        let kind = classify(
+            "com.victim",
+            &manifest(14),
+            "/mnt/sdcard/im_sdk/jar/payload.jar",
+        );
+        assert_eq!(kind, Some(VulnKind::ExternalStorage));
+    }
+
+    #[test]
+    fn external_storage_post_kitkat_not_flagged() {
+        let kind = classify("com.victim", &manifest(19), "/mnt/sdcard/x.jar");
+        assert_eq!(kind, None);
+    }
+
+    #[test]
+    fn foreign_internal_storage_flagged() {
+        let kind = classify(
+            "com.victim",
+            &manifest(14),
+            "/data/data/com.adobe.air/files/libCore.so",
+        );
+        assert_eq!(
+            kind,
+            Some(VulnKind::ForeignInternalStorage {
+                provider: "com.adobe.air".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn own_internal_storage_safe() {
+        assert_eq!(
+            classify(
+                "com.victim",
+                &manifest(14),
+                "/data/data/com.victim/cache/ad.dex"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn system_paths_safe() {
+        assert_eq!(
+            classify("com.victim", &manifest(14), "/system/lib/libssl.so"),
+            None
+        );
+    }
+
+    #[test]
+    fn classify_all_dedupes() {
+        let m = manifest(14);
+        let kinds = classify_all(
+            "com.victim",
+            &m,
+            [
+                "/mnt/sdcard/a.jar",
+                "/mnt/sdcard/b.jar",
+                "/data/data/com.other/files/x.so",
+                "/data/data/com.victim/files/ok.dex",
+            ],
+        );
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.contains(&VulnKind::ExternalStorage));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            VulnKind::ForeignInternalStorage { provider } if provider == "com.other"
+        )));
+    }
+}

@@ -1,0 +1,197 @@
+//! The natural-language word database used by the lexical-obfuscation
+//! detector.
+//!
+//! The paper builds its database from DBpedia; here a compact embedded
+//! dictionary of common English and programming vocabulary serves the same
+//! decision: *does this identifier decompose into meaningful words?*
+//! ProGuard-style names (`a`, `b`, `aa`) and random strings do not.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The embedded dictionary (lowercase).
+const WORDS: &str = "\
+about above accept access account action active activity adapter add address admin ads advert \
+after again alarm album alert all allow alpha also amount analytics and android angle animate \
+animation answer any api app append apply archive area argument array arrow article artist ask \
+asset assign async attach attempt audio auth author auto avatar back backup badge balance band \
+banner bar base battery bean begin bell best beta bill binary bind bitmap block blue board body \
+book bookmark boolean boot border bottom box brand bridge bright broadcast browser buffer bug \
+build builder bundle business busy button buy bytes cache calendar call callback camera cancel \
+candidate canvas capacity capture card care cart case cash cast catalog catch category cell \
+center chain challenge change channel chapter char charge chart chat check child choice choose \
+chrome circle city class classic clean clear click client clip clock clone close cloud cluster \
+code coin collect color column combine comment commit common compare compass complete compress \
+compute config confirm connect console constant contact contain content contest context control \
+convert cookie coordinate copy core corner correct count counter country course cover craft \
+crash create credit crop cross crypto current cursor curve custom customer cut daily dark dash \
+data database date day deal debug decimal decode decrypt deep default defense define delay \
+delegate delete deliver demo deny depth design desktop detail detect device dialog dictionary \
+diff digest digit dimension direct direction directory disable discount discover disk dismiss \
+dispatch display distance divide doc document dog domain done dot double down download draft \
+drag draw drawer drive driver drop duration dump duplicate duty dynamic each early earn east \
+easy echo economy edge edit editor education effect elastic element email empty enable encode \
+encrypt end endpoint energy engine enter entity entry episode equal error event every exact \
+example exchange exclude execute exercise exit expand expect expense expire export expose \
+express extend extra extract face factory fail fall family fast favorite feature feed feedback \
+fetch field fight file fill filter final find fine finger finish fire first fish fit fix flag \
+flash flat flight flip float flow flush focus folder follow font food foot force forecast \
+foreground form format forum forward found frame free freeze frequency fresh friend from front \
+full fun function future gallery game gap garden gas gate general generate get gift give glass \
+global goal gold good grade graph gray green grid group grow guard guess guest guide hand handle \
+handler hard hash have head header health heart heavy height hello help here hero hidden hide \
+high hint history hit hold home hook horizontal host hot hour house http icon identifier idle \
+image import inbox include index info inflate init inject inner input insert inside install \
+instance int interface internal interval intro invalid inventory invite invoke item iterator \
+java job join json jump just keep kernel key keyboard kill kind king label lab land landscape \
+lane language large last late latest launch launcher layer layout lazy lead leader leak learn \
+left legacy length lesson letter level library license life light like limit line link list \
+listen listener lite live load loader local location lock log login logo long look loop low \
+machine macro magic mail main make manage manager manifest many map margin mark market mask \
+master match material math matrix max maximum maybe measure media medium member memory menu \
+merge message meta meter method metric middle midnight migrate million mine mini minimum minute \
+mirror mix mobile mock mode model modify module moment money monitor month more motion mount \
+mouse move movie multi music mute name nation native navigate near nest net network never new \
+news next nice night node noise none normal north not note notice notification notify now null \
+number object observe offer office offline offset often old once one online only opacity open \
+operation option orange order origin other out outer output outside over overlay owner pack \
+package pad page paint pair panel paper parallel param parent park parse part partial partner \
+party pass password past paste patch path pattern pause pay payment peek peer pen pending people \
+percent perform permission person phase phone photo pick picture piece pin ping pipe pitch pixel \
+place plain plan plane platform play player please plot plugin plus point policy poll pool pop \
+popup port portrait position post power prefer preference prefix preload premium prepare present \
+preset press pretty preview price primary print priority privacy private prize process product \
+profile program progress project promo promote prompt proof property protect protocol provider \
+proxy public publish pull purchase purple push put puzzle quality query question queue quick \
+quiet quit quota quote race radio random range rank rate rating raw reach react read reader \
+ready real reason receipt receive recent recipe record rect red redirect reduce refresh region \
+register regular reject relation release reload remain remind remote remove rename render renew \
+repair repeat replace reply report request require reset resize resolve resource response rest \
+restart restore result resume retry return reveal reverse review reward right ring risk road \
+robot role roll room root rotate round route row rule run safe sale same sample save scale scan \
+scene schedule schema scheme school score screen script scroll search season second secondary \
+secret section secure security see seed seek segment select self sell send sensor sequence \
+serial series server service session set setting setup shader shadow shake shape share sharp \
+sheet shell shift ship shop short show shuffle side sign signal signature silent simple single \
+site size skill skin skip sleep slice slide slot slow small smart smooth snap social socket soft \
+solid solution solve song sort sound source south space spam span spawn special speed spell \
+spend sphere spin splash split sport spot spread spring sprite square stack staff stage stamp \
+star start state static station stats status stay step sticker stock stop storage store story \
+stream street stretch strike string strip stroke strong style submit subscribe success suffix \
+suggest suite sum summary sun super support sure surface survey swap sweep swipe switch symbol \
+sync system tab table tag take talk tap target task tax team tech template temporary term test \
+text texture theme thing thread three thumb ticket tile time timer tiny title to today toggle \
+token tool top topic total touch tour track trade traffic train transaction transfer transform \
+transit translate transparent trash travel tree trend trial trigger trim trip true trust try \
+tune turn tutorial two type under undo unit unity unlock unread until up update upgrade upload \
+upper url usage use user util validate value variable variant vector verify version vertical \
+very via video view visible visit voice volume vote wait wake walk wall wallet want warm warn \
+watch water wave way weak weather web week weight welcome west wheel when white wide widget \
+width win window wire wish with word work worker world wrap write wrong yellow yes yesterday \
+zero zone zoom";
+
+fn dictionary() -> &'static HashSet<&'static str> {
+    static DICT: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    DICT.get_or_init(|| WORDS.split_whitespace().collect())
+}
+
+/// Whether a single lowercase token is a dictionary word.
+pub fn is_word(token: &str) -> bool {
+    dictionary().contains(token)
+}
+
+/// Splits an identifier into candidate word tokens: camelCase boundaries,
+/// digits and underscores separate tokens.
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c == '_' || c == '$' || c.is_ascii_digit() {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && prev_lower {
+            tokens.push(std::mem::take(&mut current));
+        }
+        prev_lower = c.is_lowercase();
+        current.extend(c.to_lowercase());
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Whether an identifier is "meaningful": at least half of its tokens of
+/// length ≥ 3 are dictionary words, and it has at least one such token.
+/// Short identifiers (`a`, `ab`) are never meaningful — they are exactly
+/// what ProGuard emits.
+pub fn is_meaningful(ident: &str) -> bool {
+    let tokens = split_identifier(ident);
+    let long: Vec<&String> = tokens.iter().filter(|t| t.len() >= 3).collect();
+    if long.is_empty() {
+        return false;
+    }
+    let hits = long.iter().filter(|t| is_word(t)).count();
+    hits * 2 >= long.len()
+}
+
+/// Number of entries in the dictionary (for sanity checks).
+pub fn dictionary_size() -> usize {
+    dictionary().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_loaded() {
+        assert!(dictionary_size() > 900, "got {}", dictionary_size());
+        assert!(is_word("download"));
+        assert!(is_word("activity"));
+        assert!(!is_word("xqzv"));
+    }
+
+    #[test]
+    fn splitter() {
+        assert_eq!(
+            split_identifier("loadAdContent"),
+            vec!["load", "ad", "content"]
+        );
+        assert_eq!(split_identifier("HTTPClient"), vec!["httpclient"]);
+        assert_eq!(split_identifier("user_name"), vec!["user", "name"]);
+        assert_eq!(split_identifier("a1b2"), vec!["a", "b"]);
+        assert_eq!(split_identifier("URLLoader"), vec!["urlloader"]);
+        assert!(split_identifier("").is_empty());
+    }
+
+    #[test]
+    fn meaningful_identifiers() {
+        assert!(is_meaningful("downloadManager"));
+        assert!(is_meaningful("onClickButton"));
+        assert!(is_meaningful("MainActivity"));
+        assert!(is_meaningful("parseConfigFile"));
+    }
+
+    #[test]
+    fn obfuscated_identifiers() {
+        assert!(!is_meaningful("a"));
+        assert!(!is_meaningful("ab"));
+        assert!(!is_meaningful("aaa"));
+        assert!(!is_meaningful("qzx"));
+        assert!(!is_meaningful("zzqk"));
+        assert!(!is_meaningful("a1"));
+    }
+
+    #[test]
+    fn mixed_identifiers() {
+        // Majority meaningful tokens wins.
+        assert!(is_meaningful("loadXyzzyData")); // load + data vs xyzzy
+        assert!(!is_meaningful("qjk_zzv_load")); // 1 of 3
+    }
+}

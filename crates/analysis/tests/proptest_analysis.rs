@@ -1,0 +1,215 @@
+//! Property tests for the static analyses: totality over arbitrary valid
+//! bytecode and the core invariants of the detectors.
+
+use dydroid_analysis::acfg::{match_fraction, Acfg, BinarySig, BlockSig};
+use dydroid_analysis::mail::{translate_dex, CodeBinary};
+use dydroid_analysis::taint::TaintAnalysis;
+use dydroid_analysis::{obfuscation, DclFilter};
+use dydroid_dex::{
+    AccessFlags, BinOp, ClassDef, CmpKind, DexFile, FieldRef, Instruction, InvokeKind, Method,
+    MethodRef, MethodSig,
+};
+use proptest::prelude::*;
+
+const REGS: u16 = 8;
+
+fn reg() -> impl Strategy<Value = u16> {
+    0..REGS
+}
+
+fn api() -> impl Strategy<Value = MethodRef> {
+    prop::sample::select(vec![
+        MethodRef::new(
+            "android.telephony.TelephonyManager",
+            "getDeviceId",
+            "()Ljava/lang/String;",
+        ),
+        MethodRef::new(
+            "android.util.Log",
+            "d",
+            "(Ljava/lang/String;Ljava/lang/String;)I",
+        ),
+        MethodRef::new(
+            "android.content.ContentResolver",
+            "query",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+        ),
+        MethodRef::new(
+            "java.lang.String",
+            "concat",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+        ),
+        MethodRef::new("app.Other", "helper", "(I)I"),
+        MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+        MethodRef::new(
+            "android.telephony.SmsManager",
+            "sendTextMessage",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+        ),
+    ])
+}
+
+fn instruction(max_target: u32) -> impl Strategy<Value = Instruction> {
+    let field = FieldRef::new("app.G", "f", "Ljava/lang/String;");
+    prop_oneof![
+        Just(Instruction::Nop),
+        (reg(), any::<i64>()).prop_map(|(dst, value)| Instruction::Const { dst, value }),
+        (
+            reg(),
+            prop::sample::select(vec![
+                "content://sms/inbox",
+                "content://contacts/x",
+                "hello",
+                "",
+            ])
+        )
+            .prop_map(|(dst, s)| Instruction::ConstString {
+                dst,
+                value: s.to_string()
+            }),
+        (reg(), reg()).prop_map(|(dst, src)| Instruction::Move { dst, src }),
+        reg().prop_map(|dst| Instruction::MoveResult { dst }),
+        (api(), prop::collection::vec(reg(), 0..3)).prop_map(|(method, args)| {
+            Instruction::Invoke {
+                kind: InvokeKind::Static,
+                method,
+                args,
+            }
+        }),
+        (reg(), reg()).prop_map({
+            let field = field.clone();
+            move |(dst, obj)| Instruction::IGet {
+                dst,
+                obj,
+                field: field.clone(),
+            }
+        }),
+        reg().prop_map({
+            let field = field.clone();
+            move |src| Instruction::SPut {
+                src,
+                field: field.clone(),
+            }
+        }),
+        (reg(), 0..max_target).prop_map(|(reg, target)| Instruction::IfZero {
+            cmp: CmpKind::Eq,
+            reg,
+            target
+        }),
+        (0..max_target).prop_map(|target| Instruction::Goto { target }),
+        (reg(), reg(), reg()).prop_map(|(dst, a, b)| Instruction::BinOp {
+            op: BinOp::Xor,
+            dst,
+            a,
+            b
+        }),
+        Just(Instruction::ReturnVoid),
+        reg().prop_map(|reg| Instruction::Return { reg }),
+    ]
+}
+
+fn arb_dex(methods: Vec<Vec<Instruction>>) -> DexFile {
+    let mut dex = DexFile::new();
+    let mut class = ClassDef::new("app.Main", "java.lang.Object");
+    for (i, raw) in methods.into_iter().enumerate() {
+        let len = raw.len().max(1) as u32;
+        let code: Vec<Instruction> = raw
+            .into_iter()
+            .map(|mut insn| {
+                if let Some(t) = insn.branch_target() {
+                    insn.set_branch_target(t % len);
+                }
+                insn
+            })
+            .collect();
+        class.methods.push(Method {
+            name: format!("m{i}"),
+            sig: MethodSig::parse("()V").expect("valid"),
+            flags: AccessFlags::PUBLIC,
+            registers: REGS,
+            code,
+        });
+    }
+    dex.add_class(class);
+    dex
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every analysis is total over arbitrary valid bytecode.
+    #[test]
+    fn analyses_never_panic(
+        methods in prop::collection::vec(
+            prop::collection::vec(instruction(24), 1..24),
+            1..4,
+        )
+    ) {
+        let dex = arb_dex(methods);
+        prop_assert!(dex.validate().is_ok());
+        let _ = DclFilter::scan(&dex);
+        let _ = obfuscation::detect_lexical(&dex);
+        let _ = obfuscation::detect_reflection(&dex);
+        let leaks = TaintAnalysis::new().run(&dex);
+        // Leaks only name real types and real sinks.
+        for leak in &leaks {
+            prop_assert!(!leak.sink.is_empty());
+            prop_assert!(leak.class.starts_with("app."));
+        }
+        let funcs = translate_dex(&dex);
+        for f in &funcs {
+            let acfg = Acfg::build(f);
+            // Block count never exceeds instruction count.
+            prop_assert!(acfg.len() <= f.code.len());
+        }
+    }
+
+    /// `match_fraction` is a containment measure: bounded, reflexive and
+    /// monotone under test-set growth.
+    #[test]
+    fn match_fraction_invariants(
+        a in prop::collection::vec((any::<u64>(), 0u8..4), 1..20),
+        b in prop::collection::vec((any::<u64>(), 0u8..4), 0..20),
+    ) {
+        let a: Vec<BlockSig> = a.into_iter().map(|(pattern, out_degree)| BlockSig { pattern, out_degree }).collect();
+        let b: Vec<BlockSig> = b.into_iter().map(|(pattern, out_degree)| BlockSig { pattern, out_degree }).collect();
+        let f = match_fraction(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Reflexive: a sample fully matches itself.
+        prop_assert_eq!(match_fraction(&a, &a), 1.0);
+        // Monotone: adding the training blocks to the test set gives 1.0.
+        let mut superset = b.clone();
+        superset.extend(a.iter().copied());
+        prop_assert_eq!(match_fraction(&a, &superset), 1.0);
+        prop_assert!(match_fraction(&a, &b) <= match_fraction(&a, &superset));
+    }
+
+    /// Binary signatures are stable across the binary encoding round trip
+    /// (detection can run on re-parsed intercepted bytes).
+    #[test]
+    fn binary_sig_stable_across_encoding(
+        methods in prop::collection::vec(
+            prop::collection::vec(instruction(16), 1..16),
+            1..3,
+        )
+    ) {
+        let dex = arb_dex(methods);
+        let sig1 = BinarySig::build(&CodeBinary::Dex(dex.clone()));
+        let reparsed = DexFile::parse(&dex.to_bytes()).expect("round trip");
+        let sig2 = BinarySig::build(&CodeBinary::Dex(reparsed));
+        prop_assert_eq!(sig1, sig2);
+    }
+
+    /// The taint analysis is deterministic.
+    #[test]
+    fn taint_deterministic(
+        methods in prop::collection::vec(
+            prop::collection::vec(instruction(16), 1..16),
+            1..3,
+        )
+    ) {
+        let dex = arb_dex(methods);
+        let taint = TaintAnalysis::new();
+        prop_assert_eq!(taint.run(&dex), taint.run(&dex));
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types of the simulated runtime.
+
+use std::fmt;
+
+use dydroid_dex::{ApkError, DexError};
+
+use crate::fs::FsError;
+
+/// Host-level errors: problems with the simulation itself (bad installs,
+/// missing packages), as opposed to in-app failures which surface as
+/// [`Exec`] values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvmError {
+    /// An APK failed to parse at install time.
+    Apk(ApkError),
+    /// A DEX payload failed to parse.
+    Dex(DexError),
+    /// A filesystem operation failed.
+    Fs(FsError),
+    /// The named package is not installed.
+    NotInstalled(String),
+    /// A package with the same name is already installed.
+    AlreadyInstalled(String),
+    /// The app declares no launchable activity.
+    NoActivity(String),
+}
+
+impl fmt::Display for AvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvmError::Apk(e) => write!(f, "apk error: {e}"),
+            AvmError::Dex(e) => write!(f, "dex error: {e}"),
+            AvmError::Fs(e) => write!(f, "filesystem error: {e}"),
+            AvmError::NotInstalled(pkg) => write!(f, "package not installed: {pkg}"),
+            AvmError::AlreadyInstalled(pkg) => write!(f, "package already installed: {pkg}"),
+            AvmError::NoActivity(pkg) => write!(f, "no launchable activity in {pkg}"),
+        }
+    }
+}
+
+impl std::error::Error for AvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AvmError::Apk(e) => Some(e),
+            AvmError::Dex(e) => Some(e),
+            AvmError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ApkError> for AvmError {
+    fn from(e: ApkError) -> Self {
+        AvmError::Apk(e)
+    }
+}
+
+impl From<DexError> for AvmError {
+    fn from(e: DexError) -> Self {
+        AvmError::Dex(e)
+    }
+}
+
+impl From<FsError> for AvmError {
+    fn from(e: FsError) -> Self {
+        AvmError::Fs(e)
+    }
+}
+
+/// In-app execution outcomes that abort the current entry point.
+///
+/// These model what happens *inside* the device: a thrown exception crashes
+/// the app (Table II's "Crash" row), runaway code hits the fuel limit, and
+/// both are recorded rather than propagated as host errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exec {
+    /// An uncaught in-app exception, e.g. `ClassNotFoundException: x.Y`.
+    Throw(String),
+    /// The instruction budget was exhausted (infinite loop guard).
+    OutOfFuel,
+    /// The call stack exceeded the depth limit.
+    StackOverflow,
+}
+
+impl fmt::Display for Exec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exec::Throw(msg) => write!(f, "uncaught exception: {msg}"),
+            Exec::OutOfFuel => write!(f, "execution budget exhausted"),
+            Exec::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for Exec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(AvmError::NotInstalled("a.b".into())
+            .to_string()
+            .contains("a.b"));
+        assert!(Exec::Throw("X".into()).to_string().contains("X"));
+        assert!(Exec::OutOfFuel.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: AvmError = DexError::BadMagic.into();
+        assert!(matches!(e, AvmError::Dex(_)));
+    }
+}

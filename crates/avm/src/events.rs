@@ -1,0 +1,282 @@
+//! Instrumentation events emitted by the modified framework.
+//!
+//! Every hook in the simulated runtime appends to the [`EventLog`]; the
+//! DyDroid pipeline reads the log after exercising an app to reconstruct
+//! DCL provenance, entity, file-op suppression and privacy API usage.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of code a DCL event loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DclKind {
+    /// DEX bytecode via `DexClassLoader`.
+    DexClassLoader,
+    /// DEX bytecode via `PathClassLoader`.
+    PathClassLoader,
+    /// Native code via `System.load()` (absolute path).
+    NativeLoad,
+    /// Native code via `System.loadLibrary()` (library name).
+    NativeLoadLibrary,
+}
+
+impl DclKind {
+    /// Whether this is a bytecode (DEX) load.
+    pub fn is_dex(self) -> bool {
+        matches!(self, DclKind::DexClassLoader | DclKind::PathClassLoader)
+    }
+
+    /// Whether this is a native-code load.
+    pub fn is_native(self) -> bool {
+        !self.is_dex()
+    }
+}
+
+/// A dynamic code loading event, as recorded by the DCL logger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DclEvent {
+    /// Loader/API used.
+    pub kind: DclKind,
+    /// Absolute path of the loaded file.
+    pub path: String,
+    /// Output directory of the optimized DEX, for bytecode loads.
+    pub odex_dir: Option<String>,
+    /// Call-site class: the class in which the class loader was created
+    /// (top app frame of the Java stack trace, Figure 2).
+    pub call_site_class: String,
+    /// Full app-frame stack trace, innermost first (`class->method`).
+    pub stack: Vec<String>,
+    /// Package of the app whose process performed the load.
+    pub package: String,
+    /// Whether the load succeeded (the file existed and parsed).
+    pub success: bool,
+}
+
+/// File operations observed by the `java.io.File` hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileOp {
+    /// File creation or overwrite.
+    Write,
+    /// File deletion.
+    Delete,
+    /// File rename (path is the source).
+    Rename,
+}
+
+/// Observable app behaviours used by malware-family verification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorEvent {
+    /// A notification was posted (adware push ads).
+    Notification {
+        /// Notification text.
+        text: String,
+    },
+    /// A home-screen shortcut was installed (adware).
+    ShortcutInstalled {
+        /// Shortcut label.
+        label: String,
+    },
+    /// The browser homepage was redirected (adware).
+    HomepageChanged {
+        /// New homepage URL.
+        url: String,
+    },
+    /// An SMS was sent.
+    SmsSent {
+        /// Destination number.
+        number: String,
+        /// Message body.
+        body: String,
+    },
+    /// `ptrace` was attached to another process (Chathook family,
+    /// and the packers' anti-debug loop).
+    PtraceAttach {
+        /// Target package, or `self` for anti-debug.
+        target: String,
+    },
+    /// The process attempted to obtain root.
+    RootAttempt,
+    /// A Java method was hooked from native code.
+    MethodHook {
+        /// Description of the hooked method.
+        target: String,
+    },
+    /// A service component was started.
+    ServiceStarted {
+        /// Service class name.
+        class: String,
+    },
+    /// A remote command was fetched and executed (botnet behaviour).
+    RemoteCommand {
+        /// The command string.
+        command: String,
+    },
+}
+
+/// One entry in the instrumentation log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A DCL event.
+    Dcl(DclEvent),
+    /// A file operation, possibly suppressed by the interception hook.
+    File {
+        /// Operation kind.
+        op: FileOp,
+        /// Affected path.
+        path: String,
+        /// Whether the mutual-exclusion hook silently blocked it.
+        suppressed: bool,
+        /// Acting package.
+        package: String,
+    },
+    /// A framework API call relevant to privacy tracking.
+    Api {
+        /// API class (dotted).
+        class: String,
+        /// API method name.
+        method: String,
+        /// App class that made the call.
+        caller_class: String,
+        /// Acting package.
+        package: String,
+    },
+    /// Outbound network traffic.
+    NetSend {
+        /// Destination domain.
+        domain: String,
+        /// Bytes sent.
+        bytes: usize,
+        /// Acting package.
+        package: String,
+    },
+    /// Inbound network fetch (URL read).
+    NetFetch {
+        /// Source URL.
+        url: String,
+        /// Bytes received; `None` when the fetch failed.
+        bytes: Option<usize>,
+        /// Acting package.
+        package: String,
+    },
+    /// An observable behaviour.
+    Behavior {
+        /// The behaviour.
+        behavior: BehaviorEvent,
+        /// Acting package.
+        package: String,
+    },
+    /// The app crashed with an uncaught exception or budget exhaustion.
+    Crash {
+        /// Human-readable reason.
+        reason: String,
+        /// Acting package.
+        package: String,
+    },
+}
+
+/// An append-only instrumentation log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// All DCL events.
+    pub fn dcl_events(&self) -> impl Iterator<Item = &DclEvent> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Dcl(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// All behaviour events for a package.
+    pub fn behaviors<'a>(&'a self, pkg: &'a str) -> impl Iterator<Item = &'a BehaviorEvent> {
+        self.events.iter().filter_map(move |e| match e {
+            Event::Behavior { behavior, package } if package == pkg => Some(behavior),
+            _ => None,
+        })
+    }
+
+    /// Whether any crash was recorded for `pkg`.
+    pub fn crashed(&self, pkg: &str) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, Event::Crash { package, .. } if package == pkg))
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the log (between per-app runs).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcl(path: &str) -> DclEvent {
+        DclEvent {
+            kind: DclKind::DexClassLoader,
+            path: path.to_string(),
+            odex_dir: Some("/data/data/a/odex".to_string()),
+            call_site_class: "com.ads.Loader".to_string(),
+            stack: vec!["com.ads.Loader->init".to_string()],
+            package: "a".to_string(),
+            success: true,
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(DclKind::DexClassLoader.is_dex());
+        assert!(DclKind::PathClassLoader.is_dex());
+        assert!(DclKind::NativeLoad.is_native());
+        assert!(DclKind::NativeLoadLibrary.is_native());
+    }
+
+    #[test]
+    fn log_filters() {
+        let mut log = EventLog::new();
+        log.push(Event::Dcl(dcl("/data/data/a/cache/ad1.dex")));
+        log.push(Event::Crash {
+            reason: "boom".to_string(),
+            package: "a".to_string(),
+        });
+        log.push(Event::Behavior {
+            behavior: BehaviorEvent::RootAttempt,
+            package: "b".to_string(),
+        });
+        assert_eq!(log.dcl_events().count(), 1);
+        assert!(log.crashed("a"));
+        assert!(!log.crashed("b"));
+        assert_eq!(log.behaviors("b").count(), 1);
+        assert_eq!(log.behaviors("a").count(), 0);
+        assert_eq!(log.len(), 3);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

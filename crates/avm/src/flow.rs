@@ -1,0 +1,204 @@
+//! The download tracker's flow graph (Table I).
+//!
+//! Objects are identified by *type and hash code* exactly as in the paper:
+//! `URL`, `InputStream`, `Buffer` and `OutputStream` nodes carry the heap
+//! object id; `File` nodes are keyed by path so that copies and renames
+//! (`File → File` edges) connect staging locations to final locations.
+//! Remote provenance of a loaded binary is decided by searching the graph
+//! for a path from any `URL` node to the `File` node of the loaded path.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// A node in the download-tracker flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowNode {
+    /// A `java.net.URL` object; carries the URL string.
+    Url(String),
+    /// An `InputStream` object, by heap id.
+    InputStream(u32),
+    /// A `Buffer` object, by heap id.
+    Buffer(u32),
+    /// An `OutputStream` object, by heap id.
+    OutputStream(u32),
+    /// A file, by absolute path.
+    File(String),
+}
+
+impl FlowNode {
+    /// The URL string, if this is a URL node.
+    pub fn as_url(&self) -> Option<&str> {
+        match self {
+            FlowNode::Url(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// A directed flow graph over [`FlowNode`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowGraph {
+    edges: HashMap<FlowNode, Vec<FlowNode>>,
+    reverse: HashMap<FlowNode, Vec<FlowNode>>,
+}
+
+impl FlowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        FlowGraph::default()
+    }
+
+    /// Records a flow edge `from → to` (Table I rules produce these).
+    pub fn add_edge(&mut self, from: FlowNode, to: FlowNode) {
+        self.edges.entry(from.clone()).or_default().push(to.clone());
+        self.reverse.entry(to).or_default().push(from);
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// All URLs from which data flowed (transitively) into the file at
+    /// `path`. Empty when the file's contents are of purely local origin.
+    pub fn url_sources(&self, path: &str) -> Vec<String> {
+        let start = FlowNode::File(path.to_string());
+        let mut seen: HashSet<&FlowNode> = HashSet::new();
+        let mut queue: VecDeque<&FlowNode> = VecDeque::new();
+        let mut urls = Vec::new();
+        if let Some((node, _)) = self.reverse.get_key_value(&start) {
+            queue.push_back(node);
+            seen.insert(node);
+        } else {
+            return urls;
+        }
+        while let Some(node) = queue.pop_front() {
+            if let FlowNode::Url(u) = node {
+                urls.push(u.clone());
+            }
+            if let Some(preds) = self.reverse.get(node) {
+                for p in preds {
+                    if seen.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        urls.sort();
+        urls.dedup();
+        urls
+    }
+
+    /// Whether the file at `path` is (transitively) derived from a remote
+    /// URL — the paper's remote-provenance decision.
+    pub fn is_remote(&self, path: &str) -> bool {
+        !self.url_sources(path).is_empty()
+    }
+
+    /// Clears all edges (between per-app runs).
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.reverse.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the canonical Table I chain:
+    /// URL → InputStream → Buffer → OutputStream → File.
+    fn download_chain(g: &mut FlowGraph, url: &str, path: &str) {
+        g.add_edge(FlowNode::Url(url.to_string()), FlowNode::InputStream(1));
+        g.add_edge(FlowNode::InputStream(1), FlowNode::Buffer(2));
+        g.add_edge(FlowNode::Buffer(2), FlowNode::OutputStream(3));
+        g.add_edge(FlowNode::OutputStream(3), FlowNode::File(path.to_string()));
+    }
+
+    #[test]
+    fn direct_download_is_remote() {
+        let mut g = FlowGraph::new();
+        download_chain(&mut g, "http://cdn.x.com/a.dex", "/data/data/a/files/a.dex");
+        assert!(g.is_remote("/data/data/a/files/a.dex"));
+        assert_eq!(
+            g.url_sources("/data/data/a/files/a.dex"),
+            vec!["http://cdn.x.com/a.dex"]
+        );
+    }
+
+    #[test]
+    fn rename_propagates_provenance() {
+        let mut g = FlowGraph::new();
+        download_chain(&mut g, "http://cdn.x.com/a.dex", "/data/data/a/cache/tmp");
+        // File -> File edge from a rename.
+        g.add_edge(
+            FlowNode::File("/data/data/a/cache/tmp".to_string()),
+            FlowNode::File("/data/data/a/files/a.dex".to_string()),
+        );
+        assert!(g.is_remote("/data/data/a/files/a.dex"));
+    }
+
+    #[test]
+    fn local_file_is_not_remote() {
+        let mut g = FlowGraph::new();
+        // Asset extraction: File -> InputStream -> Buffer -> OutputStream -> File.
+        g.add_edge(
+            FlowNode::File("apk:assets/p.bin".to_string()),
+            FlowNode::InputStream(1),
+        );
+        g.add_edge(FlowNode::InputStream(1), FlowNode::Buffer(2));
+        g.add_edge(FlowNode::Buffer(2), FlowNode::OutputStream(3));
+        g.add_edge(
+            FlowNode::OutputStream(3),
+            FlowNode::File("/data/data/a/cache/p.dex".to_string()),
+        );
+        assert!(!g.is_remote("/data/data/a/cache/p.dex"));
+        assert!(g.url_sources("/data/data/a/cache/p.dex").is_empty());
+    }
+
+    #[test]
+    fn multiple_sources_all_reported() {
+        let mut g = FlowGraph::new();
+        download_chain(&mut g, "http://a.com/1", "/f");
+        g.add_edge(
+            FlowNode::Url("http://b.com/2".to_string()),
+            FlowNode::InputStream(9),
+        );
+        g.add_edge(FlowNode::InputStream(9), FlowNode::Buffer(2));
+        let mut urls = g.url_sources("/f");
+        urls.sort();
+        assert_eq!(urls, vec!["http://a.com/1", "http://b.com/2"]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = FlowGraph::new();
+        g.add_edge(
+            FlowNode::File("/a".to_string()),
+            FlowNode::File("/b".to_string()),
+        );
+        g.add_edge(
+            FlowNode::File("/b".to_string()),
+            FlowNode::File("/a".to_string()),
+        );
+        assert!(!g.is_remote("/a"));
+        assert!(!g.is_remote("/b"));
+    }
+
+    #[test]
+    fn unknown_file_not_remote() {
+        let g = FlowGraph::new();
+        assert!(!g.is_remote("/nope"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = FlowGraph::new();
+        download_chain(&mut g, "http://a.com/1", "/f");
+        assert!(g.edge_count() > 0);
+        g.clear();
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_remote("/f"));
+    }
+}

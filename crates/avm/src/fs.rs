@@ -1,0 +1,442 @@
+//! The simulated device filesystem.
+//!
+//! A flat map from absolute paths to file nodes with an ownership and
+//! permission model that matches what the paper's vulnerability analysis
+//! depends on:
+//!
+//! - each app may write only inside its own internal storage
+//!   (`/data/data/<pkg>/…`);
+//! - *reads are not restricted* — apps can and do read (and dynamically
+//!   load) files from other apps' internal storage, which is exactly the
+//!   code-injection variant DyDroid flags;
+//! - external storage (`/mnt/sdcard/…`) is writable by anyone before
+//!   API 19 (Android 4.4) and by holders of `WRITE_EXTERNAL_STORAGE` after;
+//! - system paths are writable only by the system itself.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::paths;
+
+/// Who is performing or owns a filesystem operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The OS / installer.
+    System,
+    /// An installed application, by package name.
+    App(String),
+}
+
+impl Owner {
+    /// Convenience constructor for an app owner.
+    pub fn app(pkg: impl Into<String>) -> Self {
+        Owner::App(pkg.into())
+    }
+}
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The actor may not write/delete/rename at this path.
+    PermissionDenied {
+        /// Offending path.
+        path: String,
+        /// Actor that was denied.
+        actor: String,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::PermissionDenied { path, actor } => {
+                write!(f, "permission denied for {actor} at {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[derive(Debug, Clone)]
+struct FileNode {
+    data: Vec<u8>,
+    owner: Owner,
+}
+
+/// The device filesystem.
+///
+/// Permission checks need to know which packages hold
+/// `WRITE_EXTERNAL_STORAGE` and the device API level; both are supplied by
+/// the caller ([`crate::Device`] wires them in).
+#[derive(Debug, Clone, Default)]
+pub struct FileSystem {
+    files: BTreeMap<String, FileNode>,
+}
+
+/// The context a permission check runs under.
+#[derive(Clone, Copy)]
+pub struct FsPolicy<'a> {
+    /// Device API level (19 = Android 4.4, the external-storage cutoff).
+    pub api_level: u32,
+    /// Packages holding `WRITE_EXTERNAL_STORAGE`.
+    pub external_writers: &'a dyn Fn(&str) -> bool,
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        FileSystem::default()
+    }
+
+    fn may_write(&self, path: &str, actor: &Owner, policy: &FsPolicy<'_>) -> bool {
+        match actor {
+            Owner::System => true,
+            Owner::App(pkg) => {
+                if paths::is_system(path) {
+                    return false;
+                }
+                if let Some(owner_pkg) = paths::internal_owner(path) {
+                    return owner_pkg == pkg;
+                }
+                if paths::app_lib_owner(path).is_some() {
+                    // Extracted library dirs are installer-managed.
+                    return false;
+                }
+                if paths::is_external(path) {
+                    return policy.api_level < 19 || (policy.external_writers)(pkg);
+                }
+                // Anywhere else (e.g. /tmp-like scratch) is denied.
+                false
+            }
+        }
+    }
+
+    /// Writes (creating or replacing) a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::PermissionDenied`] when `actor` may not write at
+    /// `path` under `policy`.
+    pub fn write(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        actor: &Owner,
+        policy: &FsPolicy<'_>,
+    ) -> Result<(), FsError> {
+        if !self.may_write(path, actor, policy) {
+            return Err(FsError::PermissionDenied {
+                path: path.to_string(),
+                actor: format!("{actor:?}"),
+            });
+        }
+        // Overwriting keeps the original owner for files the actor may
+        // legitimately touch; new files belong to the actor.
+        let owner = self
+            .files
+            .get(path)
+            .map(|n| n.owner.clone())
+            .unwrap_or_else(|| actor.clone());
+        self.files
+            .insert(path.to_string(), FileNode { data, owner });
+        Ok(())
+    }
+
+    /// Appends to a file, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// Same permission rules as [`FileSystem::write`].
+    pub fn append(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        actor: &Owner,
+        policy: &FsPolicy<'_>,
+    ) -> Result<(), FsError> {
+        if !self.may_write(path, actor, policy) {
+            return Err(FsError::PermissionDenied {
+                path: path.to_string(),
+                actor: format!("{actor:?}"),
+            });
+        }
+        match self.files.get_mut(path) {
+            Some(node) => {
+                node.data.extend_from_slice(data);
+                Ok(())
+            }
+            None => self.write(path, data.to_vec(), actor, policy),
+        }
+    }
+
+    /// Reads a file. Reads are unrestricted (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the path does not exist.
+    pub fn read(&self, path: &str) -> Result<&[u8], FsError> {
+        self.files
+            .get(path)
+            .map(|n| n.data.as_slice())
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// The owner of a file, if it exists.
+    pub fn owner(&self, path: &str) -> Option<&Owner> {
+        self.files.get(path).map(|n| &n.owner)
+    }
+
+    /// Deletes a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] or [`FsError::PermissionDenied`].
+    pub fn delete(
+        &mut self,
+        path: &str,
+        actor: &Owner,
+        policy: &FsPolicy<'_>,
+    ) -> Result<(), FsError> {
+        if !self.files.contains_key(path) {
+            return Err(FsError::NotFound(path.to_string()));
+        }
+        if !self.may_write(path, actor, policy) {
+            return Err(FsError::PermissionDenied {
+                path: path.to_string(),
+                actor: format!("{actor:?}"),
+            });
+        }
+        self.files.remove(path);
+        Ok(())
+    }
+
+    /// Renames a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if `from` is missing, or
+    /// [`FsError::PermissionDenied`] if the actor may not modify either end.
+    pub fn rename(
+        &mut self,
+        from: &str,
+        to: &str,
+        actor: &Owner,
+        policy: &FsPolicy<'_>,
+    ) -> Result<(), FsError> {
+        if !self.files.contains_key(from) {
+            return Err(FsError::NotFound(from.to_string()));
+        }
+        if !self.may_write(from, actor, policy) || !self.may_write(to, actor, policy) {
+            return Err(FsError::PermissionDenied {
+                path: format!("{from} -> {to}"),
+                actor: format!("{actor:?}"),
+            });
+        }
+        let node = self.files.remove(from).expect("checked above");
+        self.files.insert(to.to_string(), node);
+        Ok(())
+    }
+
+    /// Lists all paths under a prefix.
+    pub fn list<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Number of files on the device.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|n| n.data.len()).sum()
+    }
+
+    /// System-level write that bypasses permission checks (installer use).
+    pub fn write_system(&mut self, path: &str, data: Vec<u8>, owner: Owner) {
+        self.files
+            .insert(path.to_string(), FileNode { data, owner });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_writers(_: &str) -> bool {
+        false
+    }
+
+    fn all_writers(_: &str) -> bool {
+        true
+    }
+
+    fn policy<'a>(api: u32, f: &'a dyn Fn(&str) -> bool) -> FsPolicy<'a> {
+        FsPolicy {
+            api_level: api,
+            external_writers: f,
+        }
+    }
+
+    #[test]
+    fn own_internal_storage_writable() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        assert!(fs
+            .write("/data/data/com.a/files/x", vec![1], &a, &p)
+            .is_ok());
+        assert_eq!(fs.read("/data/data/com.a/files/x").unwrap(), &[1]);
+    }
+
+    #[test]
+    fn foreign_internal_storage_not_writable_but_readable() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        fs.write_system(
+            "/data/data/com.b/files/lib.so",
+            vec![7],
+            Owner::app("com.b"),
+        );
+        let a = Owner::app("com.a");
+        assert!(fs
+            .write("/data/data/com.b/files/lib.so", vec![0], &a, &p)
+            .is_err());
+        assert!(fs.delete("/data/data/com.b/files/lib.so", &a, &p).is_err());
+        // The vulnerability: reading (and thus loading) is allowed.
+        assert_eq!(fs.read("/data/data/com.b/files/lib.so").unwrap(), &[7]);
+    }
+
+    #[test]
+    fn external_storage_pre_kitkat_world_writable() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        let b = Owner::app("com.b");
+        assert!(fs.write("/mnt/sdcard/x.jar", vec![1], &a, &p).is_ok());
+        // Another app can replace it: the code-injection vector.
+        assert!(fs.write("/mnt/sdcard/x.jar", vec![2], &b, &p).is_ok());
+        assert_eq!(fs.read("/mnt/sdcard/x.jar").unwrap(), &[2]);
+    }
+
+    #[test]
+    fn external_storage_post_kitkat_requires_permission() {
+        let mut fs = FileSystem::new();
+        let deny = policy(19, &no_writers);
+        let allow = policy(19, &all_writers);
+        let a = Owner::app("com.a");
+        assert!(fs.write("/mnt/sdcard/x.jar", vec![1], &a, &deny).is_err());
+        assert!(fs.write("/mnt/sdcard/x.jar", vec![1], &a, &allow).is_ok());
+    }
+
+    #[test]
+    fn system_paths_protected() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &all_writers);
+        let a = Owner::app("com.a");
+        assert!(fs.write("/system/lib/libc.so", vec![1], &a, &p).is_err());
+        assert!(fs
+            .write("/system/lib/libc.so", vec![1], &Owner::System, &p)
+            .is_ok());
+    }
+
+    #[test]
+    fn app_lib_dir_installer_managed() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &all_writers);
+        let a = Owner::app("com.a");
+        assert!(fs
+            .write("/data/app-lib/com.a/libx.so", vec![1], &a, &p)
+            .is_err());
+    }
+
+    #[test]
+    fn rename_within_own_storage() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        fs.write("/data/data/com.a/cache/t.dex", vec![1], &a, &p)
+            .unwrap();
+        fs.rename(
+            "/data/data/com.a/cache/t.dex",
+            "/data/data/com.a/files/t.dex",
+            &a,
+            &p,
+        )
+        .unwrap();
+        assert!(!fs.exists("/data/data/com.a/cache/t.dex"));
+        assert!(fs.exists("/data/data/com.a/files/t.dex"));
+    }
+
+    #[test]
+    fn rename_across_foreign_storage_denied() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        fs.write("/data/data/com.a/cache/t.dex", vec![1], &a, &p)
+            .unwrap();
+        assert!(fs
+            .rename(
+                "/data/data/com.a/cache/t.dex",
+                "/data/data/com.b/files/t.dex",
+                &a,
+                &p
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn delete_missing_reports_not_found() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        assert_eq!(
+            fs.delete("/data/data/com.a/x", &Owner::app("com.a"), &p),
+            Err(FsError::NotFound("/data/data/com.a/x".to_string()))
+        );
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        fs.append("/data/data/com.a/log", &[1], &a, &p).unwrap();
+        fs.append("/data/data/com.a/log", &[2, 3], &a, &p).unwrap();
+        assert_eq!(fs.read("/data/data/com.a/log").unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn list_prefix() {
+        let mut fs = FileSystem::new();
+        let p = policy(18, &no_writers);
+        let a = Owner::app("com.a");
+        fs.write("/data/data/com.a/cache/ad1.dex", vec![], &a, &p)
+            .unwrap();
+        fs.write("/data/data/com.a/cache/ad2.dex", vec![], &a, &p)
+            .unwrap();
+        fs.write("/data/data/com.a/files/x", vec![], &a, &p)
+            .unwrap();
+        assert_eq!(fs.list("/data/data/com.a/cache/").count(), 2);
+        assert_eq!(fs.list("/data/data/com.a/").count(), 3);
+    }
+
+    #[test]
+    fn counters() {
+        let mut fs = FileSystem::new();
+        fs.write_system("/system/lib/a.so", vec![1, 2], Owner::System);
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.total_bytes(), 2);
+    }
+}

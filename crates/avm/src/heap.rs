@@ -1,0 +1,264 @@
+//! Runtime values, heap objects and intrinsic framework-object state.
+
+use std::collections::HashMap;
+
+/// A heap object identifier — doubles as the "hash code" that the download
+//  tracker uses to identify objects, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// A runtime value held in a register, field or argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The null reference.
+    Null,
+    /// A (folded) integer.
+    Int(i64),
+    /// A string. Strings are immutable values rather than heap objects,
+    /// which is all the analyses need.
+    Str(String),
+    /// A reference to a heap object.
+    Obj(ObjId),
+}
+
+impl Value {
+    /// Interprets the value as an integer (null is 0, as Dalvik registers
+    /// are untyped).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Null => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object id, if this is an object reference.
+    pub fn as_obj(&self) -> Option<ObjId> {
+        match self {
+            Value::Obj(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for conditional branches: zero/null/empty are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(v) => *v != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Obj(_) => true,
+        }
+    }
+}
+
+/// Where an input stream's bytes come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSource {
+    /// A remote URL (already-fetched body held inline).
+    Url(String),
+    /// A device file.
+    File(String),
+    /// An APK asset of the running app (`apk:assets/...`).
+    Asset(String),
+}
+
+/// Where an output stream's bytes go.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSink {
+    /// A device file (append).
+    File(String),
+    /// The network (POST body to a domain).
+    Net(String),
+}
+
+/// Framework-specific state attached to intrinsic objects.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum IntrinsicState {
+    /// A plain app object.
+    #[default]
+    None,
+    /// `java.net.URL`.
+    Url {
+        /// The URL string.
+        url: String,
+    },
+    /// `java.net.URLConnection` (and subclasses).
+    UrlConnection {
+        /// The connected URL.
+        url: String,
+    },
+    /// An input stream with a known source and buffered contents.
+    InputStream {
+        /// Source of the bytes.
+        source: StreamSource,
+        /// The bytes available to read.
+        data: Vec<u8>,
+    },
+    /// An output stream bound to a sink.
+    OutputStream {
+        /// Destination of written bytes.
+        sink: StreamSink,
+    },
+    /// A byte buffer (`java.io.Buffer` stand-in).
+    Buffer {
+        /// Current contents.
+        data: Vec<u8>,
+    },
+    /// `java.io.File`.
+    File {
+        /// Absolute path.
+        path: String,
+    },
+    /// A class loader; indexes into the process's loaded class spaces.
+    ClassLoader {
+        /// Class-space index within the owning [`crate::Process`].
+        space: usize,
+    },
+    /// `java.lang.Class`.
+    Class {
+        /// Dotted class name.
+        name: String,
+    },
+    /// `java.lang.reflect.Method`.
+    ReflectMethod {
+        /// Declaring class.
+        class: String,
+        /// Method name.
+        method: String,
+    },
+}
+
+/// A heap object: dynamic class name, fields, optional intrinsic state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Dotted runtime class name.
+    pub class: String,
+    /// Instance fields by name.
+    pub fields: HashMap<String, Value>,
+    /// Framework state for intrinsic objects.
+    pub intrinsic: IntrinsicState,
+}
+
+/// The per-process heap.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates a plain object of `class`.
+    pub fn alloc(&mut self, class: impl Into<String>) -> ObjId {
+        self.alloc_intrinsic(class, IntrinsicState::None)
+    }
+
+    /// Allocates an object with intrinsic state.
+    pub fn alloc_intrinsic(
+        &mut self,
+        class: impl Into<String>,
+        intrinsic: IntrinsicState,
+    ) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            class: class.into(),
+            fields: HashMap::new(),
+            intrinsic,
+        });
+        id
+    }
+
+    /// Immutable access to an object.
+    pub fn get(&self, id: ObjId) -> Option<&Object> {
+        self.objects.get(id.0 as usize)
+    }
+
+    /// Mutable access to an object.
+    pub fn get_mut(&mut self, id: ObjId) -> Option<&mut Object> {
+        self.objects.get_mut(id.0 as usize)
+    }
+
+    /// Number of live objects (the heap never frees; processes are
+    /// short-lived).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Null.as_int(), Some(0));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Obj(ObjId(3)).as_obj(), Some(ObjId(3)));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("a".into()).truthy());
+        assert!(Value::Obj(ObjId(0)).truthy());
+    }
+
+    #[test]
+    fn alloc_and_fields() {
+        let mut heap = Heap::new();
+        let id = heap.alloc("com.x.Y");
+        assert_eq!(heap.len(), 1);
+        heap.get_mut(id)
+            .unwrap()
+            .fields
+            .insert("count".to_string(), Value::Int(3));
+        assert_eq!(heap.get(id).unwrap().fields["count"], Value::Int(3));
+        assert_eq!(heap.get(id).unwrap().class, "com.x.Y");
+    }
+
+    #[test]
+    fn intrinsic_objects() {
+        let mut heap = Heap::new();
+        let id = heap.alloc_intrinsic(
+            "java.net.URL",
+            IntrinsicState::Url {
+                url: "http://a.com/x".to_string(),
+            },
+        );
+        match &heap.get(id).unwrap().intrinsic {
+            IntrinsicState::Url { url } => assert_eq!(url, "http://a.com/x"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut heap = Heap::new();
+        let a = heap.alloc("A");
+        let b = heap.alloc("B");
+        assert_eq!(a, ObjId(0));
+        assert_eq!(b, ObjId(1));
+        assert!(heap.get(ObjId(2)).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The DyDroid framework instrumentation state.
+//!
+//! Three hooks, exactly as in the paper's Section III-B / IV:
+//!
+//! 1. **DCL logger** — the class-loader constructors and JNI load APIs
+//!    record path, odex dir and call-site class (the events land in the
+//!    [`crate::EventLog`]); system libraries under `/system/lib` are
+//!    skipped.
+//! 2. **Code interception with mutual exclusion** — the path of every
+//!    loaded binary goes into a queue, the bytes are copied out, and
+//!    `java.io.File` delete/rename *silently fail* for queued paths so
+//!    that temporary payloads (the ad-SDK `cache/ad*` files) survive for
+//!    later static analysis. The suppression can be disabled for the
+//!    ablation bench.
+//! 3. **Download tracker** — object-granularity taint edges per Table I,
+//!    stored in a [`FlowGraph`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::DclKind;
+use crate::flow::FlowGraph;
+
+/// A dynamically loaded binary captured by the interception hook.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterceptedBinary {
+    /// Path the binary was loaded from.
+    pub path: String,
+    /// The captured bytes (copied at load time, before any deletion).
+    pub data: Vec<u8>,
+    /// Loader kind.
+    pub kind: DclKind,
+    /// Call-site class of the load.
+    pub call_site_class: String,
+    /// Package of the loading app.
+    pub package: String,
+}
+
+/// Mutable instrumentation state, owned by the [`crate::Device`].
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// Master switch: an unmodified device records nothing.
+    pub enabled: bool,
+    /// Whether delete/rename suppression (mutual exclusion) is active.
+    /// Disabled only by the ablation benchmark.
+    pub suppress_file_ops: bool,
+    queue: Vec<String>,
+    intercepted: Vec<InterceptedBinary>,
+    /// The download tracker's flow graph.
+    pub flow: FlowGraph,
+}
+
+impl Default for Instrumentation {
+    fn default() -> Self {
+        Instrumentation {
+            enabled: true,
+            suppress_file_ops: true,
+            queue: Vec::new(),
+            intercepted: Vec::new(),
+            flow: FlowGraph::new(),
+        }
+    }
+}
+
+impl Instrumentation {
+    /// Creates instrumentation in the default (fully enabled) state.
+    pub fn new() -> Self {
+        Instrumentation::default()
+    }
+
+    /// Queues a loaded path and captures its bytes.
+    pub fn intercept(&mut self, binary: InterceptedBinary) {
+        if !self.enabled {
+            return;
+        }
+        if !self.queue.contains(&binary.path) {
+            self.queue.push(binary.path.clone());
+        }
+        self.intercepted.push(binary);
+    }
+
+    /// Whether a delete/rename of `path` must be silently blocked.
+    pub fn should_block_file_op(&self, path: &str) -> bool {
+        self.enabled && self.suppress_file_ops && self.queue.iter().any(|p| p == path)
+    }
+
+    /// The queue of loaded paths, in load order.
+    pub fn queued_paths(&self) -> &[String] {
+        &self.queue
+    }
+
+    /// All intercepted binaries.
+    pub fn intercepted(&self) -> &[InterceptedBinary] {
+        &self.intercepted
+    }
+
+    /// Drains intercepted binaries (handing them to static analysis).
+    pub fn take_intercepted(&mut self) -> Vec<InterceptedBinary> {
+        std::mem::take(&mut self.intercepted)
+    }
+
+    /// Resets per-app state (queue, captures, flow graph).
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.intercepted.clear();
+        self.flow.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin(path: &str) -> InterceptedBinary {
+        InterceptedBinary {
+            path: path.to_string(),
+            data: vec![1, 2],
+            kind: DclKind::DexClassLoader,
+            call_site_class: "com.ads.X".to_string(),
+            package: "a".to_string(),
+        }
+    }
+
+    #[test]
+    fn intercept_queues_and_blocks() {
+        let mut h = Instrumentation::new();
+        h.intercept(bin("/data/data/a/cache/ad1.dex"));
+        assert!(h.should_block_file_op("/data/data/a/cache/ad1.dex"));
+        assert!(!h.should_block_file_op("/data/data/a/cache/other"));
+        assert_eq!(h.intercepted().len(), 1);
+    }
+
+    #[test]
+    fn disabled_instrumentation_records_nothing() {
+        let mut h = Instrumentation::new();
+        h.enabled = false;
+        h.intercept(bin("/x"));
+        assert!(h.intercepted().is_empty());
+        assert!(!h.should_block_file_op("/x"));
+    }
+
+    #[test]
+    fn suppression_toggle() {
+        let mut h = Instrumentation::new();
+        h.intercept(bin("/x"));
+        h.suppress_file_ops = false;
+        assert!(!h.should_block_file_op("/x"));
+    }
+
+    #[test]
+    fn duplicate_paths_queued_once_but_captured_each_time() {
+        let mut h = Instrumentation::new();
+        h.intercept(bin("/x"));
+        h.intercept(bin("/x"));
+        assert_eq!(h.queued_paths().len(), 1);
+        assert_eq!(h.intercepted().len(), 2);
+    }
+
+    #[test]
+    fn take_and_reset() {
+        let mut h = Instrumentation::new();
+        h.intercept(bin("/x"));
+        let taken = h.take_intercepted();
+        assert_eq!(taken.len(), 1);
+        assert!(h.intercepted().is_empty());
+        // Queue survives take (the file must stay protected)...
+        assert!(h.should_block_file_op("/x"));
+        // ...until reset.
+        h.reset();
+        assert!(!h.should_block_file_op("/x"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Executor for simulated native code.
+//!
+//! Interprets [`dydroid_dex::NativeInsn`] bodies with 16 integer registers.
+//! `Syscall` operands perform real effects against the device — this is how
+//! packer decrypt stubs transform bytes on the simulated filesystem and how
+//! the Chathook ptrace family attaches to its victims.
+//!
+//! ## Syscall reference
+//!
+//! | name | arg | effect | r0 result |
+//! |---|---|---|---|
+//! | `ptrace` | target pkg or `self` | `PtraceAttach` behaviour | 1 |
+//! | `setuid` | — | `RootAttempt` behaviour | 1 |
+//! | `hook` | description | `MethodHook` behaviour | 1 |
+//! | `connect` | domain | none | 1 if network available |
+//! | `send` | `domain:tag` | `NetSend` (needs network) | 1/0 |
+//! | `xor_decrypt` | `src:dst:key` | XOR-decrypts `src` into `dst` | 1/0 |
+//! | `copy` | `src:dst` | copies a file | 1/0 |
+//! | `time` | — | — | device time (ms) |
+//! | `location_enabled` | — | — | 1/0 |
+//! | `fork` | — | none (anti-debug loop shape) | 1 |
+
+use dydroid_dex::{NativeCond, NativeInsn};
+
+use crate::error::Exec;
+use crate::events::{BehaviorEvent, Event};
+use crate::flow::FlowNode;
+use crate::interp::Vm;
+
+/// Maximum native call depth.
+const MAX_NATIVE_DEPTH: usize = 16;
+
+/// Runs the exported function `func` of `vm.proc.native_libs[lib_idx]`.
+///
+/// # Errors
+///
+/// Returns [`Exec::Throw`] when the symbol is missing and propagates fuel
+/// exhaustion.
+pub fn run_native(vm: &mut Vm<'_>, lib_idx: usize, func: &str) -> Result<(), Exec> {
+    run_at_depth(vm, lib_idx, func, 0)
+}
+
+fn run_at_depth(vm: &mut Vm<'_>, lib_idx: usize, func: &str, depth: usize) -> Result<(), Exec> {
+    if depth >= MAX_NATIVE_DEPTH {
+        return Err(Exec::StackOverflow);
+    }
+    let code = {
+        let lib = vm
+            .proc
+            .native_libs
+            .get(lib_idx)
+            .ok_or_else(|| Exec::Throw("UnsatisfiedLinkError: stale library".to_string()))?;
+        lib.function(func)
+            .ok_or_else(|| Exec::Throw(format!("UnsatisfiedLinkError: symbol {func}")))?
+            .code
+            .clone()
+    };
+    let mut regs = [0i64; 16];
+    let mut pc = 0usize;
+    loop {
+        if vm.fuel == 0 {
+            return Err(Exec::OutOfFuel);
+        }
+        vm.fuel -= 1;
+        let Some(insn) = code.get(pc) else {
+            return Ok(());
+        };
+        match insn {
+            NativeInsn::Nop => pc += 1,
+            NativeInsn::Const { dst, value } => {
+                regs[*dst as usize % 16] = *value;
+                pc += 1;
+            }
+            NativeInsn::Add { dst, a, b } => {
+                regs[*dst as usize % 16] =
+                    regs[*a as usize % 16].wrapping_add(regs[*b as usize % 16]);
+                pc += 1;
+            }
+            NativeInsn::Call { symbol } => {
+                // Local symbol: recurse. Unknown imports are no-ops.
+                let is_local = vm
+                    .proc
+                    .native_libs
+                    .get(lib_idx)
+                    .map(|l| l.function(symbol).is_some())
+                    .unwrap_or(false);
+                if is_local {
+                    let symbol = symbol.clone();
+                    run_at_depth(vm, lib_idx, &symbol, depth + 1)?;
+                }
+                pc += 1;
+            }
+            NativeInsn::Syscall { name, arg } => {
+                regs[0] = syscall(vm, name, arg.as_deref())?;
+                pc += 1;
+            }
+            NativeInsn::Jump { target } => pc = *target as usize,
+            NativeInsn::Branch { cond, reg, target } => {
+                let v = regs[*reg as usize % 16];
+                let taken = match cond {
+                    NativeCond::Zero => v == 0,
+                    NativeCond::NonZero => v != 0,
+                };
+                if taken {
+                    pc = *target as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            NativeInsn::Ret => return Ok(()),
+        }
+    }
+}
+
+fn syscall(vm: &mut Vm<'_>, name: &str, arg: Option<&str>) -> Result<i64, Exec> {
+    let pkg = vm.package().to_string();
+    match name {
+        "ptrace" => {
+            vm.device.log.push(Event::Behavior {
+                behavior: BehaviorEvent::PtraceAttach {
+                    target: arg.unwrap_or("self").to_string(),
+                },
+                package: pkg,
+            });
+            Ok(1)
+        }
+        "setuid" => {
+            vm.device.log.push(Event::Behavior {
+                behavior: BehaviorEvent::RootAttempt,
+                package: pkg,
+            });
+            Ok(1)
+        }
+        "hook" => {
+            vm.device.log.push(Event::Behavior {
+                behavior: BehaviorEvent::MethodHook {
+                    target: arg.unwrap_or_default().to_string(),
+                },
+                package: pkg,
+            });
+            Ok(1)
+        }
+        "connect" => Ok(i64::from(vm.device.network_available())),
+        "send" => {
+            if !vm.device.network_available() {
+                return Ok(0);
+            }
+            let (domain, tag) = split2(arg.unwrap_or(""));
+            vm.device.log.push(Event::NetSend {
+                domain: domain.to_string(),
+                bytes: tag.len().max(1),
+                package: pkg,
+            });
+            Ok(1)
+        }
+        "xor_decrypt" => {
+            let Some((src, dst, key)) = split3(arg.unwrap_or("")) else {
+                return Ok(0);
+            };
+            let Ok(data) = vm.device.fs.read(src).map(<[u8]>::to_vec) else {
+                return Ok(0);
+            };
+            let decrypted = xor_bytes(&data, key.as_bytes());
+            if vm.device.app_write(&pkg, dst, decrypted).is_err() {
+                return Ok(0);
+            }
+            vm.device.hooks.flow.add_edge(
+                FlowNode::File(src.to_string()),
+                FlowNode::File(dst.to_string()),
+            );
+            Ok(1)
+        }
+        "copy" => {
+            let (src, dst) = split2(arg.unwrap_or(""));
+            if src.is_empty() || dst.is_empty() {
+                return Ok(0);
+            }
+            let Ok(data) = vm.device.fs.read(src).map(<[u8]>::to_vec) else {
+                return Ok(0);
+            };
+            if vm.device.app_write(&pkg, dst, data).is_err() {
+                return Ok(0);
+            }
+            vm.device.hooks.flow.add_edge(
+                FlowNode::File(src.to_string()),
+                FlowNode::File(dst.to_string()),
+            );
+            Ok(1)
+        }
+        "time" => Ok(vm.device.state.time_ms),
+        "location_enabled" => Ok(i64::from(vm.device.state.location_enabled)),
+        "fork" => Ok(1),
+        _ => Ok(0),
+    }
+}
+
+/// XORs `data` with `key` repeated cyclically. Applying it twice with the
+/// same key is the identity, which both the packer and its stub rely on.
+pub fn xor_bytes(data: &[u8], key: &[u8]) -> Vec<u8> {
+    if key.is_empty() {
+        return data.to_vec();
+    }
+    data.iter()
+        .enumerate()
+        .map(|(i, b)| b ^ key[i % key.len()])
+        .collect()
+}
+
+fn split2(s: &str) -> (&str, &str) {
+    match s.split_once(':') {
+        Some((a, b)) => (a, b),
+        None => (s, ""),
+    }
+}
+
+fn split3(s: &str) -> Option<(&str, &str, &str)> {
+    let (a, rest) = s.split_once(':')?;
+    let (b, c) = rest.split_once(':')?;
+    Some((a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_is_involution() {
+        let data = b"the secret payload".to_vec();
+        let key = b"k3y";
+        let enc = xor_bytes(&data, key);
+        assert_ne!(enc, data);
+        assert_eq!(xor_bytes(&enc, key), data);
+    }
+
+    #[test]
+    fn xor_empty_key_is_identity() {
+        assert_eq!(xor_bytes(b"abc", b""), b"abc".to_vec());
+    }
+
+    #[test]
+    fn splitters() {
+        assert_eq!(split2("a:b"), ("a", "b"));
+        assert_eq!(split2("a"), ("a", ""));
+        assert_eq!(split3("a:b:c"), Some(("a", "b", "c")));
+        assert_eq!(split3("a:b"), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! The simulated network: named remote servers serving byte payloads.
+//!
+//! The paper's remote-fetch apps download DEX/JAR payloads from ad-network
+//! servers (e.g. `http://mobads.baidu.com/ads/pa/`), and the authors'
+//! Bouncer experiment used a server that could enable/disable malware
+//! delivery — [`Network::set_enabled`] models that switch.
+
+use std::collections::HashMap;
+
+/// A simulated remote network keyed by domain.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    servers: HashMap<String, Server>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Server {
+    resources: HashMap<String, Vec<u8>>,
+    enabled: bool,
+}
+
+/// Splits a URL of the form `http(s)://domain/path` into `(domain, path)`.
+pub fn split_url(url: &str) -> Option<(&str, &str)> {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))?;
+    match rest.find('/') {
+        Some(idx) => Some((&rest[..idx], &rest[idx..])),
+        None => Some((rest, "/")),
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Publishes `data` at `http://<domain><path>`. The server is enabled
+    /// on first publication.
+    pub fn host(&mut self, domain: &str, path: &str, data: Vec<u8>) {
+        let server = self
+            .servers
+            .entry(domain.to_string())
+            .or_insert_with(|| Server {
+                resources: HashMap::new(),
+                enabled: true,
+            });
+        server.resources.insert(path.to_string(), data);
+    }
+
+    /// Enables or disables a whole server — the paper's malware-delivery
+    /// switch used during app review.
+    pub fn set_enabled(&mut self, domain: &str, enabled: bool) {
+        if let Some(server) = self.servers.get_mut(domain) {
+            server.enabled = enabled;
+        }
+    }
+
+    /// Fetches the resource at `url`, if the server exists, is enabled and
+    /// has the path.
+    pub fn fetch(&self, url: &str) -> Option<&[u8]> {
+        let (domain, path) = split_url(url)?;
+        let server = self.servers.get(domain)?;
+        if !server.enabled {
+            return None;
+        }
+        server.resources.get(path).map(Vec::as_slice)
+    }
+
+    /// Whether a domain is known (enabled or not).
+    pub fn has_domain(&self, domain: &str) -> bool {
+        self.servers.contains_key(domain)
+    }
+
+    /// Number of hosted resources across all servers.
+    pub fn resource_count(&self) -> usize {
+        self.servers.values().map(|s| s.resources.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://mobads.baidu.com/ads/pa/x.jar"),
+            Some(("mobads.baidu.com", "/ads/pa/x.jar"))
+        );
+        assert_eq!(split_url("https://a.com"), Some(("a.com", "/")));
+        assert_eq!(split_url("ftp://a.com/x"), None);
+        assert_eq!(split_url("not a url"), None);
+    }
+
+    #[test]
+    fn host_and_fetch() {
+        let mut net = Network::new();
+        net.host("cdn.example.com", "/payload.dex", vec![1, 2, 3]);
+        assert_eq!(
+            net.fetch("http://cdn.example.com/payload.dex"),
+            Some(&[1u8, 2, 3][..])
+        );
+        assert_eq!(net.fetch("http://cdn.example.com/other"), None);
+        assert_eq!(net.fetch("http://unknown.com/payload.dex"), None);
+    }
+
+    #[test]
+    fn disable_switch() {
+        let mut net = Network::new();
+        net.host("evil.com", "/mal.dex", vec![9]);
+        assert!(net.fetch("http://evil.com/mal.dex").is_some());
+        net.set_enabled("evil.com", false);
+        assert!(net.fetch("http://evil.com/mal.dex").is_none());
+        net.set_enabled("evil.com", true);
+        assert!(net.fetch("http://evil.com/mal.dex").is_some());
+    }
+
+    #[test]
+    fn counters() {
+        let mut net = Network::new();
+        net.host("a.com", "/1", vec![]);
+        net.host("a.com", "/2", vec![]);
+        net.host("b.com", "/1", vec![]);
+        assert_eq!(net.resource_count(), 3);
+        assert!(net.has_domain("a.com"));
+        assert!(!net.has_domain("c.com"));
+    }
+}

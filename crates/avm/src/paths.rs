@@ -1,0 +1,116 @@
+//! Canonical device path layout helpers.
+//!
+//! The layout mirrors the device the paper measured on: per-app internal
+//! storage under `/data/data/<pkg>/`, shared external storage under
+//! `/mnt/sdcard/`, system native libraries under `/system/lib/`, and
+//! per-app extracted native libraries under `/data/app-lib/<pkg>/`.
+
+/// Root of external (SD card) storage.
+pub const EXTERNAL_ROOT: &str = "/mnt/sdcard";
+/// Directory of system-provided native libraries (skipped by the DCL
+/// logger, as in the paper).
+pub const SYSTEM_LIB: &str = "/system/lib";
+
+/// Internal storage root of an app: `/data/data/<pkg>`.
+pub fn internal_dir(pkg: &str) -> String {
+    format!("/data/data/{pkg}")
+}
+
+/// Files directory of an app: `/data/data/<pkg>/files`.
+pub fn files_dir(pkg: &str) -> String {
+    format!("/data/data/{pkg}/files")
+}
+
+/// Cache directory of an app: `/data/data/<pkg>/cache` — the directory the
+/// advertisement SDKs stage their temporary DEX payloads in.
+pub fn cache_dir(pkg: &str) -> String {
+    format!("/data/data/{pkg}/cache")
+}
+
+/// Default optimized-DEX output directory of an app.
+pub fn odex_dir(pkg: &str) -> String {
+    format!("/data/data/{pkg}/odex")
+}
+
+/// Directory native libraries are extracted to at install time.
+pub fn app_lib_dir(pkg: &str) -> String {
+    format!("/data/app-lib/{pkg}")
+}
+
+/// Whether `path` lies under external storage.
+pub fn is_external(path: &str) -> bool {
+    path.starts_with(EXTERNAL_ROOT)
+}
+
+/// Whether `path` lies under a system directory.
+pub fn is_system(path: &str) -> bool {
+    path.starts_with("/system")
+}
+
+/// If `path` lies in some app's internal storage, returns that package.
+pub fn internal_owner(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/data/data/")?;
+    let end = rest.find('/').unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// If `path` lies in some app's extracted-library directory, returns that
+/// package.
+pub fn app_lib_owner(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/data/app-lib/")?;
+    let end = rest.find('/').unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Maps a JNI library name to its file name, as `System.mapLibraryName`
+/// does: `foo` becomes `libfoo.so`.
+pub fn map_library_name(name: &str) -> String {
+    format!("lib{name}.so")
+}
+
+/// The base name of a path (`/a/b/c.dex` → `c.dex`).
+pub fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout() {
+        assert_eq!(internal_dir("a.b"), "/data/data/a.b");
+        assert_eq!(files_dir("a.b"), "/data/data/a.b/files");
+        assert_eq!(cache_dir("a.b"), "/data/data/a.b/cache");
+        assert_eq!(odex_dir("a.b"), "/data/data/a.b/odex");
+        assert_eq!(app_lib_dir("a.b"), "/data/app-lib/a.b");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_external("/mnt/sdcard/x.dex"));
+        assert!(!is_external("/data/data/a/x.dex"));
+        assert!(is_system("/system/lib/libc.so"));
+        assert_eq!(internal_owner("/data/data/a.b/files/x"), Some("a.b"));
+        assert_eq!(internal_owner("/data/data/a.b"), Some("a.b"));
+        assert_eq!(internal_owner("/mnt/sdcard/x"), None);
+        assert_eq!(internal_owner("/data/data/"), None);
+        assert_eq!(app_lib_owner("/data/app-lib/a.b/libx.so"), Some("a.b"));
+        assert_eq!(app_lib_owner("/system/lib/libc.so"), None);
+    }
+
+    #[test]
+    fn library_names() {
+        assert_eq!(map_library_name("native"), "libnative.so");
+        assert_eq!(basename("/a/b/c.dex"), "c.dex");
+        assert_eq!(basename("c.dex"), "c.dex");
+    }
+}

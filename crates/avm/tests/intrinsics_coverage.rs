@@ -1,0 +1,712 @@
+//! Direct coverage of the framework intrinsic surface, driven through
+//! real bytecode: every instrumented API group of Section IV gets an
+//! observable end-to-end check.
+
+use dydroid_avm::events::{BehaviorEvent, Event};
+use dydroid_avm::{Device, DeviceConfig, Process, Value};
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::{AccessFlags, DexFile, FieldRef, Manifest, MethodRef};
+
+const PKG: &str = "com.cover.app";
+
+/// Runs `build`-emitted bytecode as a static entry and returns the
+/// device + process + outcome.
+fn run(build: impl FnOnce(&mut dydroid_dex::builder::MethodBuilder)) -> (Device, Process, bool) {
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{PKG}.T"), "java.lang.Object");
+        let m = c.method("entry", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(12);
+        build(m);
+        m.ret_void();
+    }
+    let dex = b.build();
+    let mut device = Device::new(DeviceConfig::default());
+    // An installed app record so assets/permissions resolve.
+    let manifest = Manifest::new(PKG);
+    let apk = dydroid_dex::Apk::build(manifest.clone(), DexFile::new());
+    device.install(&apk.to_bytes()).unwrap();
+    let mut process = Process::new(PKG.to_string(), dex, &manifest);
+    let ok = process.run_entry(&mut device, &format!("{PKG}.T"), "entry");
+    (device, process, ok)
+}
+
+fn sput_result(m: &mut dydroid_dex::builder::MethodBuilder, src: u16) {
+    m.sput(src, FieldRef::new("probe.G", "out", "Ljava/lang/String;"));
+}
+
+fn probed(process: &Process) -> Option<&Value> {
+    process
+        .statics
+        .get(&("probe.G".to_string(), "out".to_string()))
+}
+
+#[test]
+fn file_lifecycle_exists_length_getpath() {
+    let (device, process, ok) = run(|m| {
+        // Write a file through FileOutputStream, then probe File APIs.
+        m.new_instance(1, "java.io.FileOutputStream");
+        m.const_str(2, "/data/data/com.cover.app/files/x.bin");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.FileOutputStream",
+                "<init>",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![1, 2],
+        );
+        m.const_str(3, "hello");
+        m.invoke_virtual(
+            MethodRef::new("java.io.FileOutputStream", "write", "(Ljava/lang/String;)V"),
+            vec![1, 3],
+        );
+        m.new_instance(4, "java.io.File");
+        m.invoke_direct(
+            MethodRef::new("java.io.File", "<init>", "(Ljava/lang/String;)V"),
+            vec![4, 2],
+        );
+        m.invoke_virtual(
+            MethodRef::new("java.io.File", "getPath", "()Ljava/lang/String;"),
+            vec![4],
+        );
+        m.move_result(5);
+        sput_result(m, 5);
+        m.invoke_virtual(MethodRef::new("java.io.File", "length", "()J"), vec![4]);
+        m.move_result(6);
+        m.sput(6, FieldRef::new("probe.G", "len", "J"));
+        m.invoke_virtual(MethodRef::new("java.io.File", "exists", "()Z"), vec![4]);
+        m.move_result(7);
+        m.sput(7, FieldRef::new("probe.G", "exists", "Z"));
+    });
+    assert!(ok);
+    assert!(device.fs.exists("/data/data/com.cover.app/files/x.bin"));
+    assert_eq!(
+        probed(&process),
+        Some(&Value::Str(
+            "/data/data/com.cover.app/files/x.bin".to_string()
+        ))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "len".to_string())),
+        Some(&Value::Int(5))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "exists".to_string())),
+        Some(&Value::Int(1))
+    );
+}
+
+#[test]
+fn buffer_put_size_tostring() {
+    let (_, process, ok) = run(|m| {
+        m.new_instance(1, "java.io.Buffer");
+        m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![1]);
+        m.const_str(2, "abc");
+        m.invoke_virtual(
+            MethodRef::new("java.io.Buffer", "putString", "(Ljava/lang/String;)V"),
+            vec![1, 2],
+        );
+        m.invoke_virtual(MethodRef::new("java.io.Buffer", "size", "()I"), vec![1]);
+        m.move_result(3);
+        m.sput(3, FieldRef::new("probe.G", "size", "I"));
+        m.invoke_virtual(
+            MethodRef::new("java.io.Buffer", "toString", "()Ljava/lang/String;"),
+            vec![1],
+        );
+        m.move_result(4);
+        sput_result(m, 4);
+    });
+    assert!(ok);
+    assert_eq!(probed(&process), Some(&Value::Str("abc".to_string())));
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "size".to_string())),
+        Some(&Value::Int(3))
+    );
+}
+
+#[test]
+fn string_helpers() {
+    let (_, process, ok) = run(|m| {
+        m.const_str(1, "imei=");
+        m.const_str(2, "353918");
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.String",
+                "concat",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            ),
+            vec![1, 2],
+        );
+        m.move_result(3);
+        sput_result(m, 3);
+        m.invoke_virtual(MethodRef::new("java.lang.String", "length", "()I"), vec![3]);
+        m.move_result(4);
+        m.sput(4, FieldRef::new("probe.G", "len", "I"));
+        m.invoke_virtual(
+            MethodRef::new("java.lang.String", "startsWith", "(Ljava/lang/String;)Z"),
+            vec![3, 1],
+        );
+        m.move_result(5);
+        m.sput(5, FieldRef::new("probe.G", "starts", "Z"));
+        m.invoke_virtual(
+            MethodRef::new("java.lang.String", "contains", "(Ljava/lang/String;)Z"),
+            vec![3, 2],
+        );
+        m.move_result(6);
+        m.sput(6, FieldRef::new("probe.G", "contains", "Z"));
+    });
+    assert!(ok);
+    assert_eq!(
+        probed(&process),
+        Some(&Value::Str("imei=353918".to_string()))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "len".to_string())),
+        Some(&Value::Int(11))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "starts".to_string())),
+        Some(&Value::Int(1))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "contains".to_string())),
+        Some(&Value::Int(1))
+    );
+}
+
+#[test]
+fn privacy_sources_return_canned_values_and_log_api_events() {
+    let sources: [(&str, &str, &str); 6] = [
+        (
+            "android.telephony.TelephonyManager",
+            "getDeviceId",
+            dydroid_avm::intrinsics::canned::IMEI,
+        ),
+        (
+            "android.telephony.TelephonyManager",
+            "getSubscriberId",
+            dydroid_avm::intrinsics::canned::IMSI,
+        ),
+        (
+            "android.telephony.TelephonyManager",
+            "getSimSerialNumber",
+            dydroid_avm::intrinsics::canned::ICCID,
+        ),
+        (
+            "android.telephony.TelephonyManager",
+            "getLine1Number",
+            dydroid_avm::intrinsics::canned::LINE1,
+        ),
+        (
+            "android.accounts.AccountManager",
+            "getAccounts",
+            dydroid_avm::intrinsics::canned::ACCOUNT,
+        ),
+        (
+            "android.location.LocationManager",
+            "getLastKnownLocation",
+            dydroid_avm::intrinsics::canned::LOCATION,
+        ),
+    ];
+    for (class, method, expected) in sources {
+        let (device, process, ok) = run(|m| {
+            m.invoke_static(
+                MethodRef::new(class, method, "()Ljava/lang/String;"),
+                vec![],
+            );
+            m.move_result(1);
+            sput_result(m, 1);
+        });
+        assert!(ok, "{class}.{method}");
+        assert_eq!(probed(&process), Some(&Value::Str(expected.to_string())));
+        let logged = device.log.events().iter().any(
+            |e| matches!(e, Event::Api { class: c, method: mm, .. } if c == class && mm == method),
+        );
+        assert!(logged, "{class}.{method} must log an Api event");
+    }
+}
+
+#[test]
+fn content_providers_return_rows() {
+    for uri in [
+        "content://contacts/people",
+        "content://call_log/calls",
+        "content://sms/inbox",
+        "content://settings/global",
+    ] {
+        let (device, process, ok) = run(|m| {
+            m.const_str(1, uri);
+            m.invoke_static(
+                MethodRef::new(
+                    "android.content.ContentResolver",
+                    "query",
+                    "(Ljava/lang/String;)Ljava/lang/String;",
+                ),
+                vec![1],
+            );
+            m.move_result(2);
+            sput_result(m, 2);
+        });
+        assert!(ok);
+        let value = probed(&process)
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        assert!(!value.is_empty(), "{uri} must return rows");
+        let logged = device.log.events().iter().any(|e| {
+            matches!(e, Event::Api { method, .. } if method.contains(uri.split('/').next().unwrap_or("")))
+        });
+        assert!(logged, "{uri} query must be logged");
+    }
+}
+
+#[test]
+fn behavior_sinks_emit_events() {
+    let (device, _, ok) = run(|m| {
+        m.const_str(1, "+155555");
+        m.const_str(2, "hi");
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.SmsManager",
+                "sendTextMessage",
+                "(Ljava/lang/String;Ljava/lang/String;)V",
+            ),
+            vec![1, 2],
+        );
+        m.const_str(3, "Buy now");
+        m.invoke_static(
+            MethodRef::new(
+                "android.app.NotificationManager",
+                "notify",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![3],
+        );
+        m.const_str(4, "Game");
+        m.invoke_static(
+            MethodRef::new(
+                "android.content.pm.ShortcutManager",
+                "requestPinShortcut",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![4],
+        );
+        m.const_str(5, "http://ads.example.com");
+        m.invoke_static(
+            MethodRef::new(
+                "android.provider.Browser",
+                "setHomepage",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![5],
+        );
+        m.const_str(6, "rm -rf /");
+        m.invoke_static(
+            MethodRef::new("java.lang.Runtime", "exec", "(Ljava/lang/String;)V"),
+            vec![6],
+        );
+    });
+    assert!(ok);
+    let behaviors: Vec<&BehaviorEvent> = device.log.behaviors(PKG).collect();
+    assert!(behaviors
+        .iter()
+        .any(|b| matches!(b, BehaviorEvent::SmsSent { number, body }
+        if number == "+155555" && body == "hi")));
+    assert!(behaviors
+        .iter()
+        .any(|b| matches!(b, BehaviorEvent::Notification { text } if text == "Buy now")));
+    assert!(behaviors
+        .iter()
+        .any(|b| matches!(b, BehaviorEvent::ShortcutInstalled { label } if label == "Game")));
+    assert!(behaviors
+        .iter()
+        .any(|b| matches!(b, BehaviorEvent::HomepageChanged { url } if url.contains("ads"))));
+    assert!(behaviors
+        .iter()
+        .any(|b| matches!(b, BehaviorEvent::RemoteCommand { command } if command == "rm -rf /")));
+}
+
+#[test]
+fn reflection_chain_executes_target() {
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{PKG}.R"), "java.lang.Object");
+        c.default_constructor();
+        let m = c.method("target", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 7);
+        m.sput(1, FieldRef::new("probe.G", "via_reflection", "I"));
+        m.ret_void();
+        let m = c.method("entry", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(8);
+        m.const_str(1, format!("{PKG}.R"));
+        m.invoke_static(
+            MethodRef::new(
+                "java.lang.Class",
+                "forName",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+            ),
+            vec![1],
+        );
+        m.move_result(2);
+        m.invoke_virtual(
+            MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+            vec![2],
+        );
+        m.move_result(3);
+        m.const_str(4, "target");
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.Class",
+                "getMethod",
+                "(Ljava/lang/String;)Ljava/lang/reflect/Method;",
+            ),
+            vec![2, 4],
+        );
+        m.move_result(5);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.reflect.Method",
+                "invoke",
+                "(Ljava/lang/Object;)Ljava/lang/Object;",
+            ),
+            vec![5, 3],
+        );
+        m.ret_void();
+    }
+    let dex = b.build();
+    let mut device = Device::new(DeviceConfig::default());
+    let mut process = Process::new(PKG.to_string(), dex, &Manifest::new(PKG));
+    assert!(process.run_entry(&mut device, &format!("{PKG}.R"), "entry"));
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "via_reflection".to_string())),
+        Some(&Value::Int(7))
+    );
+}
+
+#[test]
+fn class_for_name_missing_class_throws() {
+    let (device, _, ok) = run(|m| {
+        m.const_str(1, "com.ghost.Nope");
+        m.invoke_static(
+            MethodRef::new(
+                "java.lang.Class",
+                "forName",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+            ),
+            vec![1],
+        );
+    });
+    assert!(!ok);
+    assert!(device.log.events().iter().any(|e| matches!(
+        e,
+        Event::Crash { reason, .. } if reason.contains("ClassNotFoundException")
+    )));
+}
+
+#[test]
+fn environment_probes_reflect_device_state() {
+    let (_, process, ok) = run(|m| {
+        m.invoke_static(
+            MethodRef::new("android.net.ConnectivityManager", "isConnected", "()Z"),
+            vec![],
+        );
+        m.move_result(1);
+        m.sput(1, FieldRef::new("probe.G", "net", "Z"));
+        m.invoke_static(
+            MethodRef::new("android.provider.Settings", "getAirplaneMode", "()I"),
+            vec![],
+        );
+        m.move_result(2);
+        m.sput(2, FieldRef::new("probe.G", "airplane", "I"));
+        m.invoke_static(
+            MethodRef::new(
+                "android.location.LocationManager",
+                "isProviderEnabled",
+                "()Z",
+            ),
+            vec![],
+        );
+        m.move_result(3);
+        m.sput(3, FieldRef::new("probe.G", "loc", "Z"));
+        m.invoke_static(
+            MethodRef::new("java.lang.System", "currentTimeMillis", "()J"),
+            vec![],
+        );
+        m.move_result(4);
+        m.sput(4, FieldRef::new("probe.G", "time", "J"));
+    });
+    assert!(ok);
+    let get = |k: &str| {
+        process
+            .statics
+            .get(&("probe.G".to_string(), k.to_string()))
+            .cloned()
+    };
+    assert_eq!(get("net"), Some(Value::Int(1)));
+    assert_eq!(get("airplane"), Some(Value::Int(0)));
+    assert_eq!(get("loc"), Some(Value::Int(1)));
+    assert_eq!(
+        get("time"),
+        Some(Value::Int(DeviceConfig::default().time_ms))
+    );
+}
+
+#[test]
+fn context_path_helpers() {
+    let (_, process, ok) = run(|m| {
+        m.invoke_static(
+            MethodRef::new(
+                "android.content.Context",
+                "getFilesDir",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        sput_result(m, 1);
+        m.invoke_static(
+            MethodRef::new(
+                "android.os.Environment",
+                "getExternalStorageDirectory",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(2);
+        m.sput(2, FieldRef::new("probe.G", "ext", "Ljava/lang/String;"));
+    });
+    assert!(ok);
+    assert_eq!(
+        probed(&process),
+        Some(&Value::Str(format!("/data/data/{PKG}/files")))
+    );
+    assert_eq!(
+        process
+            .statics
+            .get(&("probe.G".to_string(), "ext".to_string())),
+        Some(&Value::Str("/mnt/sdcard".to_string()))
+    );
+}
+
+#[test]
+fn location_source_hidden_when_service_off() {
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{PKG}.L"), "java.lang.Object");
+        let m = c.method("entry", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(8);
+        m.invoke_static(
+            MethodRef::new(
+                "android.location.LocationManager",
+                "getLastKnownLocation",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        sput_result(m, 1);
+        m.ret_void();
+    }
+    let dex = b.build();
+    let config = DeviceConfig {
+        location_enabled: false,
+        ..Default::default()
+    };
+    let mut device = Device::new(config);
+    let mut process = Process::new(PKG.to_string(), dex, &Manifest::new(PKG));
+    assert!(process.run_entry(&mut device, &format!("{PKG}.L"), "entry"));
+    assert_eq!(probed(&process), Some(&Value::Null));
+}
+
+#[test]
+fn wrapped_streams_preserve_download_provenance() {
+    // Table I's InputStream→InputStream / OutputStream→OutputStream rules:
+    // a BufferedInputStream around a URL stream and a BufferedOutputStream
+    // around a FileOutputStream must keep the URL→File chain intact.
+    let (device, _, ok) = run(|m| {
+        m.new_instance(1, "java.net.URL");
+        m.const_str(2, "http://cdn.wrap.com/p.bin");
+        m.invoke_direct(
+            MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+            vec![1, 2],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.URL",
+                "openConnection",
+                "()Ljava/net/URLConnection;",
+            ),
+            vec![1],
+        );
+        m.move_result(2);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.HttpURLConnection",
+                "getInputStream",
+                "()Ljava/io/InputStream;",
+            ),
+            vec![2],
+        );
+        m.move_result(3);
+        // Wrap the network stream.
+        m.new_instance(4, "java.io.BufferedInputStream");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.BufferedInputStream",
+                "<init>",
+                "(Ljava/io/InputStream;)V",
+            ),
+            vec![4, 3],
+        );
+        m.new_instance(5, "java.io.Buffer");
+        m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![5]);
+        m.invoke_virtual(
+            MethodRef::new("java.io.BufferedInputStream", "read", "(Ljava/io/Buffer;)I"),
+            vec![4, 5],
+        );
+        // Wrap the file sink too.
+        m.new_instance(6, "java.io.FileOutputStream");
+        m.const_str(7, "/data/data/com.cover.app/files/wrapped.dex");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.FileOutputStream",
+                "<init>",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![6, 7],
+        );
+        m.new_instance(8, "java.io.BufferedOutputStream");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.BufferedOutputStream",
+                "<init>",
+                "(Ljava/io/OutputStream;)V",
+            ),
+            vec![8, 6],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.io.BufferedOutputStream",
+                "write",
+                "(Ljava/io/Buffer;)V",
+            ),
+            vec![8, 5],
+        );
+    });
+    // Host the resource first? The run() helper has no network fixture, so
+    // the fetch 404s and the entry crashes — re-run with a device that has
+    // the resource instead.
+    let _ = (device, ok);
+
+    // Full variant with the resource hosted:
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(format!("{PKG}.W"), "java.lang.Object");
+        let m = c.method("entry", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(12);
+        m.new_instance(1, "java.net.URL");
+        m.const_str(2, "http://cdn.wrap.com/p.bin");
+        m.invoke_direct(
+            MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+            vec![1, 2],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.URL",
+                "openConnection",
+                "()Ljava/net/URLConnection;",
+            ),
+            vec![1],
+        );
+        m.move_result(2);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.HttpURLConnection",
+                "getInputStream",
+                "()Ljava/io/InputStream;",
+            ),
+            vec![2],
+        );
+        m.move_result(3);
+        m.new_instance(4, "java.io.BufferedInputStream");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.BufferedInputStream",
+                "<init>",
+                "(Ljava/io/InputStream;)V",
+            ),
+            vec![4, 3],
+        );
+        m.new_instance(5, "java.io.Buffer");
+        m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![5]);
+        m.invoke_virtual(
+            MethodRef::new("java.io.BufferedInputStream", "read", "(Ljava/io/Buffer;)I"),
+            vec![4, 5],
+        );
+        m.new_instance(6, "java.io.FileOutputStream");
+        m.const_str(7, "/data/data/com.cover.app/files/wrapped.dex");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.FileOutputStream",
+                "<init>",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![6, 7],
+        );
+        m.new_instance(8, "java.io.BufferedOutputStream");
+        m.invoke_direct(
+            MethodRef::new(
+                "java.io.BufferedOutputStream",
+                "<init>",
+                "(Ljava/io/OutputStream;)V",
+            ),
+            vec![8, 6],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.io.BufferedOutputStream",
+                "write",
+                "(Ljava/io/Buffer;)V",
+            ),
+            vec![8, 5],
+        );
+        m.ret_void();
+    }
+    let dex = b.build();
+    let mut device = Device::new(DeviceConfig::default());
+    device.net.host("cdn.wrap.com", "/p.bin", vec![1, 2, 3]);
+    let manifest = Manifest::new(PKG);
+    let apk = dydroid_dex::Apk::build(manifest.clone(), DexFile::new());
+    device.install(&apk.to_bytes()).unwrap();
+    let mut process = Process::new(PKG.to_string(), dex, &manifest);
+    assert!(process.run_entry(&mut device, &format!("{PKG}.W"), "entry"));
+    assert!(
+        device
+            .hooks
+            .flow
+            .is_remote("/data/data/com.cover.app/files/wrapped.dex"),
+        "provenance must survive stream wrapping"
+    );
+    assert_eq!(
+        device
+            .fs
+            .read("/data/data/com.cover.app/files/wrapped.dex")
+            .unwrap(),
+        &[1, 2, 3]
+    );
+}

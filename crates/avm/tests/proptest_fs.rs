@@ -1,0 +1,156 @@
+//! Property tests for the filesystem permission model: the invariants the
+//! vulnerability analysis depends on must hold under arbitrary operation
+//! sequences.
+
+use dydroid_avm::fs::{FileSystem, FsPolicy};
+use dydroid_avm::Owner;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        actor: usize,
+        path: usize,
+        data: u8,
+    },
+    Append {
+        actor: usize,
+        path: usize,
+        data: u8,
+    },
+    Delete {
+        actor: usize,
+        path: usize,
+    },
+    Rename {
+        actor: usize,
+        from: usize,
+        to: usize,
+    },
+}
+
+const ACTORS: [&str; 3] = ["com.alpha", "com.beta", "com.gamma"];
+
+fn path_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    for pkg in ACTORS {
+        pool.push(format!("/data/data/{pkg}/files/a"));
+        pool.push(format!("/data/data/{pkg}/cache/b"));
+    }
+    pool.push("/mnt/sdcard/shared/x".to_string());
+    pool.push("/mnt/sdcard/shared/y".to_string());
+    pool.push("/system/lib/libc.so".to_string());
+    pool
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let n = path_pool().len();
+    prop_oneof![
+        (0..3usize, 0..n, any::<u8>()).prop_map(|(actor, path, data)| Op::Write {
+            actor,
+            path,
+            data
+        }),
+        (0..3usize, 0..n, any::<u8>()).prop_map(|(actor, path, data)| Op::Append {
+            actor,
+            path,
+            data
+        }),
+        (0..3usize, 0..n).prop_map(|(actor, path)| Op::Delete { actor, path }),
+        (0..3usize, 0..n, 0..n).prop_map(|(actor, from, to)| Op::Rename { actor, from, to }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any operation sequence on a pre-KitKat device:
+    /// - `/system` is never modified by an app;
+    /// - one app's internal storage is never modified by another app;
+    /// - external storage accepts everyone (the Table IX vector);
+    /// - no operation panics.
+    #[test]
+    fn permission_invariants_hold(ops in prop::collection::vec(op(), 0..60)) {
+        let pool = path_pool();
+        let mut fs = FileSystem::new();
+        fs.write_system("/system/lib/libc.so", vec![0xC0], Owner::System);
+        let policy = FsPolicy { api_level: 18, external_writers: &|_| false };
+
+        // Shadow model: who owns the *content* at each path.
+        let mut shadow: std::collections::HashMap<String, (usize, Vec<u8>)> =
+            std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { actor, path, data } => {
+                    let p = &pool[path];
+                    let owner = Owner::app(ACTORS[actor]);
+                    let result = fs.write(p, vec![data], &owner, &policy);
+                    let own_internal = p.starts_with(&format!("/data/data/{}/", ACTORS[actor]));
+                    let external = p.starts_with("/mnt/sdcard/");
+                    prop_assert_eq!(result.is_ok(), own_internal || external, "{}", p);
+                    if result.is_ok() {
+                        shadow.insert(p.clone(), (actor, vec![data]));
+                    }
+                }
+                Op::Append { actor, path, data } => {
+                    let p = &pool[path];
+                    let owner = Owner::app(ACTORS[actor]);
+                    let before = shadow.get(p).cloned();
+                    let result = fs.append(p, &[data], &owner, &policy);
+                    if result.is_ok() {
+                        let mut bytes = before.map(|(_, b)| b).unwrap_or_default();
+                        bytes.push(data);
+                        shadow.insert(p.clone(), (actor, bytes));
+                    }
+                }
+                Op::Delete { actor, path } => {
+                    let p = &pool[path];
+                    let owner = Owner::app(ACTORS[actor]);
+                    if fs.delete(p, &owner, &policy).is_ok() {
+                        shadow.remove(p);
+                    }
+                }
+                Op::Rename { actor, from, to } => {
+                    let f = &pool[from];
+                    let t = &pool[to];
+                    let owner = Owner::app(ACTORS[actor]);
+                    if fs.rename(f, t, &owner, &policy).is_ok() {
+                        if let Some(entry) = shadow.remove(f) {
+                            shadow.insert(t.clone(), entry);
+                        }
+                    }
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(fs.read("/system/lib/libc.so").unwrap(), &[0xC0][..]);
+        }
+
+        // Shadow model and filesystem agree on every app-owned path.
+        for (path, (_, bytes)) in &shadow {
+            prop_assert_eq!(fs.read(path).unwrap(), bytes.as_slice(), "{}", path);
+        }
+    }
+
+    /// Reads never fail for existing files and never modify state.
+    #[test]
+    fn reads_are_pure(writes in prop::collection::vec((0..3usize, any::<u8>()), 1..10)) {
+        let mut fs = FileSystem::new();
+        let policy = FsPolicy { api_level: 18, external_writers: &|_| false };
+        for (i, (actor, data)) in writes.iter().enumerate() {
+            let pkg = ACTORS[*actor];
+            let path = format!("/data/data/{pkg}/files/f{i}");
+            fs.write(&path, vec![*data], &Owner::app(pkg), &policy).expect("own storage");
+        }
+        let count = fs.file_count();
+        let bytes = fs.total_bytes();
+        for i in 0..writes.len() {
+            for pkg in ACTORS {
+                let path = format!("/data/data/{pkg}/files/f{i}");
+                let _ = fs.read(&path);
+            }
+        }
+        prop_assert_eq!(fs.file_count(), count);
+        prop_assert_eq!(fs.total_bytes(), bytes);
+    }
+}

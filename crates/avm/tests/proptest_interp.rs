@@ -1,0 +1,256 @@
+//! Property tests: the interpreter must be total over *arbitrary valid
+//! bytecode* — hostile apps can contain any instruction sequence, and the
+//! harness has to survive 46K of them. Every run must terminate (fuel),
+//! never panic, and leave the device in a consistent state.
+
+use dydroid_avm::{Device, DeviceConfig, Process};
+use dydroid_dex::{
+    AccessFlags, BinOp, ClassDef, CmpKind, DexFile, FieldRef, Instruction, InvokeKind, Manifest,
+    Method, MethodRef, MethodSig,
+};
+use proptest::prelude::*;
+
+const REGS: u16 = 8;
+
+fn reg() -> impl Strategy<Value = u16> {
+    0..REGS
+}
+
+fn cmp() -> impl Strategy<Value = CmpKind> {
+    prop::sample::select(vec![
+        CmpKind::Eq,
+        CmpKind::Ne,
+        CmpKind::Lt,
+        CmpKind::Ge,
+        CmpKind::Gt,
+        CmpKind::Le,
+    ])
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::Xor,
+        BinOp::And,
+        BinOp::Or,
+    ])
+}
+
+/// Methods the fuzzed code may call: a mix of framework intrinsics (some
+/// throwing, some not) and an app-local helper.
+fn callee() -> impl Strategy<Value = (InvokeKind, MethodRef, usize)> {
+    prop::sample::select(vec![
+        (
+            InvokeKind::Static,
+            MethodRef::new("java.lang.System", "currentTimeMillis", "()J"),
+            0,
+        ),
+        (
+            InvokeKind::Static,
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            0,
+        ),
+        (
+            InvokeKind::Static,
+            MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+            1,
+        ),
+        (
+            InvokeKind::Static,
+            MethodRef::new("fuzz.App", "helper", "(I)I"),
+            1,
+        ),
+        (
+            InvokeKind::Static,
+            MethodRef::new("fuzz.Missing", "ghost", "()V"),
+            0,
+        ),
+        (
+            InvokeKind::Virtual,
+            MethodRef::new("java.io.File", "delete", "()Z"),
+            1,
+        ),
+        (
+            InvokeKind::Virtual,
+            MethodRef::new(
+                "java.lang.String",
+                "concat",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            ),
+            2,
+        ),
+    ])
+}
+
+fn instruction(max_target: u32) -> impl Strategy<Value = Instruction> {
+    let field = FieldRef::new("fuzz.App", "state", "I");
+    prop_oneof![
+        Just(Instruction::Nop),
+        (reg(), any::<i64>()).prop_map(|(dst, value)| Instruction::Const { dst, value }),
+        (reg(), "[ -~]{0,24}").prop_map(|(dst, value)| Instruction::ConstString { dst, value }),
+        reg().prop_map(|dst| Instruction::ConstNull { dst }),
+        (reg(), reg()).prop_map(|(dst, src)| Instruction::Move { dst, src }),
+        reg().prop_map(|dst| Instruction::MoveResult { dst }),
+        (
+            reg(),
+            prop::sample::select(vec![
+                "java.io.File",
+                "java.io.Buffer",
+                "java.net.URL",
+                "dalvik.system.DexClassLoader",
+                "fuzz.App",
+                "fuzz.Ghost",
+            ])
+        )
+            .prop_map(|(dst, class)| Instruction::NewInstance {
+                dst,
+                class: class.to_string()
+            }),
+        (callee(), prop::collection::vec(reg(), 0..4)).prop_map(|((kind, method, argc), regs)| {
+            let args: Vec<u16> = regs.into_iter().take(argc.max(1)).collect();
+            Instruction::Invoke { kind, method, args }
+        }),
+        (reg(), reg()).prop_map({
+            let field = field.clone();
+            move |(dst, obj)| Instruction::IGet {
+                dst,
+                obj,
+                field: field.clone(),
+            }
+        }),
+        (reg(), reg()).prop_map({
+            let field = field.clone();
+            move |(src, obj)| Instruction::IPut {
+                src,
+                obj,
+                field: field.clone(),
+            }
+        }),
+        reg().prop_map({
+            let field = field.clone();
+            move |dst| Instruction::SGet {
+                dst,
+                field: field.clone(),
+            }
+        }),
+        (cmp(), reg(), 0..max_target).prop_map(|(cmp, reg, target)| Instruction::IfZero {
+            cmp,
+            reg,
+            target
+        }),
+        (cmp(), reg(), reg(), 0..max_target)
+            .prop_map(|(cmp, a, b, target)| { Instruction::IfCmp { cmp, a, b, target } }),
+        (0..max_target).prop_map(|target| Instruction::Goto { target }),
+        (binop(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Instruction::BinOp {
+            op,
+            dst,
+            a,
+            b
+        }),
+        Just(Instruction::ReturnVoid),
+        reg().prop_map(|reg| Instruction::Return { reg }),
+        reg().prop_map(|reg| Instruction::Throw { reg }),
+        (reg(), Just("fuzz.App".to_string()))
+            .prop_map(|(reg, class)| Instruction::CheckCast { reg, class }),
+    ]
+}
+
+fn fuzz_dex(code: Vec<Instruction>) -> DexFile {
+    let mut dex = DexFile::new();
+    let mut class = ClassDef::new("fuzz.App", "java.lang.Object");
+    class.methods.push(Method {
+        name: "entry".to_string(),
+        sig: MethodSig::parse("()V").expect("valid"),
+        flags: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        registers: REGS,
+        code,
+    });
+    class.methods.push(Method {
+        name: "helper".to_string(),
+        sig: MethodSig::parse("(I)I").expect("valid"),
+        flags: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        registers: REGS,
+        code: vec![
+            Instruction::Const { dst: 1, value: 2 },
+            Instruction::BinOp {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Instruction::Return { reg: 0 },
+        ],
+    });
+    dex.add_class(class);
+    dex
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary valid code never panics the interpreter and always
+    /// terminates within the fuel budget.
+    #[test]
+    fn interpreter_is_total(raw in prop::collection::vec(instruction(40), 1..40)) {
+        // Clamp branch targets into range so the bytecode is valid.
+        let len = raw.len() as u32;
+        let code: Vec<Instruction> = raw
+            .into_iter()
+            .map(|mut insn| {
+                if let Some(t) = insn.branch_target() {
+                    insn.set_branch_target(t % len);
+                }
+                insn
+            })
+            .collect();
+        let dex = fuzz_dex(code);
+        prop_assert!(dex.validate().is_ok());
+
+        let mut device = Device::new(DeviceConfig::default());
+        let mut process = Process::new("fuzz.app".to_string(), dex, &Manifest::new("fuzz.app"));
+        // Must return (Ok or recorded crash), never hang or panic.
+        let _completed = process.run_entry(&mut device, "fuzz.App", "entry");
+        // The device stays usable afterwards.
+        prop_assert!(device.fs.file_count() < 100);
+        let _ = device.log.events();
+    }
+
+    /// Round-tripping fuzzed code through the binary format and the smali
+    /// IR preserves execution outcome.
+    #[test]
+    fn encoding_round_trip_preserves_behavior(raw in prop::collection::vec(instruction(20), 1..20)) {
+        let len = raw.len() as u32;
+        let code: Vec<Instruction> = raw
+            .into_iter()
+            .map(|mut insn| {
+                if let Some(t) = insn.branch_target() {
+                    insn.set_branch_target(t % len);
+                }
+                insn
+            })
+            .collect();
+        let dex = fuzz_dex(code);
+
+        let run = |dex: DexFile| {
+            let mut device = Device::new(DeviceConfig::default());
+            let mut process = Process::new("fuzz.app".to_string(), dex, &Manifest::new("fuzz.app"));
+            let ok = process.run_entry(&mut device, "fuzz.App", "entry");
+            (ok, device.log.len())
+        };
+
+        let binary = DexFile::parse(&dex.to_bytes()).expect("round trip");
+        let smali = dydroid_dex::smali::assemble(&dydroid_dex::smali::disassemble(&dex))
+            .expect("smali round trip");
+        let base = run(dex);
+        prop_assert_eq!(run(binary), base);
+        prop_assert_eq!(run(smali), base);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Grab'n-Run-style verified-loading extension: a
+//! `SecureDexClassLoader` that takes the payload's expected CRC-32 and
+//! refuses tampered files — the mitigation Falsina et al. (cited by the
+//! paper) propose for the Table IX code-injection vulnerabilities.
+
+use dydroid_avm::{Device, DeviceConfig, Owner, Value};
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::checksum::crc32;
+use dydroid_dex::{AccessFlags, Apk, Component, DexFile, FieldRef, Manifest, MethodRef};
+
+fn payload(marker: i64) -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class("com.plugin.Module", "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_int(1, marker);
+    m.sput(1, FieldRef::new("probe.G", "marker", "I"));
+    m.ret_void();
+    b.build()
+}
+
+/// Builds a hardened app that loads `staged` via SecureDexClassLoader
+/// pinned to `expected_crc`.
+fn hardened_app(pkg: &str, staged: &str, expected_crc: u32) -> Apk {
+    let mut manifest = Manifest::new(pkg);
+    manifest.min_sdk = 14;
+    manifest.add_permission(dydroid_dex::manifest::WRITE_EXTERNAL_STORAGE);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(12);
+    m.const_str(1, staged);
+    m.const_str(2, format!("/data/data/{pkg}/odex"));
+    m.const_int(3, i64::from(expected_crc));
+    m.new_instance(4, "dalvik.system.SecureDexClassLoader");
+    m.invoke_direct(
+        MethodRef::new(
+            "dalvik.system.SecureDexClassLoader",
+            "<init>",
+            "(Ljava/lang/String;Ljava/lang/String;I)V",
+        ),
+        vec![4, 1, 2, 3],
+    );
+    m.const_str(5, "com.plugin.Module");
+    m.invoke_virtual(
+        MethodRef::new(
+            "dalvik.system.SecureDexClassLoader",
+            "loadClass",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        ),
+        vec![4, 5],
+    );
+    m.move_result(6);
+    m.invoke_virtual(
+        MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+        vec![6],
+    );
+    m.move_result(7);
+    m.invoke_virtual(MethodRef::new("com.plugin.Module", "run", "()V"), vec![7]);
+    m.ret_void();
+    Apk::build(manifest, b.build())
+}
+
+const STAGED: &str = "/mnt/sdcard/plugins/module.jar";
+
+#[test]
+fn genuine_payload_loads_and_runs() {
+    let genuine = payload(42).to_bytes();
+    let apk = hardened_app("com.hardened.app", STAGED, crc32(&genuine));
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, genuine, Owner::app("com.hardened.app".to_string()));
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch("com.hardened.app").unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+    assert_eq!(
+        proc.statics
+            .get(&("probe.G".to_string(), "marker".to_string())),
+        Some(&Value::Int(42))
+    );
+    // The verified load is still logged and intercepted like any DCL.
+    let events: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(events.len(), 1);
+    assert!(events[0].success);
+    assert_eq!(device.hooks.intercepted().len(), 1);
+}
+
+#[test]
+fn tampered_payload_is_refused() {
+    // Pin to the genuine payload's checksum...
+    let genuine = payload(42).to_bytes();
+    let apk = hardened_app("com.hardened.app", STAGED, crc32(&genuine));
+    // ...but an attacker has swapped the file on external storage.
+    let attacker = payload(1337).to_bytes();
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, attacker, Owner::app("com.evil.app".to_string()));
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch("com.hardened.app").unwrap();
+
+    // The app refuses to run the attacker's code: SecurityException.
+    assert!(!proc.alive, "verification must abort the load");
+    assert!(device.log.crashed("com.hardened.app"));
+    assert_eq!(
+        proc.statics
+            .get(&("probe.G".to_string(), "marker".to_string())),
+        None,
+        "attacker code must never execute"
+    );
+    // The refused load is visible to the measurement (success = false)...
+    let events: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(events.len(), 1);
+    assert!(!events[0].success);
+    // ...and nothing was admitted into the process.
+    assert_eq!(proc.dynamic_space_count(), 0);
+}
+
+#[test]
+fn missing_file_raises_io_exception() {
+    let apk = hardened_app("com.hardened.app", STAGED, 0xDEAD_BEEF);
+    let mut device = Device::new(DeviceConfig::default());
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch("com.hardened.app").unwrap();
+    assert!(!proc.alive);
+    assert!(device.log.events().iter().any(|e| matches!(
+        e,
+        dydroid_avm::Event::Crash { reason, .. } if reason.contains("IOException")
+    )));
+}
+
+#[test]
+fn secure_loader_counts_for_the_static_filter() {
+    let apk = hardened_app("com.hardened.app", STAGED, 1);
+    let filter = dydroid_analysis::DclFilter::scan(&apk.classes().unwrap());
+    assert!(filter.has_dex_dcl);
+}
+
+#[test]
+fn vanilla_loader_still_executes_tampered_code() {
+    // The contrast case: the same scenario with the ordinary loader runs
+    // the attacker's payload — exactly the Table IX vulnerability.
+    let pkg = "com.unhardened.app";
+    let mut manifest = Manifest::new(pkg);
+    manifest.min_sdk = 14;
+    manifest.add_permission(dydroid_dex::manifest::WRITE_EXTERNAL_STORAGE);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(12);
+    dydroid_workload::emit::dex_load_and_run(
+        m,
+        STAGED,
+        &format!("/data/data/{pkg}/odex"),
+        "com.plugin.Module",
+        "run",
+    );
+    m.ret_void();
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device.fs.write_system(
+        STAGED,
+        payload(1337).to_bytes(),
+        Owner::app("com.evil.app".to_string()),
+    );
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive);
+    assert_eq!(
+        proc.statics
+            .get(&("probe.G".to_string(), "marker".to_string())),
+        Some(&Value::Int(1337)),
+        "the vanilla loader happily runs attacker code"
+    );
+}

@@ -1,0 +1,146 @@
+//! Ablation: object-granularity download tracking (Table I) vs a naive
+//! path-string heuristic.
+//!
+//! The heuristic marks every file written after any network fetch as
+//! "remote" — cheap, but it misclassifies local asset staging that merely
+//! happens after unrelated network traffic. The bench measures both the
+//! accuracy gap (printed once) and the runtime cost of the flow graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dydroid_avm::flow::{FlowGraph, FlowNode};
+use dydroid_avm::{Device, Event};
+use dydroid_bench::{corpus, pipeline_no_reruns};
+
+/// The naive baseline: replay the event log; any file Write that happens
+/// after a successful NetFetch is called remote.
+fn naive_remote_paths(device: &Device) -> Vec<String> {
+    let mut fetched = false;
+    let mut remote = Vec::new();
+    for event in device.log.events() {
+        match event {
+            Event::NetFetch { bytes: Some(_), .. } => fetched = true,
+            Event::File {
+                op: dydroid_avm::FileOp::Write,
+                path,
+                ..
+            } if fetched => {
+                remote.push(path.clone());
+            }
+            _ => {}
+        }
+    }
+    remote
+}
+
+fn bench_accuracy_and_speed(c: &mut Criterion) {
+    let apps = corpus(0.004, 33);
+    let pipeline = pipeline_no_reruns();
+
+    // Build a mixed pool of devices: remote fetchers AND local ad apps
+    // that also make (unrelated) ad-impression traffic.
+    let mut devices: Vec<(Device, Vec<String>, bool)> = Vec::new();
+    for app in apps
+        .iter()
+        .filter(|a| a.plan.remote_fetch || a.plan.google_ads)
+        .take(24)
+    {
+        let Ok((decompiled, bytes, _)) =
+            dydroid_analysis::decompiler::prepare_for_dynamic_analysis(&app.apk)
+        else {
+            continue;
+        };
+        let mut device = pipeline.prepare_device(app, dydroid_avm::DeviceConfig::default());
+        let outcome = pipeline.exercise_and_analyze(app, &mut device, &bytes, &decompiled);
+        let loaded: Vec<String> = outcome.dex_events.iter().map(|e| e.path.clone()).collect();
+        if !loaded.is_empty() {
+            devices.push((device, loaded, app.plan.remote_fetch));
+        }
+    }
+    assert!(!devices.is_empty());
+
+    // Accuracy comparison, printed once.
+    let mut flow_correct = 0usize;
+    let mut naive_correct = 0usize;
+    for (device, loaded, truly_remote) in &devices {
+        let flow_says = loaded.iter().any(|p| device.hooks.flow.is_remote(p));
+        let naive = naive_remote_paths(device);
+        let naive_says = loaded.iter().any(|p| naive.contains(p));
+        if flow_says == *truly_remote {
+            flow_correct += 1;
+        }
+        if naive_says == *truly_remote {
+            naive_correct += 1;
+        }
+    }
+    eprintln!(
+        "[ablation] provenance accuracy over {} apps: flow-graph {}/{}, naive heuristic {}/{}",
+        devices.len(),
+        flow_correct,
+        devices.len(),
+        naive_correct,
+        devices.len()
+    );
+    assert!(flow_correct >= naive_correct);
+    assert_eq!(flow_correct, devices.len(), "flow graph must be exact");
+
+    let mut group = c.benchmark_group("download_tracker");
+    group.throughput(Throughput::Elements(devices.len() as u64));
+    group.sample_size(30);
+    group.bench_function("flow_graph_query", |b| {
+        b.iter(|| {
+            devices
+                .iter()
+                .filter(|(d, loaded, _)| loaded.iter().any(|p| d.hooks.flow.is_remote(p)))
+                .count()
+        })
+    });
+    group.bench_function("naive_heuristic", |b| {
+        b.iter(|| {
+            devices
+                .iter()
+                .filter(|(d, loaded, _)| {
+                    let naive = naive_remote_paths(d);
+                    loaded.iter().any(|p| naive.contains(p))
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_flow_graph_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_graph_scaling");
+    group.sample_size(30);
+    for chains in [10u32, 100, 1000] {
+        let mut graph = FlowGraph::new();
+        for i in 0..chains {
+            let url = format!("http://cdn{i}.example.com/p");
+            graph.add_edge(FlowNode::Url(url), FlowNode::InputStream(i * 4));
+            graph.add_edge(FlowNode::InputStream(i * 4), FlowNode::Buffer(i * 4 + 1));
+            graph.add_edge(
+                FlowNode::Buffer(i * 4 + 1),
+                FlowNode::OutputStream(i * 4 + 2),
+            );
+            graph.add_edge(
+                FlowNode::OutputStream(i * 4 + 2),
+                FlowNode::File(format!("/data/data/a/f{i}")),
+            );
+        }
+        group.throughput(Throughput::Elements(u64::from(chains)));
+        group.bench_with_input(
+            criterion::BenchmarkId::from_parameter(chains),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    (0..chains)
+                        .filter(|i| graph.is_remote(&format!("/data/data/a/f{i}")))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_and_speed, bench_flow_graph_scaling);
+criterion_main!(benches);

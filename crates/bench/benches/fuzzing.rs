@@ -1,0 +1,74 @@
+//! Ablation: Monkey event budget vs. DCL trigger rate.
+//!
+//! The paper argues (Section V-C) that most DCL fires at launch, so a
+//! modest fuzzing budget suffices. This bench sweeps the budget and
+//! prints the interception rate per budget alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_bench::corpus;
+
+fn interception_rate(
+    pipeline: &Pipeline,
+    apps: &[dydroid_workload::SyntheticApp],
+) -> (usize, usize) {
+    let mut eligible = 0usize;
+    let mut intercepted = 0usize;
+    for app in apps {
+        if !app.plan.has_dcl_code() {
+            continue;
+        }
+        let record = pipeline.analyze_app(app);
+        if record.filter.any() {
+            eligible += 1;
+            if record.dex_intercepted() || record.native_intercepted() {
+                intercepted += 1;
+            }
+        }
+    }
+    (intercepted, eligible)
+}
+
+fn bench_event_budget(c: &mut Criterion) {
+    let apps: Vec<_> = corpus(0.003, 55);
+    let mut group = c.benchmark_group("fuzzing_event_budget");
+    group.sample_size(10);
+    for budget in [1usize, 5, 20, 50] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            monkey_events: budget,
+            environment_reruns: false,
+            ..Default::default()
+        });
+        let (hit, total) = interception_rate(&pipeline, &apps);
+        eprintln!("[ablation] budget {budget}: {hit}/{total} DCL apps intercepted");
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| interception_rate(&pipeline, std::hint::black_box(&apps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monkey_throughput(c: &mut Criterion) {
+    use dydroid_avm::{Device, DeviceConfig};
+    use dydroid_monkey::{Monkey, MonkeyConfig};
+
+    let apps = corpus(0.002, 55);
+    let app = apps
+        .iter()
+        .find(|a| a.plan.google_ads)
+        .expect("ad app present");
+    let mut group = c.benchmark_group("monkey_exercise");
+    group.sample_size(30);
+    group.bench_function("launch_and_fuzz_ad_app", |b| {
+        b.iter(|| {
+            let mut device = Device::new(DeviceConfig::default());
+            device.install(std::hint::black_box(&app.apk)).unwrap();
+            let mut monkey = Monkey::new(MonkeyConfig::default());
+            monkey.exercise(&mut device, app.package()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_budget, bench_monkey_throughput);
+criterion_main!(benches);

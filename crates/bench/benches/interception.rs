@@ -1,0 +1,68 @@
+//! Ablation: interception WITH vs WITHOUT delete/rename suppression.
+//!
+//! Ad SDKs delete their staged payloads after loading; without the mutual
+//! exclusion hook those temporary files are lost to later analysis. The
+//! bench times both modes and prints the capture-survival difference —
+//! the design choice the paper's Section III-B motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_bench::corpus;
+
+fn survived_files(pipeline: &Pipeline, apps: &[dydroid_workload::SyntheticApp]) -> (usize, usize) {
+    let mut intercepted = 0usize;
+    let mut on_disk = 0usize;
+    for app in apps.iter().filter(|a| a.plan.google_ads).take(16) {
+        let Ok((decompiled, bytes, _)) =
+            dydroid_analysis::decompiler::prepare_for_dynamic_analysis(&app.apk)
+        else {
+            continue;
+        };
+        let mut device = pipeline.prepare_device(app, dydroid_avm::DeviceConfig::default());
+        let _ = pipeline.exercise_and_analyze(app, &mut device, &bytes, &decompiled);
+        for binary in device.hooks.intercepted() {
+            intercepted += 1;
+            if device.fs.exists(&binary.path) {
+                on_disk += 1;
+            }
+        }
+    }
+    (intercepted, on_disk)
+}
+
+fn bench_suppression_ablation(c: &mut Criterion) {
+    let apps = corpus(0.004, 21);
+    let with = Pipeline::new(PipelineConfig {
+        suppress_file_ops: true,
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let without = Pipeline::new(PipelineConfig {
+        suppress_file_ops: false,
+        environment_reruns: false,
+        ..Default::default()
+    });
+
+    // Report the ablation effect once: with suppression every staged ad
+    // payload survives; without it the SDK cleanup wins.
+    let (captured_with, disk_with) = survived_files(&with, &apps);
+    let (captured_without, disk_without) = survived_files(&without, &apps);
+    eprintln!("[ablation] suppression ON : {captured_with} intercepted, {disk_with} still on disk");
+    eprintln!(
+        "[ablation] suppression OFF: {captured_without} intercepted, {disk_without} still on disk"
+    );
+    assert!(disk_with > disk_without, "suppression must preserve files");
+
+    let mut group = c.benchmark_group("interception_suppression");
+    group.sample_size(15);
+    group.bench_function("with_suppression", |b| {
+        b.iter(|| survived_files(&with, std::hint::black_box(&apps)))
+    });
+    group.bench_function("without_suppression", |b| {
+        b.iter(|| survived_files(&without, std::hint::black_box(&apps)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suppression_ablation);
+criterion_main!(benches);

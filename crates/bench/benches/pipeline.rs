@@ -1,0 +1,69 @@
+//! Pipeline throughput (drives Table II): per-app analysis latency and
+//! full-corpus sweep rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dydroid_bench::{corpus, pipeline_no_reruns};
+
+fn bench_per_app(c: &mut Criterion) {
+    let apps = corpus(0.002, 7);
+    let pipeline = pipeline_no_reruns();
+    let mut group = c.benchmark_group("pipeline_per_app");
+    group.sample_size(20);
+
+    // A representative plain DCL app.
+    let ad_app = apps
+        .iter()
+        .find(|a| a.plan.google_ads)
+        .expect("ad app present");
+    group.bench_function("ad_sdk_app", |b| {
+        b.iter(|| pipeline.analyze_app(std::hint::black_box(ad_app)))
+    });
+
+    // A packed app (decrypt chain + lifecycle reconstruction).
+    if let Some(packed) = apps.iter().find(|a| a.plan.packer) {
+        group.bench_function("packed_app", |b| {
+            b.iter(|| pipeline.analyze_app(std::hint::black_box(packed)))
+        });
+    }
+
+    // A no-DCL app (filter fast path).
+    if let Some(plain) = apps.iter().find(|a| !a.plan.has_dcl_code()) {
+        group.bench_function("plain_app_fast_path", |b| {
+            b.iter(|| pipeline.analyze_app(std::hint::black_box(plain)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_corpus_sweep");
+    group.sample_size(10);
+    for scale in [0.001, 0.002, 0.004] {
+        let apps = corpus(scale, 7);
+        group.throughput(Throughput::Elements(apps.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(apps.len()), &apps, |b, apps| {
+            let pipeline = pipeline_no_reruns();
+            b.iter(|| pipeline.run(std::hint::black_box(apps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    group.sample_size(10);
+    for scale in [0.002, 0.01] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| corpus(std::hint::black_box(scale), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_app,
+    bench_corpus_sweep,
+    bench_corpus_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! FlowDroid-like taint-analysis throughput (drives Table X), scaling
+//! with payload size and leak density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dydroid_analysis::taint::TaintAnalysis;
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::{AccessFlags, DexFile, FieldRef, MethodRef};
+use dydroid_workload::emit;
+
+/// A payload with `classes` classes, each leaking through a field and a
+/// helper call — exercising the interprocedural fixpoint.
+fn chained_payload(classes: usize) -> DexFile {
+    let mut b = DexBuilder::new();
+    for i in 0..classes {
+        let cls = format!("com.sdk.stage{i}.Hop");
+        let next = format!("com.sdk.stage{}.Hop", i + 1);
+        let c = b.class(&cls, "java.lang.Object");
+        let m = c.method(
+            "pass",
+            "(Ljava/lang/String;)V",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+        );
+        m.registers(8);
+        if i + 1 < classes {
+            m.invoke_static(
+                MethodRef::new(&next, "pass", "(Ljava/lang/String;)V"),
+                vec![0],
+            );
+        } else {
+            m.const_str(1, "t");
+            m.invoke_static(
+                MethodRef::new(
+                    "android.util.Log",
+                    "d",
+                    "(Ljava/lang/String;Ljava/lang/String;)I",
+                ),
+                vec![1, 0],
+            );
+        }
+        m.sput(0, FieldRef::new(&cls, "stash", "Ljava/lang/String;"));
+        m.ret_void();
+    }
+    {
+        let c = b.class("com.sdk.Entry", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.registers(8);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        m.invoke_static(
+            MethodRef::new("com.sdk.stage0.Hop", "pass", "(Ljava/lang/String;)V"),
+            vec![1],
+        );
+        m.ret_void();
+    }
+    b.build()
+}
+
+fn bench_taint_chain_depth(c: &mut Criterion) {
+    let taint = TaintAnalysis::new();
+    let mut group = c.benchmark_group("taint_chain_depth");
+    group.sample_size(30);
+    for depth in [2usize, 8, 32] {
+        let dex = chained_payload(depth);
+        // The leak must actually be found at every depth.
+        assert_eq!(taint.run(&dex).len(), 1, "depth {depth}");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &dex, |b, dex| {
+            b.iter(|| taint.run(std::hint::black_box(dex)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_taint_leak_density(c: &mut Criterion) {
+    let taint = TaintAnalysis::new();
+    let mut group = c.benchmark_group("taint_leak_density");
+    group.sample_size(30);
+    for types in [1usize, 6, 18] {
+        let indices: Vec<usize> = (0..types).collect();
+        let dex = emit::privacy_payload("com.sdk.Dense", &indices);
+        group.throughput(Throughput::Elements(types as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(types), &dex, |b, dex| {
+            b.iter(|| taint.run(std::hint::black_box(dex)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_taint_chain_depth, bench_taint_leak_density);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Analyses a single standalone APK with the full DyDroid pipeline and
+//! prints the per-app report.
+//!
+//! ```text
+//! analyze <app.apk> [--fixtures <corpus-dir>] [--json]
+//! ```
+//!
+//! `--fixtures` points at a directory produced by `corpusgen` (containing
+//! `fixtures.json`); the app's remote payloads and planted files are
+//! loaded from there so remote-fetch apps can actually fetch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dydroid::{Pipeline, PipelineConfig};
+
+/// `(domain-or-path, path-or-owner, bytes)` fixture triples.
+type Fixtures = Vec<(String, String, Vec<u8>)>;
+
+fn load_fixtures(dir: &Path, package: &str) -> (Fixtures, Fixtures) {
+    let mut remote = Vec::new();
+    let mut device_files = Vec::new();
+    let Ok(text) = fs::read_to_string(dir.join("fixtures.json")) else {
+        return (remote, device_files);
+    };
+    let Ok(entries) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return (remote, device_files);
+    };
+    for entry in entries.as_array().into_iter().flatten() {
+        if entry["package"].as_str() != Some(package) {
+            continue;
+        }
+        for r in entry["remote"].as_array().into_iter().flatten() {
+            if let (Some(domain), Some(path), Some(file)) =
+                (r["domain"].as_str(), r["path"].as_str(), r["file"].as_str())
+            {
+                if let Ok(bytes) = fs::read(dir.join(file)) {
+                    remote.push((domain.to_string(), path.to_string(), bytes));
+                }
+            }
+        }
+        for d in entry["device_files"].as_array().into_iter().flatten() {
+            if let (Some(path), Some(owner), Some(file)) =
+                (d["path"].as_str(), d["owner"].as_str(), d["file"].as_str())
+            {
+                if let Ok(bytes) = fs::read(dir.join(file)) {
+                    device_files.push((path.to_string(), owner.to_string(), bytes));
+                }
+            }
+        }
+    }
+    (remote, device_files)
+}
+
+fn main() {
+    let mut apk_path: Option<PathBuf> = None;
+    let mut fixtures: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fixtures" => fixtures = args.next().map(PathBuf::from),
+            "--json" => json = true,
+            other if apk_path.is_none() => apk_path = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(apk_path) = apk_path else {
+        eprintln!("usage: analyze <app.apk> [--fixtures <corpus-dir>] [--json]");
+        std::process::exit(2);
+    };
+
+    let apk = fs::read(&apk_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", apk_path.display());
+        std::process::exit(1);
+    });
+
+    // Peek at the package to select fixtures.
+    let package = dydroid_dex::Apk::parse(&apk)
+        .and_then(|a| a.manifest().map(|m| m.package))
+        .unwrap_or_else(|e| {
+            eprintln!("not a valid apk: {e}");
+            std::process::exit(1);
+        });
+    let (remote, device_files) = fixtures
+        .as_deref()
+        .map(|d| load_fixtures(d, &package))
+        .unwrap_or_default();
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let record = pipeline
+        .analyze_apk(apk, remote, device_files)
+        .expect("validated above");
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).expect("serialise")
+        );
+        return;
+    }
+
+    println!("package:        {}", record.package);
+    println!("decompiled:     {}", record.decompiled);
+    println!(
+        "DCL code:       dex={} native={}",
+        record.filter.has_dex_dcl, record.filter.has_native_dcl
+    );
+    let o = &record.obfuscation;
+    println!(
+        "obfuscation:    lexical={} reflection={} native={} dex-encryption={} anti-decompilation={}",
+        o.lexical, o.reflection, o.native, o.dex_encryption, o.anti_decompilation
+    );
+    println!("rewritten:      {}", record.rewritten);
+    match &record.dynamic {
+        None => println!("dynamic:        (not entered)"),
+        Some(d) => {
+            println!("dynamic status: {:?}", d.status);
+            for e in d.dex_events.iter().chain(d.native_events.iter()) {
+                println!(
+                    "  loaded {:?} {} (call site {})",
+                    e.kind, e.path, e.call_site_class
+                );
+            }
+            for (path, urls) in &d.remote_loads {
+                println!("  REMOTE  {} <- {}", path, urls.join(", "));
+            }
+            for v in &d.vulns {
+                println!("  VULNERABLE: {v:?}");
+            }
+            for m in &d.malware {
+                println!(
+                    "  MALWARE: {} (score {:.2}) in {}",
+                    m.family, m.score, m.path
+                );
+            }
+            for l in &d.leak_types {
+                println!(
+                    "  LEAK: {:?}{}",
+                    l.privacy,
+                    if l.exclusively_third_party {
+                        " (third-party code)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Regenerates every table and figure of the DyDroid evaluation section.
+//!
+//! ```text
+//! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
+//! ```
+//!
+//! With no selection flags, prints everything. Table numbers follow the
+//! paper (2–10; Table I is the download-tracker rule set, which is an
+//! input to the system, exercised by unit tests rather than regenerated).
+
+use std::io::Write as _;
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    tables: Vec<u32>,
+    figure3: bool,
+    all: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.1,
+        seed: CorpusSpec::default().seed,
+        tables: Vec::new(),
+        figure3: false,
+        all: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a float"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--table" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--table needs a number 2..=10"));
+                args.tables.push(n);
+            }
+            "--figure" => {
+                let n: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--figure needs the number 3"));
+                if n == 3 {
+                    args.figure3 = true;
+                } else {
+                    usage("only figure 3 exists");
+                }
+            }
+            "--all" => args.all = true,
+            "--json" => args.json = it.next().or_else(|| usage("--json needs a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.tables.is_empty() && !args.figure3 {
+        args.all = true;
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "generating corpus (scale {}, seed {:#x}) ...",
+        args.scale, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let corpus = generate(&CorpusSpec {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    eprintln!("corpus: {} apps in {:.1?}", corpus.len(), t0.elapsed());
+
+    let needs_env = args.all || args.tables.contains(&8);
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: needs_env,
+        ..Default::default()
+    });
+    let t1 = std::time::Instant::now();
+    let report = pipeline.run(&corpus);
+    eprintln!("pipeline: analysed in {:.1?}", t1.elapsed());
+
+    if args.all {
+        println!("{}", report.render_all());
+    } else {
+        for t in &args.tables {
+            let text = match t {
+                2 => report.table2().render(),
+                3 => report.table3().render(),
+                4 => report.table4().render(),
+                5 => report.table5().render(),
+                6 => report.table6().render(),
+                7 => report.table7().render(),
+                8 => report.env_counts().render(),
+                9 => report.table9().render(),
+                10 => report.table10().render(),
+                other => {
+                    eprintln!("no table {other}; valid: 2..=10");
+                    continue;
+                }
+            };
+            println!("{text}");
+        }
+        if args.figure3 {
+            println!("{}", report.figure3().render());
+        }
+    }
+
+    if let Some(path) = args.json {
+        let json = serde_json::json!({
+            "scale": args.scale,
+            "seed": args.seed,
+            "apps": report.records().len(),
+            "table2": report.table2(),
+            "table3": report.table3(),
+            "table4": report.table4(),
+            "table5": report.table5(),
+            "table6": report.table6(),
+            "figure3": report.figure3(),
+            "table7": report.table7(),
+            "table8": report.env_counts(),
+            "table9": report.table9(),
+            "table10": report.table10(),
+        });
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(
+            serde_json::to_string_pretty(&json)
+                .expect("serialise")
+                .as_bytes(),
+        )
+        .expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

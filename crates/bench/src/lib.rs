@@ -1,0 +1,33 @@
+//! # dydroid-bench
+//!
+//! Benchmark harness and experiment drivers for the DyDroid reproduction:
+//!
+//! - the `tables` binary regenerates every table and figure of the
+//!   paper's evaluation section (`cargo run -p dydroid-bench --bin tables`);
+//! - the Criterion benches under `benches/` measure component throughput
+//!   and run the ablations called out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
+
+/// Generates the default benchmark corpus at the given scale.
+pub fn corpus(scale: f64, seed: u64) -> Vec<SyntheticApp> {
+    generate(&CorpusSpec { scale, seed })
+}
+
+/// Builds the default pipeline.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig::default())
+}
+
+/// Builds a pipeline without the (expensive) environment re-runs, for
+/// component benchmarks.
+pub fn pipeline_no_reruns() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    })
+}

@@ -1,0 +1,77 @@
+//! Pipeline configuration.
+
+use dydroid_avm::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a measurement run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Monkey seed (per-app sequences derive from it and the app index).
+    pub monkey_seed: u64,
+    /// Monkey UI-event budget per app.
+    pub monkey_events: usize,
+    /// Worker threads for the corpus sweep (0 = available parallelism).
+    pub workers: usize,
+    /// Whether the interception hook suppresses delete/rename (the
+    /// ablation bench turns this off).
+    pub suppress_file_ops: bool,
+    /// ACFG match threshold for the malware detector.
+    pub malware_threshold: f64,
+    /// Whether to run the Table VIII environment re-runs for apps whose
+    /// loaded code was flagged as malware.
+    pub environment_reruns: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            monkey_seed: 0x5EED,
+            monkey_events: 10,
+            workers: 0,
+            suppress_file_ops: true,
+            malware_threshold: dydroid_analysis::acfg::DEFAULT_THRESHOLD,
+            environment_reruns: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The baseline device configuration (instrumented, defaults).
+    pub fn device_config(&self) -> DeviceConfig {
+        DeviceConfig::default()
+    }
+
+    /// Resolved worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = PipelineConfig::default();
+        assert!(c.suppress_file_ops);
+        assert!(c.environment_reruns);
+        assert!(c.effective_workers() >= 1);
+        assert!((c.malware_threshold - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_workers_respected() {
+        let c = PipelineConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

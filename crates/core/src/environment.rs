@@ -1,0 +1,136 @@
+//! Runtime-environment re-runs (Table VIII).
+//!
+//! Every app whose loaded code was flagged as malware is re-executed under
+//! the paper's four configurations — system time before release, airplane
+//! mode with WiFi re-enabled, airplane mode fully offline, and location
+//! service disabled — counting how many of the malicious files are still
+//! loaded in each.
+
+use dydroid_avm::DeviceConfig;
+use dydroid_workload::emit::RELEASE_MS;
+use dydroid_workload::SyntheticApp;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{AppRecord, Pipeline};
+
+/// Malicious-file load counts per configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvCounts {
+    /// Total malicious files observed in the baseline run.
+    pub total_files: usize,
+    /// Files loaded with the system time set before the release date.
+    pub time_before_release: usize,
+    /// Files loaded under airplane mode with WiFi re-enabled.
+    pub airplane_wifi_on: usize,
+    /// Files loaded under airplane mode fully offline.
+    pub airplane_wifi_off: usize,
+    /// Files loaded with the location service disabled.
+    pub location_off: usize,
+}
+
+/// The four non-baseline configurations, in Table VIII order.
+pub fn configurations() -> [(&'static str, DeviceConfig); 4] {
+    let base = DeviceConfig::default();
+    [
+        (
+            "System time",
+            DeviceConfig {
+                time_ms: RELEASE_MS - 86_400_000,
+                ..base.clone()
+            },
+        ),
+        (
+            "Airplane mode/WiFi ON",
+            DeviceConfig {
+                airplane_mode: true,
+                wifi_on: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "Airplane mode/WiFi OFF",
+            DeviceConfig {
+                airplane_mode: true,
+                wifi_on: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "Location OFF",
+            DeviceConfig {
+                location_enabled: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Re-runs every malware-flagged app under the four configurations.
+pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRecord]) -> EnvCounts {
+    let mut counts = EnvCounts::default();
+    let configs = configurations();
+    for (app, record) in corpus.iter().zip(records) {
+        let Some(dynamic) = &record.dynamic else {
+            continue;
+        };
+        if dynamic.malware.is_empty() {
+            continue;
+        }
+        let malicious_paths: Vec<&str> = dynamic.malware.iter().map(|m| m.path.as_str()).collect();
+        counts.total_files += malicious_paths.len();
+
+        let loaded = [
+            count_loaded(pipeline, app, &configs[0].1, &malicious_paths),
+            count_loaded(pipeline, app, &configs[1].1, &malicious_paths),
+            count_loaded(pipeline, app, &configs[2].1, &malicious_paths),
+            count_loaded(pipeline, app, &configs[3].1, &malicious_paths),
+        ];
+        counts.time_before_release += loaded[0];
+        counts.airplane_wifi_on += loaded[1];
+        counts.airplane_wifi_off += loaded[2];
+        counts.location_off += loaded[3];
+    }
+    counts
+}
+
+fn count_loaded(
+    pipeline: &Pipeline,
+    app: &SyntheticApp,
+    config: &DeviceConfig,
+    malicious_paths: &[&str],
+) -> usize {
+    let Ok((decompiled, bytes, _)) =
+        dydroid_analysis::decompiler::prepare_for_dynamic_analysis(&app.apk)
+    else {
+        return 0;
+    };
+    let mut device = pipeline.prepare_device(app, config.clone());
+    let outcome = pipeline.exercise_and_analyze(app, &mut device, &bytes, &decompiled);
+    // A crash after loading does not un-load the file: count events
+    // regardless of the final status (interception happens at load time).
+    malicious_paths
+        .iter()
+        .filter(|p| {
+            outcome
+                .dex_events
+                .iter()
+                .chain(outcome.native_events.iter())
+                .any(|e| e.path == **p)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_cover_table_viii() {
+        let configs = configurations();
+        assert_eq!(configs.len(), 4);
+        assert!(configs[0].1.time_ms < RELEASE_MS);
+        assert!(configs[1].1.airplane_mode && configs[1].1.wifi_on);
+        assert!(configs[2].1.airplane_mode && !configs[2].1.wifi_on);
+        assert!(!configs[3].1.location_enabled);
+    }
+}

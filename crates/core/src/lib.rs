@@ -1,0 +1,50 @@
+//! # dydroid
+//!
+//! The DyDroid system: a hybrid dynamic + static analysis pipeline that
+//! measures dynamic code loading (DCL) and its security implications
+//! across an Android app corpus, reproducing Qu et al., *DyDroid* (DSN
+//! 2017) on the simulated substrate provided by the sibling crates.
+//!
+//! The pipeline per app (Figure 1 of the paper):
+//!
+//! 1. decompile the APK to smali IR ([`dydroid_analysis::decompiler`]),
+//!    recording anti-decompilation failures;
+//! 2. statically filter for DCL-related code ([`dydroid_analysis::filter`])
+//!    and run the obfuscation detectors;
+//! 3. rewrite/repack if the external-storage permission is missing;
+//! 4. exercise the app on the instrumented device under the Monkey
+//!    ([`dydroid_monkey`]), collecting DCL events, intercepted binaries,
+//!    download-tracker provenance and call-site entities;
+//! 5. statically analyse the intercepted binaries: DroidNative-like
+//!    malware detection and FlowDroid-like privacy-leak analysis;
+//! 6. classify code-injection vulnerabilities from the loaded paths;
+//! 7. re-run malicious apps under the four runtime-environment
+//!    configurations of Table VIII.
+//!
+//! [`MeasurementReport`] aggregates everything and regenerates every table
+//! and figure of the paper's evaluation section.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dydroid::{Pipeline, PipelineConfig};
+//! use dydroid_workload::{generate, CorpusSpec};
+//!
+//! let corpus = generate(&CorpusSpec { scale: 0.01, ..Default::default() });
+//! let pipeline = Pipeline::new(PipelineConfig::default());
+//! let report = pipeline.run(&corpus);
+//! println!("{}", report.table2().render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod environment;
+pub mod pipeline;
+pub mod report;
+pub mod training;
+
+pub use config::PipelineConfig;
+pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
+pub use report::MeasurementReport;

@@ -1,0 +1,650 @@
+//! The per-app analysis pipeline and the parallel corpus sweep.
+
+use std::collections::HashMap;
+
+use crossbeam::channel;
+use dydroid_analysis::decompiler::{self, DecompileError};
+use dydroid_analysis::entity::EntityMix;
+use dydroid_analysis::mail::CodeBinary;
+use dydroid_analysis::obfuscation::{self, ObfuscationReport};
+use dydroid_analysis::taint::{Leak, PrivacyType, TaintAnalysis};
+use dydroid_analysis::{DclFilter, MalwareDetector, VulnKind};
+use dydroid_avm::{DclEvent, Device, Owner};
+use dydroid_monkey::{ExerciseOutcome, Monkey, MonkeyConfig};
+use dydroid_workload::{AppMetadata, SyntheticApp};
+use serde::{Deserialize, Serialize};
+
+use crate::config::PipelineConfig;
+use crate::report::MeasurementReport;
+use crate::training;
+
+/// Outcome category of the dynamic phase (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DynamicStatus {
+    /// Repackaging (permission injection) crashed.
+    RewriteFailure,
+    /// No launchable activity: the Monkey cannot drive the app.
+    NoActivity,
+    /// The app crashed at runtime.
+    Crash,
+    /// Successfully exercised.
+    Exercised,
+}
+
+/// A malware detection hit on one intercepted file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalwareHit {
+    /// Path of the loaded file.
+    pub path: String,
+    /// Matched family.
+    pub family: String,
+    /// ACFG match score.
+    pub score: f64,
+    /// Whether the file was native code.
+    pub native: bool,
+}
+
+/// A privacy type leaked by an app's loaded code, with entity attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakSummary {
+    /// The leaked type.
+    pub privacy: PrivacyType,
+    /// Whether every leaking class lives outside the app package.
+    pub exclusively_third_party: bool,
+}
+
+/// Results of the dynamic phase for one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicOutcome {
+    /// Status category.
+    pub status: DynamicStatus,
+    /// Successful DEX DCL events.
+    pub dex_events: Vec<DclEvent>,
+    /// Successful native DCL events.
+    pub native_events: Vec<DclEvent>,
+    /// Remote-provenance loads: `(loaded path, source URLs)`.
+    pub remote_loads: Vec<(String, Vec<String>)>,
+    /// Entity mix of DEX loads.
+    pub dex_entity: EntityMix,
+    /// Entity mix of native loads.
+    pub native_entity: EntityMix,
+    /// Code-injection vulnerability classifications.
+    pub vulns: Vec<VulnKind>,
+    /// Malware detections over intercepted binaries.
+    pub malware: Vec<MalwareHit>,
+    /// Raw taint leaks from intercepted DEX code.
+    pub leaks: Vec<Leak>,
+    /// Per-type leak summary with entity exclusivity.
+    pub leak_types: Vec<LeakSummary>,
+}
+
+/// The full analysis record of one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppRecord {
+    /// Package name.
+    pub package: String,
+    /// Store metadata (popularity, category).
+    pub metadata: AppMetadata,
+    /// Whether decompilation succeeded.
+    pub decompiled: bool,
+    /// Static DCL filter result.
+    pub filter: DclFilter,
+    /// Obfuscation detector results.
+    pub obfuscation: ObfuscationReport,
+    /// Whether the app was rewritten (permission injection).
+    pub rewritten: bool,
+    /// Dynamic phase results; `None` when the app never entered it.
+    pub dynamic: Option<DynamicOutcome>,
+}
+
+impl AppRecord {
+    /// Whether DEX DCL was intercepted for this app.
+    pub fn dex_intercepted(&self) -> bool {
+        self.dynamic
+            .as_ref()
+            .map(|d| d.status == DynamicStatus::Exercised && !d.dex_events.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Whether native DCL was intercepted for this app.
+    pub fn native_intercepted(&self) -> bool {
+        self.dynamic
+            .as_ref()
+            .map(|d| d.status == DynamicStatus::Exercised && !d.native_events.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// The DyDroid pipeline.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    detector: MalwareDetector,
+}
+
+impl Pipeline {
+    /// Creates a pipeline, training the reference malware detector.
+    pub fn new(config: PipelineConfig) -> Self {
+        let detector = training::reference_detector(config.malware_threshold);
+        Pipeline { config, detector }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full measurement over a corpus, in parallel, and returns
+    /// the aggregated report.
+    pub fn run(&self, corpus: &[SyntheticApp]) -> MeasurementReport {
+        let workers = self.config.effective_workers().min(corpus.len().max(1));
+        let (task_tx, task_rx) = channel::unbounded::<usize>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, AppRecord)>();
+        for i in 0..corpus.len() {
+            task_tx.send(i).expect("queue open");
+        }
+        drop(task_tx);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(i) = task_rx.recv() {
+                        let record = self.analyze_app(&corpus[i]);
+                        result_tx.send((i, record)).expect("results open");
+                    }
+                });
+            }
+            drop(result_tx);
+            let mut records: Vec<Option<AppRecord>> = (0..corpus.len()).map(|_| None).collect();
+            while let Ok((i, record)) = result_rx.recv() {
+                records[i] = Some(record);
+            }
+            let records: Vec<AppRecord> = records
+                .into_iter()
+                .map(|r| r.expect("all analyzed"))
+                .collect();
+            let env = if self.config.environment_reruns {
+                crate::environment::rerun_all(self, corpus, &records)
+            } else {
+                crate::environment::EnvCounts::default()
+            };
+            MeasurementReport::new(records, env)
+        })
+        .expect("worker panicked")
+    }
+
+    /// Analyses a standalone APK (e.g. a file from disk) with optional
+    /// environment fixtures; the package is taken from the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when the archive or its manifest is
+    /// malformed beyond even the anti-decompilation failure modes.
+    pub fn analyze_apk(
+        &self,
+        apk: Vec<u8>,
+        remote_resources: Vec<(String, String, Vec<u8>)>,
+        device_files: Vec<(String, String, Vec<u8>)>,
+    ) -> Result<AppRecord, dydroid_dex::ApkError> {
+        let package = dydroid_dex::Apk::parse(&apk)?.manifest()?.package;
+        let app = SyntheticApp {
+            plan: dydroid_workload::AppPlan::external(package),
+            apk,
+            remote_resources,
+            device_files,
+        };
+        Ok(self.analyze_app(&app))
+    }
+
+    /// Analyses a single app end to end.
+    pub fn analyze_app(&self, app: &SyntheticApp) -> AppRecord {
+        let metadata = app.plan.metadata.clone();
+        let package = app.plan.package.clone();
+
+        // Phase 1: decompile.
+        let decompiled = match decompiler::decompile(&app.apk) {
+            Ok(d) => d,
+            Err(DecompileError::AntiDecompilation { .. }) => {
+                return AppRecord {
+                    package,
+                    metadata,
+                    decompiled: false,
+                    filter: DclFilter::default(),
+                    obfuscation: ObfuscationReport::anti_decompilation_only(),
+                    rewritten: false,
+                    dynamic: None,
+                };
+            }
+            Err(_) => {
+                return AppRecord {
+                    package,
+                    metadata,
+                    decompiled: false,
+                    filter: DclFilter::default(),
+                    obfuscation: ObfuscationReport::default(),
+                    rewritten: false,
+                    dynamic: None,
+                };
+            }
+        };
+
+        // Phase 2: static filter + obfuscation analysis.
+        let filter = DclFilter::scan(&decompiled.classes);
+        let obfuscation = obfuscation::analyze(&decompiled);
+        if !filter.any() {
+            return AppRecord {
+                package,
+                metadata,
+                decompiled: true,
+                filter,
+                obfuscation,
+                rewritten: false,
+                dynamic: None,
+            };
+        }
+
+        // Phase 3: rewrite if needed.
+        let (install_bytes, rewritten) = if decompiler::needs_rewriting(&decompiled.manifest) {
+            match decompiler::repackage_with_permission(&decompiled) {
+                Ok(bytes) => (bytes, true),
+                Err(_) => {
+                    return AppRecord {
+                        package,
+                        metadata,
+                        decompiled: true,
+                        filter,
+                        obfuscation,
+                        rewritten: false,
+                        dynamic: Some(DynamicOutcome {
+                            status: DynamicStatus::RewriteFailure,
+                            dex_events: Vec::new(),
+                            native_events: Vec::new(),
+                            remote_loads: Vec::new(),
+                            dex_entity: EntityMix::default(),
+                            native_entity: EntityMix::default(),
+                            vulns: Vec::new(),
+                            malware: Vec::new(),
+                            leaks: Vec::new(),
+                            leak_types: Vec::new(),
+                        }),
+                    };
+                }
+            }
+        } else {
+            (app.apk.clone(), false)
+        };
+
+        // Phase 4: dynamic analysis.
+        let mut device = self.prepare_device(app, self.config.device_config());
+        let dynamic = self.exercise_and_analyze(app, &mut device, &install_bytes, &decompiled);
+
+        AppRecord {
+            package,
+            metadata,
+            decompiled: true,
+            filter,
+            obfuscation,
+            rewritten,
+            dynamic: Some(dynamic),
+        }
+    }
+
+    /// Builds a device with the app's environment fixtures in place.
+    pub fn prepare_device(&self, app: &SyntheticApp, config: dydroid_avm::DeviceConfig) -> Device {
+        let mut device = Device::new(config);
+        device.hooks.suppress_file_ops = self.config.suppress_file_ops;
+        for (domain, path, bytes) in &app.remote_resources {
+            device.net.host(domain, path, bytes.clone());
+        }
+        for (path, owner, bytes) in &app.device_files {
+            device
+                .fs
+                .write_system(path, bytes.clone(), Owner::app(owner.clone()));
+        }
+        device
+    }
+
+    /// Installs, exercises and post-processes one app on a prepared
+    /// device. Also used by the environment re-runs.
+    pub fn exercise_and_analyze(
+        &self,
+        app: &SyntheticApp,
+        device: &mut Device,
+        install_bytes: &[u8],
+        decompiled: &decompiler::DecompiledApp,
+    ) -> DynamicOutcome {
+        let package = &app.plan.package;
+        let empty = |status: DynamicStatus| DynamicOutcome {
+            status,
+            dex_events: Vec::new(),
+            native_events: Vec::new(),
+            remote_loads: Vec::new(),
+            dex_entity: EntityMix::default(),
+            native_entity: EntityMix::default(),
+            vulns: Vec::new(),
+            malware: Vec::new(),
+            leaks: Vec::new(),
+            leak_types: Vec::new(),
+        };
+
+        if device.install(install_bytes).is_err() {
+            return empty(DynamicStatus::RewriteFailure);
+        }
+
+        let mut monkey = Monkey::new(MonkeyConfig {
+            seed: self.config.monkey_seed ^ hash_pkg(package),
+            event_budget: self.config.monkey_events,
+        });
+        let status = match monkey.exercise(device, package) {
+            Ok(ExerciseOutcome::NoActivity) => DynamicStatus::NoActivity,
+            Ok(ExerciseOutcome::Exercised { crashed: true, .. }) => DynamicStatus::Crash,
+            Ok(ExerciseOutcome::Exercised { crashed: false, .. }) => DynamicStatus::Exercised,
+            Err(_) => DynamicStatus::RewriteFailure,
+        };
+        if matches!(
+            status,
+            DynamicStatus::NoActivity | DynamicStatus::RewriteFailure
+        ) {
+            return empty(status);
+        }
+        // Crashed apps count as failures in Table II (see
+        // `AppRecord::dex_intercepted`), but the instrumentation still
+        // recorded whatever loaded before the crash — the environment
+        // re-runs of Table VIII rely on those events.
+
+        // Collect DCL observations.
+        let mut dex_events = Vec::new();
+        let mut native_events = Vec::new();
+        for event in device.log.dcl_events() {
+            if !event.success {
+                continue;
+            }
+            if event.kind.is_dex() {
+                dex_events.push(event.clone());
+            } else {
+                native_events.push(event.clone());
+            }
+        }
+
+        // Provenance via the download tracker.
+        let mut remote_loads = Vec::new();
+        for event in dex_events.iter().chain(native_events.iter()) {
+            let urls = device.hooks.flow.url_sources(&event.path);
+            if !urls.is_empty() {
+                remote_loads.push((event.path.clone(), urls));
+            }
+        }
+        remote_loads.sort();
+        remote_loads.dedup();
+
+        // Entity attribution from call sites.
+        let dex_entity = EntityMix::from_call_sites(
+            package,
+            dex_events.iter().map(|e| e.call_site_class.as_str()),
+        );
+        let native_entity = EntityMix::from_call_sites(
+            package,
+            native_events.iter().map(|e| e.call_site_class.as_str()),
+        );
+
+        // Vulnerability classification over loaded paths.
+        let vulns = dydroid_analysis::vuln::classify_all(
+            package,
+            &decompiled.manifest,
+            dex_events
+                .iter()
+                .chain(native_events.iter())
+                .map(|e| e.path.as_str()),
+        );
+
+        // Static analysis of intercepted binaries.
+        let mut seen_paths: HashMap<&str, ()> = HashMap::new();
+        let mut malware = Vec::new();
+        let mut leaks: Vec<Leak> = Vec::new();
+        let mut leak_classes: HashMap<PrivacyType, Vec<String>> = HashMap::new();
+        let taint = TaintAnalysis::new();
+        for binary in device.hooks.intercepted() {
+            if seen_paths.insert(binary.path.as_str(), ()).is_some() {
+                continue;
+            }
+            match CodeBinary::from_bytes(&binary.data) {
+                Ok(code) => {
+                    if let Some(hit) = self.detector.detect(&code) {
+                        malware.push(MalwareHit {
+                            path: binary.path.clone(),
+                            family: hit.family,
+                            score: hit.score,
+                            native: code.is_native(),
+                        });
+                    }
+                    if let CodeBinary::Dex(dex) = &code {
+                        for leak in taint.run(dex) {
+                            leak_classes
+                                .entry(leak.privacy)
+                                .or_default()
+                                .push(leak.class.clone());
+                            if !leaks.contains(&leak) {
+                                leaks.push(leak);
+                            }
+                        }
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        let _ = seen_paths;
+        let mut leak_types: Vec<LeakSummary> = leak_classes
+            .into_iter()
+            .map(|(privacy, classes)| LeakSummary {
+                privacy,
+                exclusively_third_party: classes.iter().all(|c| {
+                    dydroid_analysis::entity::classify(package, c)
+                        == dydroid_analysis::Entity::ThirdParty
+                }),
+            })
+            .collect();
+        leak_types.sort_by_key(|l| l.privacy);
+
+        DynamicOutcome {
+            status,
+            dex_events,
+            native_events,
+            remote_loads,
+            dex_entity,
+            native_entity,
+            vulns,
+            malware,
+            leaks,
+            leak_types,
+        }
+    }
+}
+
+pub(crate) fn hash_pkg(pkg: &str) -> u64 {
+    pkg.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_workload::{generate, CorpusSpec};
+
+    fn tiny_corpus() -> Vec<SyntheticApp> {
+        generate(&CorpusSpec {
+            scale: 0.004, // ~235 apps
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            environment_reruns: true,
+            ..Default::default()
+        });
+        let report = pipeline.run(&[]);
+        assert!(report.records().is_empty());
+        assert_eq!(report.env_counts().total_files, 0);
+        // All tables render from nothing.
+        let _ = report.render_all();
+    }
+
+    #[test]
+    fn report_serialises_to_json_and_back() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig {
+            environment_reruns: false,
+            workers: 2,
+            ..Default::default()
+        });
+        let report = pipeline.run(&corpus[..20.min(corpus.len())]);
+        let json = serde_json::to_string(&report).expect("serialise");
+        let back: MeasurementReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.table2(), report.table2());
+        assert_eq!(back.records().len(), report.records().len());
+    }
+
+    #[test]
+    fn pipeline_runs_over_tiny_corpus() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig {
+            workers: 2,
+            environment_reruns: false,
+            ..Default::default()
+        });
+        let report = pipeline.run(&corpus);
+        assert_eq!(report.records().len(), corpus.len());
+        // Somebody must have been intercepted.
+        assert!(report.records().iter().any(AppRecord::dex_intercepted));
+        assert!(report.records().iter().any(AppRecord::native_intercepted));
+    }
+
+    #[test]
+    fn anti_decompilation_app_recorded() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig {
+            workers: 1,
+            environment_reruns: false,
+            ..Default::default()
+        });
+        let app = corpus
+            .iter()
+            .find(|a| a.plan.anti_decompilation)
+            .expect("plan includes anti-decompilation apps");
+        let record = pipeline.analyze_app(app);
+        assert!(!record.decompiled);
+        assert!(record.obfuscation.anti_decompilation);
+        assert!(record.dynamic.is_none());
+    }
+
+    #[test]
+    fn remote_fetch_app_detected_as_remote() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| a.plan.remote_fetch)
+            .expect("plan includes remote-fetch apps");
+        let record = pipeline.analyze_app(app);
+        let dynamic = record.dynamic.expect("dynamic phase ran");
+        assert_eq!(dynamic.status, DynamicStatus::Exercised);
+        assert!(!dynamic.remote_loads.is_empty(), "must be flagged remote");
+        assert!(dynamic.remote_loads[0].1[0].contains("mobads.baidu.com"));
+        assert!(dynamic.dex_entity.third_party);
+    }
+
+    #[test]
+    fn malware_app_detected() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| {
+                matches!(
+                    a.plan.malware,
+                    Some((dydroid_workload::MalwareFamily::ChathookPtrace, _))
+                ) && a
+                    .plan
+                    .malware
+                    .as_ref()
+                    .map(|(_, t)| t.iter().all(|x| *x == dydroid_workload::TriggerSet::none()))
+                    .unwrap_or(false)
+            })
+            .or_else(|| corpus.iter().find(|a| a.plan.malware.is_some()));
+        if let Some(app) = app {
+            let record = pipeline.analyze_app(app);
+            let dynamic = record.dynamic.expect("dynamic phase ran");
+            // Under the baseline environment every trigger fires, so the
+            // payload loads and must be flagged.
+            assert!(
+                !dynamic.malware.is_empty(),
+                "expected detection for {}: {dynamic:?}",
+                app.plan.package
+            );
+        }
+    }
+
+    #[test]
+    fn crash_app_categorised() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| a.plan.crash_on_launch)
+            .expect("plan includes crash apps");
+        let record = pipeline.analyze_app(app);
+        assert_eq!(record.dynamic.unwrap().status, DynamicStatus::Crash);
+    }
+
+    #[test]
+    fn rewrite_failure_categorised() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| a.plan.anti_repackaging)
+            .expect("plan includes anti-repackaging apps");
+        let record = pipeline.analyze_app(app);
+        assert_eq!(
+            record.dynamic.unwrap().status,
+            DynamicStatus::RewriteFailure
+        );
+        assert!(!record.rewritten);
+    }
+
+    #[test]
+    fn vulnerable_app_flagged() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| matches!(a.plan.vuln, Some(dydroid_workload::VulnPlan::DexExternal)))
+            .expect("plan includes vulnerable apps");
+        let record = pipeline.analyze_app(app);
+        let dynamic = record.dynamic.unwrap();
+        assert!(dynamic
+            .vulns
+            .iter()
+            .any(|v| matches!(v, VulnKind::ExternalStorage)));
+    }
+
+    #[test]
+    fn privacy_leaks_surface_in_record() {
+        let corpus = tiny_corpus();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let app = corpus
+            .iter()
+            .find(|a| a.plan.google_ads)
+            .expect("plan includes ad apps");
+        let record = pipeline.analyze_app(app);
+        let dynamic = record.dynamic.unwrap();
+        assert!(dynamic
+            .leak_types
+            .iter()
+            .any(|l| l.privacy == PrivacyType::Settings && l.exclusively_third_party));
+    }
+}

@@ -1,0 +1,420 @@
+//! Fluent builders for constructing DEX files programmatically.
+//!
+//! The workload generator uses these builders to synthesise app bytecode.
+//! [`MethodBuilder`] provides forward-referencing labels that are resolved
+//! to absolute instruction indices when the method is finished.
+//!
+//! # Example
+//!
+//! ```
+//! use dydroid_dex::builder::DexBuilder;
+//! use dydroid_dex::{AccessFlags, CmpKind, InvokeKind, MethodRef};
+//!
+//! let mut b = DexBuilder::new();
+//! let class = b.class("com.example.Main", "java.lang.Object");
+//! let m = class.method("check", "(I)I", AccessFlags::PUBLIC);
+//! let done = m.label();
+//! m.if_zero(CmpKind::Eq, 1, done);
+//! m.const_int(0, 1);
+//! m.ret(0);
+//! m.bind(done);
+//! m.const_int(0, 0);
+//! m.ret(0);
+//! let dex = b.build();
+//! assert_eq!(dex.classes().len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::class::{AccessFlags, ClassDef, Field, Method};
+use crate::dexfile::DexFile;
+use crate::instruction::{BinOp, CmpKind, Instruction, InvokeKind, Reg};
+use crate::refs::{FieldRef, MethodRef};
+
+/// A forward-referencing label issued by [`MethodBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`DexFile`] class by class.
+#[derive(Debug, Default)]
+pub struct DexBuilder {
+    classes: Vec<ClassBuilder>,
+}
+
+impl DexBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DexBuilder {
+            classes: Vec::new(),
+        }
+    }
+
+    /// Starts a new public class and returns its builder.
+    pub fn class(
+        &mut self,
+        name: impl Into<String>,
+        superclass: impl Into<String>,
+    ) -> &mut ClassBuilder {
+        self.classes.push(ClassBuilder::new(name, superclass));
+        self.classes.last_mut().expect("just pushed")
+    }
+
+    /// Finishes and produces the [`DexFile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any method contains an unbound label (a programming error
+    /// in the caller).
+    pub fn build(self) -> DexFile {
+        let mut dex = DexFile::new();
+        for c in self.classes {
+            dex.add_class(c.build());
+        }
+        dex
+    }
+}
+
+/// Builds a single class.
+#[derive(Debug)]
+pub struct ClassBuilder {
+    def: ClassDef,
+    methods: Vec<MethodBuilder>,
+}
+
+impl ClassBuilder {
+    fn new(name: impl Into<String>, superclass: impl Into<String>) -> Self {
+        ClassBuilder {
+            def: ClassDef::new(name, superclass),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Sets the class access flags.
+    pub fn flags(&mut self, flags: AccessFlags) -> &mut Self {
+        self.def.flags = flags;
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn interface(&mut self, name: impl Into<String>) -> &mut Self {
+        self.def.interfaces.push(name.into());
+        self
+    }
+
+    /// Sets the source-file attribute.
+    pub fn source_file(&mut self, name: impl Into<String>) -> &mut Self {
+        self.def.source_file = Some(name.into());
+        self
+    }
+
+    /// Adds a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a valid type descriptor literal.
+    pub fn field(&mut self, name: impl Into<String>, ty: &str, flags: AccessFlags) -> &mut Self {
+        self.def.fields.push(Field::new(name, ty, flags));
+        self
+    }
+
+    /// Starts a new method and returns its builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is not a valid signature literal.
+    pub fn method(
+        &mut self,
+        name: impl Into<String>,
+        sig: &str,
+        flags: AccessFlags,
+    ) -> &mut MethodBuilder {
+        self.methods.push(MethodBuilder::new(name, sig, flags));
+        self.methods.last_mut().expect("just pushed")
+    }
+
+    /// Adds a trivial public no-arg constructor that just returns.
+    pub fn default_constructor(&mut self) -> &mut Self {
+        let m = self.method("<init>", "()V", AccessFlags::PUBLIC);
+        m.ret_void();
+        self
+    }
+
+    fn build(self) -> ClassDef {
+        let mut def = self.def;
+        for m in self.methods {
+            def.methods.push(m.build());
+        }
+        def
+    }
+}
+
+/// Builds a single method body with label support.
+#[derive(Debug)]
+pub struct MethodBuilder {
+    method: Method,
+    labels: Vec<Option<u32>>,
+    // (instruction index, label) pairs patched at build time.
+    patches: Vec<(usize, Label)>,
+}
+
+impl MethodBuilder {
+    fn new(name: impl Into<String>, sig: &str, flags: AccessFlags) -> Self {
+        MethodBuilder {
+            method: Method::new(name, sig, flags),
+            labels: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Sets the frame register count (default 8).
+    pub fn registers(&mut self, n: u16) -> &mut Self {
+        self.method.registers = n;
+        self
+    }
+
+    /// Issues a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.method.code.len() as u32);
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, insn: Instruction) -> &mut Self {
+        self.method.code.push(insn);
+        self
+    }
+
+    /// `const vdst, value`.
+    pub fn const_int(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.push(Instruction::Const { dst, value })
+    }
+
+    /// `const-string vdst, "value"`.
+    pub fn const_str(&mut self, dst: Reg, value: impl Into<String>) -> &mut Self {
+        self.push(Instruction::ConstString {
+            dst,
+            value: value.into(),
+        })
+    }
+
+    /// `const-null vdst`.
+    pub fn const_null(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instruction::ConstNull { dst })
+    }
+
+    /// `move vdst, vsrc`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instruction::Move { dst, src })
+    }
+
+    /// `move-result vdst`.
+    pub fn move_result(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instruction::MoveResult { dst })
+    }
+
+    /// `new-instance vdst, Lclass;`.
+    pub fn new_instance(&mut self, dst: Reg, class: impl Into<String>) -> &mut Self {
+        self.push(Instruction::NewInstance {
+            dst,
+            class: class.into(),
+        })
+    }
+
+    /// Any invoke.
+    pub fn invoke(&mut self, kind: InvokeKind, method: MethodRef, args: Vec<Reg>) -> &mut Self {
+        self.push(Instruction::Invoke { kind, method, args })
+    }
+
+    /// `invoke-virtual`.
+    pub fn invoke_virtual(&mut self, method: MethodRef, args: Vec<Reg>) -> &mut Self {
+        self.invoke(InvokeKind::Virtual, method, args)
+    }
+
+    /// `invoke-static`.
+    pub fn invoke_static(&mut self, method: MethodRef, args: Vec<Reg>) -> &mut Self {
+        self.invoke(InvokeKind::Static, method, args)
+    }
+
+    /// `invoke-direct` (constructors).
+    pub fn invoke_direct(&mut self, method: MethodRef, args: Vec<Reg>) -> &mut Self {
+        self.invoke(InvokeKind::Direct, method, args)
+    }
+
+    /// `iget vdst, vobj, field`.
+    pub fn iget(&mut self, dst: Reg, obj: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instruction::IGet { dst, obj, field })
+    }
+
+    /// `iput vsrc, vobj, field`.
+    pub fn iput(&mut self, src: Reg, obj: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instruction::IPut { src, obj, field })
+    }
+
+    /// `sget vdst, field`.
+    pub fn sget(&mut self, dst: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instruction::SGet { dst, field })
+    }
+
+    /// `sput vsrc, field`.
+    pub fn sput(&mut self, src: Reg, field: FieldRef) -> &mut Self {
+        self.push(Instruction::SPut { src, field })
+    }
+
+    /// Conditional branch on comparison with zero.
+    pub fn if_zero(&mut self, cmp: CmpKind, reg: Reg, target: Label) -> &mut Self {
+        self.patches.push((self.method.code.len(), target));
+        self.push(Instruction::IfZero {
+            cmp,
+            reg,
+            target: u32::MAX,
+        })
+    }
+
+    /// Conditional branch comparing two registers.
+    pub fn if_cmp(&mut self, cmp: CmpKind, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.patches.push((self.method.code.len(), target));
+        self.push(Instruction::IfCmp {
+            cmp,
+            a,
+            b,
+            target: u32::MAX,
+        })
+    }
+
+    /// Unconditional branch.
+    pub fn goto(&mut self, target: Label) -> &mut Self {
+        self.patches.push((self.method.code.len(), target));
+        self.push(Instruction::Goto { target: u32::MAX })
+    }
+
+    /// `op vdst, va, vb`.
+    pub fn binop(&mut self, op: BinOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instruction::BinOp { op, dst, a, b })
+    }
+
+    /// `return-void`.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.push(Instruction::ReturnVoid)
+    }
+
+    /// `return vreg`.
+    pub fn ret(&mut self, reg: Reg) -> &mut Self {
+        self.push(Instruction::Return { reg })
+    }
+
+    /// `throw vreg`.
+    pub fn throw(&mut self, reg: Reg) -> &mut Self {
+        self.push(Instruction::Throw { reg })
+    }
+
+    /// `check-cast vreg, Lclass;`.
+    pub fn check_cast(&mut self, reg: Reg, class: impl Into<String>) -> &mut Self {
+        self.push(Instruction::CheckCast {
+            reg,
+            class: class.into(),
+        })
+    }
+
+    fn build(self) -> Method {
+        let mut method = self.method;
+        let resolved: HashMap<usize, u32> = self
+            .patches
+            .iter()
+            .map(|(idx, label)| {
+                let target = self.labels[label.0]
+                    .unwrap_or_else(|| panic!("unbound label in {}", method.name));
+                (*idx, target)
+            })
+            .collect();
+        for (idx, target) in resolved {
+            method.code[idx].set_branch_target(target);
+        }
+        method
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.B", "java.lang.Object");
+        let m = c.method("loop", "(I)V", AccessFlags::PUBLIC);
+        let head = m.label();
+        let done = m.label();
+        m.bind(head);
+        m.if_zero(CmpKind::Le, 1, done); // idx 0 -> target 4
+        m.const_int(0, 1);
+        m.binop(BinOp::Sub, 1, 1, 0);
+        m.goto(head); // idx 3 -> target 0
+        m.bind(done);
+        m.ret_void();
+        let dex = b.build();
+        let method = dex.class("a.B").unwrap().method_by_name("loop").unwrap();
+        assert_eq!(method.code[0].branch_target(), Some(4));
+        assert_eq!(method.code[3].branch_target(), Some(0));
+        assert!(method.validate("a.B").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.B", "java.lang.Object");
+        let m = c.method("f", "()V", AccessFlags::PUBLIC);
+        let l = m.label();
+        m.goto(l);
+        m.ret_void();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = DexBuilder::new();
+        let c = b.class("a.B", "java.lang.Object");
+        let m = c.method("f", "()V", AccessFlags::PUBLIC);
+        let l = m.label();
+        m.bind(l);
+        m.bind(l);
+    }
+
+    #[test]
+    fn default_constructor() {
+        let mut b = DexBuilder::new();
+        b.class("a.B", "java.lang.Object").default_constructor();
+        let dex = b.build();
+        let init = dex.class("a.B").unwrap().method_by_name("<init>").unwrap();
+        assert_eq!(init.code, vec![Instruction::ReturnVoid]);
+    }
+
+    #[test]
+    fn class_metadata() {
+        let mut b = DexBuilder::new();
+        b.class("a.B", "java.lang.Object")
+            .flags(AccessFlags::PUBLIC | AccessFlags::FINAL)
+            .interface("java.lang.Runnable")
+            .source_file("B.java")
+            .field("x", "I", AccessFlags::PRIVATE);
+        let dex = b.build();
+        let c = dex.class("a.B").unwrap();
+        assert!(c.flags.contains(AccessFlags::FINAL));
+        assert_eq!(c.interfaces, vec!["java.lang.Runnable"]);
+        assert_eq!(c.source_file.as_deref(), Some("B.java"));
+        assert_eq!(c.fields.len(), 1);
+    }
+}

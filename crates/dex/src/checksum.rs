@@ -1,0 +1,106 @@
+//! Checksums used by the container formats: Adler-32 for DEX files (as in
+//! real DEX headers) and CRC-32 for APK archive entries (as in ZIP).
+
+/// Computes the Adler-32 checksum of `data`, as used in the DEX header.
+///
+/// # Example
+///
+/// ```
+/// use dydroid_dex::checksum::adler32;
+///
+/// // Known vector: "Wikipedia" -> 0x11E60398.
+/// assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+/// ```
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in chunks small enough that the sums cannot overflow before a
+    // modulo reduction (5552 is the standard zlib NMAX).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Computes the CRC-32 (IEEE, reflected) of `data`, as used for APK entries.
+///
+/// # Example
+///
+/// ```
+/// use dydroid_dex::checksum::crc32;
+///
+/// // Known vector: "123456789" -> 0xCBF43926.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_large_input_no_overflow() {
+        let data = vec![0xFFu8; 100_000];
+        // Must not panic and must be deterministic.
+        assert_eq!(adler32(&data), adler32(&data));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn checksums_detect_corruption() {
+        let data = b"hello world".to_vec();
+        let mut corrupted = data.clone();
+        corrupted[3] ^= 0x01;
+        assert_ne!(adler32(&data), adler32(&corrupted));
+        assert_ne!(crc32(&data), crc32(&corrupted));
+    }
+}

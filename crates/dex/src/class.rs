@@ -1,0 +1,393 @@
+//! Class, method and field definitions.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+use serde::{Deserialize, Serialize};
+
+use crate::instruction::Instruction;
+use crate::refs::MethodSig;
+use crate::types::TypeDesc;
+
+/// Java/Dalvik access flags, as a thin typed bitset.
+///
+/// Implemented by hand (rather than via the `bitflags` crate) to keep the
+/// dependency set to the sanctioned list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AccessFlags(pub u32);
+
+impl AccessFlags {
+    /// `public`.
+    pub const PUBLIC: AccessFlags = AccessFlags(0x0001);
+    /// `private`.
+    pub const PRIVATE: AccessFlags = AccessFlags(0x0002);
+    /// `protected`.
+    pub const PROTECTED: AccessFlags = AccessFlags(0x0004);
+    /// `static`.
+    pub const STATIC: AccessFlags = AccessFlags(0x0008);
+    /// `final`.
+    pub const FINAL: AccessFlags = AccessFlags(0x0010);
+    /// `native` — the body is empty and dispatch goes through JNI.
+    pub const NATIVE: AccessFlags = AccessFlags(0x0100);
+    /// `abstract`.
+    pub const ABSTRACT: AccessFlags = AccessFlags(0x0400);
+    /// Synthetic (compiler-generated).
+    pub const SYNTHETIC: AccessFlags = AccessFlags(0x1000);
+
+    /// No flags set.
+    pub fn empty() -> Self {
+        AccessFlags(0)
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    pub fn contains(self, other: AccessFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether this member is visible outside its class (public or
+    /// protected).
+    pub fn is_externally_visible(self) -> bool {
+        self.contains(AccessFlags::PUBLIC) || self.contains(AccessFlags::PROTECTED)
+    }
+
+    /// Renders the smali keyword list, e.g. `public static`.
+    pub fn keywords(self) -> String {
+        let mut out = Vec::new();
+        if self.contains(Self::PUBLIC) {
+            out.push("public");
+        }
+        if self.contains(Self::PRIVATE) {
+            out.push("private");
+        }
+        if self.contains(Self::PROTECTED) {
+            out.push("protected");
+        }
+        if self.contains(Self::STATIC) {
+            out.push("static");
+        }
+        if self.contains(Self::FINAL) {
+            out.push("final");
+        }
+        if self.contains(Self::NATIVE) {
+            out.push("native");
+        }
+        if self.contains(Self::ABSTRACT) {
+            out.push("abstract");
+        }
+        if self.contains(Self::SYNTHETIC) {
+            out.push("synthetic");
+        }
+        out.join(" ")
+    }
+
+    /// Parses a single smali access keyword.
+    pub fn from_keyword(word: &str) -> Option<AccessFlags> {
+        Some(match word {
+            "public" => Self::PUBLIC,
+            "private" => Self::PRIVATE,
+            "protected" => Self::PROTECTED,
+            "static" => Self::STATIC,
+            "final" => Self::FINAL,
+            "native" => Self::NATIVE,
+            "abstract" => Self::ABSTRACT,
+            "synthetic" => Self::SYNTHETIC,
+            _ => return None,
+        })
+    }
+}
+
+impl BitOr for AccessFlags {
+    type Output = AccessFlags;
+    fn bitor(self, rhs: AccessFlags) -> AccessFlags {
+        AccessFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for AccessFlags {
+    type Output = AccessFlags;
+    fn bitand(self, rhs: AccessFlags) -> AccessFlags {
+        AccessFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for AccessFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.keywords())
+    }
+}
+
+/// A field definition within a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeDesc,
+    /// Access flags.
+    pub flags: AccessFlags,
+}
+
+impl Field {
+    /// Creates a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a valid type descriptor literal.
+    pub fn new(name: impl Into<String>, ty: &str, flags: AccessFlags) -> Self {
+        Field {
+            name: name.into(),
+            ty: TypeDesc::parse(ty).expect("invalid field type literal"),
+            flags,
+        }
+    }
+}
+
+/// A method definition: name, signature, flags, register count and body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Signature.
+    pub sig: MethodSig,
+    /// Access flags. `NATIVE` methods have an empty body.
+    pub flags: AccessFlags,
+    /// Number of virtual registers in the frame.
+    pub registers: u16,
+    /// Instruction sequence; empty for abstract/native methods.
+    pub code: Vec<Instruction>,
+}
+
+impl Method {
+    /// Creates a method with an empty body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is not a valid signature literal.
+    pub fn new(name: impl Into<String>, sig: &str, flags: AccessFlags) -> Self {
+        Method {
+            name: name.into(),
+            sig: MethodSig::parse(sig).expect("invalid method signature literal"),
+            flags,
+            registers: 8,
+            code: Vec::new(),
+        }
+    }
+
+    /// Whether this is a constructor (`<init>`) or class initialiser.
+    pub fn is_constructor(&self) -> bool {
+        self.name == "<init>" || self.name == "<clinit>"
+    }
+
+    /// Whether this method has executable bytecode.
+    pub fn has_code(&self) -> bool {
+        !self.code.is_empty()
+    }
+
+    /// Validates intra-method invariants: branch targets in range and
+    /// register indices below the declared register count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DexError::Invalid`] naming the offending method.
+    pub fn validate(&self, class: &str) -> Result<(), crate::DexError> {
+        let len = self.code.len() as u32;
+        for (idx, insn) in self.code.iter().enumerate() {
+            if let Some(t) = insn.branch_target() {
+                if t >= len {
+                    return Err(crate::DexError::Invalid(format!(
+                        "{class}->{}: branch target {t} out of range at index {idx} (len {len})",
+                        self.name
+                    )));
+                }
+            }
+            if let Some(max) = max_register(insn) {
+                if max >= self.registers {
+                    return Err(crate::DexError::Invalid(format!(
+                        "{class}->{}: register v{max} exceeds frame size {} at index {idx}",
+                        self.name, self.registers
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn max_register(insn: &Instruction) -> Option<u16> {
+    use Instruction as I;
+    match insn {
+        I::Nop | I::ReturnVoid | I::Goto { .. } => None,
+        I::Const { dst, .. }
+        | I::ConstString { dst, .. }
+        | I::ConstNull { dst }
+        | I::MoveResult { dst }
+        | I::NewInstance { dst, .. }
+        | I::SGet { dst, .. } => Some(*dst),
+        I::SPut { src, .. } => Some(*src),
+        I::Move { dst, src } => Some((*dst).max(*src)),
+        I::Invoke { args, .. } => args.iter().copied().max(),
+        I::IGet { dst, obj, .. } => Some((*dst).max(*obj)),
+        I::IPut { src, obj, .. } => Some((*src).max(*obj)),
+        I::IfZero { reg, .. } | I::Return { reg } | I::Throw { reg } | I::CheckCast { reg, .. } => {
+            Some(*reg)
+        }
+        I::IfCmp { a, b, .. } => Some((*a).max(*b)),
+        I::BinOp { dst, a, b, .. } => Some((*dst).max(*a).max(*b)),
+    }
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Dotted class name, e.g. `com.example.Main`.
+    pub name: String,
+    /// Dotted superclass name.
+    pub superclass: String,
+    /// Access flags.
+    pub flags: AccessFlags,
+    /// Implemented interfaces, dotted names.
+    pub interfaces: Vec<String>,
+    /// Source file attribute, if any.
+    pub source_file: Option<String>,
+    /// Fields.
+    pub fields: Vec<Field>,
+    /// Methods.
+    pub methods: Vec<Method>,
+}
+
+impl ClassDef {
+    /// Creates an empty public class.
+    pub fn new(name: impl Into<String>, superclass: impl Into<String>) -> Self {
+        ClassDef {
+            name: name.into(),
+            superclass: superclass.into(),
+            flags: AccessFlags::PUBLIC,
+            interfaces: Vec::new(),
+            source_file: None,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Looks up a method by name and signature.
+    pub fn method(&self, name: &str, sig: &MethodSig) -> Option<&Method> {
+        self.methods
+            .iter()
+            .find(|m| m.name == name && &m.sig == sig)
+    }
+
+    /// Looks up a method by name alone (first match).
+    pub fn method_by_name(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The dotted package this class belongs to (empty for the default
+    /// package).
+    pub fn package(&self) -> &str {
+        crate::types::split_class_name(&self.name).0
+    }
+
+    /// Validates the class and all its methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DexError::Invalid`] on the first violated invariant.
+    pub fn validate(&self) -> Result<(), crate::DexError> {
+        if self.name.is_empty() {
+            return Err(crate::DexError::Invalid("empty class name".to_string()));
+        }
+        for m in &self.methods {
+            m.validate(&self.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{CmpKind, Instruction};
+
+    #[test]
+    fn flags_ops() {
+        let f = AccessFlags::PUBLIC | AccessFlags::STATIC;
+        assert!(f.contains(AccessFlags::PUBLIC));
+        assert!(f.contains(AccessFlags::STATIC));
+        assert!(!f.contains(AccessFlags::FINAL));
+        assert_eq!(f.keywords(), "public static");
+    }
+
+    #[test]
+    fn flags_keyword_round_trip() {
+        for kw in [
+            "public",
+            "private",
+            "protected",
+            "static",
+            "final",
+            "native",
+            "abstract",
+        ] {
+            let f = AccessFlags::from_keyword(kw).unwrap();
+            assert_eq!(f.keywords(), kw);
+        }
+        assert!(AccessFlags::from_keyword("bogus").is_none());
+    }
+
+    #[test]
+    fn visibility() {
+        assert!(AccessFlags::PUBLIC.is_externally_visible());
+        assert!(AccessFlags::PROTECTED.is_externally_visible());
+        assert!(!AccessFlags::PRIVATE.is_externally_visible());
+    }
+
+    #[test]
+    fn method_validate_branch_range() {
+        let mut m = Method::new("f", "()V", AccessFlags::PUBLIC);
+        m.code = vec![Instruction::Goto { target: 5 }];
+        assert!(m.validate("a.B").is_err());
+        m.code = vec![Instruction::Goto { target: 0 }];
+        assert!(m.validate("a.B").is_ok());
+    }
+
+    #[test]
+    fn method_validate_register_range() {
+        let mut m = Method::new("f", "()V", AccessFlags::PUBLIC);
+        m.registers = 2;
+        m.code = vec![
+            Instruction::Const { dst: 1, value: 0 },
+            Instruction::IfZero {
+                cmp: CmpKind::Eq,
+                reg: 2,
+                target: 0,
+            },
+        ];
+        assert!(m.validate("a.B").is_err());
+        m.registers = 3;
+        assert!(m.validate("a.B").is_ok());
+    }
+
+    #[test]
+    fn class_lookup() {
+        let mut c = ClassDef::new("com.x.Y", "java.lang.Object");
+        c.methods.push(Method::new("f", "()V", AccessFlags::PUBLIC));
+        assert!(c.method_by_name("f").is_some());
+        assert!(c.method_by_name("g").is_none());
+        let sig = MethodSig::parse("()V").unwrap();
+        assert!(c.method("f", &sig).is_some());
+        assert_eq!(c.package(), "com.x");
+    }
+
+    #[test]
+    fn constructor_detection() {
+        assert!(Method::new("<init>", "()V", AccessFlags::PUBLIC).is_constructor());
+        assert!(Method::new("<clinit>", "()V", AccessFlags::STATIC).is_constructor());
+        assert!(!Method::new("init", "()V", AccessFlags::PUBLIC).is_constructor());
+    }
+
+    #[test]
+    fn empty_class_name_rejected() {
+        let c = ClassDef::new("", "java.lang.Object");
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Low-level byte cursor primitives shared by the DEX, APK and native
+//! library encodings.
+//!
+//! All multi-byte integers are little-endian. Strings are length-prefixed
+//! UTF-8. The reader reports structured errors on truncation or invalid
+//! data instead of panicking, which the decompiler failure-mode analysis
+//! relies on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::DexError;
+
+/// A growable little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by UTF-8 bytes.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by raw bytes.
+    pub fn blob(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.bytes(v);
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// A checked little-endian byte reader over a borrowed buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Creates a reader over `data`.
+    pub fn new(data: &[u8]) -> Self {
+        Reader {
+            buf: Bytes::copy_from_slice(data),
+        }
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<(), DexError> {
+        if self.buf.remaining() < n {
+            Err(DexError::Truncated {
+                what: what.to_string(),
+                needed: n,
+                available: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when the buffer is exhausted.
+    pub fn u8(&mut self, what: &str) -> Result<u8, DexError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self, what: &str) -> Result<u16, DexError> {
+        self.need(2, what)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self, what: &str) -> Result<u32, DexError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self, what: &str) -> Result<u64, DexError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when fewer than 8 bytes remain.
+    pub fn i64(&mut self, what: &str) -> Result<i64, DexError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<Vec<u8>, DexError> {
+        self.need(n, what)?;
+        let mut out = vec![0u8; n];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] on short input or
+    /// [`DexError::Invalid`] on non-UTF-8 bytes or an absurd length.
+    pub fn str(&mut self, what: &str) -> Result<String, DexError> {
+        let len = self.u32(what)? as usize;
+        if len > self.buf.remaining() {
+            return Err(DexError::Truncated {
+                what: what.to_string(),
+                needed: len,
+                available: self.buf.remaining(),
+            });
+        }
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw).map_err(|_| DexError::Invalid(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Reads a length-prefixed blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::Truncated`] on short input.
+    pub fn blob(&mut self, what: &str) -> Result<Vec<u8>, DexError> {
+        let len = self.u32(what)? as usize;
+        if len > self.buf.remaining() {
+            return Err(DexError::Truncated {
+                what: what.to_string(),
+                needed: len,
+                available: self.buf.remaining(),
+            });
+        }
+        self.take(len, what)
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Whether the reader is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        !self.buf.has_remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0102_0304_0506_0708);
+        w.i64(-42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 0xAB);
+        assert_eq!(r.u16("b").unwrap(), 0x1234);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.i64("e").unwrap(), -42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_strings_and_blobs() {
+        let mut w = Writer::new();
+        w.str("héllo");
+        w.blob(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.str("s").unwrap(), "héllo");
+        assert_eq!(r.blob("b").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut w = Writer::new();
+        w.u32(10);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let err = r.str("name").unwrap_err();
+        assert!(matches!(err, DexError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported() {
+        let mut w = Writer::new();
+        w.u32(2);
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let err = r.str("name").unwrap_err();
+        assert!(matches!(err, DexError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncation_not_alloc() {
+        // A hostile length prefix must not cause a huge allocation.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.blob("b"), Err(DexError::Truncated { .. })));
+    }
+}

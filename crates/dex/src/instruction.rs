@@ -1,0 +1,441 @@
+//! The Dalvik-like instruction set executed by the simulated runtime.
+//!
+//! A method body is a `Vec<Instruction>`; branch targets are absolute
+//! instruction indices within that body. The set is register-based like
+//! Dalvik: each method declares a register count and instructions address
+//! registers `v0..vN`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::refs::{FieldRef, MethodRef};
+use crate::types::TypeDesc;
+
+/// A virtual register index within a method frame.
+pub type Reg = u16;
+
+/// How a method is invoked. Mirrors the Dalvik invoke kinds that matter to
+/// the analyses (the simplified VM dispatches them identically except for
+/// `Static`, which has no receiver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvokeKind {
+    /// `invoke-virtual`: receiver in the first argument register.
+    Virtual,
+    /// `invoke-direct`: constructors and private methods.
+    Direct,
+    /// `invoke-static`: no receiver.
+    Static,
+    /// `invoke-interface`: dispatched like virtual in the simplified VM.
+    Interface,
+}
+
+impl InvokeKind {
+    /// The smali mnemonic suffix for this kind.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InvokeKind::Virtual => "invoke-virtual",
+            InvokeKind::Direct => "invoke-direct",
+            InvokeKind::Static => "invoke-static",
+            InvokeKind::Interface => "invoke-interface",
+        }
+    }
+
+    /// Whether this kind carries a receiver in its first argument register.
+    pub fn has_receiver(self) -> bool {
+        !matches!(self, InvokeKind::Static)
+    }
+}
+
+/// Binary arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (the VM throws on division by zero).
+    Div,
+    /// Integer remainder (the VM throws on division by zero).
+    Rem,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+}
+
+impl BinOp {
+    /// The smali mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add-int",
+            BinOp::Sub => "sub-int",
+            BinOp::Mul => "mul-int",
+            BinOp::Div => "div-int",
+            BinOp::Rem => "rem-int",
+            BinOp::Xor => "xor-int",
+            BinOp::And => "and-int",
+            BinOp::Or => "or-int",
+        }
+    }
+}
+
+/// Comparison kinds used by conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Greater or equal.
+    Ge,
+    /// Greater than.
+    Gt,
+    /// Less or equal.
+    Le,
+}
+
+impl CmpKind {
+    /// The smali mnemonic suffix for this comparison (`eq` in `if-eq`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Ge => "ge",
+            CmpKind::Gt => "gt",
+            CmpKind::Le => "le",
+        }
+    }
+
+    /// Evaluates the comparison over two integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Le => a <= b,
+        }
+    }
+}
+
+/// One instruction of the simplified Dalvik-like ISA.
+///
+/// Branch `target`s are absolute indices into the owning method's
+/// instruction vector. [`crate::builder::MethodBuilder`] provides labels
+/// that resolve to these indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Load a 64-bit integer constant into `dst`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant value.
+        value: i64,
+    },
+    /// Load a string constant into `dst`.
+    ConstString {
+        /// Destination register.
+        dst: Reg,
+        /// The string value (interned into the string pool on encode).
+        value: String,
+    },
+    /// Load the `null` reference into `dst`.
+    ConstNull {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Copy `src` into `dst`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Copy the result of the most recent invoke into `dst`.
+    MoveResult {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Allocate a new (uninitialised) instance of `class` into `dst`.
+    NewInstance {
+        /// Destination register.
+        dst: Reg,
+        /// Dotted class name.
+        class: String,
+    },
+    /// Invoke a method. For non-static kinds the receiver is `args[0]`.
+    Invoke {
+        /// Dispatch kind.
+        kind: InvokeKind,
+        /// Callee reference.
+        method: MethodRef,
+        /// Argument registers (receiver first for instance calls).
+        args: Vec<Reg>,
+    },
+    /// Read instance field `field` of the object in `obj` into `dst`.
+    IGet {
+        /// Destination register.
+        dst: Reg,
+        /// Object register.
+        obj: Reg,
+        /// Field reference.
+        field: FieldRef,
+    },
+    /// Write `src` into instance field `field` of the object in `obj`.
+    IPut {
+        /// Source register.
+        src: Reg,
+        /// Object register.
+        obj: Reg,
+        /// Field reference.
+        field: FieldRef,
+    },
+    /// Read static field `field` into `dst`.
+    SGet {
+        /// Destination register.
+        dst: Reg,
+        /// Field reference.
+        field: FieldRef,
+    },
+    /// Write `src` into static field `field`.
+    SPut {
+        /// Source register.
+        src: Reg,
+        /// Field reference.
+        field: FieldRef,
+    },
+    /// Branch to `target` if `reg` compares against zero.
+    IfZero {
+        /// Comparison kind (`if-eqz` etc.).
+        cmp: CmpKind,
+        /// Tested register.
+        reg: Reg,
+        /// Absolute instruction index to jump to.
+        target: u32,
+    },
+    /// Branch to `target` if `a cmp b` holds.
+    IfCmp {
+        /// Comparison kind (`if-eq` etc.).
+        cmp: CmpKind,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+        /// Absolute instruction index to jump to.
+        target: u32,
+    },
+    /// Unconditional branch to `target`.
+    Goto {
+        /// Absolute instruction index to jump to.
+        target: u32,
+    },
+    /// `dst = a op b` over integers.
+    BinOp {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Return void.
+    ReturnVoid,
+    /// Return the value in `reg`.
+    Return {
+        /// Returned register.
+        reg: Reg,
+    },
+    /// Throw the throwable (or simulated error value) in `reg`.
+    Throw {
+        /// Thrown register.
+        reg: Reg,
+    },
+    /// `check-cast` — asserts the object in `reg` is of type `class`.
+    CheckCast {
+        /// Checked register.
+        reg: Reg,
+        /// Dotted class name.
+        class: String,
+    },
+}
+
+impl Instruction {
+    /// The branch target of this instruction, if it has one.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instruction::IfZero { target, .. }
+            | Instruction::IfCmp { target, .. }
+            | Instruction::Goto { target } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target, if this instruction has one.
+    pub fn set_branch_target(&mut self, new_target: u32) {
+        match self {
+            Instruction::IfZero { target, .. }
+            | Instruction::IfCmp { target, .. }
+            | Instruction::Goto { target } => *target = new_target,
+            _ => {}
+        }
+    }
+
+    /// Whether control flow can fall through to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Instruction::Goto { .. }
+                | Instruction::ReturnVoid
+                | Instruction::Return { .. }
+                | Instruction::Throw { .. }
+        )
+    }
+
+    /// The invoked method, if this is an invoke instruction.
+    pub fn invoked_method(&self) -> Option<&MethodRef> {
+        match self {
+            Instruction::Invoke { method, .. } => Some(method),
+            _ => None,
+        }
+    }
+
+    /// The type mentioned by this instruction (new-instance / check-cast).
+    pub fn mentioned_class(&self) -> Option<&str> {
+        match self {
+            Instruction::NewInstance { class, .. } | Instruction::CheckCast { class, .. } => {
+                Some(class)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::Const { dst, value } => write!(f, "const v{dst}, {value}"),
+            Instruction::ConstString { dst, value } => {
+                write!(f, "const-string v{dst}, {:?}", value)
+            }
+            Instruction::ConstNull { dst } => write!(f, "const-null v{dst}"),
+            Instruction::Move { dst, src } => write!(f, "move v{dst}, v{src}"),
+            Instruction::MoveResult { dst } => write!(f, "move-result v{dst}"),
+            Instruction::NewInstance { dst, class } => {
+                write!(f, "new-instance v{dst}, {}", TypeDesc::class(class.clone()))
+            }
+            Instruction::Invoke { kind, method, args } => {
+                let regs: Vec<String> = args.iter().map(|r| format!("v{r}")).collect();
+                write!(f, "{} {{{}}}, {}", kind.mnemonic(), regs.join(", "), method)
+            }
+            Instruction::IGet { dst, obj, field } => {
+                write!(f, "iget v{dst}, v{obj}, {field}")
+            }
+            Instruction::IPut { src, obj, field } => {
+                write!(f, "iput v{src}, v{obj}, {field}")
+            }
+            Instruction::SGet { dst, field } => write!(f, "sget v{dst}, {field}"),
+            Instruction::SPut { src, field } => write!(f, "sput v{src}, {field}"),
+            Instruction::IfZero { cmp, reg, target } => {
+                write!(f, "if-{}z v{reg}, :{target}", cmp.mnemonic())
+            }
+            Instruction::IfCmp { cmp, a, b, target } => {
+                write!(f, "if-{} v{a}, v{b}, :{target}", cmp.mnemonic())
+            }
+            Instruction::Goto { target } => write!(f, "goto :{target}"),
+            Instruction::BinOp { op, dst, a, b } => {
+                write!(f, "{} v{dst}, v{a}, v{b}", op.mnemonic())
+            }
+            Instruction::ReturnVoid => write!(f, "return-void"),
+            Instruction::Return { reg } => write!(f, "return v{reg}"),
+            Instruction::Throw { reg } => write!(f, "throw v{reg}"),
+            Instruction::CheckCast { reg, class } => {
+                write!(f, "check-cast v{reg}, {}", TypeDesc::class(class.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_target_accessors() {
+        let mut insn = Instruction::Goto { target: 3 };
+        assert_eq!(insn.branch_target(), Some(3));
+        insn.set_branch_target(7);
+        assert_eq!(insn.branch_target(), Some(7));
+        assert_eq!(Instruction::Nop.branch_target(), None);
+    }
+
+    #[test]
+    fn fall_through() {
+        assert!(Instruction::Nop.falls_through());
+        assert!(Instruction::IfZero {
+            cmp: CmpKind::Eq,
+            reg: 0,
+            target: 0
+        }
+        .falls_through());
+        assert!(!Instruction::ReturnVoid.falls_through());
+        assert!(!Instruction::Goto { target: 0 }.falls_through());
+        assert!(!Instruction::Throw { reg: 0 }.falls_through());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpKind::Eq.eval(1, 1));
+        assert!(CmpKind::Ne.eval(1, 2));
+        assert!(CmpKind::Lt.eval(1, 2));
+        assert!(CmpKind::Ge.eval(2, 2));
+        assert!(CmpKind::Gt.eval(3, 2));
+        assert!(CmpKind::Le.eval(2, 2));
+        assert!(!CmpKind::Lt.eval(2, 1));
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = MethodRef::new("a.B", "x", "()V");
+        let insn = Instruction::Invoke {
+            kind: InvokeKind::Virtual,
+            method: m,
+            args: vec![1, 2],
+        };
+        assert_eq!(insn.to_string(), "invoke-virtual {v1, v2}, La/B;->x()V");
+    }
+
+    #[test]
+    fn invoked_method_accessor() {
+        let m = MethodRef::new("a.B", "x", "()V");
+        let insn = Instruction::Invoke {
+            kind: InvokeKind::Static,
+            method: m.clone(),
+            args: vec![],
+        };
+        assert_eq!(insn.invoked_method(), Some(&m));
+        assert_eq!(Instruction::Nop.invoked_method(), None);
+    }
+
+    #[test]
+    fn mentioned_class_accessor() {
+        let insn = Instruction::NewInstance {
+            dst: 0,
+            class: "a.B".into(),
+        };
+        assert_eq!(insn.mentioned_class(), Some("a.B"));
+    }
+}

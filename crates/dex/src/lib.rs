@@ -1,0 +1,65 @@
+//! # dydroid-dex
+//!
+//! A simplified, self-contained model of the Android application binary
+//! ecosystem, used as the substrate for the DyDroid reproduction:
+//!
+//! - a **DEX-like bytecode container** ([`DexFile`]) holding classes, fields
+//!   and methods whose bodies are sequences of a Dalvik-like instruction set
+//!   ([`Instruction`]);
+//! - a binary **encoding** of that container with header, deduplicated string
+//!   pool and Adler-32 checksum ([`DexFile::to_bytes`] / [`DexFile::parse`]);
+//! - a **smali-like** textual IR with a full disassembler and assembler
+//!   ([`smali`]);
+//! - an **APK-like archive** ([`Apk`]) bundling a manifest, `classes.dex`,
+//!   assets and native libraries, with per-entry CRC-32;
+//! - an **AndroidManifest** model ([`Manifest`]);
+//! - a simulated **ELF-like native library** ([`NativeLibrary`]) with a small
+//!   pseudo instruction set so that native code can be both executed by the
+//!   simulated runtime and analysed by the DroidNative-like detector.
+//!
+//! The format is deliberately simpler than real DEX/ELF/ZIP, but it keeps the
+//! properties the DyDroid pipeline depends on: parsing can fail in realistic
+//! ways (truncation, corruption, anti-decompilation tricks), bytecode is a
+//! real program that a VM interprets, and containers can be rewritten and
+//! repackaged (e.g. to inject permissions).
+//!
+//! ## Example
+//!
+//! ```
+//! use dydroid_dex::{builder::DexBuilder, AccessFlags};
+//!
+//! let mut dex = DexBuilder::new();
+//! dex.class("com.example.Main", "java.lang.Object")
+//!     .method("main", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC)
+//!     .ret_void();
+//! let file = dex.build();
+//! let bytes = file.to_bytes();
+//! let parsed = dydroid_dex::DexFile::parse(&bytes)?;
+//! assert_eq!(parsed.classes().len(), 1);
+//! # Ok::<(), dydroid_dex::DexError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apk;
+pub mod builder;
+pub mod checksum;
+pub mod class;
+pub mod dexfile;
+pub mod encode;
+pub mod instruction;
+pub mod manifest;
+pub mod native;
+pub mod refs;
+pub mod smali;
+pub mod types;
+
+pub use apk::{Apk, ApkEntry, ApkError};
+pub use class::{AccessFlags, ClassDef, Field, Method};
+pub use dexfile::{DexError, DexFile};
+pub use instruction::{BinOp, CmpKind, Instruction, InvokeKind, Reg};
+pub use manifest::{Component, ComponentKind, Manifest, ManifestError};
+pub use native::{Arch, NativeCond, NativeFunction, NativeInsn, NativeLibrary};
+pub use refs::{FieldRef, MethodRef, MethodSig};
+pub use types::TypeDesc;

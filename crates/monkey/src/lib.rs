@@ -1,0 +1,337 @@
+//! # dydroid-monkey
+//!
+//! A Monkey-like UI/Application exerciser for the simulated Android
+//! runtime. The paper drives each app with the Android Monkey fuzzer on
+//! the instrumented device; this crate does the same against
+//! [`dydroid_avm`]: launch the app, then fire pseudo-random UI callback
+//! events until the budget is exhausted or the app dies.
+//!
+//! Determinism: the event sequence is a pure function of the seed, so
+//! every measurement table regenerates identically run-to-run.
+//!
+//! ## Example
+//!
+//! ```
+//! use dydroid_avm::{Device, DeviceConfig};
+//! use dydroid_dex::{Apk, Component, DexFile, Manifest};
+//! use dydroid_monkey::{ExerciseOutcome, Monkey, MonkeyConfig};
+//!
+//! let mut device = Device::new(DeviceConfig::default());
+//! let mut manifest = Manifest::new("com.example.app");
+//! manifest.components.push(Component::main_activity("com.example.app.Main"));
+//! let mut dex = dydroid_dex::builder::DexBuilder::new();
+//! dex.class("com.example.app.Main", "android.app.Activity")
+//!     .method("onCreate", "()V", dydroid_dex::AccessFlags::PUBLIC)
+//!     .ret_void();
+//! device.install(&Apk::build(manifest, dex.build()).to_bytes())?;
+//!
+//! let mut monkey = Monkey::new(MonkeyConfig::default());
+//! let outcome = monkey.exercise(&mut device, "com.example.app")?;
+//! assert!(matches!(outcome, ExerciseOutcome::Exercised { crashed: false, .. }));
+//! # Ok::<(), dydroid_avm::AvmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dydroid_avm::{AvmError, Device, Process};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone)]
+pub struct MonkeyConfig {
+    /// PRNG seed; the whole event sequence derives from it.
+    pub seed: u64,
+    /// Maximum number of UI events to inject after launch.
+    pub event_budget: usize,
+}
+
+impl Default for MonkeyConfig {
+    fn default() -> Self {
+        MonkeyConfig {
+            seed: 0x00D1_D501,
+            event_budget: 50,
+        }
+    }
+}
+
+/// The result of exercising one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExerciseOutcome {
+    /// The app declares no launchable activity — the Monkey cannot drive
+    /// it (Table II's "No activity" row).
+    NoActivity,
+    /// The app was launched and fuzzed.
+    Exercised {
+        /// UI events fired (including lifecycle re-entries).
+        events_fired: usize,
+        /// Whether the app crashed at any point.
+        crashed: bool,
+    },
+}
+
+impl ExerciseOutcome {
+    /// Whether the app was successfully driven without crashing.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, ExerciseOutcome::Exercised { crashed: false, .. })
+    }
+}
+
+/// The UI exerciser.
+#[derive(Debug)]
+pub struct Monkey {
+    rng: ChaCha8Rng,
+    config: MonkeyConfig,
+}
+
+impl Monkey {
+    /// Creates a Monkey from a configuration.
+    pub fn new(config: MonkeyConfig) -> Self {
+        Monkey {
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Launches and exercises `pkg` on `device`, returning the outcome.
+    /// Crashes inside the app are contained and reported, never
+    /// propagated — the harness must survive 46K hostile apps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvmError::NotInstalled`] for unknown packages; in-app
+    /// failures are part of the [`ExerciseOutcome`], not errors.
+    pub fn exercise(
+        &mut self,
+        device: &mut Device,
+        pkg: &str,
+    ) -> Result<ExerciseOutcome, AvmError> {
+        let manifest = device
+            .app(pkg)
+            .ok_or_else(|| AvmError::NotInstalled(pkg.to_string()))?
+            .manifest
+            .clone();
+        if manifest.main_activity().is_none() {
+            return Ok(ExerciseOutcome::NoActivity);
+        }
+
+        let mut process = device.launch(pkg)?;
+        if !process.alive {
+            return Ok(ExerciseOutcome::Exercised {
+                events_fired: 0,
+                crashed: true,
+            });
+        }
+
+        let events_fired = self.fuzz(device, &mut process, &manifest);
+        Ok(ExerciseOutcome::Exercised {
+            events_fired,
+            crashed: !process.alive,
+        })
+    }
+
+    /// Fires random callbacks on an already-launched process. Returns the
+    /// number of events fired. Exposed separately so the pipeline can
+    /// launch and fuzz in distinct phases.
+    pub fn fuzz(
+        &mut self,
+        device: &mut Device,
+        process: &mut Process,
+        manifest: &dydroid_dex::Manifest,
+    ) -> usize {
+        let mut fired = 0;
+        for _ in 0..self.config.event_budget {
+            if !process.alive {
+                break;
+            }
+            // Callbacks can change as DCL loads new classes: re-enumerate.
+            let callbacks = process.ui_callbacks(manifest);
+            if callbacks.is_empty() {
+                break;
+            }
+            let (class, method) = callbacks[self.rng.gen_range(0..callbacks.len())].clone();
+            fired += 1;
+            // run_callback records crashes in the device log itself.
+            let _ = process.run_callback(device, &class, &method);
+        }
+        fired
+    }
+
+    /// The seed in use (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_avm::DeviceConfig;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{AccessFlags, Apk, Component, Manifest, MethodRef};
+
+    fn install(device: &mut Device, pkg: &str, build: impl FnOnce(&mut DexBuilder)) {
+        let mut manifest = Manifest::new(pkg);
+        manifest
+            .components
+            .push(Component::main_activity(format!("{pkg}.Main")));
+        let mut b = DexBuilder::new();
+        build(&mut b);
+        device
+            .install(&Apk::build(manifest, b.build()).to_bytes())
+            .unwrap();
+    }
+
+    #[test]
+    fn no_activity_detected() {
+        let mut device = Device::new(DeviceConfig::default());
+        let manifest = Manifest::new("com.no.activity");
+        device
+            .install(&Apk::build(manifest, dydroid_dex::DexFile::new()).to_bytes())
+            .unwrap();
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        assert_eq!(
+            monkey.exercise(&mut device, "com.no.activity").unwrap(),
+            ExerciseOutcome::NoActivity
+        );
+    }
+
+    #[test]
+    fn clean_app_exercised() {
+        let mut device = Device::new(DeviceConfig::default());
+        install(&mut device, "com.a", |b| {
+            let c = b.class("com.a.Main", "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+            c.method("onClickRefresh", "()V", AccessFlags::PUBLIC)
+                .ret_void();
+        });
+        let mut monkey = Monkey::new(MonkeyConfig {
+            seed: 1,
+            event_budget: 10,
+        });
+        let outcome = monkey.exercise(&mut device, "com.a").unwrap();
+        assert_eq!(
+            outcome,
+            ExerciseOutcome::Exercised {
+                events_fired: 10,
+                crashed: false
+            }
+        );
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn crash_on_launch_reported() {
+        let mut device = Device::new(DeviceConfig::default());
+        install(&mut device, "com.crash", |b| {
+            let c = b.class("com.crash.Main", "android.app.Activity");
+            let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+            m.const_str(0, "developer bug");
+            m.throw(0);
+        });
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        let outcome = monkey.exercise(&mut device, "com.crash").unwrap();
+        assert_eq!(
+            outcome,
+            ExerciseOutcome::Exercised {
+                events_fired: 0,
+                crashed: true
+            }
+        );
+        assert!(device.log.crashed("com.crash"));
+    }
+
+    #[test]
+    fn crash_in_callback_stops_fuzzing() {
+        let mut device = Device::new(DeviceConfig::default());
+        install(&mut device, "com.cb", |b| {
+            let c = b.class("com.cb.Main", "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+            let m = c.method("onClickBoom", "()V", AccessFlags::PUBLIC);
+            m.const_str(0, "boom");
+            m.throw(0);
+        });
+        let mut monkey = Monkey::new(MonkeyConfig {
+            seed: 2,
+            event_budget: 100,
+        });
+        let outcome = monkey.exercise(&mut device, "com.cb").unwrap();
+        assert_eq!(
+            outcome,
+            ExerciseOutcome::Exercised {
+                events_fired: 1,
+                crashed: true
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // Two devices, same seed → identical event logs.
+        let run = |seed: u64| {
+            let mut device = Device::new(DeviceConfig::default());
+            install(&mut device, "com.det", |b| {
+                let c = b.class("com.det.Main", "android.app.Activity");
+                c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+                // Two callbacks that record different APIs.
+                let m = c.method("onClickA", "()V", AccessFlags::PUBLIC);
+                m.invoke_static(
+                    MethodRef::new(
+                        "android.telephony.TelephonyManager",
+                        "getDeviceId",
+                        "()Ljava/lang/String;",
+                    ),
+                    vec![],
+                );
+                m.ret_void();
+                let m = c.method("onClickB", "()V", AccessFlags::PUBLIC);
+                m.invoke_static(
+                    MethodRef::new(
+                        "android.accounts.AccountManager",
+                        "getAccounts",
+                        "()Ljava/lang/String;",
+                    ),
+                    vec![],
+                );
+                m.ret_void();
+            });
+            let mut monkey = Monkey::new(MonkeyConfig {
+                seed,
+                event_budget: 20,
+            });
+            monkey.exercise(&mut device, "com.det").unwrap();
+            format!("{:?}", device.log.events())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn unknown_package_is_error() {
+        let mut device = Device::new(DeviceConfig::default());
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        assert!(matches!(
+            monkey.exercise(&mut device, "ghost"),
+            Err(AvmError::NotInstalled(_))
+        ));
+    }
+
+    #[test]
+    fn no_callbacks_ends_early() {
+        let mut device = Device::new(DeviceConfig::default());
+        install(&mut device, "com.min", |b| {
+            let c = b.class("com.min.Main", "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+        });
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        let outcome = monkey.exercise(&mut device, "com.min").unwrap();
+        assert_eq!(
+            outcome,
+            ExerciseOutcome::Exercised {
+                events_fired: 0,
+                crashed: false
+            }
+        );
+    }
+}

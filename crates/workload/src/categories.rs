@@ -1,0 +1,134 @@
+//! The 42 Google Play application categories of the 2016 data set.
+
+/// The 42 categories, in a fixed order (indices are stable identifiers).
+pub const CATEGORIES: [&str; 42] = [
+    "Books & Reference",
+    "Business",
+    "Comics",
+    "Communication",
+    "Education",
+    "Entertainment",
+    "Finance",
+    "Health & Fitness",
+    "Libraries & Demo",
+    "Lifestyle",
+    "Live Wallpaper",
+    "Media & Video",
+    "Medical",
+    "Music & Audio",
+    "News & Magazines",
+    "Personalization",
+    "Photography",
+    "Productivity",
+    "Shopping",
+    "Social",
+    "Sports",
+    "Tools",
+    "Transportation",
+    "Travel & Local",
+    "Weather",
+    "Widgets",
+    "Game Action",
+    "Game Adventure",
+    "Game Arcade",
+    "Game Board",
+    "Game Card",
+    "Game Casino",
+    "Game Casual",
+    "Game Educational",
+    "Game Music",
+    "Game Puzzle",
+    "Game Racing",
+    "Game Role Playing",
+    "Game Simulation",
+    "Game Sports",
+    "Game Strategy",
+    "Game Word",
+];
+
+/// Index of a named category.
+pub fn index_of(name: &str) -> Option<usize> {
+    CATEGORIES.iter().position(|c| *c == name)
+}
+
+/// Index of "Entertainment".
+pub const ENTERTAINMENT: usize = 5;
+/// Index of "Shopping".
+pub const SHOPPING: usize = 18;
+/// Index of "Tools".
+pub const TOOLS: usize = 21;
+
+/// The category mix of DEX-encryption (packed) apps, reflecting Figure 3:
+/// Entertainment, Tools and Shopping dominate. Returns a category index
+/// for the `i`-th of `count` packed apps (the position is rescaled into
+/// the full-scale weighted distribution so small corpora keep the shape).
+pub fn packer_category(i: usize, count: usize) -> usize {
+    // Approximate Figure 3 bar heights out of 140 packed apps:
+    // Entertainment ~30, Tools ~26, Shopping ~20, then a long tail.
+    const WEIGHTED: [(usize, usize); 10] = [
+        (ENTERTAINMENT, 30),
+        (TOOLS, 26),
+        (SHOPPING, 20),
+        (6, 12),  // Finance
+        (3, 10),  // Communication
+        (17, 10), // Productivity
+        (19, 8),  // Social
+        (9, 8),   // Lifestyle
+        (11, 8),  // Media & Video
+        (13, 8),  // Music & Audio
+    ];
+    let total: usize = WEIGHTED.iter().map(|(_, w)| w).sum();
+    let slot = (i * total / count.max(1)) % total;
+    let mut acc = 0;
+    for (cat, w) in WEIGHTED {
+        acc += w;
+        if slot < acc {
+            return cat;
+        }
+    }
+    ENTERTAINMENT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_42_categories() {
+        assert_eq!(CATEGORIES.len(), 42);
+        let unique: std::collections::HashSet<&&str> = CATEGORIES.iter().collect();
+        assert_eq!(unique.len(), 42);
+    }
+
+    #[test]
+    fn named_indices() {
+        assert_eq!(CATEGORIES[ENTERTAINMENT], "Entertainment");
+        assert_eq!(CATEGORIES[SHOPPING], "Shopping");
+        assert_eq!(CATEGORIES[TOOLS], "Tools");
+        assert_eq!(index_of("Tools"), Some(TOOLS));
+        assert_eq!(index_of("Nope"), None);
+    }
+
+    #[test]
+    fn packer_categories_dominated_by_big_three() {
+        let mut counts = [0usize; 42];
+        for i in 0..140 {
+            counts[packer_category(i, 140)] += 1;
+        }
+        let big3 = counts[ENTERTAINMENT] + counts[TOOLS] + counts[SHOPPING];
+        assert!(big3 > 140 / 2, "big three should dominate, got {big3}");
+        assert!(counts[ENTERTAINMENT] >= counts[TOOLS]);
+        assert!(counts[TOOLS] >= counts[SHOPPING]);
+    }
+
+    #[test]
+    fn small_corpora_keep_the_shape() {
+        let mut counts = [0usize; 42];
+        for i in 0..14 {
+            counts[packer_category(i, 14)] += 1;
+        }
+        // Even with 14 packers the mass must spread beyond one category.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 4);
+        assert!(counts[ENTERTAINMENT] >= counts[SHOPPING]);
+    }
+}

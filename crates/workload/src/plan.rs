@@ -1,0 +1,815 @@
+//! Corpus planning: sampling ground-truth blueprints for every app.
+//!
+//! The planner allocates the paper's special populations first (packers,
+//! malware, remote fetchers, vulnerable apps, countermeasure apps), then
+//! fills the remainder with generic apps sampled at the paper's rates.
+//! Small populations are assigned deterministically so scaled tables match
+//! tightly; large ones are Bernoulli draws from the seeded generator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::categories;
+use crate::names;
+use crate::popularity::{sample_metadata, AppMetadata};
+use crate::spec::{paper, CorpusSpec};
+
+/// Malware families of Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MalwareFamily {
+    /// DEX botnet: exfiltrates IMEI/phone/IMSI, executes remote commands.
+    SwissCodeMonkeys,
+    /// DEX adware: notification ads, shortcuts, homepage redirect.
+    AirpushMinimob,
+    /// Native: root + ptrace on QQ/WeChat + chat-log exfiltration.
+    ChathookPtrace,
+}
+
+impl MalwareFamily {
+    /// The family's canonical name (used for detector training labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            MalwareFamily::SwissCodeMonkeys => "swiss_code_monkeys",
+            MalwareFamily::AirpushMinimob => "adware_airpush_minimob",
+            MalwareFamily::ChathookPtrace => "chathook_ptrace",
+        }
+    }
+
+    /// Whether the family's payload is native code.
+    pub fn is_native(self) -> bool {
+        matches!(self, MalwareFamily::ChathookPtrace)
+    }
+}
+
+/// Environment-trigger guards on a malicious file (Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TriggerSet {
+    /// Hide when the system time predates the release date.
+    pub time_bomb: bool,
+    /// Hide whenever airplane mode is on (even with WiFi).
+    pub airplane_check: bool,
+    /// Hide when no network path is available.
+    pub needs_network: bool,
+    /// Hide when the location service is disabled.
+    pub location_check: bool,
+}
+
+impl TriggerSet {
+    /// No guards: always loads.
+    pub fn none() -> Self {
+        TriggerSet::default()
+    }
+
+    /// Whether the payload loads under a given environment.
+    pub fn fires(
+        &self,
+        time_after_release: bool,
+        airplane: bool,
+        network_available: bool,
+        location_on: bool,
+    ) -> bool {
+        if self.time_bomb && !time_after_release {
+            return false;
+        }
+        if self.airplane_check && airplane {
+            return false;
+        }
+        if self.needs_network && !network_available {
+            return false;
+        }
+        if self.location_check && !location_on {
+            return false;
+        }
+        true
+    }
+}
+
+/// Who performs the DCL (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntityPlan {
+    /// Only third-party SDK classes load code.
+    ThirdParty,
+    /// Only the developer's own classes load code.
+    Own,
+    /// Both.
+    Both,
+}
+
+/// Plan for one kind of DCL in an app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DclPlan {
+    /// Whether the load actually executes when the app is exercised
+    /// (Table II's intercepted rate); dead code still passes the filter.
+    pub reachable: bool,
+    /// Responsible entity.
+    pub entity: EntityPlan,
+}
+
+/// Vulnerability scenarios (Table IX).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VulnPlan {
+    /// Stage and load DEX from world-writable external storage.
+    DexExternal,
+    /// Load a native library from another app's internal storage.
+    NativeForeign {
+        /// Provider package whose storage is read.
+        provider: String,
+        /// Library file name.
+        soname: String,
+    },
+}
+
+/// One privacy-leak assignment: Table X type index (into the canonical
+/// 18-type order) and whether the leak is exclusively in third-party code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyLeakPlan {
+    /// Index into the canonical Table X type order (0..18).
+    pub type_index: usize,
+    /// Leak sits only in third-party-loaded payloads.
+    pub exclusively_third_party: bool,
+}
+
+/// The full ground-truth blueprint of one synthetic app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPlan {
+    /// Package name (unique in the corpus).
+    pub package: String,
+    /// DEX-DCL plan, if the app has class-loader code.
+    pub dex: Option<DclPlan>,
+    /// Native-DCL plan, if the app has JNI load code.
+    pub native: Option<DclPlan>,
+    /// Lexical obfuscation applied.
+    pub lexical: bool,
+    /// Reflection usage present.
+    pub reflection: bool,
+    /// Packed with DEX encryption.
+    pub packer: bool,
+    /// Carries the decompiler-killing pattern.
+    pub anti_decompilation: bool,
+    /// Carries the repackaging trap (and lacks the external-storage
+    /// permission, so rewriting is attempted and fails).
+    pub anti_repackaging: bool,
+    /// Declares no launchable activity.
+    pub no_activity: bool,
+    /// Crashes in `onCreate` (developer bug).
+    pub crash_on_launch: bool,
+    /// Declares `WRITE_EXTERNAL_STORAGE`.
+    pub has_write_external: bool,
+    /// Loads the Google-Ads-like SDK (settings-only reader).
+    pub google_ads: bool,
+    /// Fetches and executes remote code (Table V).
+    pub remote_fetch: bool,
+    /// Malware payloads carried: family, trigger set, file count (1 or 2).
+    pub malware: Option<(MalwareFamily, Vec<TriggerSet>)>,
+    /// Vulnerability scenario.
+    pub vuln: Option<VulnPlan>,
+    /// Privacy leaks embedded in loaded payloads.
+    pub privacy: Vec<PrivacyLeakPlan>,
+    /// Store metadata.
+    pub metadata: AppMetadata,
+}
+
+impl AppPlan {
+    /// A neutral plan for an externally supplied APK (CLI analysis of an
+    /// on-disk file): no ground-truth labels, placeholder metadata.
+    pub fn external(package: impl Into<String>) -> Self {
+        AppPlan::base(
+            package.into(),
+            AppMetadata {
+                category: 0,
+                downloads: 0,
+                rating_count: 0,
+                avg_rating: 0.0,
+            },
+        )
+    }
+
+    fn base(package: String, metadata: AppMetadata) -> Self {
+        AppPlan {
+            package,
+            dex: None,
+            native: None,
+            lexical: false,
+            reflection: false,
+            packer: false,
+            anti_decompilation: false,
+            anti_repackaging: false,
+            no_activity: false,
+            crash_on_launch: false,
+            has_write_external: true,
+            google_ads: false,
+            remote_fetch: false,
+            malware: None,
+            vuln: None,
+            privacy: Vec::new(),
+            metadata,
+        }
+    }
+
+    /// Whether any DCL code is present (the static filter's ground truth).
+    pub fn has_dcl_code(&self) -> bool {
+        self.dex.is_some()
+            || self.native.is_some()
+            || self.packer
+            || self.remote_fetch
+            || self.malware.is_some()
+            || self.vuln.is_some()
+    }
+}
+
+/// Plans the whole corpus. Deterministic in `spec`.
+pub fn plan_corpus(spec: &CorpusSpec) -> Vec<AppPlan> {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let total = spec.total_apps();
+    let mut plans: Vec<AppPlan> = Vec::with_capacity(total);
+    let mut generic_counter = 0usize;
+
+    let mut next_generic = |rng: &mut ChaCha8Rng, has_dex: bool, has_native: bool| {
+        let pkg = names::generic_package(generic_counter);
+        generic_counter += 1;
+        let category = rng.gen_range(0..categories::CATEGORIES.len());
+        let metadata = sample_metadata(rng, category, has_dex, has_native);
+        AppPlan::base(pkg, metadata)
+    };
+
+    // ---------------------------------------------------------------
+    // Special populations (deterministic counts).
+    // ---------------------------------------------------------------
+
+    // Anti-decompilation apps: install fine, kill the decompiler.
+    for _ in 0..spec.scaled(paper::ANTI_DECOMPILATION) {
+        let mut p = next_generic(&mut rng, false, false);
+        p.anti_decompilation = true;
+        plans.push(p);
+    }
+
+    // Packers (DEX encryption), Figure 3 category mix.
+    let n_packers = spec.scaled(paper::DEX_ENCRYPTION);
+    for i in 0..n_packers {
+        let mut p = next_generic(&mut rng, true, true);
+        p.packer = true;
+        p.metadata.category = categories::packer_category(i, n_packers);
+        // The injected container lives in the hardening vendor's own
+        // namespace, so its loads attribute to a third party (Table IV).
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+
+    // Remote-fetch apps (Table V), attributed to the Baidu-like SDK.
+    for i in 0..spec.scaled(paper::REMOTE_FETCH) {
+        let pkg = names::REMOTE_FETCH_PACKAGES
+            .get(i)
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| format!("com.remotefetch.extra{i}"));
+        let category = rng.gen_range(0..categories::CATEGORIES.len());
+        let metadata = sample_metadata(&mut rng, category, true, false);
+        let mut p = AppPlan::base(pkg, metadata);
+        p.remote_fetch = true;
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+
+    // Malware (Table VII) with trigger sets partitioned per Table VIII.
+    let n_swiss = spec.scaled(paper::MALWARE_SWISS);
+    let n_airpush = spec.scaled(paper::MALWARE_AIRPUSH);
+    let n_chathook = spec.scaled(paper::MALWARE_CHATHOOK);
+    let n_mal_apps = n_swiss + n_airpush + n_chathook;
+    let extra_files = spec.scaled(paper::MALICIOUS_FILES - 87); // 4 at full scale
+    let n_files = n_mal_apps + extra_files;
+    let triggers = plan_triggers(spec, n_files);
+    let mut file_cursor = 0usize;
+    let mut take_triggers = |count: usize| -> Vec<TriggerSet> {
+        let out: Vec<TriggerSet> = (0..count)
+            .map(|k| triggers[(file_cursor + k).min(triggers.len() - 1)])
+            .collect();
+        file_cursor += count;
+        out
+    };
+    for i in 0..n_swiss {
+        let pkg = if i == 0 {
+            names::SWISS_PACKAGE.to_string()
+        } else {
+            format!("com.swisshost.extra{i}")
+        };
+        let metadata = sample_metadata(&mut rng, 11, true, false);
+        let mut p = AppPlan::base(pkg, metadata);
+        p.metadata.downloads = p.metadata.downloads.max(10_000_000);
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        p.malware = Some((MalwareFamily::SwissCodeMonkeys, take_triggers(1)));
+        plans.push(p);
+    }
+    for i in 0..n_airpush {
+        let pkg = if i == 0 {
+            names::AIRPUSH_PACKAGE.to_string()
+        } else {
+            format!("com.airhost.extra{i}")
+        };
+        let metadata = sample_metadata(&mut rng, 9, true, false);
+        let mut p = AppPlan::base(pkg, metadata);
+        p.metadata.downloads = if i == 0 {
+            10_000 // the paper's sample: com.oshare.app (10,000)
+        } else {
+            p.metadata.downloads.min(9_999)
+        };
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        p.malware = Some((MalwareFamily::AirpushMinimob, take_triggers(1)));
+        plans.push(p);
+    }
+    for i in 0..n_chathook {
+        let pkg = if i == 0 {
+            names::CHATHOOK_PACKAGE.to_string()
+        } else {
+            format!("com.gamestudio.chat{i}")
+        };
+        let metadata = sample_metadata(&mut rng, 32, false, true);
+        let mut p = AppPlan::base(pkg, metadata);
+        if i == 0 {
+            p.metadata.downloads = p.metadata.downloads.max(10_000_000);
+        }
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        // The first `extra_files` chathook apps carry two payloads,
+        // reproducing 91 files across 87 apps.
+        let files = if i < extra_files { 2 } else { 1 };
+        p.malware = Some((MalwareFamily::ChathookPtrace, take_triggers(files)));
+        plans.push(p);
+    }
+
+    // Vulnerable apps (Table IX).
+    for i in 0..spec.scaled(paper::VULN_DEX_EXTERNAL) {
+        let pkg = names::VULN_DEX_EXTERNAL_PACKAGES
+            .get(i)
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| format!("com.vulnext.extra{i}"));
+        let metadata = sample_metadata(&mut rng, 26, true, false);
+        let mut p = AppPlan::base(pkg, metadata);
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Own,
+        });
+        p.vuln = Some(VulnPlan::DexExternal);
+        plans.push(p);
+    }
+    for i in 0..spec.scaled(paper::VULN_NATIVE_FOREIGN) {
+        let pkg = names::VULN_NATIVE_FOREIGN_PACKAGES
+            .get(i)
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| format!("com.vulnnat.extra{i}"));
+        let (provider, soname) = names::foreign_provider(i);
+        let metadata = sample_metadata(&mut rng, 27, false, true);
+        let mut p = AppPlan::base(pkg, metadata);
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::Own,
+        });
+        p.vuln = Some(VulnPlan::NativeForeign {
+            provider: provider.to_string(),
+            soname: soname.to_string(),
+        });
+        plans.push(p);
+    }
+
+    // Table II failure rows: no-activity, crash, rewriting failure —
+    // disjoint DEX and native columns.
+    for _ in 0..spec.scaled(paper::NO_ACTIVITY_DEX) {
+        let mut p = next_generic(&mut rng, true, false);
+        p.no_activity = true;
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+    for _ in 0..spec.scaled(paper::NO_ACTIVITY_NATIVE) {
+        let mut p = next_generic(&mut rng, false, true);
+        p.no_activity = true;
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+    for _ in 0..spec.scaled(paper::CRASH_DEX) {
+        let mut p = next_generic(&mut rng, true, false);
+        p.crash_on_launch = true;
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+    for _ in 0..spec.scaled(paper::CRASH_NATIVE) {
+        let mut p = next_generic(&mut rng, false, true);
+        p.crash_on_launch = true;
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+    for _ in 0..spec.scaled(paper::REWRITE_FAIL_DEX) {
+        let mut p = next_generic(&mut rng, true, false);
+        p.anti_repackaging = true;
+        p.has_write_external = false;
+        p.dex = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+    for _ in 0..spec.scaled(paper::REWRITE_FAIL_NATIVE) {
+        let mut p = next_generic(&mut rng, false, true);
+        p.anti_repackaging = true;
+        p.has_write_external = false;
+        p.native = Some(DclPlan {
+            reachable: true,
+            entity: EntityPlan::ThirdParty,
+        });
+        plans.push(p);
+    }
+
+    // ---------------------------------------------------------------
+    // Generic population fills the remainder.
+    // ---------------------------------------------------------------
+    while plans.len() < total {
+        let has_dex = rng.gen_bool(paper::P_DEX_CODE);
+        let has_native = if has_dex {
+            rng.gen_bool(paper::P_NATIVE_GIVEN_DEX)
+        } else {
+            rng.gen_bool(paper::P_NATIVE_GIVEN_NO_DEX)
+        };
+        let mut p = next_generic(&mut rng, has_dex, has_native);
+        if has_dex {
+            p.dex = Some(DclPlan {
+                reachable: rng.gen_bool(paper::P_DEX_REACHABLE),
+                entity: EntityPlan::ThirdParty,
+            });
+        }
+        if has_native {
+            p.native = Some(DclPlan {
+                reachable: rng.gen_bool(paper::P_NATIVE_REACHABLE),
+                entity: EntityPlan::ThirdParty,
+            });
+        }
+        p.has_write_external = rng.gen_bool(0.5);
+        plans.push(p);
+    }
+
+    // Universal flags over the whole corpus.
+    for p in &mut plans {
+        if !p.anti_decompilation && !p.packer {
+            p.lexical = rng.gen_bool(paper::P_LEXICAL);
+            p.reflection = rng.gen_bool(paper::P_REFLECTION);
+        }
+    }
+
+    // Entity post-pass over reachable generic apps (Table IV).
+    assign_entities(spec, &mut plans);
+    // Ads + privacy post-pass over intercepted-DEX apps (Table X).
+    assign_privacy(spec, &mut plans);
+
+    plans
+}
+
+/// Partitions the malicious-file population into Table VIII trigger sets:
+/// time bombs, airplane checks, offline-only checks, location checks, and
+/// unconditional loaders, proportionally to the paper's 91-file split.
+/// Every non-empty paper category keeps at least one file, so the four
+/// configuration columns stay distinguishable at small scales.
+fn plan_triggers(spec: &CorpusSpec, n_files: usize) -> Vec<TriggerSet> {
+    let _ = spec;
+    let n = n_files.max(1);
+    let shares = [
+        paper::HIDDEN_BY_TIME,
+        paper::HIDDEN_BY_AIRPLANE,
+        paper::HIDDEN_BY_OFFLINE_EXTRA,
+        paper::HIDDEN_BY_LOCATION,
+    ];
+    // Proportional targets with a floor of 1 per category (when room
+    // remains), trimming the largest buckets if the floors overshoot.
+    let mut targets: Vec<usize> = shares
+        .iter()
+        .map(|&s| ((s * n + paper::MALICIOUS_FILES / 2) / paper::MALICIOUS_FILES).max(1))
+        .collect();
+    while targets.iter().sum::<usize>() > n {
+        let max_idx = (0..4).max_by_key(|&i| targets[i]).expect("non-empty");
+        targets[max_idx] = targets[max_idx].saturating_sub(1);
+    }
+    let mut out = Vec::with_capacity(n);
+    for (idx, &t) in targets.iter().enumerate() {
+        for _ in 0..t {
+            let mut set = TriggerSet::none();
+            match idx {
+                0 => set.time_bomb = true,
+                1 => set.airplane_check = true,
+                2 => set.needs_network = true,
+                _ => set.location_check = true,
+            }
+            out.push(set);
+        }
+    }
+    while out.len() < n {
+        out.push(TriggerSet::none());
+    }
+    out
+}
+
+fn assign_entities(spec: &CorpusSpec, plans: &mut [AppPlan]) {
+    // DEX: among reachable non-special apps, a handful are own/both.
+    let dex_idx: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.dex.map(|d| d.reachable).unwrap_or(false)
+                && p.malware.is_none()
+                && p.vuln.is_none()
+                && !p.packer
+                && !p.remote_fetch
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let own_only = spec.scaled((paper::P_DEX_OWN_ONLY * 16_768.0).round() as usize);
+    let both = spec.scaled((paper::P_DEX_BOTH * 16_768.0).round() as usize);
+    for (k, &i) in dex_idx.iter().enumerate() {
+        let entity = if k < own_only {
+            EntityPlan::Own
+        } else if k < own_only + both {
+            EntityPlan::Both
+        } else {
+            EntityPlan::ThirdParty
+        };
+        if let Some(d) = &mut plans[i].dex {
+            d.entity = entity;
+        }
+    }
+    // Native.
+    let native_idx: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.native.map(|d| d.reachable).unwrap_or(false)
+                && p.malware.is_none()
+                && p.vuln.is_none()
+                && !p.packer
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let own_only = spec.scaled((paper::P_NATIVE_OWN_ONLY * 13_748.0).round() as usize);
+    let both = spec.scaled((paper::P_NATIVE_BOTH * 13_748.0).round() as usize);
+    for (k, &i) in native_idx.iter().enumerate() {
+        let entity = if k < own_only {
+            EntityPlan::Own
+        } else if k < own_only + both {
+            EntityPlan::Both
+        } else {
+            EntityPlan::ThirdParty
+        };
+        if let Some(d) = &mut plans[i].native {
+            d.entity = entity;
+        }
+    }
+}
+
+fn assign_privacy(spec: &CorpusSpec, plans: &mut [AppPlan]) {
+    // The intercepted-DEX population: reachable dex, excluding special
+    // classes whose payloads are fixed.
+    let pool: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.dex.map(|d| d.reachable).unwrap_or(false)
+                && p.malware.is_none()
+                && !p.packer
+                && !p.crash_on_launch
+                && !p.remote_fetch
+                && p.vuln.is_none()
+                && !p.no_activity
+                && !p.anti_repackaging
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if pool.is_empty() {
+        return;
+    }
+    // Google-Ads share first.
+    let n_ads = ((pool.len() as f64) * paper::P_GOOGLE_ADS).round() as usize;
+    for &i in pool.iter().take(n_ads) {
+        plans[i].google_ads = true;
+    }
+    let leak_pool: Vec<usize> = pool[n_ads..].to_vec();
+    if leak_pool.is_empty() {
+        return;
+    }
+    // Deterministic striped assignment of privacy types over the non-ad
+    // pool, scaled from Table X.
+    let mut offset = 0usize;
+    for (type_index, apps, excl) in paper::PRIVACY_COUNTS {
+        let target = spec.scaled(apps).min(leak_pool.len());
+        let excl_target = spec.scaled(excl).min(target);
+        for k in 0..target {
+            let idx = leak_pool[(offset + k) % leak_pool.len()];
+            plans[idx].privacy.push(PrivacyLeakPlan {
+                type_index,
+                exclusively_third_party: k < excl_target,
+            });
+            // Non-exclusive leaks need an own-entity load to live in.
+            if k >= excl_target {
+                if let Some(d) = &mut plans[idx].dex {
+                    if d.entity == EntityPlan::ThirdParty {
+                        d.entity = EntityPlan::Both;
+                    }
+                }
+            }
+        }
+        offset += target.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CorpusSpec {
+        CorpusSpec {
+            scale: 0.02,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_corpus(&small_spec());
+        let b = plan_corpus(&small_spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_has_expected_size_and_uniqueness() {
+        let spec = small_spec();
+        let plans = plan_corpus(&spec);
+        assert_eq!(plans.len(), spec.total_apps());
+        let unique: std::collections::HashSet<&String> = plans.iter().map(|p| &p.package).collect();
+        assert_eq!(unique.len(), plans.len(), "duplicate package names");
+    }
+
+    #[test]
+    fn special_populations_present() {
+        let plans = plan_corpus(&small_spec());
+        assert!(plans.iter().any(|p| p.anti_decompilation));
+        assert!(plans.iter().any(|p| p.packer));
+        assert!(plans.iter().any(|p| p.remote_fetch));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.malware, Some((MalwareFamily::SwissCodeMonkeys, _)))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.malware, Some((MalwareFamily::ChathookPtrace, _)))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.vuln, Some(VulnPlan::DexExternal))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.vuln, Some(VulnPlan::NativeForeign { .. }))));
+        assert!(plans.iter().any(|p| p.no_activity));
+        assert!(plans.iter().any(|p| p.crash_on_launch));
+        assert!(plans.iter().any(|p| p.anti_repackaging));
+    }
+
+    #[test]
+    fn dcl_rates_roughly_match() {
+        let spec = CorpusSpec {
+            scale: 0.1,
+            seed: 7,
+        };
+        let plans = plan_corpus(&spec);
+        let n = plans.len() as f64;
+        let dex = plans.iter().filter(|p| p.dex.is_some() || p.packer).count() as f64;
+        let native = plans.iter().filter(|p| p.native.is_some()).count() as f64;
+        assert!((dex / n - 0.695).abs() < 0.05, "dex share {}", dex / n);
+        assert!(
+            (native / n - 0.43).abs() < 0.05,
+            "native share {}",
+            native / n
+        );
+    }
+
+    #[test]
+    fn trigger_partition_shape() {
+        let spec = CorpusSpec::with_scale(1.0);
+        let triggers = plan_triggers(&spec, 91);
+        let time = triggers.iter().filter(|t| t.time_bomb).count();
+        let airplane = triggers.iter().filter(|t| t.airplane_check).count();
+        let network = triggers.iter().filter(|t| t.needs_network).count();
+        let location = triggers.iter().filter(|t| t.location_check).count();
+        assert_eq!(time, 19);
+        assert_eq!(airplane, 35);
+        assert_eq!(network, 3);
+        assert_eq!(location, 21);
+        let unconditional = triggers
+            .iter()
+            .filter(|t| **t == TriggerSet::none())
+            .count();
+        assert_eq!(unconditional, 91 - 19 - 35 - 3 - 21);
+    }
+
+    #[test]
+    fn trigger_partition_keeps_categories_at_small_scale() {
+        let spec = CorpusSpec::with_scale(0.1);
+        let triggers = plan_triggers(&spec, 11);
+        assert_eq!(triggers.len(), 11);
+        assert!(triggers.iter().any(|t| t.time_bomb));
+        assert!(triggers.iter().any(|t| t.airplane_check));
+        assert!(triggers.iter().any(|t| t.needs_network));
+        assert!(triggers.iter().any(|t| t.location_check));
+    }
+
+    #[test]
+    fn trigger_fires_semantics() {
+        let t = TriggerSet {
+            time_bomb: true,
+            airplane_check: false,
+            needs_network: true,
+            location_check: false,
+        };
+        assert!(t.fires(true, false, true, true));
+        assert!(!t.fires(false, false, true, true), "time bomb hides");
+        assert!(!t.fires(true, false, false, true), "offline hides");
+        assert!(t.fires(true, true, true, true), "airplane ignored");
+    }
+
+    #[test]
+    fn ads_dominate_intercepted_dex_apps() {
+        let plans = plan_corpus(&CorpusSpec {
+            scale: 0.05,
+            seed: 3,
+        });
+        let intercepted: Vec<&AppPlan> = plans
+            .iter()
+            .filter(|p| {
+                p.dex.map(|d| d.reachable).unwrap_or(false)
+                    && p.malware.is_none()
+                    && !p.packer
+                    && !p.crash_on_launch
+            })
+            .collect();
+        let ads = intercepted.iter().filter(|p| p.google_ads).count();
+        let share = ads as f64 / intercepted.len() as f64;
+        assert!((share - 0.895).abs() < 0.03, "ads share {share}");
+        // Non-ad apps carry privacy plans; IMEI should be the most common
+        // non-settings type.
+        let imei = plans
+            .iter()
+            .filter(|p| p.privacy.iter().any(|l| l.type_index == 1))
+            .count();
+        assert!(imei > 0);
+    }
+
+    #[test]
+    fn entities_mostly_third_party() {
+        let plans = plan_corpus(&CorpusSpec {
+            scale: 0.1,
+            seed: 9,
+        });
+        let reachable: Vec<&DclPlan> = plans
+            .iter()
+            .filter_map(|p| p.dex.as_ref())
+            .filter(|d| d.reachable)
+            .collect();
+        let third = reachable
+            .iter()
+            .filter(|d| d.entity == EntityPlan::ThirdParty)
+            .count();
+        assert!(third as f64 / reachable.len() as f64 > 0.95);
+        // Native: own entity is a visible minority (16.58% in Table IV).
+        let native: Vec<&DclPlan> = plans
+            .iter()
+            .filter_map(|p| p.native.as_ref())
+            .filter(|d| d.reachable)
+            .collect();
+        let own = native
+            .iter()
+            .filter(|d| d.entity != EntityPlan::ThirdParty)
+            .count();
+        let share = own as f64 / native.len() as f64;
+        assert!(share > 0.08 && share < 0.30, "native own share {share}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Corpus specification: the paper's measured rates plus a scale factor.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's measured population parameters (58,739 apps, Nov 2016).
+/// Counts are at full scale; probabilities are scale-free. Rates derived
+/// from Tables II–X are annotated with their source.
+pub mod paper {
+    /// Total crawled apps.
+    pub const TOTAL_APPS: usize = 58_739;
+    /// Apps that crash the decompiler (anti-decompilation; Table VI).
+    pub const ANTI_DECOMPILATION: usize = 54;
+    /// Apps packed with DEX encryption (Table VI).
+    pub const DEX_ENCRYPTION: usize = 140;
+    /// Apps fetching and executing remote code (Table V).
+    pub const REMOTE_FETCH: usize = 27;
+    /// Apps loading the Swiss-code-monkeys DEX malware (Table VII).
+    pub const MALWARE_SWISS: usize = 1;
+    /// Apps loading Adware-airpush-minimob DEX malware (Table VII).
+    pub const MALWARE_AIRPUSH: usize = 2;
+    /// Apps loading Chathook-ptrace native malware (Table VII).
+    pub const MALWARE_CHATHOOK: usize = 84;
+    /// Vulnerable: DEX from external storage (Table IX).
+    pub const VULN_DEX_EXTERNAL: usize = 7;
+    /// Vulnerable: native code from other apps' internal storage (Table IX).
+    pub const VULN_NATIVE_FOREIGN: usize = 7;
+    /// DEX-DCL no-activity apps (Table II).
+    pub const NO_ACTIVITY_DEX: usize = 8;
+    /// Native-DCL no-activity apps (Table II).
+    pub const NO_ACTIVITY_NATIVE: usize = 13;
+    /// DEX-DCL apps that crash at runtime (Table II).
+    pub const CRASH_DEX: usize = 33;
+    /// Native-DCL apps that crash at runtime (Table II).
+    pub const CRASH_NATIVE: usize = 184;
+    /// DEX-DCL apps whose rewriting fails (Table II).
+    pub const REWRITE_FAIL_DEX: usize = 454;
+    /// Native-DCL apps whose rewriting fails (Table II).
+    pub const REWRITE_FAIL_NATIVE: usize = 133;
+
+    /// P(app has DEX-DCL code) — 40,849 / 58,739 (Section V-A).
+    pub const P_DEX_CODE: f64 = 40_849.0 / 58_739.0;
+    /// P(app has native-DCL code | has DEX-DCL) — overlap solved from
+    /// |union| ≈ 46,000.
+    pub const P_NATIVE_GIVEN_DEX: f64 = 20_136.0 / 40_849.0;
+    /// P(app has native-DCL code | no DEX-DCL).
+    pub const P_NATIVE_GIVEN_NO_DEX: f64 = 5_151.0 / 17_890.0;
+    /// P(DEX DCL actually executes under the Monkey) — Table II, 41.05%.
+    pub const P_DEX_REACHABLE: f64 = 0.4105;
+    /// P(native DCL actually executes under the Monkey) — Table II, 54.37%.
+    pub const P_NATIVE_REACHABLE: f64 = 0.5437;
+    /// P(lexical obfuscation) — Table VI, 89.95%.
+    pub const P_LEXICAL: f64 = 0.8995;
+    /// P(reflection usage) — Table VI, 52.20%.
+    pub const P_REFLECTION: f64 = 0.5220;
+    /// Of intercepted-DEX apps, the share loading the Google-Ads-like
+    /// library (settings-only reader): 15,012 / 16,768 (Section V-B-f).
+    pub const P_GOOGLE_ADS: f64 = 15_012.0 / 16_768.0;
+
+    /// DEX entity plan (Table IV): P(own-only), P(own-and-third-party).
+    pub const P_DEX_OWN_ONLY: f64 = 13.0 / 16_768.0;
+    /// DEX both entities.
+    pub const P_DEX_BOTH: f64 = 37.0 / 16_768.0;
+    /// Native own-only (Table IV: own 2,280 incl. both 366).
+    pub const P_NATIVE_OWN_ONLY: f64 = 1_914.0 / 13_748.0;
+    /// Native both entities.
+    pub const P_NATIVE_BOTH: f64 = 366.0 / 13_748.0;
+
+    /// Privacy-leaking counts among the 1,756 non-ad intercepted-DEX apps
+    /// (Table X). `(type index into PrivacyType::ALL, apps, exclusively
+    /// third-party apps)`.
+    pub const PRIVACY_COUNTS: [(usize, usize, usize); 18] = [
+        (0, 254, 251),      // Location
+        (1, 581, 576),      // IMEI
+        (2, 27, 25),        // IMSI
+        (3, 8, 6),          // ICCID
+        (4, 12, 10),        // Phone number
+        (5, 23, 23),        // Account
+        (6, 32, 28),        // Installed applications
+        (7, 235, 231),      // Installed packages
+        (8, 1, 1),          // Contact
+        (9, 76, 73),        // Calendar
+        (10, 32, 32),       // CallLog
+        (11, 1, 1),         // Browser
+        (12, 5, 5),         // Audio
+        (13, 74, 72),       // Image
+        (14, 31, 31),       // Video
+        (15, 1_470, 1_429), // Settings (non-ad portion of 16,482/16,441)
+        (16, 1, 1),         // MMS
+        (17, 1, 1),         // SMS
+    ];
+    /// The non-ad intercepted-DEX population the privacy counts live in.
+    pub const PRIVACY_POPULATION: usize = 1_756;
+
+    /// Trigger-set shares over the 91 malicious files (Table VIII):
+    /// fraction hidden under each configuration.
+    pub const MALICIOUS_FILES: usize = 91;
+    /// Files hidden when the system time predates release: 91 − 72.
+    pub const HIDDEN_BY_TIME: usize = 19;
+    /// Files hidden under airplane mode even with WiFi on: 91 − 56.
+    pub const HIDDEN_BY_AIRPLANE: usize = 35;
+    /// Files hidden only when fully offline: (91 − 53) − 35.
+    pub const HIDDEN_BY_OFFLINE_EXTRA: usize = 3;
+    /// Files hidden when location is off: 91 − 70.
+    pub const HIDDEN_BY_LOCATION: usize = 21;
+}
+
+/// The corpus specification. [`CorpusSpec::default`] reproduces the paper
+/// population at 1/10 scale; adjust [`CorpusSpec::scale`] for other runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Scale factor relative to the paper's 58,739 apps.
+    pub scale: f64,
+    /// Master seed; the corpus is a pure function of `(spec, seed)`.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            scale: 0.1,
+            seed: 0x0D1D_501D,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A spec with the given scale and the default seed.
+    pub fn with_scale(scale: f64) -> Self {
+        CorpusSpec {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Total apps at this scale.
+    pub fn total_apps(&self) -> usize {
+        self.scaled(paper::TOTAL_APPS)
+    }
+
+    /// Scales a full-scale count, keeping rare-but-present classes alive
+    /// (anything non-zero stays at least 1).
+    pub fn scaled(&self, full_count: usize) -> usize {
+        if full_count == 0 {
+            return 0;
+        }
+        (((full_count as f64) * self.scale).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_tenth() {
+        let spec = CorpusSpec::default();
+        assert_eq!(spec.total_apps(), 5_874);
+        assert_eq!(spec.scaled(paper::REMOTE_FETCH), 3);
+        // Rare classes stay represented.
+        assert_eq!(spec.scaled(paper::MALWARE_SWISS), 1);
+        assert_eq!(spec.scaled(0), 0);
+    }
+
+    #[test]
+    fn full_scale_identity() {
+        let spec = CorpusSpec::with_scale(1.0);
+        assert_eq!(spec.total_apps(), paper::TOTAL_APPS);
+        assert_eq!(spec.scaled(paper::MALWARE_CHATHOOK), 84);
+    }
+
+    #[test]
+    fn paper_rates_sane() {
+        // Evaluated at runtime to keep the constants honest without
+        // tripping the const-assertion lint.
+        let checks = [
+            paper::P_DEX_CODE > 0.69 && paper::P_DEX_CODE < 0.70,
+            paper::P_DEX_REACHABLE > 0.4 && paper::P_DEX_REACHABLE < 0.42,
+            paper::HIDDEN_BY_AIRPLANE + paper::HIDDEN_BY_OFFLINE_EXTRA <= paper::MALICIOUS_FILES,
+        ];
+        assert!(checks.iter().all(|c| *c), "{checks:?}");
+        // Privacy counts: every row indexes a real type, exclusives ≤ apps.
+        for (idx, apps, excl) in paper::PRIVACY_COUNTS {
+            assert!(idx < 18);
+            assert!(excl <= apps);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the corpus planner: structural invariants must hold
+//! for any scale and seed.
+
+use dydroid_workload::plan::plan_corpus;
+use dydroid_workload::{CorpusSpec, EntityPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan_invariants(
+        scale in 0.002f64..0.05,
+        seed in any::<u64>(),
+    ) {
+        let spec = CorpusSpec { scale, seed };
+        let plans = plan_corpus(&spec);
+        prop_assert_eq!(plans.len(), spec.total_apps());
+
+        // Unique packages.
+        let unique: std::collections::HashSet<&String> =
+            plans.iter().map(|p| &p.package).collect();
+        prop_assert_eq!(unique.len(), plans.len());
+
+        for p in &plans {
+            // Special classes imply consistent structure.
+            if p.remote_fetch {
+                prop_assert!(p.dex.is_some(), "{} remote without dex", p.package);
+                prop_assert!(!p.google_ads, "{} remote+ads", p.package);
+            }
+            if let Some((family, triggers)) = &p.malware {
+                prop_assert!(!triggers.is_empty());
+                if family.is_native() {
+                    prop_assert!(p.native.map(|d| d.reachable).unwrap_or(false));
+                } else {
+                    prop_assert!(p.dex.map(|d| d.reachable).unwrap_or(false));
+                }
+            }
+            if p.packer {
+                prop_assert!(!p.anti_decompilation);
+                prop_assert!(!p.lexical && !p.reflection, "packers measured separately");
+            }
+            if p.anti_repackaging {
+                prop_assert!(!p.has_write_external, "rewrite-fail apps must need rewriting");
+            }
+            // Privacy plans only on reachable dex apps.
+            if !p.privacy.is_empty() {
+                prop_assert!(p.dex.map(|d| d.reachable).unwrap_or(false));
+                for leak in &p.privacy {
+                    prop_assert!(leak.type_index < 18);
+                    if !leak.exclusively_third_party {
+                        prop_assert!(
+                            p.dex.map(|d| d.entity != EntityPlan::ThirdParty).unwrap_or(false),
+                            "{}: own leak needs an own-entity load",
+                            p.package
+                        );
+                    }
+                }
+            }
+            // Metadata sanity.
+            prop_assert!(p.metadata.category < 42);
+            prop_assert!(p.metadata.avg_rating >= 1.0 && p.metadata.avg_rating <= 5.0);
+        }
+
+        // Rare populations are represented at every scale.
+        prop_assert!(plans.iter().any(|p| p.packer));
+        prop_assert!(plans.iter().any(|p| p.remote_fetch));
+        prop_assert!(plans.iter().any(|p| p.malware.is_some()));
+        prop_assert!(plans.iter().any(|p| p.vuln.is_some()));
+        prop_assert!(plans.iter().any(|p| p.anti_decompilation));
+    }
+
+    #[test]
+    fn plan_deterministic_in_spec(seed in any::<u64>()) {
+        let spec = CorpusSpec { scale: 0.003, seed };
+        prop_assert_eq!(plan_corpus(&spec), plan_corpus(&spec));
+    }
+}
+
+#[test]
+fn plan_supports_above_paper_scale() {
+    // Planning (not building) at 1.5× the paper must work: unique names,
+    // correct total.
+    let spec = CorpusSpec {
+        scale: 1.5,
+        seed: 1,
+    };
+    let plans = plan_corpus(&spec);
+    assert_eq!(plans.len(), spec.total_apps());
+    let unique: std::collections::HashSet<&String> = plans.iter().map(|p| &p.package).collect();
+    assert_eq!(unique.len(), plans.len());
+}

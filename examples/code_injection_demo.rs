@@ -1,0 +1,166 @@
+//! Code-injection attack and mitigation: the Table IX vulnerability
+//! played out end to end, then defeated with verified loading
+//! (the Grab'n-Run-style `SecureDexClassLoader` extension).
+//!
+//! ```text
+//! cargo run --release --example code_injection_demo
+//! ```
+
+use dydroid_avm::{Device, DeviceConfig, Owner, Value};
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::checksum::crc32;
+use dydroid_dex::{AccessFlags, Apk, Component, DexFile, FieldRef, Manifest, MethodRef};
+
+const STAGED: &str = "/mnt/sdcard/plugins/analytics.jar";
+
+fn plugin(marker: i64, label: &str) -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class("com.plugin.Analytics", "java.lang.Object");
+    c.default_constructor();
+    let m = c.method("run", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.const_int(1, marker);
+    m.sput(1, FieldRef::new("world.G", "ran", "I"));
+    m.const_str(2, label);
+    m.sput(2, FieldRef::new("world.G", "who", "Ljava/lang/String;"));
+    m.ret_void();
+    b.build()
+}
+
+/// Builds the victim app; `pinned_crc` switches between the vanilla
+/// loader (None) and the verified loader (Some(crc)).
+fn victim(pkg: &str, pinned_crc: Option<u32>) -> Apk {
+    let mut manifest = Manifest::new(pkg);
+    manifest.min_sdk = 14;
+    manifest.add_permission(dydroid_dex::manifest::WRITE_EXTERNAL_STORAGE);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(12);
+    m.const_str(1, STAGED);
+    m.const_str(2, format!("/data/data/{pkg}/odex"));
+    match pinned_crc {
+        None => {
+            m.new_instance(3, "dalvik.system.DexClassLoader");
+            m.invoke_direct(
+                MethodRef::new(
+                    "dalvik.system.DexClassLoader",
+                    "<init>",
+                    "(Ljava/lang/String;Ljava/lang/String;)V",
+                ),
+                vec![3, 1, 2],
+            );
+        }
+        Some(crc) => {
+            m.const_int(4, i64::from(crc));
+            m.new_instance(3, "dalvik.system.SecureDexClassLoader");
+            m.invoke_direct(
+                MethodRef::new(
+                    "dalvik.system.SecureDexClassLoader",
+                    "<init>",
+                    "(Ljava/lang/String;Ljava/lang/String;I)V",
+                ),
+                vec![3, 1, 2, 4],
+            );
+        }
+    }
+    let loader_cls = if pinned_crc.is_some() {
+        "dalvik.system.SecureDexClassLoader"
+    } else {
+        "dalvik.system.DexClassLoader"
+    };
+    m.const_str(5, "com.plugin.Analytics");
+    m.invoke_virtual(
+        MethodRef::new(
+            loader_cls,
+            "loadClass",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        ),
+        vec![3, 5],
+    );
+    m.move_result(6);
+    m.invoke_virtual(
+        MethodRef::new("java.lang.Class", "newInstance", "()Ljava/lang/Object;"),
+        vec![6],
+    );
+    m.move_result(7);
+    m.invoke_virtual(
+        MethodRef::new("com.plugin.Analytics", "run", "()V"),
+        vec![7],
+    );
+    m.ret_void();
+    Apk::build(manifest, b.build())
+}
+
+fn who_ran(proc: &dydroid_avm::Process) -> String {
+    proc.statics
+        .get(&("world.G".to_string(), "who".to_string()))
+        .and_then(|v| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "<nobody>".to_string())
+}
+
+fn main() {
+    let genuine = plugin(1, "the developer's plugin");
+    let attacker = plugin(666, "THE ATTACKER'S PAYLOAD");
+
+    println!("=== Act 1: the vulnerable app (paper Table IX) ===");
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, genuine.to_bytes(), Owner::app("com.victim"));
+    device
+        .install(&victim("com.victim", None).to_bytes())
+        .unwrap();
+    let proc = device.launch("com.victim").unwrap();
+    println!("benign run:    executed {}", who_ran(&proc));
+
+    // The attack: any app can write to pre-4.4 external storage.
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, attacker.to_bytes(), Owner::app("com.evil"));
+    device
+        .install(&victim("com.victim", None).to_bytes())
+        .unwrap();
+    let proc = device.launch("com.victim").unwrap();
+    println!(
+        "after attack:  executed {}  <-- code injection!",
+        who_ran(&proc)
+    );
+
+    println!("\n=== Act 2: the mitigation (Falsina et al., cited by the paper) ===");
+    let pinned = crc32(&genuine.to_bytes());
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, genuine.to_bytes(), Owner::app("com.victim"));
+    device
+        .install(&victim("com.hardened", Some(pinned)).to_bytes())
+        .unwrap();
+    let proc = device.launch("com.hardened").unwrap();
+    println!("benign run:    executed {}", who_ran(&proc));
+
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .fs
+        .write_system(STAGED, attacker.to_bytes(), Owner::app("com.evil"));
+    device
+        .install(&victim("com.hardened", Some(pinned)).to_bytes())
+        .unwrap();
+    let proc = device.launch("com.hardened").unwrap();
+    println!(
+        "after attack:  executed {}  (app refused the tampered file{})",
+        who_ran(&proc),
+        if proc.alive {
+            ""
+        } else {
+            ", SecurityException"
+        }
+    );
+}

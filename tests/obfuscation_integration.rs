@@ -1,0 +1,192 @@
+//! Obfuscation-analysis integration (Table VI, Figure 3): the detectors'
+//! verdicts must agree with the corpus ground truth.
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec};
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        scale: 0.015,
+        seed: 321,
+    }
+}
+
+#[test]
+fn trap_entry_constants_agree_across_crates() {
+    // The workload plants the trap; the decompiler trips over it. The
+    // two crates must agree on the path.
+    assert_eq!(
+        dydroid_workload::factory::ANTI_REPACK_TRAP,
+        dydroid_analysis::decompiler::ANTI_REPACK_TRAP
+    );
+}
+
+#[test]
+fn dex_encryption_detection_is_exact() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+
+    for (app, record) in corpus.iter().zip(report.records()) {
+        assert_eq!(
+            record.obfuscation.dex_encryption, app.plan.packer,
+            "dex-encryption verdict wrong for {}",
+            app.plan.package
+        );
+    }
+}
+
+#[test]
+fn anti_decompilation_detection_is_exact() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    for (app, record) in corpus.iter().zip(report.records()) {
+        assert_eq!(
+            record.obfuscation.anti_decompilation, app.plan.anti_decompilation,
+            "anti-decompilation verdict wrong for {}",
+            app.plan.package
+        );
+    }
+}
+
+#[test]
+fn reflection_detection_is_exact_for_unpacked_apps() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    for (app, record) in corpus.iter().zip(report.records()) {
+        if app.plan.packer || app.plan.anti_decompilation {
+            continue; // their original code is hidden, by design
+        }
+        assert_eq!(
+            record.obfuscation.reflection, app.plan.reflection,
+            "reflection verdict wrong for {}",
+            app.plan.package
+        );
+    }
+}
+
+#[test]
+fn lexical_detection_high_accuracy() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (app, record) in corpus.iter().zip(report.records()) {
+        if app.plan.packer || app.plan.anti_decompilation {
+            continue;
+        }
+        total += 1;
+        if record.obfuscation.lexical == app.plan.lexical {
+            correct += 1;
+        }
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(accuracy > 0.97, "lexical accuracy {accuracy}");
+}
+
+#[test]
+fn table6_rates_match_paper_shape() {
+    let corpus = generate(&CorpusSpec {
+        scale: 0.05,
+        seed: 99,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    let t6 = report.table6();
+    let rate = |n: usize| n as f64 / t6.total as f64;
+
+    // Paper: lexical 89.95%, reflection 52.20%, native 23.40%,
+    // DEX encryption 0.24%, anti-decompilation 0.09%.
+    assert!(
+        (rate(t6.lexical) - 0.8995).abs() < 0.03,
+        "lexical {}",
+        rate(t6.lexical)
+    );
+    assert!(
+        (rate(t6.reflection) - 0.522).abs() < 0.04,
+        "reflection {}",
+        rate(t6.reflection)
+    );
+    assert!(
+        (rate(t6.native) - 0.234).abs() < 0.05,
+        "native {}",
+        rate(t6.native)
+    );
+    assert!(rate(t6.dex_encryption) < 0.01);
+    assert!(rate(t6.anti_decompilation) < 0.005);
+    // Strict ordering, as in the paper.
+    assert!(t6.lexical > t6.reflection);
+    assert!(t6.reflection > t6.native);
+    assert!(t6.native > t6.dex_encryption);
+    assert!(t6.dex_encryption > t6.anti_decompilation);
+}
+
+#[test]
+fn figure3_dominated_by_entertainment_tools_shopping() {
+    let corpus = generate(&CorpusSpec {
+        scale: 0.1,
+        seed: 42,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    let fig = report.figure3();
+    assert!(!fig.counts.is_empty());
+    let total: usize = fig.counts.iter().map(|(_, n)| n).sum();
+    let big3: usize = fig
+        .counts
+        .iter()
+        .filter(|(c, _)| c == "Entertainment" || c == "Tools" || c == "Shopping")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(
+        big3 * 2 > total,
+        "Entertainment/Tools/Shopping must dominate: {big3}/{total}"
+    );
+}
+
+#[test]
+fn packed_apps_survive_dynamic_analysis_and_are_intercepted() {
+    // The packer hides the code statically, but DyDroid still intercepts
+    // the decrypted payload at load time — the paper's core argument for
+    // hybrid analysis.
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let packed: Vec<_> = corpus.iter().filter(|a| a.plan.packer).collect();
+    assert!(!packed.is_empty());
+    for app in packed {
+        let record = pipeline.analyze_app(app);
+        assert!(record.obfuscation.dex_encryption);
+        assert!(
+            record.dex_intercepted(),
+            "decrypted payload of {} must be intercepted",
+            app.plan.package
+        );
+        // The intercepted dex parses: DyDroid recovered the hidden code.
+        let dynamic = record.dynamic.expect("packer apps run");
+        assert!(!dynamic.dex_events.is_empty());
+    }
+}

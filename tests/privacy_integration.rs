@@ -1,0 +1,158 @@
+//! Privacy-tracking integration (Table X): the FlowDroid-like analysis
+//! over intercepted code recovers exactly the leaks the corpus planted,
+//! with correct entity attribution.
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_analysis::taint::PrivacyType;
+use dydroid_workload::{generate, CorpusSpec};
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        scale: 0.02,
+        seed: 4242,
+    }
+}
+
+#[test]
+fn planted_leaks_are_recovered_exactly() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+
+    for (app, record) in corpus.iter().zip(report.records()) {
+        if !record.dex_intercepted() {
+            continue;
+        }
+        let d = record.dynamic.as_ref().unwrap();
+        let detected: std::collections::BTreeSet<PrivacyType> =
+            d.leak_types.iter().map(|l| l.privacy).collect();
+
+        // Expected: the plan's types plus Settings for ad apps.
+        let mut expected = std::collections::BTreeSet::new();
+        if app.plan.google_ads {
+            expected.insert(PrivacyType::Settings);
+        }
+        for leak in &app.plan.privacy {
+            expected.insert(PrivacyType::ALL[leak.type_index]);
+        }
+        if app.plan.remote_fetch {
+            expected.insert(PrivacyType::Settings); // baidu payload is ad-like
+        }
+        if app.plan.malware.is_some() || app.plan.packer || app.plan.vuln.is_some() {
+            continue; // special payloads have their own content
+        }
+        assert_eq!(detected, expected, "leak mismatch for {}", app.plan.package);
+    }
+}
+
+#[test]
+fn ad_library_reads_only_settings() {
+    // The paper: "15,012 apps loading the Google Ads library, which has
+    // strict control of user privacy and only reads the device settings".
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let app = corpus
+        .iter()
+        .find(|a| a.plan.google_ads && a.plan.privacy.is_empty())
+        .expect("pure ad app");
+    let record = pipeline.analyze_app(app);
+    let d = record.dynamic.unwrap();
+    assert_eq!(d.leak_types.len(), 1);
+    assert_eq!(d.leak_types[0].privacy, PrivacyType::Settings);
+    assert!(d.leak_types[0].exclusively_third_party);
+}
+
+#[test]
+fn exclusivity_attribution_matches_plan() {
+    let corpus = generate(&spec());
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let mut checked_third = 0;
+    let mut checked_own = 0;
+    for app in &corpus {
+        if app.plan.privacy.is_empty() || app.plan.malware.is_some() || app.plan.packer {
+            continue;
+        }
+        let record = pipeline.analyze_app(app);
+        if !record.dex_intercepted() {
+            continue;
+        }
+        let Some(d) = record.dynamic else { continue };
+        for plan_leak in &app.plan.privacy {
+            let privacy = PrivacyType::ALL[plan_leak.type_index];
+            let Some(found) = d.leak_types.iter().find(|l| l.privacy == privacy) else {
+                continue;
+            };
+            assert_eq!(
+                found.exclusively_third_party, plan_leak.exclusively_third_party,
+                "exclusivity wrong for {:?} in {}",
+                privacy, app.plan.package
+            );
+            if plan_leak.exclusively_third_party {
+                checked_third += 1;
+            } else {
+                checked_own += 1;
+            }
+        }
+    }
+    assert!(checked_third > 0, "no third-party leaks verified");
+    assert!(checked_own > 0, "no own-code leaks verified");
+}
+
+#[test]
+fn table10_shape_matches_paper() {
+    let corpus = generate(&CorpusSpec {
+        scale: 0.05,
+        seed: 4242,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    let t10 = report.table10();
+
+    let row = |p: PrivacyType| t10.rows.iter().find(|r| r.privacy == p).unwrap();
+
+    // Settings dominates (paper: 16,482 of 16,768 ≈ 98%).
+    let settings = row(PrivacyType::Settings);
+    assert!(
+        settings.apps as f64 / t10.population as f64 > 0.9,
+        "settings {} of {}",
+        settings.apps,
+        t10.population
+    );
+    // IMEI is the most-leaked identifier after Settings (paper: 581).
+    let imei = row(PrivacyType::Imei);
+    for p in [
+        PrivacyType::Imsi,
+        PrivacyType::Iccid,
+        PrivacyType::PhoneNumber,
+    ] {
+        assert!(imei.apps >= row(p).apps);
+    }
+    // Location and installed packages are leaked by many apps
+    // (paper: 254 and 235), more than the rare CP types.
+    assert!(row(PrivacyType::Location).apps > row(PrivacyType::Contact).apps);
+    assert!(row(PrivacyType::InstalledPackages).apps > row(PrivacyType::Sms).apps);
+    // Exclusivity: overwhelmingly third-party everywhere it applies.
+    for r in &t10.rows {
+        if r.apps >= 5 {
+            assert!(
+                r.exclusively_third_party as f64 / r.apps as f64 > 0.7,
+                "{:?}: {}/{}",
+                r.privacy,
+                r.exclusively_third_party,
+                r.apps
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Provenance integration: the download tracker must separate remotely
+//! fetched code from locally packed code across real app executions,
+//! including the paper's Google-Bouncer evasion experiment.
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec};
+
+#[test]
+fn corpus_remote_fetchers_and_only_them_are_flagged() {
+    let corpus = generate(&CorpusSpec {
+        scale: 0.01,
+        seed: 31,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus);
+    let t5 = report.table5();
+
+    let truth: std::collections::HashSet<&str> = corpus
+        .iter()
+        .filter(|a| a.plan.remote_fetch)
+        .map(|a| a.plan.package.as_str())
+        .collect();
+    let detected: std::collections::HashSet<&str> =
+        t5.apps.iter().map(|(p, _)| p.as_str()).collect();
+
+    assert_eq!(detected, truth, "remote-fetch detection must be exact");
+    for (_, urls) in &t5.apps {
+        assert!(urls.iter().all(|u| u.contains("mobads.baidu.com")));
+    }
+}
+
+#[test]
+fn locally_packed_dcl_is_never_flagged_remote() {
+    let corpus = generate(&CorpusSpec {
+        scale: 0.01,
+        seed: 31,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..Default::default()
+    });
+    // Pick ad-SDK apps: they stage payloads from local assets.
+    let mut checked = 0;
+    for app in corpus.iter().filter(|a| a.plan.google_ads).take(5) {
+        let record = pipeline.analyze_app(app);
+        if let Some(d) = record.dynamic {
+            if !d.dex_events.is_empty() {
+                assert!(
+                    d.remote_loads.is_empty(),
+                    "{} stages from assets, not the network",
+                    app.plan.package
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no ad apps exercised");
+}
+
+/// The paper's Bouncer experiment: App_L passes review while the malware
+/// server is disabled, then fetches and runs App_M after release.
+#[test]
+fn bouncer_evasion_scenario() {
+    use dydroid_avm::{Device, DeviceConfig};
+    use dydroid_monkey::{Monkey, MonkeyConfig};
+
+    let corpus = generate(&CorpusSpec {
+        scale: 0.01,
+        seed: 31,
+    });
+    let app = corpus
+        .iter()
+        .find(|a| a.plan.remote_fetch)
+        .expect("remote-fetch app in corpus");
+
+    // Review phase: the server withholds the payload. The app still gets
+    // published (it merely fails its fetch; no remote code observed).
+    let mut device = Device::new(DeviceConfig::default());
+    for (domain, path, bytes) in &app.remote_resources {
+        device.net.host(domain, path, bytes.clone());
+        device.net.set_enabled(domain, false);
+    }
+    device.install(&app.apk).unwrap();
+    let mut monkey = Monkey::new(MonkeyConfig::default());
+    let _ = monkey.exercise(&mut device, app.package()).unwrap();
+    assert_eq!(
+        device.log.dcl_events().count(),
+        0,
+        "no dynamic load observable during review"
+    );
+
+    // After release: the server enables delivery and the code runs.
+    let mut device = Device::new(DeviceConfig::default());
+    for (domain, path, bytes) in &app.remote_resources {
+        device.net.host(domain, path, bytes.clone());
+    }
+    device.install(&app.apk).unwrap();
+    let mut monkey = Monkey::new(MonkeyConfig::default());
+    let outcome = monkey.exercise(&mut device, app.package()).unwrap();
+    assert!(outcome.is_clean());
+    let events: Vec<_> = device.log.dcl_events().collect();
+    assert_eq!(events.len(), 1);
+    assert!(device.hooks.flow.is_remote(&events[0].path));
+}
+
+/// File → File edges: a rename after download must keep remote provenance.
+#[test]
+fn rename_preserves_remote_provenance_in_app() {
+    use dydroid_avm::{Device, DeviceConfig};
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{AccessFlags, Apk, Component, Manifest, MethodRef};
+
+    let pkg = "com.test.renamer";
+    let tmp = format!("/data/data/{pkg}/cache/tmp.bin");
+    let final_path = format!("/data/data/{pkg}/files/real.dex");
+
+    let mut manifest = Manifest::new(pkg);
+    manifest
+        .components
+        .push(Component::main_activity(format!("{pkg}.Main")));
+    let mut b = DexBuilder::new();
+    let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+    let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+    m.registers(12);
+    dydroid_workload::emit::download_to_file(m, "http://cdn.test.com/p.bin", &tmp);
+    // Rename the staging file to its final location.
+    m.new_instance(7, "java.io.File");
+    m.const_str(8, &tmp);
+    m.invoke_direct(
+        MethodRef::new("java.io.File", "<init>", "(Ljava/lang/String;)V"),
+        vec![7, 8],
+    );
+    m.const_str(9, &final_path);
+    m.invoke_virtual(
+        MethodRef::new("java.io.File", "renameTo", "(Ljava/lang/String;)Z"),
+        vec![7, 9],
+    );
+    dydroid_workload::emit::dex_load_and_run(
+        m,
+        &final_path,
+        &format!("/data/data/{pkg}/odex"),
+        "com.p.P",
+        "run",
+    );
+    m.ret_void();
+
+    let payload = dydroid_workload::emit::trivial_payload("com.p.P");
+    let apk = Apk::build(manifest, b.build());
+
+    let mut device = Device::new(DeviceConfig::default());
+    device
+        .net
+        .host("cdn.test.com", "/p.bin", payload.to_bytes());
+    device.install(&apk.to_bytes()).unwrap();
+    let proc = device.launch(pkg).unwrap();
+    assert!(proc.alive, "log: {:?}", device.log.events());
+    assert!(
+        device.hooks.flow.is_remote(&final_path),
+        "provenance must survive the rename"
+    );
+    assert_eq!(
+        device.hooks.flow.url_sources(&final_path),
+        vec!["http://cdn.test.com/p.bin".to_string()]
+    );
+}
