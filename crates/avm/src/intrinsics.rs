@@ -71,6 +71,18 @@ pub fn dispatch(vm: &mut Vm<'_>, mref: &MethodRef, args: &[Value]) -> Result<Val
     let name = mref.name.as_str();
     match (class, name) {
         // ------------------------------------------------------------------
+        // Fault-injection hook: a framework method that panics the harness
+        // itself (not the app). The fault-tolerance suite plants calls to
+        // it to prove the sweep isolates analyzer panics; nothing in the
+        // regular corpus references this class.
+        // ------------------------------------------------------------------
+        ("android.os.HarnessFault", "panic") => {
+            panic!(
+                "injected harness fault: HarnessFault.panic() in {}",
+                vm.package()
+            );
+        }
+        // ------------------------------------------------------------------
         // Dynamic code loading: the instrumented constructors and JNI APIs.
         // ------------------------------------------------------------------
         ("dalvik.system.DexClassLoader", "<init>") => {

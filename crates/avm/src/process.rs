@@ -32,6 +32,10 @@ pub struct Process {
     pub alive: bool,
     /// Permissions copied from the manifest.
     pub permissions: HashSet<String>,
+    /// Cumulative interpreter instructions retired across every entry
+    /// point run in this process. The Monkey's per-app deadline watchdog
+    /// reads this as a deterministic virtual clock.
+    pub instructions_retired: u64,
 }
 
 impl Process {
@@ -45,6 +49,7 @@ impl Process {
             native_libs: Vec::new(),
             alive: true,
             permissions: manifest.permissions.iter().cloned().collect(),
+            instructions_retired: 0,
         }
     }
 
@@ -74,6 +79,25 @@ impl Process {
         None
     }
 
+    /// Executes one entry point with an explicit fuel budget, accounting
+    /// retired instructions into [`Process::instructions_retired`].
+    fn execute_entry(
+        &mut self,
+        device: &mut Device,
+        class: &str,
+        method: &str,
+        fuel: u64,
+    ) -> Result<Value, Exec> {
+        let (outcome, used) = {
+            let mut vm = Vm::new(device, self);
+            vm.fuel = fuel;
+            let outcome = vm.call_entry(class, method);
+            (outcome, fuel - vm.fuel)
+        };
+        self.instructions_retired += used;
+        outcome
+    }
+
     /// Runs a public entry point (`class.method()`), recording a crash
     /// event and marking the process dead on failure. Returns whether the
     /// entry completed normally.
@@ -81,10 +105,7 @@ impl Process {
         if !self.alive {
             return false;
         }
-        let outcome = {
-            let mut vm = Vm::new(device, self);
-            vm.call_entry(class, method)
-        };
+        let outcome = self.execute_entry(device, class, method, crate::interp::DEFAULT_FUEL);
         match outcome {
             Ok(_) => true,
             Err(exec) => {
@@ -108,13 +129,24 @@ impl Process {
         class: &str,
         method: &str,
     ) -> Result<(), Exec> {
+        self.run_callback_with_fuel(device, class, method, crate::interp::DEFAULT_FUEL)
+    }
+
+    /// Like [`Process::run_callback`], with an explicit fuel budget. The
+    /// Monkey's deadline watchdog caps the budget by the remaining
+    /// deadline so no single callback can overshoot it by more than one
+    /// scheduling slice.
+    pub fn run_callback_with_fuel(
+        &mut self,
+        device: &mut Device,
+        class: &str,
+        method: &str,
+        fuel: u64,
+    ) -> Result<(), Exec> {
         if !self.alive {
             return Err(Exec::Throw("process dead".to_string()));
         }
-        let outcome = {
-            let mut vm = Vm::new(device, self);
-            vm.call_entry(class, method)
-        };
+        let outcome = self.execute_entry(device, class, method, fuel);
         match outcome {
             Ok(_) => Ok(()),
             Err(exec) => {

@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
+//!        [--journal PATH] [--resume]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
 //! paper (2–10; Table I is the download-tracker rule set, which is an
 //! input to the system, exercised by unit tests rather than regenerated).
+//!
+//! `--journal PATH` streams every completed app record to a JSON-lines
+//! checkpoint file; with `--resume` a previous journal's apps are skipped
+//! instead of re-analysed (without it the journal is reset first), so a
+//! killed sweep picks up where it left off.
 
 use std::io::Write as _;
 
-use dydroid::{Pipeline, PipelineConfig};
+use dydroid::{Journal, Pipeline, PipelineConfig};
 use dydroid_workload::{generate, CorpusSpec};
 
 struct Args {
@@ -20,6 +26,8 @@ struct Args {
     figure3: bool,
     all: bool,
     json: Option<String>,
+    journal: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +38,8 @@ fn parse_args() -> Args {
         figure3: false,
         all: false,
         json: None,
+        journal: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,10 +76,10 @@ fn parse_args() -> Args {
             }
             "--all" => args.all = true,
             "--json" => args.json = it.next().or_else(|| usage("--json needs a path")),
+            "--journal" => args.journal = it.next().or_else(|| usage("--journal needs a path")),
+            "--resume" => args.resume = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]"
-                );
+                println!("usage: {USAGE}");
                 std::process::exit(0);
             }
             other => usage(&format!("unknown argument {other:?}")),
@@ -78,14 +88,18 @@ fn parse_args() -> Args {
     if args.tables.is_empty() && !args.figure3 {
         args.all = true;
     }
+    if args.resume && args.journal.is_none() {
+        usage("--resume needs --journal PATH");
+    }
     args
 }
 
+const USAGE: &str = "tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] \
+[--json PATH] [--journal PATH] [--resume]";
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!(
-        "usage: tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]"
-    );
+    eprintln!("usage: {USAGE}");
     std::process::exit(2);
 }
 
@@ -108,7 +122,18 @@ fn main() {
         ..Default::default()
     });
     let t1 = std::time::Instant::now();
-    let report = pipeline.run(&corpus);
+    let report = match &args.journal {
+        Some(path) => {
+            let journal = Journal::new(path);
+            if !args.resume {
+                journal.reset().expect("reset journal");
+            }
+            pipeline
+                .run_resumable(&corpus, &journal)
+                .expect("journalled sweep")
+        }
+        None => pipeline.run(&corpus),
+    };
     eprintln!("pipeline: analysed in {:.1?}", t1.elapsed());
 
     if args.all {

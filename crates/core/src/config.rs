@@ -20,6 +20,16 @@ pub struct PipelineConfig {
     /// Whether to run the Table VIII environment re-runs for apps whose
     /// loaded code was flagged as malware.
     pub environment_reruns: bool,
+    /// Per-app wall-clock/virtual deadline in milliseconds; `0` disables
+    /// the watchdog. Charged as the max of real elapsed time and a
+    /// deterministic virtual clock (1k interpreter instructions per ms).
+    pub app_deadline_ms: u64,
+    /// How many times a harness failure (panic or deadline) is retried
+    /// before the app is recorded as an analysis failure.
+    pub max_retries: u32,
+    /// Whether retries reseed the Monkey so a different event sequence
+    /// gets a chance to avoid the failing path.
+    pub retry_reseed: bool,
 }
 
 impl Default for PipelineConfig {
@@ -31,6 +41,9 @@ impl Default for PipelineConfig {
             suppress_file_ops: true,
             malware_threshold: dydroid_analysis::acfg::DEFAULT_THRESHOLD,
             environment_reruns: true,
+            app_deadline_ms: 30_000,
+            max_retries: 1,
+            retry_reseed: true,
         }
     }
 }
@@ -39,6 +52,15 @@ impl PipelineConfig {
     /// The baseline device configuration (instrumented, defaults).
     pub fn device_config(&self) -> DeviceConfig {
         DeviceConfig::default()
+    }
+
+    /// The deadline as an `Option` (`0` = disabled).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        if self.app_deadline_ms == 0 {
+            None
+        } else {
+            Some(self.app_deadline_ms)
+        }
     }
 
     /// Resolved worker count.
@@ -64,6 +86,18 @@ mod tests {
         assert!(c.environment_reruns);
         assert!(c.effective_workers() >= 1);
         assert!((c.malware_threshold - 0.9).abs() < 1e-9);
+        assert_eq!(c.deadline_ms(), Some(30_000));
+        assert_eq!(c.max_retries, 1);
+        assert!(c.retry_reseed);
+    }
+
+    #[test]
+    fn zero_deadline_disables_watchdog() {
+        let c = PipelineConfig {
+            app_deadline_ms: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.deadline_ms(), None);
     }
 
     #[test]

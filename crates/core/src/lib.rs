@@ -43,8 +43,10 @@ pub mod config;
 pub mod environment;
 pub mod pipeline;
 pub mod report;
+pub mod sweep;
 pub mod training;
 
 pub use config::PipelineConfig;
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
 pub use report::MeasurementReport;
+pub use sweep::Journal;

@@ -1,6 +1,13 @@
 //! The per-app analysis pipeline and the parallel corpus sweep.
+//!
+//! The sweep is fault-tolerant: every app is analysed under
+//! [`std::panic::catch_unwind`] with a per-app deadline and bounded
+//! retries, so one hostile app can neither kill a worker nor stall the
+//! corpus. See `DESIGN.md`, "Failure taxonomy & fault tolerance".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use crossbeam::channel;
 use dydroid_analysis::decompiler::{self, DecompileError};
@@ -19,7 +26,7 @@ use crate::report::MeasurementReport;
 use crate::training;
 
 /// Outcome category of the dynamic phase (Table II rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DynamicStatus {
     /// Repackaging (permission injection) crashed.
     RewriteFailure,
@@ -29,6 +36,14 @@ pub enum DynamicStatus {
     Crash,
     /// Successfully exercised.
     Exercised,
+    /// The *harness* failed on this app — an analyzer panic, a blown
+    /// per-app deadline, or a resource-sanity rejection — as opposed to
+    /// the app itself failing. Table II reports these separately so
+    /// harness bugs cannot masquerade as app behaviour.
+    AnalysisFailure {
+        /// Human-readable cause (panic message, deadline report, ...).
+        reason: String,
+    },
 }
 
 /// A malware detection hit on one intercepted file.
@@ -78,6 +93,31 @@ pub struct DynamicOutcome {
     pub leak_types: Vec<LeakSummary>,
 }
 
+impl DynamicOutcome {
+    /// An outcome with the given status and no observations.
+    pub fn empty(status: DynamicStatus) -> Self {
+        DynamicOutcome {
+            status,
+            dex_events: Vec::new(),
+            native_events: Vec::new(),
+            remote_loads: Vec::new(),
+            dex_entity: EntityMix::default(),
+            native_entity: EntityMix::default(),
+            vulns: Vec::new(),
+            malware: Vec::new(),
+            leaks: Vec::new(),
+            leak_types: Vec::new(),
+        }
+    }
+
+    /// A harness-failure outcome with the given reason.
+    pub fn failure(reason: impl Into<String>) -> Self {
+        DynamicOutcome::empty(DynamicStatus::AnalysisFailure {
+            reason: reason.into(),
+        })
+    }
+}
+
 /// The full analysis record of one app.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AppRecord {
@@ -113,6 +153,14 @@ impl AppRecord {
             .map(|d| d.status == DynamicStatus::Exercised && !d.native_events.is_empty())
             .unwrap_or(false)
     }
+
+    /// The harness-failure reason, if the harness (not the app) failed.
+    pub fn harness_failure(&self) -> Option<&str> {
+        match self.dynamic.as_ref().map(|d| &d.status) {
+            Some(DynamicStatus::AnalysisFailure { reason }) => Some(reason),
+            _ => None,
+        }
+    }
 }
 
 /// The DyDroid pipeline.
@@ -135,44 +183,191 @@ impl Pipeline {
     }
 
     /// Runs the full measurement over a corpus, in parallel, and returns
-    /// the aggregated report.
+    /// the aggregated report. Per-app failures (panics, deadlines) are
+    /// isolated into [`DynamicStatus::AnalysisFailure`] records; the
+    /// sweep itself always completes.
     pub fn run(&self, corpus: &[SyntheticApp]) -> MeasurementReport {
-        let workers = self.config.effective_workers().min(corpus.len().max(1));
+        let indices: Vec<usize> = (0..corpus.len()).collect();
+        let results = self.sweep(corpus, &indices, None);
+        self.assemble(corpus, results, HashMap::new())
+    }
+
+    /// Like [`Pipeline::run`], but streams every completed record to
+    /// `journal` and skips corpus packages the journal already holds, so
+    /// a killed sweep resumes where it left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from reading or appending the journal file;
+    /// analysis failures never surface as errors.
+    pub fn run_resumable(
+        &self,
+        corpus: &[SyntheticApp],
+        journal: &crate::sweep::Journal,
+    ) -> std::io::Result<MeasurementReport> {
+        let existing = journal.recover()?;
+        let mut done: HashMap<String, AppRecord> = HashMap::new();
+        for record in existing {
+            done.entry(record.package.clone()).or_insert(record);
+        }
+        let pending: Vec<usize> = (0..corpus.len())
+            .filter(|&i| !done.contains_key(corpus[i].package()))
+            .collect();
+        let writer = Mutex::new(journal.writer()?);
+        let results = self.sweep(corpus, &pending, Some(&writer));
+        Ok(self.assemble(corpus, results, done))
+    }
+
+    /// The parallel worker loop. Each worker pulls indices off the task
+    /// queue and analyses the app inside a panic-isolation boundary; the
+    /// collector journals and gathers records. All channel endpoints shut
+    /// down gracefully: a dropped receiver stops the senders instead of
+    /// panicking them.
+    fn sweep(
+        &self,
+        corpus: &[SyntheticApp],
+        indices: &[usize],
+        journal: Option<&Mutex<crate::sweep::JournalWriter>>,
+    ) -> Vec<(usize, AppRecord)> {
+        let workers = self.config.effective_workers().min(indices.len().max(1));
         let (task_tx, task_rx) = channel::unbounded::<usize>();
         let (result_tx, result_rx) = channel::unbounded::<(usize, AppRecord)>();
-        for i in 0..corpus.len() {
-            task_tx.send(i).expect("queue open");
+        for &i in indices {
+            if task_tx.send(i).is_err() {
+                break;
+            }
         }
         drop(task_tx);
 
-        crossbeam::thread::scope(|scope| {
+        // Collected outside the scope so partial results survive even a
+        // worker-thread panic that escapes the per-app isolation.
+        let collected: Mutex<Vec<(usize, AppRecord)>> = Mutex::new(Vec::new());
+        let scope_result = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let result_tx = result_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(i) = task_rx.recv() {
-                        let record = self.analyze_app(&corpus[i]);
-                        result_tx.send((i, record)).expect("results open");
+                        let record = self.analyze_app_resilient(&corpus[i]);
+                        if result_tx.send((i, record)).is_err() {
+                            // Receiver gone: the sweep is shutting down.
+                            break;
+                        }
                     }
                 });
             }
             drop(result_tx);
-            let mut records: Vec<Option<AppRecord>> = (0..corpus.len()).map(|_| None).collect();
             while let Ok((i, record)) = result_rx.recv() {
-                records[i] = Some(record);
+                if let Some(writer) = journal {
+                    let append = writer
+                        .lock()
+                        .map_err(|p| std::io::Error::other(p.to_string()))
+                        .and_then(|mut w| w.append(&record));
+                    if let Err(e) = append {
+                        eprintln!("dydroid: journal append failed for {}: {e}", record.package);
+                    }
+                }
+                if let Ok(mut records) = collected.lock() {
+                    records.push((i, record));
+                }
             }
-            let records: Vec<AppRecord> = records
-                .into_iter()
-                .map(|r| r.expect("all analyzed"))
-                .collect();
-            let env = if self.config.environment_reruns {
-                crate::environment::rerun_all(self, corpus, &records)
+        });
+        if scope_result.is_err() {
+            eprintln!("dydroid: a sweep thread panicked outside per-app isolation; continuing with partial results");
+        }
+        collected.into_inner().unwrap_or_default()
+    }
+
+    /// Merges sweep results (and any journaled records) into a complete,
+    /// corpus-ordered report; apps lost to a non-isolated thread death
+    /// are recorded as harness failures rather than dropped.
+    fn assemble(
+        &self,
+        corpus: &[SyntheticApp],
+        results: Vec<(usize, AppRecord)>,
+        mut done: HashMap<String, AppRecord>,
+    ) -> MeasurementReport {
+        for (i, record) in results {
+            if let Some(app) = corpus.get(i) {
+                done.insert(app.package().to_string(), record);
+            }
+        }
+        let records: Vec<AppRecord> = corpus
+            .iter()
+            .map(|app| {
+                done.remove(app.package()).unwrap_or_else(|| {
+                    self.failure_record(app, "record lost: sweep worker died".to_string())
+                })
+            })
+            .collect();
+        let env = if self.config.environment_reruns {
+            crate::environment::rerun_all(self, corpus, &records)
+        } else {
+            crate::environment::EnvCounts::default()
+        };
+        MeasurementReport::new(records, env)
+    }
+
+    /// Analyses one app inside the fault-isolation boundary: panics are
+    /// caught, harness failures are retried up to `max_retries` times
+    /// (reseeding the Monkey when `retry_reseed` is set), and the final
+    /// failure is recorded as [`DynamicStatus::AnalysisFailure`].
+    pub fn analyze_app_resilient(&self, app: &SyntheticApp) -> AppRecord {
+        let attempts = self.config.max_retries.saturating_add(1);
+        let mut last: Option<AppRecord> = None;
+        for attempt in 0..attempts {
+            let salt = if attempt == 0 || !self.config.retry_reseed {
+                0
             } else {
-                crate::environment::EnvCounts::default()
+                RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
             };
-            MeasurementReport::new(records, env)
-        })
-        .expect("worker panicked")
+            match catch_unwind(AssertUnwindSafe(|| self.analyze_app_salted(app, salt))) {
+                Ok(record) => {
+                    if record.harness_failure().is_none() {
+                        return record;
+                    }
+                    last = Some(record);
+                }
+                Err(payload) => {
+                    let reason = format!(
+                        "panic in attempt {}/{}: {}",
+                        attempt + 1,
+                        attempts,
+                        panic_message(payload.as_ref())
+                    );
+                    last = Some(self.failure_record(app, reason));
+                }
+            }
+        }
+        last.unwrap_or_else(|| self.failure_record(app, "no analysis attempt ran".to_string()))
+    }
+
+    /// Builds the record for an app whose dynamic analysis was lost to a
+    /// panic or deadline. The cheap static phases are re-run (under their
+    /// own panic guard) so the app still lands in the right Table II
+    /// population.
+    fn failure_record(&self, app: &SyntheticApp, reason: String) -> AppRecord {
+        let static_phases =
+            catch_unwind(AssertUnwindSafe(|| match decompiler::decompile(&app.apk) {
+                Ok(d) => (true, DclFilter::scan(&d.classes), obfuscation::analyze(&d)),
+                Err(DecompileError::AntiDecompilation { .. }) => (
+                    false,
+                    DclFilter::default(),
+                    ObfuscationReport::anti_decompilation_only(),
+                ),
+                Err(_) => (false, DclFilter::default(), ObfuscationReport::default()),
+            }));
+        let (decompiled, filter, obfuscation) =
+            static_phases.unwrap_or((false, DclFilter::default(), ObfuscationReport::default()));
+        AppRecord {
+            package: app.plan.package.clone(),
+            metadata: app.plan.metadata.clone(),
+            decompiled,
+            filter,
+            obfuscation,
+            rewritten: false,
+            dynamic: Some(DynamicOutcome::failure(reason)),
+        }
     }
 
     /// Analyses a standalone APK (e.g. a file from disk) with optional
@@ -198,8 +393,15 @@ impl Pipeline {
         Ok(self.analyze_app(&app))
     }
 
-    /// Analyses a single app end to end.
+    /// Analyses a single app end to end (no panic isolation or retries;
+    /// see [`Pipeline::analyze_app_resilient`] for the sweep wrapper).
     pub fn analyze_app(&self, app: &SyntheticApp) -> AppRecord {
+        self.analyze_app_salted(app, 0)
+    }
+
+    /// [`Pipeline::analyze_app`] with a Monkey seed salt (non-zero on
+    /// reseeded retries).
+    fn analyze_app_salted(&self, app: &SyntheticApp, seed_salt: u64) -> AppRecord {
         let metadata = app.plan.metadata.clone();
         let package = app.plan.package.clone();
 
@@ -230,6 +432,26 @@ impl Pipeline {
             }
         };
 
+        // Resource-sanity guard: a manifest blown up far past anything a
+        // store-distributed app declares would stall the rewriter and the
+        // Monkey's callback enumeration. Reject it as a harness-level
+        // failure instead of burning the deadline on it.
+        let manifest_entries =
+            decompiled.manifest.permissions.len() + decompiled.manifest.components.len();
+        if manifest_entries > MANIFEST_SANITY_LIMIT {
+            return AppRecord {
+                package,
+                metadata,
+                decompiled: true,
+                filter: DclFilter::default(),
+                obfuscation: ObfuscationReport::default(),
+                rewritten: false,
+                dynamic: Some(DynamicOutcome::failure(format!(
+                    "manifest exceeds sanity bounds: {manifest_entries} entries > {MANIFEST_SANITY_LIMIT}"
+                ))),
+            };
+        }
+
         // Phase 2: static filter + obfuscation analysis.
         let filter = DclFilter::scan(&decompiled.classes);
         let obfuscation = obfuscation::analyze(&decompiled);
@@ -257,18 +479,7 @@ impl Pipeline {
                         filter,
                         obfuscation,
                         rewritten: false,
-                        dynamic: Some(DynamicOutcome {
-                            status: DynamicStatus::RewriteFailure,
-                            dex_events: Vec::new(),
-                            native_events: Vec::new(),
-                            remote_loads: Vec::new(),
-                            dex_entity: EntityMix::default(),
-                            native_entity: EntityMix::default(),
-                            vulns: Vec::new(),
-                            malware: Vec::new(),
-                            leaks: Vec::new(),
-                            leak_types: Vec::new(),
-                        }),
+                        dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
                     };
                 }
             }
@@ -278,7 +489,13 @@ impl Pipeline {
 
         // Phase 4: dynamic analysis.
         let mut device = self.prepare_device(app, self.config.device_config());
-        let dynamic = self.exercise_and_analyze(app, &mut device, &install_bytes, &decompiled);
+        let dynamic = self.exercise_and_analyze_salted(
+            app,
+            &mut device,
+            &install_bytes,
+            &decompiled,
+            seed_salt,
+        );
 
         AppRecord {
             package,
@@ -315,39 +532,49 @@ impl Pipeline {
         install_bytes: &[u8],
         decompiled: &decompiler::DecompiledApp,
     ) -> DynamicOutcome {
+        self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0)
+    }
+
+    /// [`Pipeline::exercise_and_analyze`] with a Monkey seed salt.
+    fn exercise_and_analyze_salted(
+        &self,
+        app: &SyntheticApp,
+        device: &mut Device,
+        install_bytes: &[u8],
+        decompiled: &decompiler::DecompiledApp,
+        seed_salt: u64,
+    ) -> DynamicOutcome {
         let package = &app.plan.package;
-        let empty = |status: DynamicStatus| DynamicOutcome {
-            status,
-            dex_events: Vec::new(),
-            native_events: Vec::new(),
-            remote_loads: Vec::new(),
-            dex_entity: EntityMix::default(),
-            native_entity: EntityMix::default(),
-            vulns: Vec::new(),
-            malware: Vec::new(),
-            leaks: Vec::new(),
-            leak_types: Vec::new(),
-        };
 
         if device.install(install_bytes).is_err() {
-            return empty(DynamicStatus::RewriteFailure);
+            return DynamicOutcome::empty(DynamicStatus::RewriteFailure);
         }
 
         let mut monkey = Monkey::new(MonkeyConfig {
-            seed: self.config.monkey_seed ^ hash_pkg(package),
+            seed: self.config.monkey_seed ^ hash_pkg(package) ^ seed_salt,
             event_budget: self.config.monkey_events,
+            deadline_ms: self.config.deadline_ms(),
         });
         let status = match monkey.exercise(device, package) {
             Ok(ExerciseOutcome::NoActivity) => DynamicStatus::NoActivity,
             Ok(ExerciseOutcome::Exercised { crashed: true, .. }) => DynamicStatus::Crash,
             Ok(ExerciseOutcome::Exercised { crashed: false, .. }) => DynamicStatus::Exercised,
+            Ok(ExerciseOutcome::DeadlineExceeded {
+                events_fired,
+                elapsed_ms,
+            }) => {
+                return DynamicOutcome::failure(format!(
+                    "deadline exceeded after {events_fired} events: {elapsed_ms} ms charged, budget {} ms",
+                    self.config.app_deadline_ms
+                ));
+            }
             Err(_) => DynamicStatus::RewriteFailure,
         };
         if matches!(
             status,
             DynamicStatus::NoActivity | DynamicStatus::RewriteFailure
         ) {
-            return empty(status);
+            return DynamicOutcome::empty(status);
         }
         // Crashed apps count as failures in Table II (see
         // `AppRecord::dex_intercepted`), but the instrumentation still
@@ -399,14 +626,15 @@ impl Pipeline {
                 .map(|e| e.path.as_str()),
         );
 
-        // Static analysis of intercepted binaries.
-        let mut seen_paths: HashMap<&str, ()> = HashMap::new();
+        // Static analysis of intercepted binaries (each path analysed
+        // once, however many times it was loaded).
+        let mut seen_paths: HashSet<&str> = HashSet::new();
         let mut malware = Vec::new();
         let mut leaks: Vec<Leak> = Vec::new();
         let mut leak_classes: HashMap<PrivacyType, Vec<String>> = HashMap::new();
         let taint = TaintAnalysis::new();
         for binary in device.hooks.intercepted() {
-            if seen_paths.insert(binary.path.as_str(), ()).is_some() {
+            if !seen_paths.insert(binary.path.as_str()) {
                 continue;
             }
             match CodeBinary::from_bytes(&binary.data) {
@@ -434,7 +662,6 @@ impl Pipeline {
                 Err(_) => continue,
             }
         }
-        let _ = seen_paths;
         let mut leak_types: Vec<LeakSummary> = leak_classes
             .into_iter()
             .map(|(privacy, classes)| LeakSummary {
@@ -459,6 +686,24 @@ impl Pipeline {
             leaks,
             leak_types,
         }
+    }
+}
+
+/// Manifest-entry ceiling of the resource-sanity guard (permissions +
+/// components); real store apps sit orders of magnitude below this.
+pub const MANIFEST_SANITY_LIMIT: usize = 4_096;
+
+/// Mixed into the Monkey seed on reseeded retry attempts.
+const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 

@@ -30,6 +30,10 @@ pub struct Table2Column {
     pub no_activity: usize,
     /// Runtime crashes.
     pub crash: usize,
+    /// Harness failures: analyzer panics, blown per-app deadlines, and
+    /// resource-sanity rejections — failures of the measurement, not of
+    /// the app.
+    pub harness_failure: usize,
     /// Successfully exercised apps.
     pub exercised: usize,
     /// Apps whose DCL executed and was intercepted.
@@ -37,9 +41,9 @@ pub struct Table2Column {
 }
 
 impl Table2Column {
-    /// Total failures (rewriting + no activity + crash).
+    /// Total failures (rewriting + no activity + crash + harness).
     pub fn failure(&self) -> usize {
-        self.rewriting_failure + self.no_activity + self.crash
+        self.rewriting_failure + self.no_activity + self.crash + self.harness_failure
     }
 }
 
@@ -222,10 +226,11 @@ impl MeasurementReport {
                 ..Default::default()
             };
             for r in records {
-                match r.dynamic.as_ref().map(|d| d.status) {
+                match r.dynamic.as_ref().map(|d| &d.status) {
                     Some(DynamicStatus::RewriteFailure) => col.rewriting_failure += 1,
                     Some(DynamicStatus::NoActivity) => col.no_activity += 1,
                     Some(DynamicStatus::Crash) => col.crash += 1,
+                    Some(DynamicStatus::AnalysisFailure { .. }) => col.harness_failure += 1,
                     Some(DynamicStatus::Exercised) => {
                         col.exercised += 1;
                         let intercepted = if dex {
@@ -553,6 +558,14 @@ impl Table2 {
             self.dex.crash,
             self.dex.total,
             self.native.crash,
+            self.native.total,
+        );
+        row(
+            &mut s,
+            "  Harness failure",
+            self.dex.harness_failure,
+            self.dex.total,
+            self.native.harness_failure,
             self.native.total,
         );
         row(
@@ -885,6 +898,9 @@ mod tests {
             DynamicStatus::Crash,
             DynamicStatus::NoActivity,
             DynamicStatus::RewriteFailure,
+            DynamicStatus::AnalysisFailure {
+                reason: "worker panicked: boom".to_string(),
+            },
         ]
         .into_iter()
         .enumerate()
@@ -903,15 +919,17 @@ mod tests {
 
         let report = MeasurementReport::new(records, EnvCounts::default());
         let t2 = report.table2();
-        assert_eq!(t2.dex.total, 5);
+        assert_eq!(t2.dex.total, 6);
         assert_eq!(t2.dex.crash, 1);
         assert_eq!(t2.dex.no_activity, 1);
         assert_eq!(t2.dex.rewriting_failure, 1);
-        assert_eq!(t2.dex.failure(), 3);
+        assert_eq!(t2.dex.harness_failure, 1);
+        assert_eq!(t2.dex.failure(), 4);
         assert_eq!(t2.dex.exercised, 2);
         assert_eq!(t2.dex.intercepted, 1);
         // No native population at all.
         assert_eq!(t2.native.total, 0);
+        assert!(report.table2().render().contains("Harness failure"));
     }
 
     #[test]
@@ -1065,9 +1083,10 @@ mod tests {
             rewriting_failure: 3,
             no_activity: 2,
             crash: 5,
-            exercised: 90,
+            harness_failure: 4,
+            exercised: 86,
             intercepted: 40,
         };
-        assert_eq!(col.failure(), 10);
+        assert_eq!(col.failure(), 14);
     }
 }

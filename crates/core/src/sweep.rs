@@ -1,0 +1,255 @@
+//! Checkpointed corpus sweeps: a JSON-lines journal of completed
+//! [`AppRecord`]s.
+//!
+//! Every record finished by [`crate::Pipeline::run_resumable`] is
+//! appended (and flushed) as one JSON line, so a sweep killed mid-flight
+//! loses at most the apps that were in progress. On restart the journal
+//! is loaded, already-analysed packages are skipped, and the sweep
+//! continues. A torn final line — the usual artefact of a hard kill — is
+//! tolerated: loading stops at the first unparsable line.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::pipeline::AppRecord;
+
+/// A JSON-lines checkpoint file of completed app records.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal at `path`; the file need not exist yet.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Journal { path: path.into() }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads every complete record. A missing file is an empty journal;
+    /// a torn or corrupt line ends the load (everything before it is
+    /// kept), since a hard kill can only tear the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than the file not existing.
+    pub fn load(&self) -> io::Result<Vec<AppRecord>> {
+        Ok(self.load_split()?.0)
+    }
+
+    /// Like [`Journal::load`], but when the file ends in a torn or
+    /// corrupt tail, rewrites it to exactly the valid records first —
+    /// so appends after a resume extend a clean file rather than hiding
+    /// behind the garbage line.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from reading or rewriting the file.
+    pub fn recover(&self) -> io::Result<Vec<AppRecord>> {
+        let (records, clean) = self.load_split()?;
+        if !clean {
+            let mut text = String::new();
+            for record in &records {
+                text.push_str(
+                    &serde_json::to_string(record)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+                );
+                text.push('\n');
+            }
+            std::fs::write(&self.path, text)?;
+        }
+        Ok(records)
+    }
+
+    /// Valid leading records plus whether the whole file parsed.
+    fn load_split(&self) -> io::Result<(Vec<AppRecord>, bool)> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), true)),
+            Err(e) => return Err(e),
+        };
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<AppRecord>(line) {
+                Ok(record) => records.push(record),
+                Err(_) => return Ok((records, false)),
+            }
+        }
+        Ok((records, true))
+    }
+
+    /// Opens the journal for appending, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying open error.
+    pub fn writer(&self) -> io::Result<JournalWriter> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Deletes the journal file if present (start a sweep from scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than the file not existing.
+    pub fn reset(&self) -> io::Result<()> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An append handle to a [`Journal`]. One record per line, flushed per
+/// append so a kill loses at most in-flight apps.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Appends one record as a JSON line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error.
+    pub fn append(&mut self, record: &AppRecord) -> io::Result<()> {
+        let mut line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{DynamicOutcome, DynamicStatus};
+
+    fn record(pkg: &str) -> AppRecord {
+        AppRecord {
+            package: pkg.to_string(),
+            metadata: dydroid_workload::AppMetadata {
+                category: 1,
+                downloads: 10,
+                rating_count: 2,
+                avg_rating: 4.5,
+            },
+            decompiled: true,
+            filter: Default::default(),
+            obfuscation: Default::default(),
+            rewritten: false,
+            dynamic: Some(DynamicOutcome::empty(DynamicStatus::Exercised)),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dydroid_journal_{tag}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let journal = Journal::new(temp_path("roundtrip"));
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.a")).unwrap();
+            w.append(&record("com.b")).unwrap();
+        }
+        let loaded = journal.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].package, "com.a");
+        assert_eq!(loaded[1].package, "com.b");
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let journal = Journal::new(temp_path("missing"));
+        journal.reset().unwrap();
+        assert!(journal.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = temp_path("torn");
+        let journal = Journal::new(&path);
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.whole")).unwrap();
+        }
+        // Simulate a kill mid-append: garbage half-line at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"package\":\"com.torn\",\"metad");
+        std::fs::write(&path, text).unwrap();
+        let loaded = journal.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].package, "com.whole");
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_the_torn_tail() {
+        let path = temp_path("recover");
+        let journal = Journal::new(&path);
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.whole")).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"package\":\"com.torn\",\"metad");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(journal.recover().unwrap().len(), 1);
+        // Appends after recovery land on a clean file, so a full reload
+        // sees both records.
+        journal
+            .writer()
+            .unwrap()
+            .append(&record("com.later"))
+            .unwrap();
+        let loaded = journal.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].package, "com.later");
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn append_after_load_continues_file() {
+        let journal = Journal::new(temp_path("resume"));
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.first")).unwrap();
+        }
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.second")).unwrap();
+        }
+        assert_eq!(journal.load().unwrap().len(), 2);
+        journal.reset().unwrap();
+    }
+}

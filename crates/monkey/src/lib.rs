@@ -34,9 +34,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use dydroid_avm::{AvmError, Device, Process};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Conversion rate of the deterministic virtual clock: one virtual
+/// millisecond per thousand retired interpreter instructions. The
+/// deadline watchdog charges an app the *maximum* of virtual and wall
+/// time, so runaway interpretation trips the deadline deterministically
+/// regardless of host speed, while genuine wall-clock stalls are still
+/// caught.
+pub const VIRTUAL_INSTRUCTIONS_PER_MS: u64 = 1_000;
 
 /// Fuzzer configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +55,10 @@ pub struct MonkeyConfig {
     pub seed: u64,
     /// Maximum number of UI events to inject after launch.
     pub event_budget: usize,
+    /// Per-app deadline in milliseconds (`None` = unlimited). Charged as
+    /// `max(wall-clock ms, instructions_retired / 1000)`; the remaining
+    /// budget also caps each callback's interpreter fuel.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for MonkeyConfig {
@@ -52,6 +66,7 @@ impl Default for MonkeyConfig {
         MonkeyConfig {
             seed: 0x00D1_D501,
             event_budget: 50,
+            deadline_ms: None,
         }
     }
 }
@@ -68,6 +83,14 @@ pub enum ExerciseOutcome {
         events_fired: usize,
         /// Whether the app crashed at any point.
         crashed: bool,
+    },
+    /// The per-app deadline elapsed before the event budget did. The app
+    /// is abandoned; the pipeline classifies this as a harness failure.
+    DeadlineExceeded {
+        /// UI events fired before the watchdog tripped.
+        events_fired: usize,
+        /// Milliseconds charged (max of wall-clock and virtual time).
+        elapsed_ms: u64,
     },
 }
 
@@ -107,6 +130,7 @@ impl Monkey {
         device: &mut Device,
         pkg: &str,
     ) -> Result<ExerciseOutcome, AvmError> {
+        let started = Instant::now();
         let manifest = device
             .app(pkg)
             .ok_or_else(|| AvmError::NotInstalled(pkg.to_string()))?
@@ -117,6 +141,17 @@ impl Monkey {
         }
 
         let mut process = device.launch(pkg)?;
+        if let Some(deadline_ms) = self.config.deadline_ms {
+            // Launch itself may have burned the whole budget (e.g. a
+            // spinning Application/onCreate).
+            let elapsed = charged_ms(&process, started);
+            if elapsed >= deadline_ms {
+                return Ok(ExerciseOutcome::DeadlineExceeded {
+                    events_fired: 0,
+                    elapsed_ms: elapsed,
+                });
+            }
+        }
         if !process.alive {
             return Ok(ExerciseOutcome::Exercised {
                 events_fired: 0,
@@ -124,11 +159,19 @@ impl Monkey {
             });
         }
 
-        let events_fired = self.fuzz(device, &mut process, &manifest);
-        Ok(ExerciseOutcome::Exercised {
-            events_fired,
-            crashed: !process.alive,
-        })
+        match self.fuzz_watched(device, &mut process, &manifest, started) {
+            FuzzResult::Completed(events_fired) => Ok(ExerciseOutcome::Exercised {
+                events_fired,
+                crashed: !process.alive,
+            }),
+            FuzzResult::DeadlineExceeded {
+                events_fired,
+                elapsed_ms,
+            } => Ok(ExerciseOutcome::DeadlineExceeded {
+                events_fired,
+                elapsed_ms,
+            }),
+        }
     }
 
     /// Fires random callbacks on an already-launched process. Returns the
@@ -140,10 +183,46 @@ impl Monkey {
         process: &mut Process,
         manifest: &dydroid_dex::Manifest,
     ) -> usize {
+        match self.fuzz_watched(device, process, manifest, Instant::now()) {
+            FuzzResult::Completed(fired)
+            | FuzzResult::DeadlineExceeded {
+                events_fired: fired,
+                ..
+            } => fired,
+        }
+    }
+
+    /// The fuzz loop with the deadline watchdog. Between events the
+    /// watchdog charges `max(wall ms, virtual ms)` against the deadline;
+    /// each callback's interpreter fuel is additionally capped by the
+    /// remaining virtual budget so one callback cannot overshoot by more
+    /// than a slice. Fuel exhaustion under a deadline-derived cap counts
+    /// as a deadline hit, not an app crash.
+    fn fuzz_watched(
+        &mut self,
+        device: &mut Device,
+        process: &mut Process,
+        manifest: &dydroid_dex::Manifest,
+        started: Instant,
+    ) -> FuzzResult {
+        let default_fuel = dydroid_avm::interp::DEFAULT_FUEL;
         let mut fired = 0;
         for _ in 0..self.config.event_budget {
             if !process.alive {
                 break;
+            }
+            let mut fuel = default_fuel;
+            if let Some(deadline_ms) = self.config.deadline_ms {
+                let elapsed = charged_ms(process, started);
+                if elapsed >= deadline_ms {
+                    return FuzzResult::DeadlineExceeded {
+                        events_fired: fired,
+                        elapsed_ms: elapsed,
+                    };
+                }
+                let remaining_instr =
+                    (deadline_ms - elapsed).saturating_mul(VIRTUAL_INSTRUCTIONS_PER_MS);
+                fuel = default_fuel.min(remaining_instr.max(1));
             }
             // Callbacks can change as DCL loads new classes: re-enumerate.
             let callbacks = process.ui_callbacks(manifest);
@@ -153,15 +232,42 @@ impl Monkey {
             let (class, method) = callbacks[self.rng.gen_range(0..callbacks.len())].clone();
             fired += 1;
             // run_callback records crashes in the device log itself.
-            let _ = process.run_callback(device, &class, &method);
+            let result = process.run_callback_with_fuel(device, &class, &method, fuel);
+            if matches!(result, Err(dydroid_avm::Exec::OutOfFuel)) && fuel < default_fuel {
+                // The callback only ran out because the deadline capped
+                // its fuel: a watchdog kill, not an app bug.
+                return FuzzResult::DeadlineExceeded {
+                    events_fired: fired,
+                    elapsed_ms: charged_ms(process, started)
+                        .max(self.config.deadline_ms.unwrap_or(0)),
+                };
+            }
         }
-        fired
+        FuzzResult::Completed(fired)
     }
 
     /// The seed in use (for reporting).
     pub fn seed(&self) -> u64 {
         self.config.seed
     }
+}
+
+/// Internal result of the watched fuzz loop.
+enum FuzzResult {
+    Completed(usize),
+    DeadlineExceeded {
+        events_fired: usize,
+        elapsed_ms: u64,
+    },
+}
+
+/// Milliseconds charged against the deadline: the max of real elapsed
+/// time and the deterministic virtual clock derived from retired
+/// interpreter instructions.
+fn charged_ms(process: &Process, started: Instant) -> u64 {
+    let wall = started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+    let virtual_ms = process.instructions_retired / VIRTUAL_INSTRUCTIONS_PER_MS;
+    wall.max(virtual_ms)
 }
 
 #[cfg(test)]
@@ -209,6 +315,7 @@ mod tests {
         let mut monkey = Monkey::new(MonkeyConfig {
             seed: 1,
             event_budget: 10,
+            deadline_ms: None,
         });
         let outcome = monkey.exercise(&mut device, "com.a").unwrap();
         assert_eq!(
@@ -255,6 +362,7 @@ mod tests {
         let mut monkey = Monkey::new(MonkeyConfig {
             seed: 2,
             event_budget: 100,
+            deadline_ms: None,
         });
         let outcome = monkey.exercise(&mut device, "com.cb").unwrap();
         assert_eq!(
@@ -299,12 +407,66 @@ mod tests {
             let mut monkey = Monkey::new(MonkeyConfig {
                 seed,
                 event_budget: 20,
+                deadline_ms: None,
             });
             monkey.exercise(&mut device, "com.det").unwrap();
             format!("{:?}", device.log.events())
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    fn install_spinner(device: &mut Device, pkg: &str, iterations: i64) {
+        install(device, pkg, |b| {
+            let c = b.class(format!("{pkg}.Main"), "android.app.Activity");
+            c.method("onCreate", "()V", AccessFlags::PUBLIC).ret_void();
+            let m = c.method("onSpin", "()V", AccessFlags::PUBLIC);
+            m.registers(4);
+            m.const_int(0, 0);
+            m.const_int(1, iterations);
+            m.const_int(2, 1);
+            let head = m.label();
+            m.bind(head);
+            m.binop(dydroid_dex::BinOp::Add, 0, 0, 2);
+            m.if_cmp(dydroid_dex::CmpKind::Lt, 0, 1, head);
+            m.ret_void();
+        });
+    }
+
+    #[test]
+    fn deadline_trips_on_spinning_app() {
+        let mut device = Device::new(DeviceConfig::default());
+        // Each onSpin retires ~120k instructions = 120 virtual ms.
+        install_spinner(&mut device, "com.spin", 60_000);
+        let mut monkey = Monkey::new(MonkeyConfig {
+            seed: 5,
+            event_budget: 50,
+            deadline_ms: Some(200),
+        });
+        let outcome = monkey.exercise(&mut device, "com.spin").unwrap();
+        assert!(
+            matches!(outcome, ExerciseOutcome::DeadlineExceeded { .. }),
+            "expected deadline, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_leaves_apps_alone() {
+        let mut device = Device::new(DeviceConfig::default());
+        install_spinner(&mut device, "com.ok", 50);
+        let mut monkey = Monkey::new(MonkeyConfig {
+            seed: 5,
+            event_budget: 10,
+            deadline_ms: Some(30_000),
+        });
+        let outcome = monkey.exercise(&mut device, "com.ok").unwrap();
+        assert_eq!(
+            outcome,
+            ExerciseOutcome::Exercised {
+                events_fired: 10,
+                crashed: false
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Deterministic fault injection for sweep-robustness testing.
+//!
+//! [`inject`] corrupts a seeded fraction of a generated corpus with the
+//! failure modes a crawler meets in the wild — truncated downloads,
+//! bit-rotted archives, resource-bomb manifests, apps that crash the
+//! *analyzer* rather than themselves, apps that spin until a watchdog
+//! fires, and payload hosts that have gone dark. Each fault kind maps to
+//! a known classification in the pipeline, so a harness test can assert
+//! that *exactly* the injected apps fail, and fail the right way.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::{AccessFlags, Apk, Component, Manifest, MethodRef};
+
+use crate::corpus::SyntheticApp;
+
+/// The failure modes the harness must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The APK bytes are cut short (interrupted download).
+    TruncatedApk,
+    /// One payload byte is flipped so an entry CRC no longer matches.
+    BadChecksum,
+    /// The manifest declares thousands of junk permissions (resource
+    /// bomb); the pipeline's sanity guard must reject it.
+    OversizedManifest,
+    /// The app calls the `android.os.HarnessFault.panic()` intrinsic,
+    /// panicking the analyzer thread itself.
+    PanicTrigger,
+    /// Every UI callback burns ~120 virtual ms in a counted loop, so the
+    /// app can only be stopped by the per-app deadline.
+    SpinLoop,
+    /// The app's hosted payloads are gone (dead CDN); downloads 404.
+    DeadRemoteHost,
+}
+
+impl FaultKind {
+    /// Every kind, in the round-robin order [`inject`] assigns them.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TruncatedApk,
+        FaultKind::BadChecksum,
+        FaultKind::OversizedManifest,
+        FaultKind::PanicTrigger,
+        FaultKind::SpinLoop,
+        FaultKind::DeadRemoteHost,
+    ];
+
+    /// Whether the pipeline should classify this fault as a harness
+    /// failure ([`DynamicStatus::AnalysisFailure`]).
+    ///
+    /// [`DynamicStatus::AnalysisFailure`]: https://docs.rs/dydroid
+    pub fn expects_harness_failure(self) -> bool {
+        matches!(
+            self,
+            FaultKind::OversizedManifest | FaultKind::PanicTrigger | FaultKind::SpinLoop
+        )
+    }
+
+    /// Whether the fault breaks the archive before decompilation, so the
+    /// record shows `decompiled: false` with no anti-decompilation flag.
+    pub fn expects_decompile_failure(self) -> bool {
+        matches!(self, FaultKind::TruncatedApk | FaultKind::BadChecksum)
+    }
+}
+
+/// One injected fault: which app, which failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Package of the corrupted app.
+    pub package: String,
+    /// The injected failure mode.
+    pub kind: FaultKind,
+}
+
+/// How much of the corpus to corrupt, and with which RNG seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Per-app corruption probability in `[0, 1]`.
+    pub rate: f64,
+    /// RNG seed; same seed + same corpus = same faults.
+    pub seed: u64,
+}
+
+/// Corrupts a seeded `rate` fraction of `corpus` in place and returns the
+/// ground-truth fault plan. Selection is an independent Bernoulli draw
+/// per app; kinds are assigned round-robin so every kind appears once at
+/// least six apps are selected.
+pub fn inject(corpus: &mut [SyntheticApp], spec: &FaultSpec) -> Vec<FaultPlan> {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut plans = Vec::new();
+    for app in corpus.iter_mut() {
+        if !rng.gen_bool(spec.rate) {
+            continue;
+        }
+        let kind = FaultKind::ALL[plans.len() % FaultKind::ALL.len()];
+        apply(app, kind);
+        plans.push(FaultPlan {
+            package: app.package().to_string(),
+            kind,
+        });
+    }
+    plans
+}
+
+/// Applies one fault to one app in place.
+pub fn apply(app: &mut SyntheticApp, kind: FaultKind) {
+    match kind {
+        FaultKind::TruncatedApk => {
+            let cut = app.apk.len() / 3;
+            app.apk.truncate(cut);
+        }
+        FaultKind::BadChecksum => {
+            // The archive ends with the last entry's payload bytes (or,
+            // for an empty payload, its length field); flipping the final
+            // byte therefore always breaks parsing — either the entry CRC
+            // or the blob framing.
+            if let Some(last) = app.apk.last_mut() {
+                *last ^= 0xA5;
+            }
+        }
+        FaultKind::OversizedManifest => {
+            if let Ok(mut apk) = Apk::parse(&app.apk) {
+                if let Ok(mut manifest) = apk.manifest() {
+                    for i in 0..OVERSIZED_MANIFEST_PERMISSIONS {
+                        manifest.add_permission(format!("fault.permission.JUNK_{i}"));
+                    }
+                    apk.set_manifest(&manifest);
+                    app.apk = apk.to_bytes();
+                }
+            }
+        }
+        FaultKind::PanicTrigger => {
+            app.apk = build_panic_apk(app.package());
+            app.remote_resources.clear();
+            app.device_files.clear();
+        }
+        FaultKind::SpinLoop => {
+            app.apk = build_spin_apk(app.package());
+            app.remote_resources.clear();
+            app.device_files.clear();
+        }
+        FaultKind::DeadRemoteHost => {
+            app.remote_resources.clear();
+        }
+    }
+}
+
+/// Junk permissions injected by [`FaultKind::OversizedManifest`]; far
+/// past any sane manifest, so the pipeline's sanity limit must trip.
+pub const OVERSIZED_MANIFEST_PERMISSIONS: usize = 8_192;
+
+/// Spin iterations per UI callback of a [`FaultKind::SpinLoop`] app:
+/// ~2 instructions per iteration ≈ 120 virtual ms per event, well under
+/// one callback's fuel but fatal to any sub-second per-app deadline.
+pub const SPIN_ITERATIONS: i64 = 60_000;
+
+/// An APK whose `onCreate` trips the `android.os.HarnessFault.panic()`
+/// intrinsic, panicking the analyzing thread.
+pub fn build_panic_apk(pkg: &str) -> Vec<u8> {
+    let main_cls = format!("{pkg}.FaultMain");
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(&main_cls, "android.app.Activity");
+        c.default_constructor();
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.invoke_static(
+            MethodRef::new("android.os.HarnessFault", "panic", "()V"),
+            vec![],
+        );
+        m.ret_void();
+        dcl_stub(c);
+    }
+    fault_apk(pkg, &main_cls, b)
+}
+
+/// An APK whose only UI callback burns [`SPIN_ITERATIONS`] loop
+/// iterations of virtual time, forcing the per-app deadline to fire.
+pub fn build_spin_apk(pkg: &str) -> Vec<u8> {
+    let main_cls = format!("{pkg}.FaultMain");
+    let mut b = DexBuilder::new();
+    {
+        let c = b.class(&main_cls, "android.app.Activity");
+        c.default_constructor();
+        let m = c.method("onCreate", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.ret_void();
+        let m = c.method("onSpin", "()V", AccessFlags::PUBLIC);
+        m.registers(4);
+        m.const_int(0, 0);
+        m.const_int(1, SPIN_ITERATIONS);
+        m.const_int(2, 1);
+        let head = m.label();
+        m.bind(head);
+        m.binop(dydroid_dex::BinOp::Add, 0, 0, 2);
+        m.if_cmp(dydroid_dex::CmpKind::Lt, 0, 1, head);
+        m.ret_void();
+        dcl_stub(c);
+    }
+    fault_apk(pkg, &main_cls, b)
+}
+
+/// An unreachable method referencing `DexClassLoader`, so the static DCL
+/// filter routes the fault app into the dynamic phase where its trap is.
+fn dcl_stub(c: &mut dydroid_dex::builder::ClassBuilder) {
+    let m = c.method("loadNever", "()V", AccessFlags::PRIVATE);
+    m.registers(4);
+    m.new_instance(1, "dalvik.system.DexClassLoader");
+    m.ret_void();
+}
+
+fn fault_apk(pkg: &str, main_cls: &str, b: DexBuilder) -> Vec<u8> {
+    let mut manifest = Manifest::new(pkg.to_string());
+    manifest.add_permission("android.permission.INTERNET");
+    manifest.add_permission("android.permission.WRITE_EXTERNAL_STORAGE");
+    manifest.components.push(Component::main_activity(main_cls));
+    Apk::build(manifest, b.build()).to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate;
+    use crate::spec::CorpusSpec;
+    use dydroid_analysis::DclFilter;
+
+    fn small_corpus() -> Vec<SyntheticApp> {
+        generate(&CorpusSpec {
+            scale: 0.002,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_covers_all_kinds() {
+        let spec = FaultSpec {
+            rate: 0.2,
+            seed: 21,
+        };
+        let mut a = small_corpus();
+        let mut b = small_corpus();
+        let plans_a = inject(&mut a, &spec);
+        let plans_b = inject(&mut b, &spec);
+        assert_eq!(plans_a, plans_b);
+        assert!(
+            plans_a.len() >= FaultKind::ALL.len(),
+            "need at least {} faults for full kind coverage, got {}",
+            FaultKind::ALL.len(),
+            plans_a.len()
+        );
+        for kind in FaultKind::ALL {
+            assert!(
+                plans_a.iter().any(|p| p.kind == kind),
+                "kind {kind:?} never assigned"
+            );
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.apk, y.apk);
+        }
+    }
+
+    #[test]
+    fn truncated_and_checksum_apks_do_not_parse() {
+        let mut corpus = small_corpus();
+        for (app, kind) in corpus
+            .iter_mut()
+            .zip([FaultKind::TruncatedApk, FaultKind::BadChecksum])
+        {
+            apply(app, kind);
+            assert!(
+                Apk::parse(&app.apk).is_err(),
+                "{kind:?} left a parsable apk"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_manifest_still_parses_but_is_huge() {
+        let mut corpus = small_corpus();
+        let app = &mut corpus[0];
+        apply(app, FaultKind::OversizedManifest);
+        let manifest = Apk::parse(&app.apk).unwrap().manifest().unwrap();
+        assert!(manifest.permissions.len() > OVERSIZED_MANIFEST_PERMISSIONS);
+    }
+
+    #[test]
+    fn fault_apks_pass_the_dcl_filter() {
+        for apk in [
+            build_panic_apk("com.fault.a"),
+            build_spin_apk("com.fault.b"),
+        ] {
+            let classes = Apk::parse(&apk).unwrap().classes().unwrap();
+            assert!(DclFilter::scan(&classes).has_dex_dcl);
+        }
+    }
+
+    #[test]
+    fn dead_remote_host_only_clears_fixtures() {
+        let mut corpus = small_corpus();
+        let idx = corpus
+            .iter()
+            .position(|a| !a.remote_resources.is_empty())
+            .expect("corpus has remote-fetch apps");
+        let before = corpus[idx].apk.clone();
+        apply(&mut corpus[idx], FaultKind::DeadRemoteHost);
+        assert!(corpus[idx].remote_resources.is_empty());
+        assert_eq!(corpus[idx].apk, before, "apk bytes must be untouched");
+    }
+}

@@ -32,6 +32,7 @@ pub mod categories;
 pub mod corpus;
 pub mod emit;
 pub mod factory;
+pub mod faults;
 pub mod names;
 pub mod packer;
 pub mod plan;
@@ -39,6 +40,7 @@ pub mod popularity;
 pub mod spec;
 
 pub use corpus::{generate, SyntheticApp};
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use plan::{AppPlan, DclPlan, EntityPlan, MalwareFamily, TriggerSet, VulnPlan};
 pub use popularity::AppMetadata;
 pub use spec::CorpusSpec;

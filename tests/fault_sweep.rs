@@ -1,0 +1,225 @@
+//! End-to-end robustness: a 200-app sweep at a 20% fault rate must
+//! complete, classify exactly the injected apps as failures, render every
+//! table, and resume from the journal after a simulated mid-sweep kill
+//! without re-analyzing completed apps.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+use dydroid::{Journal, Pipeline, PipelineConfig};
+use dydroid_workload::faults::{self, FaultKind, FaultPlan, FaultSpec};
+use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
+
+const CORPUS_APPS: usize = 200;
+const FAULT_RATE: f64 = 0.2;
+const FAULT_SEED: u64 = 17;
+
+fn fault_corpus() -> (Vec<SyntheticApp>, Vec<FaultPlan>) {
+    let mut corpus = generate(&CorpusSpec {
+        scale: 0.004,
+        seed: 99,
+    });
+    corpus.truncate(CORPUS_APPS);
+    assert_eq!(corpus.len(), CORPUS_APPS, "corpus generation too small");
+    let plans = faults::inject(
+        &mut corpus,
+        &FaultSpec {
+            rate: FAULT_RATE,
+            seed: FAULT_SEED,
+        },
+    );
+    assert!(
+        plans.len() >= FaultKind::ALL.len(),
+        "fault rate selected too few apps for full kind coverage"
+    );
+    (corpus, plans)
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        workers: 4,
+        environment_reruns: false,
+        app_deadline_ms: 400,
+        ..Default::default()
+    })
+}
+
+fn temp_journal(tag: &str) -> Journal {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "dydroid_fault_sweep_{tag}_{}.jsonl",
+        std::process::id()
+    ));
+    let journal = Journal::new(path);
+    journal.reset().expect("reset journal");
+    journal
+}
+
+#[test]
+fn faulty_sweep_completes_and_classifies_exactly_the_injected_apps() {
+    let (corpus, plans) = fault_corpus();
+    let by_package: HashMap<&str, FaultKind> =
+        plans.iter().map(|p| (p.package.as_str(), p.kind)).collect();
+    // The acceptance scenario needs at least one analyzer-panicking app
+    // and one deadline-exceeding app in the mix.
+    assert!(plans.iter().any(|p| p.kind == FaultKind::PanicTrigger));
+    assert!(plans.iter().any(|p| p.kind == FaultKind::SpinLoop));
+
+    let journal = temp_journal("classify");
+    let report = pipeline()
+        .run_resumable(&corpus, &journal)
+        .expect("sweep completes despite faults");
+    assert_eq!(report.records().len(), CORPUS_APPS);
+
+    for record in report.records() {
+        let fault = by_package.get(record.package.as_str()).copied();
+        match fault {
+            Some(kind) if kind.expects_harness_failure() => {
+                let reason = record.harness_failure().unwrap_or_else(|| {
+                    panic!("{} ({kind:?}) should be a harness failure", record.package)
+                });
+                match kind {
+                    FaultKind::PanicTrigger => {
+                        assert!(
+                            reason.contains("panic"),
+                            "{}: reason should carry the panic message: {reason}",
+                            record.package
+                        );
+                    }
+                    FaultKind::SpinLoop => {
+                        assert!(
+                            reason.contains("deadline exceeded"),
+                            "{}: reason should name the deadline: {reason}",
+                            record.package
+                        );
+                    }
+                    FaultKind::OversizedManifest => {
+                        assert!(
+                            reason.contains("sanity bounds"),
+                            "{}: reason should name the sanity guard: {reason}",
+                            record.package
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Some(kind) if kind.expects_decompile_failure() => {
+                assert!(
+                    !record.decompiled,
+                    "{} ({kind:?}) should fail decompilation",
+                    record.package
+                );
+                assert!(
+                    !record.obfuscation.anti_decompilation,
+                    "{} ({kind:?}) must not look like a legit anti-decompilation app",
+                    record.package
+                );
+            }
+            Some(FaultKind::DeadRemoteHost) | None => {
+                // Dead payload hosts degrade gracefully (the app may
+                // crash, but the harness must not fail); clean apps
+                // either decompile or are legit anti-decompilation apps.
+                assert!(
+                    record.harness_failure().is_none(),
+                    "{}: unexpected harness failure: {:?}",
+                    record.package,
+                    record.harness_failure()
+                );
+                if fault.is_none() {
+                    assert!(
+                        record.decompiled || record.obfuscation.anti_decompilation,
+                        "{}: clean app neither decompiled nor anti-decompilation",
+                        record.package
+                    );
+                }
+            }
+            Some(_) => unreachable!(),
+        }
+    }
+
+    // Exactness in the other direction: every harness failure and every
+    // unexplained decompile failure traces back to an injected fault.
+    for record in report.records() {
+        if record.harness_failure().is_some() {
+            let kind = by_package.get(record.package.as_str());
+            assert!(
+                kind.is_some_and(|k| k.expects_harness_failure()),
+                "{}: harness failure without an injected cause",
+                record.package
+            );
+        }
+        if !record.decompiled && !record.obfuscation.anti_decompilation {
+            let kind = by_package.get(record.package.as_str());
+            assert!(
+                kind.is_some_and(|k| k.expects_decompile_failure()),
+                "{}: decompile failure without an injected cause",
+                record.package
+            );
+        }
+    }
+
+    // Every table still renders, and Table II reports the failures.
+    let text = report.render_all();
+    for header in [
+        "TABLE II",
+        "TABLE III",
+        "TABLE IV",
+        "TABLE V",
+        "TABLE VI",
+        "TABLE VII",
+        "TABLE VIII",
+        "TABLE IX",
+        "TABLE X",
+    ] {
+        assert!(text.contains(header), "missing {header}");
+    }
+    assert!(text.contains("Harness failure"));
+
+    // The journal checkpointed the entire sweep.
+    assert_eq!(journal.load().expect("load journal").len(), CORPUS_APPS);
+    journal.reset().expect("cleanup");
+}
+
+#[test]
+fn sweep_resumes_after_mid_flight_kill_without_rework() {
+    let (corpus, _plans) = fault_corpus();
+    let journal = temp_journal("resume");
+
+    let first = pipeline()
+        .run_resumable(&corpus, &journal)
+        .expect("initial sweep");
+    assert_eq!(journal.load().expect("journal").len(), CORPUS_APPS);
+
+    // Simulate a kill after 120 completed apps: keep the journal's first
+    // 120 lines (plus a torn half-line, as a real kill would leave).
+    const SURVIVORS: usize = 120;
+    let text = std::fs::read_to_string(journal.path()).expect("read journal");
+    let mut kept: String = text
+        .lines()
+        .take(SURVIVORS)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    kept.push_str("{\"package\":\"com.torn.midwrite\",\"metad");
+    std::fs::write(journal.path(), kept).expect("truncate journal");
+
+    let resumed = pipeline()
+        .run_resumable(&corpus, &journal)
+        .expect("resumed sweep");
+
+    // Exactly the missing apps were re-analyzed and appended; the torn
+    // line was dropped.
+    let records = journal.load().expect("load resumed journal");
+    assert_eq!(
+        records.len(),
+        CORPUS_APPS,
+        "resume must append exactly the {} missing apps",
+        CORPUS_APPS - SURVIVORS
+    );
+    let unique: HashSet<&str> = records.iter().map(|r| r.package.as_str()).collect();
+    assert_eq!(unique.len(), CORPUS_APPS, "no package analyzed twice");
+
+    // The resumed report covers the full corpus and matches the
+    // uninterrupted run.
+    assert_eq!(resumed.records().len(), CORPUS_APPS);
+    assert_eq!(resumed.table2(), first.table2());
+    journal.reset().expect("cleanup");
+}

@@ -1,0 +1,94 @@
+//! Robustness properties of the analysis pipeline: no input — garbage,
+//! truncated, or bit-flipped — may panic the analyzer, and panics that do
+//! fire inside the isolation boundary must surface as
+//! `DynamicStatus::AnalysisFailure` records, not as dead workers.
+
+use std::sync::OnceLock;
+
+use dydroid::{Pipeline, PipelineConfig};
+use dydroid_workload::faults::build_panic_apk;
+use dydroid_workload::{generate, AppPlan, CorpusSpec, SyntheticApp};
+use proptest::prelude::*;
+
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        Pipeline::new(PipelineConfig {
+            environment_reruns: false,
+            ..Default::default()
+        })
+    })
+}
+
+/// One well-formed APK from the corpus generator, as corruption fodder.
+fn sample_apk() -> &'static [u8] {
+    static APK: OnceLock<Vec<u8>> = OnceLock::new();
+    APK.get_or_init(|| {
+        let corpus = generate(&CorpusSpec {
+            scale: 0.001,
+            seed: 3,
+        });
+        corpus
+            .into_iter()
+            .map(|a| a.apk)
+            .find(|apk| apk.len() > 64)
+            .expect("corpus yields a non-trivial apk")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analyze_apk_never_panics_on_garbage(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Ok or Err are both acceptable; a panic fails the test.
+        let _ = pipeline().analyze_apk(data, Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn analyze_apk_never_panics_on_truncations(at in any::<prop::sample::Index>()) {
+        let apk = sample_apk();
+        let cut = at.index(apk.len());
+        let _ = pipeline().analyze_apk(apk[..cut].to_vec(), Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn analyze_apk_never_panics_on_bitflips(
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut apk = sample_apk().to_vec();
+        let idx = at.index(apk.len());
+        apk[idx] ^= xor;
+        let _ = pipeline().analyze_apk(apk, Vec::new(), Vec::new());
+    }
+}
+
+#[test]
+fn caught_panic_becomes_analysis_failure_with_the_message() {
+    let package = "com.fault.panics".to_string();
+    let app = SyntheticApp {
+        plan: AppPlan::external(package.clone()),
+        apk: build_panic_apk(&package),
+        remote_resources: Vec::new(),
+        device_files: Vec::new(),
+    };
+    let record = pipeline().analyze_app_resilient(&app);
+    let reason = record
+        .harness_failure()
+        .expect("panic must be recorded as a harness failure");
+    assert!(
+        reason.contains("injected harness fault"),
+        "reason should carry the panic message, got: {reason}"
+    );
+    // Retries were exhausted before giving up.
+    assert!(
+        reason.contains("attempt 2/2"),
+        "final record should come from the last attempt, got: {reason}"
+    );
+    // The static phases were still recorded.
+    assert!(record.decompiled);
+    assert!(record.filter.has_dex_dcl);
+}

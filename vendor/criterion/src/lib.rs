@@ -1,0 +1,204 @@
+//! Offline shim for `criterion`: runs each benchmark closure a small
+//! fixed number of iterations and prints mean wall-clock time per
+//! iteration. No warm-up, outlier analysis, or HTML reports — the goal
+//! is that `cargo bench` compiles, runs every benchmark to completion
+//! (so their embedded assertions still execute), and prints comparable
+//! numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit of work per iteration, used only for the printed label.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// Times one closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, timing it.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's sample_size counts statistical samples; here it
+        // directly bounds iterations, clamped to keep runs quick.
+        self.sample_size = (n as u64).clamp(1, 50);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        D: ?Sized,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+        let unit = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!(" ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:>12.3} ms/iter over {} iters{}",
+            self.name,
+            id.id,
+            per_iter * 1e3,
+            bencher.iterations,
+            unit
+        );
+        let _ = &self.criterion;
+    }
+}
+
+/// The harness entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Top-level single benchmark (not used by this workspace's benches,
+    /// kept for API familiarity).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string()).bench_function("_", f);
+        self
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.throughput(Throughput::Elements(7));
+            group.bench_function("f", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, x| {
+                b.iter(|| black_box(*x * 2))
+            });
+            group.finish();
+        }
+        assert!(ran > 0);
+    }
+}

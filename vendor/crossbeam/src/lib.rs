@@ -1,0 +1,231 @@
+//! Offline shim for the `crossbeam` crate: an unbounded MPMC channel and
+//! scoped threads, both built on std. Semantics match what the pipeline
+//! relies on: cloneable receivers, `Err` on send-to-closed and
+//! recv-from-drained, and `thread::scope` returning `Err` when any
+//! spawned thread panicked instead of propagating the panic.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded multi-producer multi-consumer FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned when all receivers are gone; carries the message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for non-blocking receive attempts.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty, but senders remain.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning panic contract.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// `Err` carries the panic payload of whichever thread panicked.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawn borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing `scope` call. The
+        /// closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned.
+    /// All threads are joined before returning; if any panicked (and was
+    /// not explicitly joined), the panic payload comes back as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_mpmc_fifo_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_to_closed_returns_message() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(super::channel::SendError(9)));
+    }
+
+    #[test]
+    fn scope_joins_and_reports_panics() {
+        let ok: super::thread::Result<u32> = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        });
+        assert_eq!(ok.unwrap(), 42);
+
+        let bad = super::thread::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(bad.is_err());
+    }
+}

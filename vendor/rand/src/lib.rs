@@ -1,0 +1,179 @@
+//! Offline shim for the `rand` crate: the `RngCore`/`Rng`/`SeedableRng`
+//! trait skeleton plus uniform range and Bernoulli sampling — the exact
+//! surface the monkey and the corpus planner use. Distribution quality is
+//! adequate (64-bit uniform source, 53-bit float mantissa); there is no
+//! claim of statistical equivalence with upstream `rand`, only
+//! determinism given a seed.
+
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types uniformly samplable from an interval. The single generic
+/// `SampleRange` impl below is what lets float literals in
+/// `gen_range(-0.35..0.35)` infer as `f64`, matching upstream rand.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`, or `[low, high]` when
+    /// `inclusive`.
+    fn sample_in<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: &Self,
+        high: &Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: &Self,
+                high: &Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo, hi) = (*low as i128, *high as i128);
+                let span = (hi - lo + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "empty gen_range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A uniform double in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: &Self,
+        high: &Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "empty gen_range");
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: &Self,
+        high: &Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "empty gen_range");
+        low + (unit_f64(rng) as f32) * (high - low)
+    }
+}
+
+/// A range samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, &self.start, &self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start(), self.end(), true)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the
+    /// generator's full state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The splitmix64 sequence — used as a key-schedule/state expander.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            let mut s = self.0;
+            self.0 += 1;
+            splitmix64(&mut s)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(0);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-0.35..0.35);
+            assert!((-0.35..0.35).contains(&f));
+            let b = rng.gen_range(1u8..=255);
+            assert!(b >= 1);
+        }
+    }
+
+    #[test]
+    fn float_literals_infer_as_f64() {
+        let mut rng = Counter(3);
+        let x = 1.0 + rng.gen_range(-0.5..0.5);
+        assert!(x.clamp(0.0, 2.0) == x);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,694 @@
+//! Offline shim for `serde`: a direct-to-value serialization model.
+//!
+//! Instead of upstream's visitor architecture, `Serialize` renders a
+//! [`Value`] tree and `Deserialize` reads one back. `serde_json` (also
+//! vendored) adds the text encoding and parsing on top. The derive
+//! macros in the vendored `serde_derive` target exactly this trait pair.
+//!
+//! Deliberate simplifications, safe for this workspace:
+//! - maps and sets serialize as arrays (`[[k, v], ...]` / `[v, ...]`),
+//!   with map entries sorted by encoded key for deterministic output;
+//! - `#[serde(...)]` attributes and generic serialized types are
+//!   unsupported (the workspace uses neither).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number, kept in its native representation so 64-bit integers
+/// (hashes, seeds) round-trip exactly instead of through `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Num {
+    /// A negative integer.
+    I(i64),
+    /// A non-negative integer.
+    U(u64),
+    /// A float (always printed with a `.` or exponent).
+    F(f64),
+}
+
+impl Num {
+    /// Numeric value as `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Num::I(v) => v as f64,
+            Num::U(v) => v as f64,
+            Num::F(v) => v,
+        }
+    }
+
+    /// Exact `u64` value if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Num::I(v) if v >= 0 => Some(v as u64),
+            Num::I(_) => None,
+            Num::U(v) => Some(v),
+            Num::F(v) if v >= 0.0 && v.fract() == 0.0 && v < 9.0e15 => Some(v as u64),
+            Num::F(_) => None,
+        }
+    }
+
+    /// Exact `i64` value if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Num::I(v) => Some(v),
+            Num::U(v) => i64::try_from(v).ok(),
+            Num::F(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Some(v as i64),
+            Num::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Num {
+    /// Numeric equality across representations: `U(5) == I(5) == F(5.0)`.
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => return a == b,
+                (None, None) => {}
+                _ => return false,
+            },
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A JSON document tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(Num),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Compact single-line JSON encoding.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed JSON with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(Num::I(v)) => {
+                out.push_str(&v.to_string());
+            }
+            Value::Num(Num::U(v)) => {
+                out.push_str(&v.to_string());
+            }
+            Value::Num(Num::F(v)) => {
+                if v.is_finite() {
+                    // `{:?}` always keeps a `.` or exponent, so floats stay
+                    // floats across a round trip.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access that never panics: missing keys and non-objects
+    /// index to `Null`, matching upstream `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` as a [`Value`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- derive support helpers (referenced by generated code) ----
+
+/// Struct-field lookup used by derived `from_json`; missing keys read as
+/// `Null` so `Option` fields tolerate absent members.
+pub fn __field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    match v.get(name) {
+        Some(member) => member,
+        None => &NULL,
+    }
+}
+
+/// Fixed-length sequence access used by derived tuple decoding.
+pub fn __seq(v: &Value, len: usize) -> Result<&Vec<Value>, Error> {
+    match v.as_array() {
+        Some(items) if items.len() == len => Ok(items),
+        Some(items) => Err(Error::msg(format!(
+            "expected sequence of {len}, found {}",
+            items.len()
+        ))),
+        None => Err(Error::msg(format!("expected sequence of {len}"))),
+    }
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, found {v:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(Num::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected {}, found {v:?}", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(format!(
+                    "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Num::U(v as u64))
+                } else {
+                    Value::Num(Num::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected {}, found {v:?}", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(format!(
+                    "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(Num::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected f64, found {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(Num::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, found {v:?}")))
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected char, found {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_json(v)?))
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- containers ----
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {v:?}")))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let len = 0usize $(+ { let _ = $idx; 1 })+;
+                let seq = __seq(v, len)?;
+                Ok(($($name::from_json(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Shared map encoding: `[[key, value], ...]`, sorted by the key's
+/// encoded form so hash-map iteration order never leaks into output.
+fn map_to_json<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(String, Value)> = entries
+        .map(|(k, v)| {
+            let key = k.to_json();
+            (
+                key.to_compact_string(),
+                Value::Array(vec![key, v.to_json()]),
+            )
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(pairs.into_iter().map(|(_, entry)| entry).collect())
+}
+
+fn map_from_json<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    v.as_array()
+        .ok_or_else(|| Error::msg(format!("expected map entries, found {v:?}")))?
+        .iter()
+        .map(|entry| {
+            let pair = __seq(entry, 2)?;
+            Ok((K::from_json(&pair[0])?, V::from_json(&pair[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self) -> Value {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_json::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_json::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+fn set_to_json<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    let mut encoded: Vec<(String, Value)> = items
+        .map(|item| {
+            let v = item.to_json();
+            (v.to_compact_string(), v)
+        })
+        .collect();
+    encoded.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(encoded.into_iter().map(|(_, v)| v).collect())
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json(&self) -> Value {
+        set_to_json(self.iter())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_json(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Value {
+        set_to_json(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_json(v)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_render_and_compare() {
+        assert_eq!(5u32.to_json().to_compact_string(), "5");
+        assert_eq!((-7i64).to_json().to_compact_string(), "-7");
+        assert_eq!(2.5f64.to_json().to_compact_string(), "2.5");
+        assert_eq!(5.0f64.to_json().to_compact_string(), "5.0");
+        assert_eq!(Num::U(5), Num::I(5));
+        assert_eq!(Num::F(5.0), Num::U(5));
+        let big = u64::MAX - 3;
+        assert_eq!(big.to_json().to_compact_string(), big.to_string());
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = "a\"b\\c\nd".to_json();
+        assert_eq!(v.to_compact_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn map_output_is_sorted_and_round_trips() {
+        let mut m = HashMap::new();
+        m.insert("zulu".to_string(), 1u32);
+        m.insert("alpha".to_string(), 2u32);
+        let v = m.to_json();
+        let text = v.to_compact_string();
+        assert!(text.find("alpha").unwrap() < text.find("zulu").unwrap());
+        let back: HashMap<String, u32> = Deserialize::from_json(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_and_missing_fields() {
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        let obj = Value::Object(vec![]);
+        assert!(__field(&obj, "absent").is_null());
+        assert_eq!(obj["absent"], Value::Null);
+    }
+}

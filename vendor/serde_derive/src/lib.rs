@@ -1,0 +1,459 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the simplified serde model vendored in
+//! this workspace (`Serialize::to_json` / `Deserialize::from_json` over
+//! `serde::Value`). The input is parsed directly from the token stream —
+//! no `syn`/`quote` — which is enough because the workspace never uses
+//! `#[serde(...)]` attributes or generic serialized types.
+//!
+//! Encoding follows serde's externally-tagged default:
+//! unit variant → `"Name"`, newtype variant → `{"Name": inner}`,
+//! tuple variant → `{"Name": [..]}`, struct variant → `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects the names of named fields, skipping their types. Commas inside
+/// angle brackets are not separators; groups are atomic tokens so commas
+/// inside `(..)`/`[..]` never surface here.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => return fields,
+            Some(t) => panic!("serde derive shim: expected field name, got `{t}`"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde derive shim: expected `:` after field name, got `{t:?}`"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Counts tuple-struct / tuple-variant fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut in_field = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    arity += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            Some(t) => panic!("serde derive shim: expected variant name, got `{t}`"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional `= discriminant` and the trailing comma.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde derive shim: expected `struct` or `enum`, got `{t:?}`"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde derive shim: expected type name, got `{t:?}`"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            None => Shape::UnitStruct { name },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(t) => panic!("serde derive shim: unexpected token `{t}` in struct {name}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            t => panic!("serde derive shim: expected enum body, got `{t:?}`"),
+        },
+        other => panic!("serde derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let mut out = String::new();
+    match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                write!(
+                    pairs,
+                    "(\"{f}\".to_string(), serde::Serialize::to_json(&self.{f})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\
+                   fn to_json(&self) -> serde::Value {{\
+                     serde::Value::Object(vec![{pairs}])\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\
+                   fn to_json(&self) -> serde::Value {{\
+                     serde::Serialize::to_json(&self.0)\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            let mut items = String::new();
+            for i in 0..*arity {
+                write!(items, "serde::Serialize::to_json(&self.{i}),").unwrap();
+            }
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\
+                   fn to_json(&self) -> serde::Value {{\
+                     serde::Value::Array(vec![{items}])\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::UnitStruct { name } => {
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\
+                   fn to_json(&self) -> serde::Value {{ serde::Value::Null }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        arms,
+                        "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),"
+                    )
+                    .unwrap(),
+                    VariantKind::Tuple(1) => write!(
+                        arms,
+                        "{name}::{vname}(f0) => serde::Value::Object(vec![\
+                           (\"{vname}\".to_string(), serde::Serialize::to_json(f0))]),"
+                    )
+                    .unwrap(),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_json({b})"))
+                            .collect();
+                        write!(
+                            arms,
+                            "{name}::{vname}({}) => serde::Value::Object(vec![\
+                               (\"{vname}\".to_string(), serde::Value::Array(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_json({f}))")
+                            })
+                            .collect();
+                        write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => serde::Value::Object(vec![\
+                               (\"{vname}\".to_string(), serde::Value::Object(vec![{}]))]),",
+                            fields.join(","),
+                            pairs.join(",")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\
+                   fn to_json(&self) -> serde::Value {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde derive shim: generated code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let mut out = String::new();
+    match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                write!(
+                    inits,
+                    "{f}: serde::Deserialize::from_json(serde::__field(v, \"{f}\"))?,"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\
+                   fn from_json(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\
+                     ::std::result::Result::Ok({name} {{ {inits} }})\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\
+                   fn from_json(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\
+                     ::std::result::Result::Ok({name}(serde::Deserialize::from_json(v)?))\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_json(&seq[{i}])?"))
+                .collect();
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\
+                   fn from_json(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\
+                     let seq = serde::__seq(v, {arity}usize)?;\
+                     ::std::result::Result::Ok({name}({}))\
+                   }}\
+                 }}",
+                items.join(",")
+            )
+            .unwrap();
+        }
+        Shape::UnitStruct { name } => {
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\
+                   fn from_json(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\
+                     let _ = v;\
+                     ::std::result::Result::Ok({name})\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        unit_arms,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                    .unwrap(),
+                    VariantKind::Tuple(1) => write!(
+                        payload_arms,
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                           {name}::{vname}(serde::Deserialize::from_json(inner)?)),"
+                    )
+                    .unwrap(),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("serde::Deserialize::from_json(&seq[{i}])?"))
+                            .collect();
+                        write!(
+                            payload_arms,
+                            "\"{vname}\" => {{\
+                               let seq = serde::__seq(inner, {arity}usize)?;\
+                               ::std::result::Result::Ok({name}::{vname}({}))\
+                             }},",
+                            items.join(",")
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_json(serde::__field(inner, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        write!(
+                            payload_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                               {name}::{vname} {{ {} }}),",
+                            inits.join(",")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\
+                   fn from_json(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\
+                     match v {{\
+                       serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(serde::Error::msg(\
+                           format!(\"unknown unit variant `{{other}}` for {name}\"))),\
+                       }},\
+                       serde::Value::Object(pairs) if pairs.len() == 1 => {{\
+                         let (tag, inner) = &pairs[0];\
+                         let _ = inner;\
+                         match tag.as_str() {{\
+                           {payload_arms}\
+                           other => ::std::result::Result::Err(serde::Error::msg(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\
+                         }}\
+                       }},\
+                       _ => ::std::result::Result::Err(serde::Error::msg(\
+                         format!(\"expected {name} variant, found {{v:?}}\"))),\
+                     }}\
+                   }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde derive shim: generated code")
+}
