@@ -233,8 +233,17 @@ impl MalwareDetector {
     /// Detects whether `binary` matches any trained family; returns the
     /// best match at or above the threshold.
     pub fn detect(&self, binary: &CodeBinary) -> Option<FamilyMatch> {
-        let test = BinarySig::build(binary);
-        self.detect_sig(&test)
+        self.verdict(binary).1
+    }
+
+    /// Builds the binary's signature exactly once and returns it
+    /// together with the detection verdict, so batch pipelines (e.g. a
+    /// content-addressed analysis cache) can reuse the signature instead
+    /// of rebuilding it per consumer.
+    pub fn verdict(&self, binary: &CodeBinary) -> (BinarySig, Option<FamilyMatch>) {
+        let sig = BinarySig::build(binary);
+        let hit = self.detect_sig(&sig);
+        (sig, hit)
     }
 
     /// Detection over a prebuilt signature (for batch pipelines).
@@ -446,6 +455,17 @@ mod tests {
         assert_eq!(match_fraction(&[a, b], &[a]), 0.5);
         // Multiset semantics: one test block can't match two training blocks.
         assert_eq!(match_fraction(&[a, a], &[a]), 0.5);
+    }
+
+    #[test]
+    fn verdict_returns_reusable_signature() {
+        let mut d = MalwareDetector::new();
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        let variant = CodeBinary::Dex(mal_dex("com.other", 9));
+        let (sig, hit) = d.verdict(&variant);
+        assert!(sig.block_count() > 0);
+        assert_eq!(hit, d.detect_sig(&sig), "signature reuse matches detect");
+        assert_eq!(hit, d.detect(&variant));
     }
 
     #[test]

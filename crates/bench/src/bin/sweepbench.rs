@@ -1,0 +1,175 @@
+//! rebar-style sweep benchmark: runs a fixed-seed corpus sweep twice —
+//! once as the **uncached serial baseline** (analysis cache off, Table
+//! VIII re-runs serial with per-config re-decompilation) and once
+//! **optimized** (content-addressed cache on, parallel decompile-once
+//! re-runs) — verifies both produce identical measurement JSON, and
+//! emits a `BENCH_sweep.json` perf record so future changes have a
+//! regression trajectory.
+//!
+//! ```text
+//! sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline]
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dydroid::{MeasurementReport, Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: String,
+    skip_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.01,
+        seed: CorpusSpec::default().seed,
+        out: "BENCH_sweep.json".to_string(),
+        skip_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a float"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--skip-baseline" => args.skip_baseline = true,
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+const USAGE: &str = "sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline]";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+/// One timed sweep; returns the report and total wall-clock ms.
+fn timed_sweep(config: PipelineConfig, corpus: &[SyntheticApp]) -> (MeasurementReport, u64) {
+    let pipeline = Pipeline::new(config);
+    let t0 = Instant::now();
+    let report = pipeline.run(corpus);
+    (report, t0.elapsed().as_millis() as u64)
+}
+
+/// The perf facts of one variant as a JSON object.
+fn variant_json(report: &MeasurementReport, wall_ms: u64, apps: usize) -> serde_json::Value {
+    let stats = report.stats();
+    let cache = &stats.cache;
+    let apps_per_sec = if wall_ms == 0 {
+        0.0
+    } else {
+        apps as f64 * 1000.0 / wall_ms as f64
+    };
+    let phases = serde_json::json!({
+        "sweep_ms": stats.sweep_ms,
+        "env_ms": stats.env_ms,
+    });
+    let cache_json = serde_json::json!({
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "unique_binaries": cache.entries,
+        "hit_rate": cache.hit_rate(),
+        "sig_builds": cache.sig_builds,
+        "taint_runs": cache.taint_runs,
+    });
+    serde_json::json!({
+        "wall_ms": wall_ms,
+        "apps_per_sec": apps_per_sec,
+        "phases": phases,
+        "cache": cache_json,
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "sweepbench: generating corpus (scale {}, seed {:#x}) ...",
+        args.scale, args.seed
+    );
+    let corpus = generate(&CorpusSpec {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    let apps = corpus.len();
+    eprintln!("sweepbench: {apps} apps");
+
+    let cached_config = PipelineConfig::default();
+    let baseline_config = PipelineConfig {
+        analysis_cache: false,
+        serial_env_reruns: true,
+        ..PipelineConfig::default()
+    };
+
+    eprintln!("sweepbench: cached + parallel-rerun sweep ...");
+    let (cached_report, cached_ms) = timed_sweep(cached_config, &corpus);
+    eprint!("{}", cached_report.render_perf());
+
+    let mut doc = serde_json::json!({
+        "bench": "sweep",
+        "scale": args.scale,
+        "seed": args.seed,
+        "apps": apps,
+        "workers": PipelineConfig::default().effective_workers(),
+        "cached": variant_json(&cached_report, cached_ms, apps),
+    });
+
+    if !args.skip_baseline {
+        eprintln!("sweepbench: uncached serial baseline ...");
+        let (baseline_report, baseline_ms) = timed_sweep(baseline_config, &corpus);
+        eprint!("{}", baseline_report.render_perf());
+
+        // The optimization must not change a single measured byte.
+        let a = serde_json::to_string(&cached_report).expect("serialise cached");
+        let b = serde_json::to_string(&baseline_report).expect("serialise baseline");
+        if a != b {
+            eprintln!("sweepbench: FAIL — cached and baseline reports differ");
+            std::process::exit(1);
+        }
+        eprintln!("sweepbench: reports identical ({} bytes of JSON)", a.len());
+
+        let speedup = if cached_ms == 0 {
+            0.0
+        } else {
+            baseline_ms as f64 / cached_ms as f64
+        };
+        eprintln!("sweepbench: baseline {baseline_ms} ms -> cached {cached_ms} ms ({speedup:.2}x)");
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.push((
+                "baseline".to_string(),
+                variant_json(&baseline_report, baseline_ms, apps),
+            ));
+            map.push(("speedup".to_string(), serde_json::json!(speedup)));
+        }
+    }
+
+    let mut f = std::fs::File::create(&args.out).expect("create bench output");
+    f.write_all(
+        serde_json::to_string_pretty(&doc)
+            .expect("serialise")
+            .as_bytes(),
+    )
+    .expect("write bench output");
+    eprintln!("sweepbench: wrote {}", args.out);
+}

@@ -1,0 +1,362 @@
+//! Content-addressed analysis cache.
+//!
+//! DyDroid scales to tens of thousands of apps because the static
+//! analysis of intercepted code operates on *unique files*, not on
+//! per-load occurrences: thousands of corpus apps load byte-identical
+//! third-party SDK payloads. [`AnalysisCache`] memoizes the expensive
+//! per-binary work — MAIL translation + ACFG signature construction +
+//! malware matching ([`BinarySig::build`] / `detect_sig`) and the taint
+//! analysis ([`TaintAnalysis::run`]) — keyed by a content hash of the
+//! intercepted bytes, shared across all sweep workers. Each unique
+//! payload is analysed exactly once per sweep, however many apps load
+//! it and however many environment re-runs replay it.
+//!
+//! The map is sharded (lock striping) so workers rarely contend, and
+//! each entry is a [`OnceLock`]: when two workers race on the same
+//! unseen payload, one computes while the other blocks on the cell
+//! rather than duplicating the work — the *exactly once* invariant
+//! holds even under contention. See `DESIGN.md`, "Content-addressed
+//! analysis cache".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dydroid_analysis::acfg::{BinarySig, FamilyMatch};
+use dydroid_analysis::mail::CodeBinary;
+use dydroid_analysis::taint::{Leak, TaintAnalysis};
+use dydroid_analysis::MalwareDetector;
+use serde::{Deserialize, Serialize};
+
+/// Default shard count (power of two) when the config leaves sizing to us.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// 64-bit FNV-1a over the binary content, with a final avalanche mix so
+/// nearby inputs spread across shards.
+pub fn content_hash(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The memoized outcome of analysing one unique binary: everything the
+/// pipeline derives from the bytes alone (the per-app parts — path,
+/// entity attribution, vulnerability classification — stay per-load).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinaryVerdict {
+    /// The bytes parse as neither DEX nor a native library.
+    Unparsable,
+    /// Parsed and analysed.
+    Parsed {
+        /// Whether the binary is native code.
+        native: bool,
+        /// Malware-family match, if any.
+        malware: Option<FamilyMatch>,
+        /// Taint leaks (empty for native binaries).
+        leaks: Vec<Leak>,
+    },
+}
+
+/// Monotonic cache counters; [`CacheStats::since`] gives per-run deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (one per unique binary when enabled;
+    /// one per lookup when disabled).
+    pub misses: u64,
+    /// Unique binaries currently cached (absolute, not a delta).
+    pub entries: u64,
+    /// `BinarySig::build` invocations (parsed binaries only).
+    pub sig_builds: u64,
+    /// `TaintAnalysis::run` invocations (DEX binaries only).
+    pub taint_runs: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` (entries stays
+    /// absolute — it is a size, not a rate).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+            sig_builds: self.sig_builds - earlier.sig_builds,
+            taint_runs: self.taint_runs - earlier.taint_runs,
+        }
+    }
+}
+
+type Shard = Mutex<HashMap<u64, Arc<OnceLock<Arc<BinaryVerdict>>>>>;
+
+/// The corpus-wide, content-addressed cache (see module docs).
+#[derive(Debug)]
+pub struct AnalysisCache {
+    /// `None` when caching is disabled — every lookup computes fresh.
+    shards: Option<Box<[Shard]>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sig_builds: AtomicU64,
+    taint_runs: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Creates a cache. `shards` is rounded up to a power of two;
+    /// `0` selects [`DEFAULT_SHARDS`].
+    pub fn new(shards: usize) -> Self {
+        let n = if shards == 0 {
+            DEFAULT_SHARDS
+        } else {
+            shards.next_power_of_two()
+        };
+        AnalysisCache {
+            shards: Some((0..n).map(|_| Mutex::new(HashMap::new())).collect()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sig_builds: AtomicU64::new(0),
+            taint_runs: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through cache: every lookup computes, nothing is stored.
+    /// The counters still run, so baselines report total analysis work.
+    pub fn disabled() -> Self {
+        AnalysisCache {
+            shards: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sig_builds: AtomicU64::new(0),
+            taint_runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups are memoized.
+    pub fn is_enabled(&self) -> bool {
+        self.shards.is_some()
+    }
+
+    /// Analyses one intercepted binary through the cache: parse, build
+    /// the ACFG signature, match malware families, and (for DEX) run the
+    /// taint analysis — at most once per unique content when enabled.
+    pub fn analyze(
+        &self,
+        data: &[u8],
+        detector: &MalwareDetector,
+        taint: &TaintAnalysis,
+    ) -> Arc<BinaryVerdict> {
+        let Some(shards) = &self.shards else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(self.compute(data, detector, taint));
+        };
+        let key = content_hash(data);
+        let cell = {
+            let shard = &shards[(key as usize) & (shards.len() - 1)];
+            let mut map = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Initialisation happens outside the shard lock, so a slow
+        // payload never blocks unrelated keys in the same shard.
+        let mut computed = false;
+        let verdict = cell.get_or_init(|| {
+            computed = true;
+            Arc::new(self.compute(data, detector, taint))
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(verdict)
+    }
+
+    fn compute(
+        &self,
+        data: &[u8],
+        detector: &MalwareDetector,
+        taint: &TaintAnalysis,
+    ) -> BinaryVerdict {
+        let Ok(code) = CodeBinary::from_bytes(data) else {
+            return BinaryVerdict::Unparsable;
+        };
+        self.sig_builds.fetch_add(1, Ordering::Relaxed);
+        let sig = BinarySig::build(&code);
+        let malware = detector.detect_sig(&sig);
+        let leaks = if let CodeBinary::Dex(dex) = &code {
+            self.taint_runs.fetch_add(1, Ordering::Relaxed);
+            taint.run(dex)
+        } else {
+            Vec::new()
+        };
+        BinaryVerdict::Parsed {
+            native: code.is_native(),
+            malware,
+            leaks,
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .as_ref()
+            .map(|shards| {
+                shards
+                    .iter()
+                    .map(|s| {
+                        s.lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .len() as u64
+                    })
+                    .sum()
+            })
+            .unwrap_or(0);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            sig_builds: self.sig_builds.load(Ordering::Relaxed),
+            taint_runs: self.taint_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::native::Arch;
+    use dydroid_dex::{DexFile, NativeLibrary};
+
+    fn fixtures() -> (MalwareDetector, TaintAnalysis) {
+        (MalwareDetector::new(), TaintAnalysis::new())
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+
+    #[test]
+    fn memoizes_by_content() {
+        let cache = AnalysisCache::new(4);
+        let (detector, taint) = fixtures();
+        let dex = DexFile::new().to_bytes();
+        let a = cache.analyze(&dex, &detector, &taint);
+        let b = cache.analyze(&dex, &detector, &taint);
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.sig_builds, 1);
+        assert_eq!(stats.taint_runs, 1);
+    }
+
+    #[test]
+    fn native_binaries_skip_taint() {
+        let cache = AnalysisCache::new(1);
+        let (detector, taint) = fixtures();
+        let lib = NativeLibrary::new("l.so", Arch::Arm).to_bytes();
+        let v = cache.analyze(&lib, &detector, &taint);
+        assert!(matches!(&*v, BinaryVerdict::Parsed { native: true, .. }));
+        assert_eq!(cache.stats().taint_runs, 0);
+        assert_eq!(cache.stats().sig_builds, 1);
+    }
+
+    #[test]
+    fn unparsable_is_cached_too() {
+        let cache = AnalysisCache::new(2);
+        let (detector, taint) = fixtures();
+        assert_eq!(
+            *cache.analyze(b"junk", &detector, &taint),
+            BinaryVerdict::Unparsable
+        );
+        assert_eq!(
+            *cache.analyze(b"junk", &detector, &taint),
+            BinaryVerdict::Unparsable
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits, stats.sig_builds), (1, 1, 0));
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let cache = AnalysisCache::disabled();
+        assert!(!cache.is_enabled());
+        let (detector, taint) = fixtures();
+        let dex = DexFile::new().to_bytes();
+        let a = cache.analyze(&dex, &detector, &taint);
+        let b = cache.analyze(&dex, &detector, &taint);
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.sig_builds, 2);
+    }
+
+    #[test]
+    fn exactly_once_under_contention() {
+        let cache = std::sync::Arc::new(AnalysisCache::new(8));
+        let (detector, taint) = fixtures();
+        let dex = DexFile::new().to_bytes();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                let dex = dex.clone();
+                let detector = &detector;
+                let taint = &taint;
+                scope.spawn(move |_| {
+                    for _ in 0..50 {
+                        cache.analyze(&dex, detector, taint);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one compute per unique binary");
+        assert_eq!(stats.sig_builds, 1);
+        assert_eq!(stats.hits, 8 * 50 - 1);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let cache = AnalysisCache::new(1);
+        let (detector, taint) = fixtures();
+        let dex = DexFile::new().to_bytes();
+        cache.analyze(&dex, &detector, &taint);
+        let mark = cache.stats();
+        cache.analyze(&dex, &detector, &taint);
+        let delta = cache.stats().since(&mark);
+        assert_eq!((delta.hits, delta.misses), (1, 0));
+        assert_eq!(delta.entries, 1, "entries stays absolute");
+        assert!(delta.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = AnalysisCache::new(3);
+        assert_eq!(cache.shards.as_ref().unwrap().len(), 4);
+        let cache = AnalysisCache::new(0);
+        assert_eq!(cache.shards.as_ref().unwrap().len(), DEFAULT_SHARDS);
+    }
+}

@@ -30,6 +30,20 @@ pub struct PipelineConfig {
     /// Whether retries reseed the Monkey so a different event sequence
     /// gets a chance to avoid the failing path.
     pub retry_reseed: bool,
+    /// Whether intercepted-binary analysis (ACFG signature + malware
+    /// match + taint) is memoized by content hash across the sweep, so
+    /// each unique payload is analysed exactly once however many apps
+    /// load it. Disable for differential testing and baselines.
+    pub analysis_cache: bool,
+    /// Shard count of the analysis cache's lock-striped map (rounded up
+    /// to a power of two; `0` = default sizing).
+    pub cache_shards: usize,
+    /// Run the Table VIII environment re-runs serially with per-config
+    /// re-decompilation (the pre-optimization code path), instead of
+    /// fanning (app × config) pairs over the worker pool with a single
+    /// decompile per app. Kept for differential tests and the
+    /// `sweepbench` baseline.
+    pub serial_env_reruns: bool,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +58,9 @@ impl Default for PipelineConfig {
             app_deadline_ms: 30_000,
             max_retries: 1,
             retry_reseed: true,
+            analysis_cache: true,
+            cache_shards: 0,
+            serial_env_reruns: false,
         }
     }
 }
@@ -89,6 +106,9 @@ mod tests {
         assert_eq!(c.deadline_ms(), Some(30_000));
         assert_eq!(c.max_retries, 1);
         assert!(c.retry_reseed);
+        assert!(c.analysis_cache);
+        assert_eq!(c.cache_shards, 0);
+        assert!(!c.serial_env_reruns);
     }
 
     #[test]

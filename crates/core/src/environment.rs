@@ -5,7 +5,18 @@
 //! mode with WiFi re-enabled, airplane mode fully offline, and location
 //! service disabled — counting how many of the malicious files are still
 //! loaded in each.
+//!
+//! The re-runs are **decompile-once and parallel**: each flagged app is
+//! decompiled and rewritten a single time, then the (app × config) pairs
+//! fan out over the same worker pool the sweep uses. The pre-optimization
+//! serial path (one decompile per app per configuration) survives as
+//! [`rerun_all_serial`] for differential tests and the `sweepbench`
+//! baseline, selectable via `PipelineConfig::serial_env_reruns`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use dydroid_analysis::decompiler::{self, DecompiledApp};
 use dydroid_avm::DeviceConfig;
 use dydroid_workload::emit::RELEASE_MS;
 use dydroid_workload::SyntheticApp;
@@ -65,26 +76,130 @@ pub fn configurations() -> [(&'static str, DeviceConfig); 4] {
     ]
 }
 
-/// Re-runs every malware-flagged app under the four configurations.
+/// A once-written slot holding one flagged app's decompilation and
+/// rewritten install bytes (`None` if preparation failed).
+type PreparedSlot = OnceLock<Option<(DecompiledApp, Vec<u8>)>>;
+
+/// The malware-flagged subset of the corpus with their malicious paths.
+fn flagged_apps<'c>(
+    corpus: &'c [SyntheticApp],
+    records: &[AppRecord],
+) -> Vec<(&'c SyntheticApp, Vec<String>)> {
+    corpus
+        .iter()
+        .zip(records)
+        .filter_map(|(app, record)| {
+            let dynamic = record.dynamic.as_ref()?;
+            if dynamic.malware.is_empty() {
+                return None;
+            }
+            let paths: Vec<String> = dynamic.malware.iter().map(|m| m.path.clone()).collect();
+            Some((app, paths))
+        })
+        .collect()
+}
+
+/// Re-runs every malware-flagged app under the four configurations:
+/// decompile/rewrite once per app, then fan the (app × config) pairs out
+/// over the worker pool. Per-config counts are order-independent sums,
+/// so the result is identical to [`rerun_all_serial`].
 pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRecord]) -> EnvCounts {
+    if pipeline.config().serial_env_reruns {
+        return rerun_all_serial(pipeline, corpus, records);
+    }
+    let flagged = flagged_apps(corpus, records);
+    let mut counts = EnvCounts {
+        total_files: flagged.iter().map(|(_, paths)| paths.len()).sum(),
+        ..EnvCounts::default()
+    };
+    if flagged.is_empty() {
+        return counts;
+    }
+    let configs = configurations();
+    let workers = pipeline
+        .config()
+        .effective_workers()
+        .min(flagged.len() * configs.len());
+
+    // Phase 1: decompile + rewrite each flagged app exactly once, in
+    // parallel. Slots are OnceLocks so each is written by one worker.
+    let prepared: Vec<PreparedSlot> = (0..flagged.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let scope_result = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(flagged.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= flagged.len() {
+                    break;
+                }
+                let app = flagged[i].0;
+                let p = decompiler::prepare_for_dynamic_analysis(&app.apk)
+                    .ok()
+                    .map(|(decompiled, bytes, _)| (decompiled, bytes));
+                let _ = prepared[i].set(p);
+            });
+        }
+    });
+    if scope_result.is_err() {
+        eprintln!(
+            "dydroid: an environment prepare thread panicked; continuing with what was prepared"
+        );
+    }
+
+    // Phase 2: the (app × config) pairs, atomically summed per config.
+    let loaded: [AtomicUsize; 4] = Default::default();
+    let next = AtomicUsize::new(0);
+    let pairs = flagged.len() * configs.len();
+    let scope_result = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs {
+                    break;
+                }
+                let (a, c) = (i / configs.len(), i % configs.len());
+                let Some(Some((decompiled, bytes))) = prepared[a].get() else {
+                    continue;
+                };
+                let (app, paths) = &flagged[a];
+                let n = count_loaded(pipeline, app, &configs[c].1, decompiled, bytes, paths);
+                loaded[c].fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    if scope_result.is_err() {
+        eprintln!("dydroid: an environment re-run thread panicked; counts may be partial");
+    }
+    counts.time_before_release = loaded[0].load(Ordering::Relaxed);
+    counts.airplane_wifi_on = loaded[1].load(Ordering::Relaxed);
+    counts.airplane_wifi_off = loaded[2].load(Ordering::Relaxed);
+    counts.location_off = loaded[3].load(Ordering::Relaxed);
+    counts
+}
+
+/// The pre-optimization serial re-run path: one decompile + rewrite per
+/// app **per configuration**, on the calling thread. Reference
+/// implementation for the differential tests and the `sweepbench`
+/// uncached-serial baseline.
+pub fn rerun_all_serial(
+    pipeline: &Pipeline,
+    corpus: &[SyntheticApp],
+    records: &[AppRecord],
+) -> EnvCounts {
     let mut counts = EnvCounts::default();
     let configs = configurations();
-    for (app, record) in corpus.iter().zip(records) {
-        let Some(dynamic) = &record.dynamic else {
-            continue;
-        };
-        if dynamic.malware.is_empty() {
-            continue;
-        }
-        let malicious_paths: Vec<&str> = dynamic.malware.iter().map(|m| m.path.as_str()).collect();
+    for (app, malicious_paths) in flagged_apps(corpus, records) {
         counts.total_files += malicious_paths.len();
-
-        let loaded = [
-            count_loaded(pipeline, app, &configs[0].1, &malicious_paths),
-            count_loaded(pipeline, app, &configs[1].1, &malicious_paths),
-            count_loaded(pipeline, app, &configs[2].1, &malicious_paths),
-            count_loaded(pipeline, app, &configs[3].1, &malicious_paths),
-        ];
+        let loaded: Vec<usize> = configs
+            .iter()
+            .map(|(_, config)| {
+                let Ok((decompiled, bytes, _)) = decompiler::prepare_for_dynamic_analysis(&app.apk)
+                else {
+                    return 0;
+                };
+                count_loaded(pipeline, app, config, &decompiled, &bytes, &malicious_paths)
+            })
+            .collect();
         counts.time_before_release += loaded[0];
         counts.airplane_wifi_on += loaded[1];
         counts.airplane_wifi_off += loaded[2];
@@ -93,19 +208,18 @@ pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRec
     counts
 }
 
+/// Exercises one prepared app under `config` and counts which of its
+/// malicious files still load.
 fn count_loaded(
     pipeline: &Pipeline,
     app: &SyntheticApp,
     config: &DeviceConfig,
-    malicious_paths: &[&str],
+    decompiled: &DecompiledApp,
+    install_bytes: &[u8],
+    malicious_paths: &[String],
 ) -> usize {
-    let Ok((decompiled, bytes, _)) =
-        dydroid_analysis::decompiler::prepare_for_dynamic_analysis(&app.apk)
-    else {
-        return 0;
-    };
     let mut device = pipeline.prepare_device(app, config.clone());
-    let outcome = pipeline.exercise_and_analyze(app, &mut device, &bytes, &decompiled);
+    let outcome = pipeline.exercise_and_analyze(app, &mut device, install_bytes, decompiled);
     // A crash after loading does not un-load the file: count events
     // regardless of the final status (interception happens at load time).
     malicious_paths

@@ -16,7 +16,10 @@
 //!    ([`dydroid_monkey`]), collecting DCL events, intercepted binaries,
 //!    download-tracker provenance and call-site entities;
 //! 5. statically analyse the intercepted binaries: DroidNative-like
-//!    malware detection and FlowDroid-like privacy-leak analysis;
+//!    malware detection and FlowDroid-like privacy-leak analysis —
+//!    memoized per unique binary content by the corpus-wide
+//!    [`cache::AnalysisCache`], so byte-identical SDK payloads loaded
+//!    by thousands of apps are analysed once per sweep;
 //! 6. classify code-injection vulnerabilities from the loaded paths;
 //! 7. re-run malicious apps under the four runtime-environment
 //!    configurations of Table VIII.
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod environment;
 pub mod pipeline;
@@ -46,7 +50,8 @@ pub mod report;
 pub mod sweep;
 pub mod training;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use config::PipelineConfig;
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
-pub use report::MeasurementReport;
+pub use report::{MeasurementReport, SweepStats};
 pub use sweep::Journal;

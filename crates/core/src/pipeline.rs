@@ -5,14 +5,15 @@
 //! retries, so one hostile app can neither kill a worker nor stall the
 //! corpus. See `DESIGN.md`, "Failure taxonomy & fault tolerance".
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crossbeam::channel;
 use dydroid_analysis::decompiler::{self, DecompileError};
 use dydroid_analysis::entity::EntityMix;
-use dydroid_analysis::mail::CodeBinary;
 use dydroid_analysis::obfuscation::{self, ObfuscationReport};
 use dydroid_analysis::taint::{Leak, PrivacyType, TaintAnalysis};
 use dydroid_analysis::{DclFilter, MalwareDetector, VulnKind};
@@ -21,8 +22,9 @@ use dydroid_monkey::{ExerciseOutcome, Monkey, MonkeyConfig};
 use dydroid_workload::{AppMetadata, SyntheticApp};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
-use crate::report::MeasurementReport;
+use crate::report::{MeasurementReport, SweepStats};
 use crate::training;
 
 /// Outcome category of the dynamic phase (Table II rows).
@@ -168,13 +170,23 @@ impl AppRecord {
 pub struct Pipeline {
     config: PipelineConfig,
     detector: MalwareDetector,
+    cache: AnalysisCache,
 }
 
 impl Pipeline {
     /// Creates a pipeline, training the reference malware detector.
     pub fn new(config: PipelineConfig) -> Self {
         let detector = training::reference_detector(config.malware_threshold);
-        Pipeline { config, detector }
+        let cache = if config.analysis_cache {
+            AnalysisCache::new(config.cache_shards)
+        } else {
+            AnalysisCache::disabled()
+        };
+        Pipeline {
+            config,
+            detector,
+            cache,
+        }
     }
 
     /// The active configuration.
@@ -182,14 +194,23 @@ impl Pipeline {
         &self.config
     }
 
+    /// A snapshot of the analysis-cache counters (monotonic across runs
+    /// of this pipeline; see [`CacheStats::since`] for per-run deltas).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Runs the full measurement over a corpus, in parallel, and returns
     /// the aggregated report. Per-app failures (panics, deadlines) are
     /// isolated into [`DynamicStatus::AnalysisFailure`] records; the
     /// sweep itself always completes.
     pub fn run(&self, corpus: &[SyntheticApp]) -> MeasurementReport {
+        let cache_mark = self.cache.stats();
+        let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let results = self.sweep(corpus, &indices, None);
-        self.assemble(corpus, results, HashMap::new())
+        let sweep_ms = sweep_start.elapsed().as_millis() as u64;
+        self.assemble(corpus, results, HashMap::new(), sweep_ms, cache_mark)
     }
 
     /// Like [`Pipeline::run`], but streams every completed record to
@@ -214,8 +235,11 @@ impl Pipeline {
             .filter(|&i| !done.contains_key(corpus[i].package()))
             .collect();
         let writer = Mutex::new(journal.writer()?);
+        let cache_mark = self.cache.stats();
+        let sweep_start = Instant::now();
         let results = self.sweep(corpus, &pending, Some(&writer));
-        Ok(self.assemble(corpus, results, done))
+        let sweep_ms = sweep_start.elapsed().as_millis() as u64;
+        Ok(self.assemble(corpus, results, done, sweep_ms, cache_mark))
     }
 
     /// The parallel worker loop. Each worker pulls indices off the task
@@ -286,6 +310,8 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         results: Vec<(usize, AppRecord)>,
         mut done: HashMap<String, AppRecord>,
+        sweep_ms: u64,
+        cache_mark: CacheStats,
     ) -> MeasurementReport {
         for (i, record) in results {
             if let Some(app) = corpus.get(i) {
@@ -300,12 +326,21 @@ impl Pipeline {
                 })
             })
             .collect();
+        let env_start = Instant::now();
         let env = if self.config.environment_reruns {
             crate::environment::rerun_all(self, corpus, &records)
         } else {
             crate::environment::EnvCounts::default()
         };
-        MeasurementReport::new(records, env)
+        let stats = SweepStats {
+            sweep_ms,
+            env_ms: env_start.elapsed().as_millis() as u64,
+            analyzed_apps: records.len(),
+            cache: self.cache.stats().since(&cache_mark),
+        };
+        let mut report = MeasurementReport::new(records, env);
+        report.set_stats(stats);
+        report
     }
 
     /// Analyses one app inside the fault-isolation boundary: panics are
@@ -315,6 +350,9 @@ impl Pipeline {
     pub fn analyze_app_resilient(&self, app: &SyntheticApp) -> AppRecord {
         let attempts = self.config.max_retries.saturating_add(1);
         let mut last: Option<AppRecord> = None;
+        // The static phases are input-deterministic, so a multi-attempt
+        // failure spiral decompiles the app once, not once per attempt.
+        let mut statics: Option<StaticPhases> = None;
         for attempt in 0..attempts {
             let salt = if attempt == 0 || !self.config.retry_reseed {
                 0
@@ -335,18 +373,17 @@ impl Pipeline {
                         attempts,
                         panic_message(payload.as_ref())
                     );
-                    last = Some(self.failure_record(app, reason));
+                    let statics = *statics.get_or_insert_with(|| Self::static_phases(app));
+                    last = Some(Self::record_from_statics(app, reason, statics));
                 }
             }
         }
         last.unwrap_or_else(|| self.failure_record(app, "no analysis attempt ran".to_string()))
     }
 
-    /// Builds the record for an app whose dynamic analysis was lost to a
-    /// panic or deadline. The cheap static phases are re-run (under their
-    /// own panic guard) so the app still lands in the right Table II
-    /// population.
-    fn failure_record(&self, app: &SyntheticApp, reason: String) -> AppRecord {
+    /// Re-runs the cheap static phases under their own panic guard, so a
+    /// failed app still lands in the right Table II population.
+    fn static_phases(app: &SyntheticApp) -> StaticPhases {
         let static_phases =
             catch_unwind(AssertUnwindSafe(|| match decompiler::decompile(&app.apk) {
                 Ok(d) => (true, DclFilter::scan(&d.classes), obfuscation::analyze(&d)),
@@ -357,8 +394,20 @@ impl Pipeline {
                 ),
                 Err(_) => (false, DclFilter::default(), ObfuscationReport::default()),
             }));
-        let (decompiled, filter, obfuscation) =
-            static_phases.unwrap_or((false, DclFilter::default(), ObfuscationReport::default()));
+        static_phases.unwrap_or((false, DclFilter::default(), ObfuscationReport::default()))
+    }
+
+    /// Builds the record for an app whose dynamic analysis was lost to a
+    /// panic or deadline.
+    fn failure_record(&self, app: &SyntheticApp, reason: String) -> AppRecord {
+        Self::record_from_statics(app, reason, Self::static_phases(app))
+    }
+
+    fn record_from_statics(
+        app: &SyntheticApp,
+        reason: String,
+        (decompiled, filter, obfuscation): StaticPhases,
+    ) -> AppRecord {
         AppRecord {
             package: app.plan.package.clone(),
             metadata: app.plan.metadata.clone(),
@@ -467,25 +516,29 @@ impl Pipeline {
             };
         }
 
-        // Phase 3: rewrite if needed.
-        let (install_bytes, rewritten) = if decompiler::needs_rewriting(&decompiled.manifest) {
-            match decompiler::repackage_with_permission(&decompiled) {
-                Ok(bytes) => (bytes, true),
-                Err(_) => {
-                    return AppRecord {
-                        package,
-                        metadata,
-                        decompiled: true,
-                        filter,
-                        obfuscation,
-                        rewritten: false,
-                        dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
-                    };
+        // Phase 3: rewrite if needed. Apps that already hold the
+        // permission install their original bytes — borrowed, not
+        // cloned: a full-APK copy per app is pure overhead at corpus
+        // scale.
+        let (install_bytes, rewritten): (Cow<[u8]>, bool) =
+            if decompiler::needs_rewriting(&decompiled.manifest) {
+                match decompiler::repackage_with_permission(&decompiled) {
+                    Ok(bytes) => (Cow::Owned(bytes), true),
+                    Err(_) => {
+                        return AppRecord {
+                            package,
+                            metadata,
+                            decompiled: true,
+                            filter,
+                            obfuscation,
+                            rewritten: false,
+                            dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
+                        };
+                    }
                 }
-            }
-        } else {
-            (app.apk.clone(), false)
-        };
+            } else {
+                (Cow::Borrowed(app.apk.as_slice()), false)
+            };
 
         // Phase 4: dynamic analysis.
         let mut device = self.prepare_device(app, self.config.device_config());
@@ -626,40 +679,45 @@ impl Pipeline {
                 .map(|e| e.path.as_str()),
         );
 
-        // Static analysis of intercepted binaries (each path analysed
-        // once, however many times it was loaded).
+        // Static analysis of intercepted binaries: each path analysed
+        // once per app however many times it was loaded, and — through
+        // the content-addressed cache — each unique byte content
+        // analysed once per *sweep* however many apps load it.
         let mut seen_paths: HashSet<&str> = HashSet::new();
         let mut malware = Vec::new();
         let mut leaks: Vec<Leak> = Vec::new();
+        let mut leak_seen: HashSet<Leak> = HashSet::new();
         let mut leak_classes: HashMap<PrivacyType, Vec<String>> = HashMap::new();
         let taint = TaintAnalysis::new();
         for binary in device.hooks.intercepted() {
             if !seen_paths.insert(binary.path.as_str()) {
                 continue;
             }
-            match CodeBinary::from_bytes(&binary.data) {
-                Ok(code) => {
-                    if let Some(hit) = self.detector.detect(&code) {
-                        malware.push(MalwareHit {
-                            path: binary.path.clone(),
-                            family: hit.family,
-                            score: hit.score,
-                            native: code.is_native(),
-                        });
-                    }
-                    if let CodeBinary::Dex(dex) = &code {
-                        for leak in taint.run(dex) {
-                            leak_classes
-                                .entry(leak.privacy)
-                                .or_default()
-                                .push(leak.class.clone());
-                            if !leaks.contains(&leak) {
-                                leaks.push(leak);
-                            }
-                        }
-                    }
+            let verdict = self.cache.analyze(&binary.data, &self.detector, &taint);
+            let BinaryVerdict::Parsed {
+                native,
+                malware: family_hit,
+                leaks: binary_leaks,
+            } = &*verdict
+            else {
+                continue;
+            };
+            if let Some(hit) = family_hit {
+                malware.push(MalwareHit {
+                    path: binary.path.clone(),
+                    family: hit.family.clone(),
+                    score: hit.score,
+                    native: *native,
+                });
+            }
+            for leak in binary_leaks {
+                leak_classes
+                    .entry(leak.privacy)
+                    .or_default()
+                    .push(leak.class.clone());
+                if leak_seen.insert(leak.clone()) {
+                    leaks.push(leak.clone());
                 }
-                Err(_) => continue,
             }
         }
         let mut leak_types: Vec<LeakSummary> = leak_classes
@@ -695,6 +753,9 @@ pub const MANIFEST_SANITY_LIMIT: usize = 4_096;
 
 /// Mixed into the Monkey seed on reseeded retry attempts.
 const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// `(decompiled, filter, obfuscation)` from the cheap static phases.
+type StaticPhases = (bool, DclFilter, ObfuscationReport);
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

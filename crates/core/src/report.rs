@@ -8,15 +8,75 @@ use dydroid_analysis::taint::PrivacyType;
 use dydroid_analysis::VulnKind;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::CacheStats;
 use crate::environment::EnvCounts;
 use crate::pipeline::{AppRecord, DynamicStatus};
 
+/// Per-phase wall-times and cache counters of one measurement run.
+///
+/// Perf telemetry, not a measurement result: it is *excluded* from the
+/// report's serialized form so a cached and an uncached sweep over the
+/// same corpus produce byte-identical JSON (the differential-test
+/// invariant), and so journaled reports stay replayable. Read it via
+/// [`MeasurementReport::stats`] / render it via
+/// [`MeasurementReport::render_perf`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Wall-clock of the parallel corpus sweep, in milliseconds.
+    pub sweep_ms: u64,
+    /// Wall-clock of the Table VIII environment re-runs, in milliseconds.
+    pub env_ms: u64,
+    /// Apps analysed.
+    pub analyzed_apps: usize,
+    /// Analysis-cache counters for this run.
+    pub cache: CacheStats,
+}
+
+impl SweepStats {
+    /// Total wall-clock across phases, in milliseconds.
+    pub fn total_ms(&self) -> u64 {
+        self.sweep_ms + self.env_ms
+    }
+
+    /// Apps analysed per second of total wall-clock.
+    pub fn apps_per_sec(&self) -> f64 {
+        let ms = self.total_ms();
+        if ms == 0 {
+            0.0
+        } else {
+            self.analyzed_apps as f64 * 1000.0 / ms as f64
+        }
+    }
+}
+
 /// The complete measurement output: per-app records plus the Table VIII
 /// environment counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MeasurementReport {
     records: Vec<AppRecord>,
     env: EnvCounts,
+    /// Perf telemetry; deliberately excluded from the serialized form
+    /// (see [`SweepStats`]), hence the manual Serialize/Deserialize.
+    stats: SweepStats,
+}
+
+impl Serialize for MeasurementReport {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("records".to_string(), self.records.to_json()),
+            ("env".to_string(), self.env.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for MeasurementReport {
+    fn from_json(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(MeasurementReport {
+            records: Deserialize::from_json(serde::__field(v, "records"))?,
+            env: Deserialize::from_json(serde::__field(v, "env"))?,
+            stats: SweepStats::default(),
+        })
+    }
 }
 
 /// One column (DEX or native) of Table II.
@@ -197,7 +257,11 @@ fn pct(part: usize, whole: usize) -> f64 {
 impl MeasurementReport {
     /// Builds a report.
     pub fn new(records: Vec<AppRecord>, env: EnvCounts) -> Self {
-        MeasurementReport { records, env }
+        MeasurementReport {
+            records,
+            env,
+            stats: SweepStats::default(),
+        }
     }
 
     /// The per-app records.
@@ -208,6 +272,50 @@ impl MeasurementReport {
     /// The environment-rerun counts.
     pub fn env_counts(&self) -> &EnvCounts {
         &self.env
+    }
+
+    /// Perf telemetry of the run that produced this report (zeroed on
+    /// deserialized reports — it is not part of the measurement).
+    pub fn stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// Attaches perf telemetry (called by the pipeline).
+    pub fn set_stats(&mut self, stats: SweepStats) {
+        self.stats = stats;
+    }
+
+    /// Renders the perf telemetry: per-phase wall-times plus cache
+    /// hit/miss/unique-binary counters. Kept separate from
+    /// [`MeasurementReport::render_all`] so rendered measurement output
+    /// stays deterministic.
+    pub fn render_perf(&self) -> String {
+        let mut s = String::new();
+        let st = &self.stats;
+        let _ = writeln!(
+            s,
+            "PERF — {} apps in {} ms ({:.1} apps/sec)",
+            st.analyzed_apps,
+            st.total_ms(),
+            st.apps_per_sec()
+        );
+        let _ = writeln!(s, "{:<26}{:>8} ms", "  corpus sweep", st.sweep_ms);
+        let _ = writeln!(s, "{:<26}{:>8} ms", "  environment re-runs", st.env_ms);
+        let c = &st.cache;
+        let _ = writeln!(
+            s,
+            "  cache: {} hits / {} misses ({:.2}% hit rate), {} unique binaries",
+            c.hits,
+            c.misses,
+            c.hit_rate() * 100.0,
+            c.entries
+        );
+        let _ = writeln!(
+            s,
+            "  analyses: {} signature builds, {} taint runs",
+            c.sig_builds, c.taint_runs
+        );
+        s
     }
 
     fn dex_population(&self) -> impl Iterator<Item = &AppRecord> {
