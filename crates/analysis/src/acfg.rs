@@ -6,10 +6,29 @@
 //! signatures: a test binary is flagged when, for some training sample,
 //! at least `threshold` (default 90%, as in the paper) of the training
 //! sample's annotated blocks have a parallel match in the test binary.
+//!
+//! # Indexed matching
+//!
+//! The matcher is *indexed*: at train time every sample's block multiset
+//! is folded into an inverted index `BlockSig → [(sample, count)]`
+//! ([`SigIndex`]). Detection builds the test binary's block pool once,
+//! walks only the test's **distinct** signatures through the index, and
+//! accumulates the exact multiset-intersection size per candidate sample
+//! in a single pass — samples sharing no block with the test are never
+//! touched, so per-binary cost no longer grows with the full trained
+//! corpus. A precomputed integer bound (`min_matched`, the smallest
+//! matched-block count whose score reaches the threshold under the same
+//! `f64` comparison the naive scan performs) prunes candidates without a
+//! division, and an exact-1.0 match ends the candidate scan early (no
+//! later sample can *strictly* beat it, which is what best-match
+//! selection requires). The quadratic reference scan survives as
+//! [`MalwareDetector::detect_sig_naive`] for baselines and differential
+//! tests; both paths return identical [`FamilyMatch`] verdicts.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -66,25 +85,23 @@ impl Acfg {
             block_of[starts[w]..starts[w + 1]].fill(w);
         }
         let block_count = starts.len().saturating_sub(1);
-        // Successors.
+        // Successors: each block's terminator contributes at most a
+        // branch target and a fall-through edge; collect then sort+dedup
+        // instead of scanning the vector per insertion.
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); block_count];
-        for w in 0..block_count {
+        for (w, edges) in succs.iter_mut().enumerate() {
             let last = starts[w + 1] - 1;
             let insn = &code[last];
             if let Some(t) = insn.target {
                 if (t as usize) < n {
-                    let tb = block_of[t as usize];
-                    if !succs[w].contains(&tb) {
-                        succs[w].push(tb);
-                    }
+                    edges.push(block_of[t as usize]);
                 }
             }
             if insn.falls_through && last + 1 < n {
-                let nb = block_of[last + 1];
-                if !succs[w].contains(&nb) {
-                    succs[w].push(nb);
-                }
+                edges.push(block_of[last + 1]);
             }
+            edges.sort_unstable();
+            edges.dedup();
         }
         // Signatures.
         let mut blocks = Vec::with_capacity(block_count);
@@ -150,11 +167,29 @@ impl BinarySig {
     pub fn build(binary: &CodeBinary) -> Self {
         let funcs = binary.to_mail();
         let acfgs: Vec<Acfg> = funcs.iter().map(Acfg::build).collect();
-        let blocks: Vec<BlockSig> = acfgs.iter().flat_map(|a| a.blocks.clone()).collect();
+        let functions = acfgs.len();
+        let total: usize = acfgs.iter().map(|a| a.blocks.len()).sum();
+        // Consume the ACFGs and drain their blocks by move — no per-graph
+        // clone of the block vectors.
+        let mut blocks = Vec::with_capacity(total);
+        for mut acfg in acfgs {
+            blocks.append(&mut acfg.blocks);
+        }
+        BinarySig { blocks, functions }
+    }
+
+    /// A signature from a raw block multiset (synthetic corpora: the
+    /// property tests and `detectbench` build signature sets directly).
+    pub fn from_blocks(blocks: Vec<BlockSig>) -> Self {
         BinarySig {
             blocks,
-            functions: acfgs.len(),
+            functions: 1,
         }
+    }
+
+    /// The flattened block multiset.
+    pub fn blocks(&self) -> &[BlockSig] {
+        &self.blocks
     }
 
     /// Total annotated blocks.
@@ -172,6 +207,126 @@ pub struct FamilyMatch {
     pub score: f64,
 }
 
+/// Cumulative counters of the signature matcher, for perf telemetry
+/// (candidate generation and pruning effectiveness). Monotonic over the
+/// detector's lifetime; snapshot via [`MalwareDetector::stats`] and
+/// subtract with [`DetectorStats::since`] for per-run deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStats {
+    /// Samples sharing at least one block signature with a test binary
+    /// (the inverted index touched their accumulator). The naive scan
+    /// counts every non-trivial sample here — it considers them all.
+    pub candidates: u64,
+    /// Candidates skipped by the threshold bound: their accumulated
+    /// matched count could not reach `threshold × block_count`, so no
+    /// score was computed.
+    pub pruned: u64,
+    /// Candidates fully scored against the threshold.
+    pub fully_scored: u64,
+    /// Detections cut short by an exact-1.0 match (no later sample can
+    /// strictly beat a perfect score).
+    pub early_exits: u64,
+}
+
+impl DetectorStats {
+    /// The counter deltas accumulated since `earlier`.
+    pub fn since(&self, earlier: &DetectorStats) -> DetectorStats {
+        DetectorStats {
+            candidates: self.candidates - earlier.candidates,
+            pruned: self.pruned - earlier.pruned,
+            fully_scored: self.fully_scored - earlier.fully_scored,
+            early_exits: self.early_exits - earlier.early_exits,
+        }
+    }
+}
+
+/// Interior-mutable counters behind the `&self` detection API.
+#[derive(Debug, Default)]
+struct DetectorCounters {
+    candidates: AtomicU64,
+    pruned: AtomicU64,
+    fully_scored: AtomicU64,
+    early_exits: AtomicU64,
+}
+
+impl DetectorCounters {
+    fn snapshot(&self) -> DetectorStats {
+        DetectorStats {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            fully_scored: self.fully_scored.load(Ordering::Relaxed),
+            early_exits: self.early_exits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for DetectorCounters {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        DetectorCounters {
+            candidates: AtomicU64::new(s.candidates),
+            pruned: AtomicU64::new(s.pruned),
+            fully_scored: AtomicU64::new(s.fully_scored),
+            early_exits: AtomicU64::new(s.early_exits),
+        }
+    }
+}
+
+/// One trained sample as the index sees it.
+#[derive(Debug, Clone)]
+struct IndexedSample {
+    /// Index into the detector's family vector.
+    family: u32,
+    /// Total annotated blocks (the score denominator).
+    block_count: u32,
+    /// Smallest matched-block count whose score passes the threshold
+    /// under the exact `f64` comparison of the naive scan
+    /// (`block_count + 1` when unreachable, e.g. threshold > 1).
+    min_matched: u32,
+}
+
+/// The inverted block index over all trained samples (see module docs).
+///
+/// Samples are numbered in `(family, sample)` training order — the same
+/// order the naive scan visits them — so best-match tie-breaking (first
+/// strictly-greatest score wins) is preserved exactly.
+#[derive(Debug, Clone, Default)]
+struct SigIndex {
+    samples: Vec<IndexedSample>,
+    /// `BlockSig → [(sample id, count of that signature in the sample)]`.
+    postings: HashMap<BlockSig, Vec<(u32, u32)>>,
+}
+
+/// The smallest integer `m` with `(m as f64 / block_count as f64) >=
+/// threshold`, computed by local search so it agrees bit-for-bit with
+/// the naive scan's comparison (`block_count + 1` when no `m` passes —
+/// thresholds above 1.0, or NaN).
+fn min_matched(threshold: f64, block_count: usize) -> u32 {
+    let bc = block_count as f64;
+    let unreachable = block_count as u64 + 1;
+    let guess = (threshold * bc).ceil();
+    let mut m = if guess.is_nan() || guess < 0.0 {
+        0
+    } else if guess >= unreachable as f64 {
+        unreachable
+    } else {
+        guess as u64
+    };
+    // Correct float rounding in either direction against the exact
+    // comparison the scorer performs.
+    while m > 0 && (m - 1) as f64 / bc >= threshold {
+        m -= 1;
+    }
+    // Deliberately the negation of the scorer's `>=`, not `<`: a NaN
+    // threshold compares false either way, and the negation keeps "m
+    // does not pass" and "m passes" exact complements.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    while m < unreachable && !(m as f64 / bc >= threshold) {
+        m += 1;
+    }
+    m as u32
+}
+
 /// The trained detector.
 ///
 /// # Example
@@ -186,19 +341,48 @@ pub struct FamilyMatch {
 /// let benign = CodeBinary::Dex(DexFile::new());
 /// assert!(detector.detect(&benign).is_none());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MalwareDetector {
     threshold: f64,
     families: Vec<(String, Vec<BinarySig>)>,
+    /// Route `detect_sig` through the quadratic reference scan instead
+    /// of the index (baselines and differential tests).
+    naive: bool,
+    /// Rebuilt after every `train` call and on deserialization.
+    index: SigIndex,
+    stats: DetectorCounters,
+}
+
+impl Serialize for MalwareDetector {
+    fn to_json(&self) -> serde::Value {
+        // The index is derived state: serialize only the trained model
+        // and rebuild the postings on the way back in.
+        serde::Value::Object(vec![
+            ("threshold".to_string(), self.threshold.to_json()),
+            ("families".to_string(), self.families.to_json()),
+            ("naive".to_string(), self.naive.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for MalwareDetector {
+    fn from_json(v: &serde::Value) -> Result<Self, serde::Error> {
+        let mut detector = MalwareDetector {
+            threshold: Deserialize::from_json(serde::__field(v, "threshold"))?,
+            families: Deserialize::from_json(serde::__field(v, "families"))?,
+            naive: Deserialize::from_json(serde::__field(v, "naive"))?,
+            index: SigIndex::default(),
+            stats: DetectorCounters::default(),
+        };
+        detector.rebuild_index();
+        Ok(detector)
+    }
 }
 
 impl MalwareDetector {
     /// Creates a detector with the paper's 90% threshold.
     pub fn new() -> Self {
-        MalwareDetector {
-            threshold: DEFAULT_THRESHOLD,
-            families: Vec::new(),
-        }
+        Self::with_threshold(DEFAULT_THRESHOLD)
     }
 
     /// Creates a detector with a custom threshold (ablation benches sweep
@@ -207,12 +391,31 @@ impl MalwareDetector {
         MalwareDetector {
             threshold,
             families: Vec::new(),
+            naive: false,
+            index: SigIndex::default(),
+            stats: DetectorCounters::default(),
         }
     }
 
     /// The active threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Routes [`MalwareDetector::detect_sig`] through the naive scan
+    /// (`true`) or the inverted index (`false`, the default).
+    pub fn set_naive(&mut self, naive: bool) {
+        self.naive = naive;
+    }
+
+    /// Whether detection runs the naive reference scan.
+    pub fn is_naive(&self) -> bool {
+        self.naive
+    }
+
+    /// A snapshot of the matcher counters.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats.snapshot()
     }
 
     /// Trains a family from sample binaries. Call once per family.
@@ -222,7 +425,47 @@ impl MalwareDetector {
             .map(BinarySig::build)
             .filter(|s| s.block_count() > 0)
             .collect();
+        self.train_sigs(family, sigs);
+    }
+
+    /// Trains a family from prebuilt signatures (synthetic corpora:
+    /// property tests and `detectbench`). Empty signatures are dropped,
+    /// mirroring [`MalwareDetector::train`].
+    pub fn train_sigs(&mut self, family: impl Into<String>, sigs: Vec<BinarySig>) {
+        let sigs: Vec<BinarySig> = sigs.into_iter().filter(|s| s.block_count() > 0).collect();
         self.families.push((family.into(), sigs));
+        self.rebuild_index();
+    }
+
+    /// Rebuilds the inverted index from the trained families. Each
+    /// sample's block multiset is folded into the postings exactly once,
+    /// at train time — never per detection.
+    fn rebuild_index(&mut self) {
+        let mut index = SigIndex::default();
+        for (fid, (_, samples)) in self.families.iter().enumerate() {
+            for sample in samples {
+                // Trivial training samples (< 2 blocks) over-match; the
+                // naive scan skips them, so the index omits them.
+                if sample.block_count() < 2 {
+                    continue;
+                }
+                let sid = index.samples.len() as u32;
+                let mut counts: HashMap<BlockSig, u32> =
+                    HashMap::with_capacity(sample.blocks.len());
+                for sig in &sample.blocks {
+                    *counts.entry(*sig).or_insert(0) += 1;
+                }
+                for (sig, count) in counts {
+                    index.postings.entry(sig).or_default().push((sid, count));
+                }
+                index.samples.push(IndexedSample {
+                    family: fid as u32,
+                    block_count: sample.block_count() as u32,
+                    min_matched: min_matched(self.threshold, sample.block_count()),
+                });
+            }
+        }
+        self.index = index;
     }
 
     /// Number of trained samples across all families.
@@ -247,8 +490,23 @@ impl MalwareDetector {
     }
 
     /// Detection over a prebuilt signature (for batch pipelines).
+    /// Dispatches to the indexed matcher, or the naive scan when
+    /// [`MalwareDetector::set_naive`] selected it; both return identical
+    /// verdicts.
     pub fn detect_sig(&self, test: &BinarySig) -> Option<FamilyMatch> {
+        if self.naive {
+            self.detect_sig_naive(test)
+        } else {
+            self.detect_sig_indexed(test)
+        }
+    }
+
+    /// The quadratic reference scan: every trained sample scored with
+    /// [`match_fraction`], rebuilding the test pool per sample. Kept as
+    /// the baseline for `detectbench` and the differential tests.
+    pub fn detect_sig_naive(&self, test: &BinarySig) -> Option<FamilyMatch> {
         let mut best: Option<FamilyMatch> = None;
+        let mut considered = 0u64;
         for (family, samples) in &self.families {
             for sample in samples {
                 // Guard against trivial training samples over-matching:
@@ -256,6 +514,7 @@ impl MalwareDetector {
                 if sample.block_count() < 2 {
                     continue;
                 }
+                considered += 1;
                 let score = match_fraction(&sample.blocks, &test.blocks);
                 if score >= self.threshold && best.as_ref().map(|b| score > b.score).unwrap_or(true)
                 {
@@ -266,7 +525,93 @@ impl MalwareDetector {
                 }
             }
         }
+        // The naive scan considers (and fully scores) every sample.
+        self.stats
+            .candidates
+            .fetch_add(considered, Ordering::Relaxed);
+        self.stats
+            .fully_scored
+            .fetch_add(considered, Ordering::Relaxed);
         best
+    }
+
+    /// The indexed matcher: build the test pool once, accumulate the
+    /// exact multiset-intersection size per candidate via the inverted
+    /// index, prune on the integer threshold bound, early-exit on an
+    /// exact 1.0.
+    fn detect_sig_indexed(&self, test: &BinarySig) -> Option<FamilyMatch> {
+        let index = &self.index;
+        if index.samples.is_empty() {
+            return None;
+        }
+        // The test binary's block pool, built once per detection — not
+        // once per trained sample.
+        let mut pool: HashMap<BlockSig, u32> = HashMap::with_capacity(test.blocks.len());
+        for sig in &test.blocks {
+            *pool.entry(*sig).or_insert(0) += 1;
+        }
+        // Single pass over the test's distinct signatures: only samples
+        // sharing a block ever get their accumulator touched. The sum of
+        // min(sample count, test count) over shared signatures is
+        // exactly `match_fraction`'s multiset-intersection numerator.
+        let mut matched = vec![0u32; index.samples.len()];
+        for (sig, &test_count) in &pool {
+            if let Some(postings) = index.postings.get(sig) {
+                for &(sid, sample_count) in postings {
+                    matched[sid as usize] += sample_count.min(test_count);
+                }
+            }
+        }
+        let mut candidates = 0u64;
+        let mut pruned = 0u64;
+        let mut fully_scored = 0u64;
+        let mut early_exit = false;
+        let mut best: Option<(u32, f64)> = None;
+        // Candidates visited in training order — the naive scan's order —
+        // so equal-score tie-breaking picks the same sample.
+        for (sid, sample) in index.samples.iter().enumerate() {
+            let m = matched[sid];
+            if m > 0 {
+                candidates += 1;
+            }
+            if m < sample.min_matched {
+                // The accumulated count cannot reach threshold ×
+                // block_count: skip without computing a score. Samples
+                // with m == 0 were never real candidates (a zero score
+                // can still pass a non-positive threshold, which is why
+                // the bound — not `m > 0` — gates the skip).
+                if m > 0 {
+                    pruned += 1;
+                }
+                continue;
+            }
+            fully_scored += 1;
+            let score = f64::from(m) / f64::from(sample.block_count);
+            // Identical comparison to the naive scan (also the NaN
+            // backstop: `score >= NaN` is false).
+            if score >= self.threshold && best.map(|(_, b)| score > b).unwrap_or(true) {
+                best = Some((sample.family, score));
+                if m == sample.block_count {
+                    // Exact 1.0: no later sample can strictly beat it.
+                    early_exit = true;
+                    break;
+                }
+            }
+        }
+        self.stats
+            .candidates
+            .fetch_add(candidates, Ordering::Relaxed);
+        self.stats.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.stats
+            .fully_scored
+            .fetch_add(fully_scored, Ordering::Relaxed);
+        if early_exit {
+            self.stats.early_exits.fetch_add(1, Ordering::Relaxed);
+        }
+        best.map(|(fid, score)| FamilyMatch {
+            family: self.families[fid as usize].0.clone(),
+            score,
+        })
     }
 }
 
@@ -466,6 +811,123 @@ mod tests {
         assert!(sig.block_count() > 0);
         assert_eq!(hit, d.detect_sig(&sig), "signature reuse matches detect");
         assert_eq!(hit, d.detect(&variant));
+    }
+
+    #[test]
+    fn min_matched_agrees_with_float_comparison() {
+        for &bc in &[1usize, 2, 3, 7, 10, 90, 1000] {
+            for &threshold in &[-1.0, 0.0, 0.25, 0.5, 0.9, 0.99, 1.0, 1.5] {
+                let m = min_matched(threshold, bc) as usize;
+                // Everything below m fails the scorer's comparison;
+                // m itself (when reachable) passes.
+                for k in 0..m.min(bc + 1) {
+                    assert!(
+                        (k as f64 / bc as f64) < threshold,
+                        "k={k} bc={bc} t={threshold}"
+                    );
+                }
+                if m <= bc {
+                    assert!(
+                        m as f64 / bc as f64 >= threshold,
+                        "m={m} bc={bc} t={threshold}"
+                    );
+                }
+            }
+            // NaN: nothing passes.
+            assert_eq!(min_matched(f64::NAN, bc) as usize, bc + 1);
+        }
+    }
+
+    #[test]
+    fn indexed_and_naive_verdicts_agree() {
+        let mut d = MalwareDetector::new();
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        d.train(
+            "chathook_ptrace",
+            &[CodeBinary::Native(ptrace_lib("com.tencent.mobileqq"))],
+        );
+        let mut naive = d.clone();
+        naive.set_naive(true);
+        assert!(!d.is_naive());
+        assert!(naive.is_naive());
+        for binary in [
+            CodeBinary::Dex(mal_dex("com.other", 42)),
+            CodeBinary::Dex(benign_dex()),
+            CodeBinary::Native(ptrace_lib("com.tencent.mm")),
+            CodeBinary::Dex(DexFile::new()),
+        ] {
+            let sig = BinarySig::build(&binary);
+            assert_eq!(d.detect_sig(&sig), naive.detect_sig(&sig));
+        }
+    }
+
+    #[test]
+    fn index_prunes_disjoint_samples() {
+        let block = |p| BlockSig {
+            pattern: p,
+            out_degree: 1,
+        };
+        let mut d = MalwareDetector::new();
+        d.train_sigs(
+            "fam_a",
+            vec![BinarySig::from_blocks(vec![block(1), block(2)])],
+        );
+        d.train_sigs(
+            "fam_b",
+            vec![BinarySig::from_blocks(vec![block(3), block(4)])],
+        );
+        // Shares one block with fam_a, none with fam_b.
+        let test = BinarySig::from_blocks(vec![block(1), block(9)]);
+        assert!(d.detect_sig(&test).is_none(), "50% < 90% threshold");
+        let stats = d.stats();
+        assert_eq!(stats.candidates, 1, "fam_b never becomes a candidate");
+        assert_eq!(stats.pruned, 1, "fam_a pruned by the threshold bound");
+        assert_eq!(stats.fully_scored, 0);
+    }
+
+    #[test]
+    fn exact_match_exits_early() {
+        let block = |p| BlockSig {
+            pattern: p,
+            out_degree: 1,
+        };
+        let sample = vec![block(1), block(2), block(3)];
+        let mut d = MalwareDetector::new();
+        d.train_sigs("fam", vec![BinarySig::from_blocks(sample.clone())]);
+        d.train_sigs("fam2", vec![BinarySig::from_blocks(sample.clone())]);
+        let hit = d
+            .detect_sig(&BinarySig::from_blocks(sample))
+            .expect("exact match");
+        assert_eq!(hit.family, "fam", "first perfect sample wins");
+        assert_eq!(hit.score, 1.0);
+        assert_eq!(d.stats().early_exits, 1);
+    }
+
+    #[test]
+    fn detector_roundtrips_with_index_rebuilt() {
+        let mut d = MalwareDetector::with_threshold(0.8);
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        let json = serde_json::to_string(&d).expect("serialise detector");
+        let back: MalwareDetector = serde_json::from_str(&json).expect("deserialise detector");
+        assert_eq!(back.threshold(), 0.8);
+        assert_eq!(back.sample_count(), d.sample_count());
+        // The rebuilt index must detect exactly like the original.
+        let sig = BinarySig::build(&CodeBinary::Dex(mal_dex("x.y", 7)));
+        assert_eq!(back.detect_sig(&sig), d.detect_sig(&sig));
+        assert!(back.detect_sig(&sig).is_some());
+    }
+
+    #[test]
+    fn detector_stats_since_subtracts() {
+        let mut d = MalwareDetector::new();
+        d.train("swiss_sms", &[CodeBinary::Dex(mal_dex("com.m", 1))]);
+        let sig = BinarySig::build(&CodeBinary::Dex(mal_dex("a.b", 2)));
+        let _ = d.detect_sig(&sig);
+        let mark = d.stats();
+        let _ = d.detect_sig(&sig);
+        let delta = d.stats().since(&mark);
+        assert_eq!(delta.candidates, 1);
+        assert_eq!(delta.fully_scored, 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod taint;
 pub mod vuln;
 pub mod wordlist;
 
-pub use acfg::{Acfg, FamilyMatch, MalwareDetector};
+pub use acfg::{Acfg, BinarySig, BlockSig, DetectorStats, FamilyMatch, MalwareDetector};
 pub use decompiler::{DecompileError, DecompiledApp};
 pub use entity::Entity;
 pub use filter::DclFilter;

@@ -53,11 +53,13 @@ impl<'a> Vm<'a> {
     }
 
     /// The class of the innermost app frame (the DCL call site).
-    pub fn caller_class(&self) -> String {
+    /// Borrowed — hook sites that only inspect the class pay no
+    /// allocation; those that store it convert exactly once.
+    pub fn caller_class(&self) -> &str {
         self.call_stack
             .last()
-            .map(|(c, _)| c.clone())
-            .unwrap_or_else(|| "<none>".to_string())
+            .map(|(c, _)| c.as_str())
+            .unwrap_or("<none>")
     }
 
     /// The app stack trace, innermost first, as `class->method` strings.

@@ -128,7 +128,7 @@ pub fn dispatch(vm: &mut Vm<'_>, mref: &MethodRef, args: &[Value]) -> Result<Val
             if actual != expected {
                 // Log the refused load so the measurement sees it.
                 let pkg = vm.package().to_string();
-                let call_site = vm.caller_class();
+                let call_site = vm.caller_class().to_string();
                 let stack = vm.stack_trace();
                 vm.device.log.push(Event::Dcl(DclEvent {
                     kind: DclKind::DexClassLoader,
@@ -687,7 +687,7 @@ pub fn dispatch(vm: &mut Vm<'_>, mref: &MethodRef, args: &[Value]) -> Result<Val
         }
         ("android.content.ContentResolver", "query") => {
             let uri = str_arg(args, 0, "uri").or_else(|_| str_arg(args, 1, "uri"))?;
-            let caller = vm.caller_class();
+            let caller = vm.caller_class().to_string();
             let pkg = vm.package().to_string();
             vm.device.log.push(Event::Api {
                 class: class.to_string(),
@@ -789,7 +789,7 @@ pub fn dispatch(vm: &mut Vm<'_>, mref: &MethodRef, args: &[Value]) -> Result<Val
 }
 
 fn log_api(vm: &mut Vm<'_>, class: &str, method: &str) {
-    let caller = vm.caller_class();
+    let caller = vm.caller_class().to_string();
     let pkg = vm.package().to_string();
     vm.device.log.push(Event::Api {
         class: class.to_string(),
@@ -872,7 +872,7 @@ fn dex_load(
         return Ok(());
     }
     let pkg = vm.package().to_string();
-    let call_site = vm.caller_class();
+    let call_site = vm.caller_class().to_string();
     let stack = vm.stack_trace();
 
     let bytes = vm.device.fs.read(dex_path).map(<[u8]>::to_vec);
@@ -916,7 +916,7 @@ fn dex_load(
 fn native_load(vm: &mut Vm<'_>, path: &str, kind: DclKind) -> Result<(), Exec> {
     let system = paths::is_system(path);
     let pkg = vm.package().to_string();
-    let call_site = vm.caller_class();
+    let call_site = vm.caller_class().to_string();
     let stack = vm.stack_trace();
 
     let bytes = vm

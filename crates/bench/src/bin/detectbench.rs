@@ -1,0 +1,304 @@
+//! rebar-style detection benchmark: trains a synthetic multi-family
+//! detector, then runs the same test set through the **naive quadratic
+//! scan** and the **inverted block index** (sequentially and fanned over
+//! a thread pool), verifies all three produce identical verdicts, and
+//! emits a `BENCH_detect.json` perf record with the index's pruning
+//! counters so future changes have a regression trajectory.
+//!
+//! ```text
+//! detectbench [--families N] [--samples M] [--tests T] [--blocks B]
+//!             [--threshold F] [--seed S] [--out PATH] [--skip-naive]
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use dydroid_analysis::{BinarySig, BlockSig, FamilyMatch, MalwareDetector};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Args {
+    families: usize,
+    samples: usize,
+    tests: usize,
+    blocks: usize,
+    threshold: f64,
+    seed: u64,
+    out: String,
+    skip_naive: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        families: 12,
+        samples: 8,
+        tests: 400,
+        blocks: 300,
+        threshold: dydroid_analysis::acfg::DEFAULT_THRESHOLD,
+        seed: 0xD37EC7,
+        out: "BENCH_detect.json".to_string(),
+        skip_naive: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
+        };
+        match arg.as_str() {
+            "--families" => args.families = num("--families"),
+            "--samples" => args.samples = num("--samples"),
+            "--tests" => args.tests = num("--tests"),
+            "--blocks" => args.blocks = num("--blocks"),
+            "--threshold" => {
+                args.threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold needs a float"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--skip-naive" => args.skip_naive = true,
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+const USAGE: &str = "detectbench [--families N] [--samples M] [--tests T] [--blocks B] \
+[--threshold F] [--seed S] [--out PATH] [--skip-naive]";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+/// A family's base signature: variants of one family mutate this shared
+/// block sequence, so intra-family overlap is high and cross-family
+/// overlap is negligible — the shape real ACFG signatures have.
+fn family_base(rng: &mut ChaCha8Rng, blocks: usize) -> Vec<BlockSig> {
+    (0..blocks)
+        .map(|_| BlockSig {
+            pattern: rng.next_u64(),
+            out_degree: (rng.next_u64() % 3) as u8,
+        })
+        .collect()
+}
+
+/// One variant: the family base with each position independently
+/// replaced by a fresh random block with probability `mutation`.
+fn variant(rng: &mut ChaCha8Rng, base: &[BlockSig], mutation: f64) -> BinarySig {
+    let sigs = base
+        .iter()
+        .map(|&b| {
+            if rng.gen_bool(mutation) {
+                BlockSig {
+                    pattern: rng.next_u64(),
+                    out_degree: (rng.next_u64() % 3) as u8,
+                }
+            } else {
+                b
+            }
+        })
+        .collect();
+    BinarySig::from_blocks(sigs)
+}
+
+/// A test binary unrelated to every family (fresh random blocks).
+fn benign(rng: &mut ChaCha8Rng, blocks: usize) -> BinarySig {
+    let sigs = (0..blocks)
+        .map(|_| BlockSig {
+            pattern: rng.next_u64(),
+            out_degree: (rng.next_u64() % 3) as u8,
+        })
+        .collect();
+    BinarySig::from_blocks(sigs)
+}
+
+/// Runs every test through `detect` and returns verdicts + wall ms.
+fn timed_pass<F>(tests: &[BinarySig], detect: F) -> (Vec<Option<FamilyMatch>>, u64)
+where
+    F: Fn(&BinarySig) -> Option<FamilyMatch>,
+{
+    let t0 = Instant::now();
+    let verdicts = tests.iter().map(detect).collect();
+    (verdicts, t0.elapsed().as_millis() as u64)
+}
+
+/// Fans the test set over `workers` threads against the shared detector
+/// (the detection API is `&self`; counters are atomic).
+fn timed_parallel(
+    detector: &MalwareDetector,
+    tests: &[BinarySig],
+    workers: usize,
+) -> (Vec<Option<FamilyMatch>>, u64) {
+    let t0 = Instant::now();
+    let slots: Vec<std::sync::Mutex<Option<FamilyMatch>>> =
+        tests.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tests.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = detector.detect_sig(&tests[i]);
+            });
+        }
+    })
+    .expect("detection workers");
+    let verdicts = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap())
+        .collect();
+    (verdicts, t0.elapsed().as_millis() as u64)
+}
+
+fn verdicts_identical(a: &[Option<FamilyMatch>], b: &[Option<FamilyMatch>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (None, None) => true,
+            (Some(x), Some(y)) => x.family == y.family && x.score.to_bits() == y.score.to_bits(),
+            _ => false,
+        })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+
+    eprintln!(
+        "detectbench: training {} families x {} samples ({} blocks each) ...",
+        args.families, args.samples, args.blocks
+    );
+    let mut detector = MalwareDetector::with_threshold(args.threshold);
+    let mut bases = Vec::with_capacity(args.families);
+    for f in 0..args.families {
+        let base = family_base(&mut rng, args.blocks);
+        let sigs = (0..args.samples)
+            .map(|_| variant(&mut rng, &base, 0.02))
+            .collect();
+        detector.train_sigs(format!("family_{f:02}"), sigs);
+        bases.push(base);
+    }
+
+    // Test set: half unseen family variants (mutation 1-12%, so scores
+    // straddle the 0.9 default threshold), half unrelated binaries.
+    let tests: Vec<BinarySig> = (0..args.tests)
+        .map(|i| {
+            if i % 2 == 0 {
+                let base = &bases[rng.gen_range(0..bases.len())];
+                let mutation = 0.01 + 0.11 * (i % 11) as f64 / 10.0;
+                variant(&mut rng, base, mutation)
+            } else {
+                benign(&mut rng, args.blocks)
+            }
+        })
+        .collect();
+    eprintln!(
+        "detectbench: {} tests against {} samples",
+        tests.len(),
+        detector.sample_count()
+    );
+
+    let mark = detector.stats();
+    eprintln!("detectbench: indexed sequential pass ...");
+    let (indexed, indexed_ms) = timed_pass(&tests, |t| detector.detect_sig(t));
+    let stats = detector.stats().since(&mark);
+    let hits = indexed.iter().filter(|v| v.is_some()).count();
+    eprintln!(
+        "detectbench: {} / {} flagged; {} candidates, {} pruned, {} fully scored, {} early exits",
+        hits,
+        tests.len(),
+        stats.candidates,
+        stats.pruned,
+        stats.fully_scored,
+        stats.early_exits
+    );
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    eprintln!("detectbench: indexed parallel pass ({workers} workers) ...");
+    let (par, parallel_ms) = timed_parallel(&detector, &tests, workers);
+    if !verdicts_identical(&indexed, &par) {
+        eprintln!("detectbench: FAIL — parallel and sequential verdicts differ");
+        std::process::exit(1);
+    }
+
+    let counters = serde_json::json!({
+        "candidates": stats.candidates,
+        "pruned": stats.pruned,
+        "fully_scored": stats.fully_scored,
+        "early_exits": stats.early_exits,
+    });
+    let mut doc = serde_json::json!({
+        "bench": "detect",
+        "families": args.families,
+        "samples_per_family": args.samples,
+        "blocks_per_sample": args.blocks,
+        "tests": args.tests,
+        "threshold": args.threshold,
+        "seed": args.seed,
+        "workers": workers,
+        "flagged": hits,
+        "indexed_ms": indexed_ms,
+        "parallel_ms": parallel_ms,
+        "counters": counters,
+    });
+
+    if !args.skip_naive {
+        eprintln!("detectbench: naive quadratic pass ...");
+        let (naive, naive_ms) = timed_pass(&tests, |t| detector.detect_sig_naive(t));
+        // The index must not change a single verdict bit.
+        if !verdicts_identical(&indexed, &naive) {
+            eprintln!("detectbench: FAIL — indexed and naive verdicts differ");
+            std::process::exit(1);
+        }
+        eprintln!("detectbench: verdicts identical across all passes");
+        let speedup = if indexed_ms == 0 {
+            naive_ms as f64
+        } else {
+            naive_ms as f64 / indexed_ms as f64
+        };
+        let parallel_speedup = if parallel_ms == 0 {
+            naive_ms as f64
+        } else {
+            naive_ms as f64 / parallel_ms as f64
+        };
+        eprintln!(
+            "detectbench: naive {naive_ms} ms -> indexed {indexed_ms} ms ({speedup:.2}x), \
+parallel {parallel_ms} ms ({parallel_speedup:.2}x)"
+        );
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.push(("naive_ms".to_string(), serde_json::json!(naive_ms)));
+            map.push(("speedup".to_string(), serde_json::json!(speedup)));
+            map.push((
+                "parallel_speedup".to_string(),
+                serde_json::json!(parallel_speedup),
+            ));
+        }
+    }
+
+    let mut f = std::fs::File::create(&args.out).expect("create bench output");
+    f.write_all(
+        serde_json::to_string_pretty(&doc)
+            .expect("serialise")
+            .as_bytes(),
+    )
+    .expect("write bench output");
+    eprintln!("detectbench: wrote {}", args.out);
+}

@@ -44,6 +44,10 @@ pub struct PipelineConfig {
     /// decompile per app. Kept for differential tests and the
     /// `sweepbench` baseline.
     pub serial_env_reruns: bool,
+    /// Route malware detection through the quadratic naive scan instead
+    /// of the inverted block index. Kept for differential tests and the
+    /// `detectbench` baseline; verdicts are identical either way.
+    pub naive_detector: bool,
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +65,7 @@ impl Default for PipelineConfig {
             analysis_cache: true,
             cache_shards: 0,
             serial_env_reruns: false,
+            naive_detector: false,
         }
     }
 }
@@ -109,6 +114,7 @@ mod tests {
         assert!(c.analysis_cache);
         assert_eq!(c.cache_shards, 0);
         assert!(!c.serial_env_reruns);
+        assert!(!c.naive_detector);
     }
 
     #[test]

@@ -174,9 +174,11 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Creates a pipeline, training the reference malware detector.
+    /// Creates a pipeline, training the reference malware detector (the
+    /// inverted block index is built once here, at train time).
     pub fn new(config: PipelineConfig) -> Self {
-        let detector = training::reference_detector(config.malware_threshold);
+        let mut detector = training::reference_detector(config.malware_threshold);
+        detector.set_naive(config.naive_detector);
         let cache = if config.analysis_cache {
             AnalysisCache::new(config.cache_shards)
         } else {
@@ -200,17 +202,31 @@ impl Pipeline {
         self.cache.stats()
     }
 
+    /// A snapshot of the signature-matcher counters (monotonic; see
+    /// [`dydroid_analysis::DetectorStats::since`] for per-run deltas).
+    pub fn detector_stats(&self) -> dydroid_analysis::DetectorStats {
+        self.detector.stats()
+    }
+
     /// Runs the full measurement over a corpus, in parallel, and returns
     /// the aggregated report. Per-app failures (panics, deadlines) are
     /// isolated into [`DynamicStatus::AnalysisFailure`] records; the
     /// sweep itself always completes.
     pub fn run(&self, corpus: &[SyntheticApp]) -> MeasurementReport {
         let cache_mark = self.cache.stats();
+        let detector_mark = self.detector.stats();
         let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let results = self.sweep(corpus, &indices, None);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
-        self.assemble(corpus, results, HashMap::new(), sweep_ms, cache_mark)
+        self.assemble(
+            corpus,
+            results,
+            HashMap::new(),
+            sweep_ms,
+            cache_mark,
+            detector_mark,
+        )
     }
 
     /// Like [`Pipeline::run`], but streams every completed record to
@@ -236,10 +252,11 @@ impl Pipeline {
             .collect();
         let writer = Mutex::new(journal.writer()?);
         let cache_mark = self.cache.stats();
+        let detector_mark = self.detector.stats();
         let sweep_start = Instant::now();
         let results = self.sweep(corpus, &pending, Some(&writer));
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
-        Ok(self.assemble(corpus, results, done, sweep_ms, cache_mark))
+        Ok(self.assemble(corpus, results, done, sweep_ms, cache_mark, detector_mark))
     }
 
     /// The parallel worker loop. Each worker pulls indices off the task
@@ -312,6 +329,7 @@ impl Pipeline {
         mut done: HashMap<String, AppRecord>,
         sweep_ms: u64,
         cache_mark: CacheStats,
+        detector_mark: dydroid_analysis::DetectorStats,
     ) -> MeasurementReport {
         for (i, record) in results {
             if let Some(app) = corpus.get(i) {
@@ -337,6 +355,7 @@ impl Pipeline {
             env_ms: env_start.elapsed().as_millis() as u64,
             analyzed_apps: records.len(),
             cache: self.cache.stats().since(&cache_mark),
+            detector: self.detector.stats().since(&detector_mark),
         };
         let mut report = MeasurementReport::new(records, env);
         report.set_stats(stats);
@@ -682,23 +701,34 @@ impl Pipeline {
         // Static analysis of intercepted binaries: each path analysed
         // once per app however many times it was loaded, and — through
         // the content-addressed cache — each unique byte content
-        // analysed once per *sweep* however many apps load it.
+        // analysed once per *sweep* however many apps load it. The
+        // batch hands cold payloads to a small worker fan-out so their
+        // detections (the indexed matcher) resolve in parallel.
         let mut seen_paths: HashSet<&str> = HashSet::new();
+        let unique: Vec<_> = device
+            .hooks
+            .intercepted()
+            .iter()
+            .filter(|binary| seen_paths.insert(binary.path.as_str()))
+            .collect();
+        let contents: Vec<&[u8]> = unique.iter().map(|b| b.data.as_slice()).collect();
+        let taint = TaintAnalysis::new();
+        let verdicts = self.cache.analyze_batch(
+            &contents,
+            &self.detector,
+            &taint,
+            self.config.effective_workers().min(BATCH_ANALYSIS_WORKERS),
+        );
         let mut malware = Vec::new();
         let mut leaks: Vec<Leak> = Vec::new();
         let mut leak_seen: HashSet<Leak> = HashSet::new();
         let mut leak_classes: HashMap<PrivacyType, Vec<String>> = HashMap::new();
-        let taint = TaintAnalysis::new();
-        for binary in device.hooks.intercepted() {
-            if !seen_paths.insert(binary.path.as_str()) {
-                continue;
-            }
-            let verdict = self.cache.analyze(&binary.data, &self.detector, &taint);
+        for (binary, verdict) in unique.iter().zip(&verdicts) {
             let BinaryVerdict::Parsed {
                 native,
                 malware: family_hit,
                 leaks: binary_leaks,
-            } = &*verdict
+            } = &**verdict
             else {
                 continue;
             };
@@ -750,6 +780,12 @@ impl Pipeline {
 /// Manifest-entry ceiling of the resource-sanity guard (permissions +
 /// components); real store apps sit orders of magnitude below this.
 pub const MANIFEST_SANITY_LIMIT: usize = 4_096;
+
+/// Per-app ceiling on the batch-analysis fan-out. Each sweep worker may
+/// open its own batch, so this stays small to bound transient
+/// oversubscription; the fan-out only happens when an app produced at
+/// least two distinct cold payloads.
+pub const BATCH_ANALYSIS_WORKERS: usize = 4;
 
 /// Mixed into the Monkey seed on reseeded retry attempts.
 const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;

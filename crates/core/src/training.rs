@@ -61,6 +61,26 @@ mod tests {
     }
 
     #[test]
+    fn reference_detector_survives_serialization() {
+        // The inverted block index is derived state: it is excluded from
+        // the serialized form and rebuilt on deserialize, so a reloaded
+        // detector must reproduce the original verdicts exactly.
+        let detector = reference_detector(0.9);
+        let json = serde_json::to_string(&detector).expect("serialize");
+        let reloaded: MalwareDetector = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(reloaded.sample_count(), detector.sample_count());
+        assert!(!reloaded.is_naive());
+        let (dex, _) = dydroid_workload::emit::swiss_payload(7);
+        let probe = CodeBinary::Dex(dex);
+        let before = detector.detect(&probe).expect("swiss variant");
+        let after = reloaded.detect(&probe).expect("swiss variant after reload");
+        assert_eq!(after.family, before.family);
+        assert_eq!(after.score.to_bits(), before.score.to_bits());
+        let benign = dydroid_workload::emit::trivial_native("libengine.so");
+        assert!(reloaded.detect(&CodeBinary::Native(benign)).is_none());
+    }
+
+    #[test]
     fn detector_passes_benign_payloads() {
         let detector = reference_detector(0.9);
         let ad = dydroid_workload::emit::ad_payload("com.google.ads.dynamic.AdContent");

@@ -1,7 +1,7 @@
-//! Differential tests for the content-addressed analysis cache and the
-//! parallel environment re-runs: the optimizations must not change a
-//! single measured byte, and the cache must analyse each unique
-//! intercepted binary exactly once.
+//! Differential tests for the content-addressed analysis cache, the
+//! parallel environment re-runs, and the indexed signature matcher: the
+//! optimizations must not change a single measured byte, and the cache
+//! must analyse each unique intercepted binary exactly once.
 
 use dydroid::environment::{rerun_all, rerun_all_serial};
 use dydroid::{Pipeline, PipelineConfig};
@@ -46,6 +46,45 @@ fn cached_sweep_report_is_byte_identical_to_uncached() {
     assert_eq!(
         cached_json, uncached_json,
         "cache + parallel re-runs changed the measured results"
+    );
+}
+
+/// The indexed matcher invariant: routing detection through the
+/// inverted block index (the default) yields a report byte-identical to
+/// the naive quadratic scan, at the paper's 90% match threshold where
+/// near-boundary variant scores decide verdicts.
+#[test]
+fn indexed_detector_report_is_byte_identical_to_naive() {
+    let corpus = tiny_corpus();
+
+    let indexed_pipeline = Pipeline::new(cached_config());
+    let indexed = indexed_pipeline.run(&corpus);
+    let naive_pipeline = Pipeline::new(PipelineConfig {
+        naive_detector: true,
+        ..PipelineConfig::default()
+    });
+    let naive = naive_pipeline.run(&corpus);
+
+    let indexed_json = serde_json::to_string(&indexed).expect("serialise indexed report");
+    let naive_json = serde_json::to_string(&naive).expect("serialise naive report");
+    assert_eq!(
+        indexed_json, naive_json,
+        "indexed signature matching changed the measured results"
+    );
+
+    // The index actually ran (and pruned) on the default path, while the
+    // naive path considered every sample and pruned nothing.
+    let istats = indexed_pipeline.detector_stats();
+    let nstats = naive_pipeline.detector_stats();
+    assert!(istats.candidates > 0, "indexed path saw no candidates");
+    assert!(
+        istats.fully_scored <= istats.candidates,
+        "scored candidates cannot exceed generated ones"
+    );
+    assert_eq!(nstats.pruned, 0, "naive scan must not prune");
+    assert!(
+        nstats.candidates >= istats.candidates,
+        "the index must not consider more samples than the naive scan"
     );
 }
 
