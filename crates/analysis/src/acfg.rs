@@ -238,6 +238,17 @@ impl DetectorStats {
             early_exits: self.early_exits - earlier.early_exits,
         }
     }
+
+    /// Fraction of candidates the threshold bound eliminated without a
+    /// full score, in `[0, 1]` (0 when no candidates were generated) —
+    /// the telemetry layer's headline pruning-effectiveness figure.
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
 }
 
 /// Interior-mutable counters behind the `&self` detection API.

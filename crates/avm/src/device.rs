@@ -90,6 +90,7 @@ pub struct Device {
     pub log: EventLog,
     api_level: u32,
     installed: HashMap<String, InstalledApp>,
+    instructions_retired: u64,
 }
 
 impl Device {
@@ -110,12 +111,27 @@ impl Device {
             log: EventLog::new(),
             api_level: config.api_level,
             installed: HashMap::new(),
+            instructions_retired: 0,
         }
     }
 
     /// The device API level.
     pub fn api_level(&self) -> u32 {
         self.api_level
+    }
+
+    /// Total interpreter instructions retired on this device, across
+    /// every process and callback. Feeds the pipeline's telemetry layer
+    /// (processes are created and dropped inside the Monkey, so their
+    /// per-process counters are invisible to the caller).
+    pub fn instructions_retired(&self) -> u64 {
+        self.instructions_retired
+    }
+
+    /// Accumulates retired instructions (called by the interpreter when
+    /// an entry point returns).
+    pub(crate) fn charge_instructions(&mut self, used: u64) {
+        self.instructions_retired += used;
     }
 
     /// Whether any network path is available: mobile data unless airplane
@@ -240,6 +256,7 @@ impl Device {
     /// Returns whether the app observes success.
     pub fn app_delete(&mut self, pkg: &str, path: &str) -> bool {
         if self.hooks.should_block_file_op(path) {
+            self.hooks.note_blocked_op();
             self.log.push(Event::File {
                 op: crate::events::FileOp::Delete,
                 path: path.to_string(),
@@ -278,6 +295,7 @@ impl Device {
     /// Returns whether the app observes success.
     pub fn app_rename(&mut self, pkg: &str, from: &str, to: &str) -> bool {
         if self.hooks.should_block_file_op(from) {
+            self.hooks.note_blocked_op();
             self.log.push(Event::File {
                 op: crate::events::FileOp::Rename,
                 path: from.to_string(),

@@ -47,6 +47,8 @@ pub struct Instrumentation {
     intercepted: Vec<InterceptedBinary>,
     /// The download tracker's flow graph.
     pub flow: FlowGraph,
+    hook_fires: u64,
+    blocked_ops: u64,
 }
 
 impl Default for Instrumentation {
@@ -57,6 +59,8 @@ impl Default for Instrumentation {
             queue: Vec::new(),
             intercepted: Vec::new(),
             flow: FlowGraph::new(),
+            hook_fires: 0,
+            blocked_ops: 0,
         }
     }
 }
@@ -72,10 +76,31 @@ impl Instrumentation {
         if !self.enabled {
             return;
         }
+        self.hook_fires += 1;
         if !self.queue.contains(&binary.path) {
             self.queue.push(binary.path.clone());
         }
         self.intercepted.push(binary);
+    }
+
+    /// Total interception-hook fires on this device. Monotonic — unlike
+    /// the queue and captures, [`Instrumentation::reset`] does not clear
+    /// it, so the telemetry layer can read whole-run totals.
+    pub fn fire_count(&self) -> u64 {
+        self.hook_fires
+    }
+
+    /// Total delete/rename operations the mutual-exclusion hook silently
+    /// blocked. Monotonic, like [`Instrumentation::fire_count`].
+    pub fn blocked_ops(&self) -> u64 {
+        self.blocked_ops
+    }
+
+    /// Notes one silently blocked file operation (called by the device's
+    /// delete/rename paths after [`Instrumentation::should_block_file_op`]
+    /// decides to suppress).
+    pub(crate) fn note_blocked_op(&mut self) {
+        self.blocked_ops += 1;
     }
 
     /// Whether a delete/rename of `path` must be silently blocked.
@@ -153,6 +178,23 @@ mod tests {
         h.intercept(bin("/x"));
         assert_eq!(h.queued_paths().len(), 1);
         assert_eq!(h.intercepted().len(), 2);
+    }
+
+    #[test]
+    fn telemetry_counters_survive_reset() {
+        let mut h = Instrumentation::new();
+        h.intercept(bin("/x"));
+        h.intercept(bin("/x"));
+        h.note_blocked_op();
+        assert_eq!(h.fire_count(), 2);
+        assert_eq!(h.blocked_ops(), 1);
+        h.reset();
+        assert_eq!(h.fire_count(), 2, "monotonic across reset");
+        assert_eq!(h.blocked_ops(), 1);
+        // Disabled instrumentation never counts a fire.
+        h.enabled = false;
+        h.intercept(bin("/y"));
+        assert_eq!(h.fire_count(), 2);
     }
 
     #[test]

@@ -78,6 +78,18 @@ impl<'a> Vm<'a> {
     ///
     /// Returns the [`Exec`] outcome of any in-app failure.
     pub fn call_entry(&mut self, class: &str, method: &str) -> Result<Value, Exec> {
+        let fuel_at_entry = self.fuel;
+        let result = self.call_entry_inner(class, method);
+        // Charge the device-level instruction counter on the way out —
+        // whatever the outcome — so the telemetry layer sees retired
+        // instructions even though processes are dropped inside the
+        // Monkey before the pipeline can read them.
+        self.device
+            .charge_instructions(fuel_at_entry.saturating_sub(self.fuel));
+        result
+    }
+
+    fn call_entry_inner(&mut self, class: &str, method: &str) -> Result<Value, Exec> {
         let def = self
             .proc
             .find_class(class)

@@ -115,10 +115,17 @@ fn main() {
     let apps = corpus.len();
     eprintln!("sweepbench: {apps} apps");
 
-    let cached_config = PipelineConfig::default();
+    // Telemetry off in both variants: this benchmark is the PR-over-PR
+    // perf trajectory, so it measures the disabled-telemetry fast path
+    // (tracebench owns the enabled-vs-disabled comparison).
+    let cached_config = PipelineConfig {
+        telemetry: false,
+        ..PipelineConfig::default()
+    };
     let baseline_config = PipelineConfig {
         analysis_cache: false,
         serial_env_reruns: true,
+        telemetry: false,
         ..PipelineConfig::default()
     };
 

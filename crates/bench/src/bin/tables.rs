@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
-//!        [--journal PATH] [--resume]
+//!        [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
@@ -13,6 +13,12 @@
 //! checkpoint file; with `--resume` a previous journal's apps are skipped
 //! instead of re-analysed (without it the journal is reset first), so a
 //! killed sweep picks up where it left off.
+//!
+//! Observability: `--perf-json PATH` writes the perf stats and the full
+//! metrics snapshot (counters, gauges, per-phase histograms) as JSON;
+//! `--trace-out PATH` writes a Chrome `trace_event` file loadable in
+//! chrome://tracing or Perfetto; `--progress` prints a periodic one-line
+//! sweep progress report to stderr.
 
 use std::io::Write as _;
 
@@ -28,6 +34,9 @@ struct Args {
     json: Option<String>,
     journal: Option<String>,
     resume: bool,
+    perf_json: Option<String>,
+    trace_out: Option<String>,
+    progress: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +49,9 @@ fn parse_args() -> Args {
         json: None,
         journal: None,
         resume: false,
+        perf_json: None,
+        trace_out: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -78,6 +90,13 @@ fn parse_args() -> Args {
             "--json" => args.json = it.next().or_else(|| usage("--json needs a path")),
             "--journal" => args.journal = it.next().or_else(|| usage("--journal needs a path")),
             "--resume" => args.resume = true,
+            "--perf-json" => {
+                args.perf_json = it.next().or_else(|| usage("--perf-json needs a path"));
+            }
+            "--trace-out" => {
+                args.trace_out = it.next().or_else(|| usage("--trace-out needs a path"));
+            }
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 std::process::exit(0);
@@ -95,7 +114,7 @@ fn parse_args() -> Args {
 }
 
 const USAGE: &str = "tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] \
-[--json PATH] [--journal PATH] [--resume]";
+[--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -119,6 +138,8 @@ fn main() {
     let needs_env = args.all || args.tables.contains(&8);
     let pipeline = Pipeline::new(PipelineConfig {
         environment_reruns: needs_env,
+        progress: args.progress,
+        trace_out: args.trace_out.clone(),
         ..Default::default()
     });
     let t1 = std::time::Instant::now();
@@ -186,5 +207,25 @@ fn main() {
         )
         .expect("write json output");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = args.perf_json {
+        // One serialization path for all perf facts: the stats struct
+        // (excluded from report JSON) plus the raw metrics snapshot.
+        let perf = serde_json::json!({
+            "stats": report.stats(),
+            "metrics": pipeline.metrics_snapshot(),
+        });
+        let mut f = std::fs::File::create(&path).expect("create perf json output");
+        f.write_all(
+            serde_json::to_string_pretty(&perf)
+                .expect("serialise perf")
+                .as_bytes(),
+        )
+        .expect("write perf json output");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        eprintln!("trace written to {path} (load in chrome://tracing or https://ui.perfetto.dev)");
     }
 }

@@ -1,0 +1,233 @@
+//! Telemetry overhead benchmark: runs the sweepbench-shape corpus once
+//! with telemetry **disabled** and once **enabled**, verifies the two
+//! reports are byte-identical JSON (the observability layer must never
+//! change a measured byte), validates the Chrome-trace export by parsing
+//! it back, micro-benchmarks the no-op span fast path, and emits a
+//! `BENCH_trace.json` perf record.
+//!
+//! The gate: the *disabled* fast path must cost < `--max-overhead`
+//! percent (default 3%) of sweep wall time. A disabled span guard does
+//! no allocation and no locking, so its estimated share — spans the
+//! enabled run recorded × the measured ns per disabled span, over the
+//! disabled-run wall time — stays far below the budget.
+//!
+//! ```text
+//! tracebench [--scale F] [--seed N] [--out PATH] [--trace-out PATH]
+//!            [--max-overhead PCT]
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dydroid::obs::Telemetry;
+use dydroid::{MeasurementReport, Pipeline, PipelineConfig};
+use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: String,
+    trace_out: Option<String>,
+    max_overhead_pct: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.01,
+        seed: CorpusSpec::default().seed,
+        out: "BENCH_trace.json".to_string(),
+        trace_out: None,
+        max_overhead_pct: 3.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a float"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--trace-out" => {
+                args.trace_out = it.next().or_else(|| usage("--trace-out needs a path"));
+            }
+            "--max-overhead" => {
+                args.max_overhead_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-overhead needs a float percentage"));
+            }
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+const USAGE: &str =
+    "tracebench [--scale F] [--seed N] [--out PATH] [--trace-out PATH] [--max-overhead PCT]";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+/// One timed sweep; returns the pipeline (for its telemetry), the report
+/// and the wall-clock ms.
+fn timed_sweep(
+    config: PipelineConfig,
+    corpus: &[SyntheticApp],
+) -> (Pipeline, MeasurementReport, u64) {
+    let pipeline = Pipeline::new(config);
+    let t0 = Instant::now();
+    let report = pipeline.run(corpus);
+    (pipeline, report, t0.elapsed().as_millis() as u64)
+}
+
+/// Nanoseconds per span open/field/close round trip on `telemetry`.
+fn span_round_trip_ns(telemetry: &Telemetry, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let mut span = telemetry.span("bench");
+        span.field("i", i);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "tracebench: generating corpus (scale {}, seed {:#x}) ...",
+        args.scale, args.seed
+    );
+    let corpus = generate(&CorpusSpec {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    let apps = corpus.len();
+    eprintln!("tracebench: {apps} apps");
+
+    eprintln!("tracebench: telemetry-disabled sweep ...");
+    let (_, off_report, off_ms) = timed_sweep(
+        PipelineConfig {
+            telemetry: false,
+            ..PipelineConfig::default()
+        },
+        &corpus,
+    );
+    eprintln!("tracebench: disabled sweep in {off_ms} ms");
+
+    eprintln!("tracebench: telemetry-enabled sweep ...");
+    let (on_pipeline, on_report, on_ms) = timed_sweep(PipelineConfig::default(), &corpus);
+    eprintln!("tracebench: enabled sweep in {on_ms} ms");
+    eprint!("{}", on_report.render_perf());
+
+    // Telemetry must never change a measured byte.
+    let off_json = serde_json::to_string(&off_report).expect("serialise disabled report");
+    let on_json = serde_json::to_string(&on_report).expect("serialise enabled report");
+    if off_json != on_json {
+        eprintln!("tracebench: FAIL — telemetry on/off reports differ");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "tracebench: reports identical ({} bytes of JSON)",
+        off_json.len()
+    );
+
+    // Chrome-trace export: write it (to --trace-out or a temp path) and
+    // parse it back as a structural validity check.
+    let spans = on_pipeline.telemetry().spans();
+    let trace_doc = dydroid::obs::chrome_trace(&spans);
+    let trace_text = serde_json::to_string(&trace_doc).expect("serialise trace");
+    let parsed: serde_json::Value = serde_json::from_str(&trace_text).expect("trace parses back");
+    let n_events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .map(|a| a.len())
+        .unwrap_or_else(|| {
+            eprintln!("tracebench: FAIL — trace document has no traceEvents array");
+            std::process::exit(1);
+        });
+    if n_events != spans.len() {
+        eprintln!(
+            "tracebench: FAIL — {} spans produced {} trace events",
+            spans.len(),
+            n_events
+        );
+        std::process::exit(1);
+    }
+    eprintln!("tracebench: chrome trace valid ({n_events} events)");
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, &trace_text).expect("write trace");
+        eprintln!("tracebench: wrote {path}");
+    }
+
+    // Micro-benchmark both span fast paths.
+    const ITERS: u64 = 1_000_000;
+    let disabled_ns = span_round_trip_ns(&Telemetry::new(false), ITERS);
+    let enabled_ns = span_round_trip_ns(&Telemetry::new(true), ITERS);
+    eprintln!(
+        "tracebench: span round trip {disabled_ns:.1} ns disabled / {enabled_ns:.1} ns enabled"
+    );
+
+    // The disabled-path overhead estimate: every span the enabled run
+    // recorded would have been a no-op guard in the disabled run.
+    let off_ns = (off_ms.max(1) as f64) * 1e6;
+    let disabled_overhead_pct = 100.0 * (spans.len() as f64 * disabled_ns) / off_ns;
+    let enabled_overhead_pct = if off_ms == 0 {
+        0.0
+    } else {
+        100.0 * (on_ms as f64 - off_ms as f64) / off_ms as f64
+    };
+    eprintln!(
+        "tracebench: estimated disabled overhead {disabled_overhead_pct:.3}% \
+         (budget {:.1}%), enabled overhead {enabled_overhead_pct:.1}%",
+        args.max_overhead_pct
+    );
+
+    let doc = serde_json::json!({
+        "bench": "trace",
+        "scale": args.scale,
+        "seed": args.seed,
+        "apps": apps,
+        "workers": PipelineConfig::default().effective_workers(),
+        "disabled_wall_ms": off_ms,
+        "enabled_wall_ms": on_ms,
+        "spans_recorded": spans.len(),
+        "trace_events": n_events,
+        "span_ns_disabled": disabled_ns,
+        "span_ns_enabled": enabled_ns,
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "max_overhead_pct": args.max_overhead_pct,
+        "reports_identical": true,
+    });
+    let mut f = std::fs::File::create(&args.out).expect("create bench output");
+    f.write_all(
+        serde_json::to_string_pretty(&doc)
+            .expect("serialise")
+            .as_bytes(),
+    )
+    .expect("write bench output");
+    eprintln!("tracebench: wrote {}", args.out);
+
+    if disabled_overhead_pct > args.max_overhead_pct {
+        eprintln!(
+            "tracebench: FAIL — disabled-telemetry overhead {disabled_overhead_pct:.3}% \
+             exceeds {:.1}%",
+            args.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
+}

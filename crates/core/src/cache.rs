@@ -28,6 +28,8 @@ use dydroid_analysis::taint::{Leak, TaintAnalysis};
 use dydroid_analysis::MalwareDetector;
 use serde::{Deserialize, Serialize};
 
+use crate::telemetry::Telemetry;
+
 /// Default shard count (power of two) when the config leaves sizing to us.
 pub const DEFAULT_SHARDS: usize = 64;
 
@@ -113,6 +115,7 @@ pub struct AnalysisCache {
     misses: AtomicU64,
     sig_builds: AtomicU64,
     taint_runs: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl AnalysisCache {
@@ -130,6 +133,7 @@ impl AnalysisCache {
             misses: AtomicU64::new(0),
             sig_builds: AtomicU64::new(0),
             taint_runs: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -142,7 +146,16 @@ impl AnalysisCache {
             misses: AtomicU64::new(0),
             sig_builds: AtomicU64::new(0),
             taint_runs: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every cold compute then records its
+    /// malware-detection and taint phase latencies into the
+    /// `phase.malware_detect.us` / `phase.taint.us` histograms.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Whether lookups are memoized.
@@ -278,11 +291,24 @@ impl AnalysisCache {
             return BinaryVerdict::Unparsable;
         };
         self.sig_builds.fetch_add(1, Ordering::Relaxed);
+        let detect_started = std::time::Instant::now();
         let sig = BinarySig::build(&code);
         let malware = detector.detect_sig(&sig);
+        if self.telemetry.is_enabled() {
+            self.telemetry.record(
+                "phase.malware_detect.us",
+                detect_started.elapsed().as_micros() as u64,
+            );
+        }
         let leaks = if let CodeBinary::Dex(dex) = &code {
             self.taint_runs.fetch_add(1, Ordering::Relaxed);
-            taint.run(dex)
+            let taint_started = std::time::Instant::now();
+            let leaks = taint.run(dex);
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .record("phase.taint.us", taint_started.elapsed().as_micros() as u64);
+            }
+            leaks
         } else {
             Vec::new()
         };

@@ -48,6 +48,19 @@ pub struct PipelineConfig {
     /// of the inverted block index. Kept for differential tests and the
     /// `detectbench` baseline; verdicts are identical either way.
     pub naive_detector: bool,
+    /// Collect span traces and metrics during the run (see
+    /// `crate::telemetry`). Disabled, every telemetry call site is a
+    /// single branch — the no-op fast path measured by `tracebench`.
+    /// Never affects report JSON: telemetry rides on `SweepStats`,
+    /// which is excluded from serialization.
+    pub telemetry: bool,
+    /// Emit a single-line live progress report to stderr roughly every
+    /// tenth of the corpus during sweeps (requires `telemetry`).
+    pub progress: bool,
+    /// Write a Chrome `trace_event` JSON file (loadable in
+    /// `chrome://tracing` / Perfetto) to this path after the run
+    /// (requires `telemetry`).
+    pub trace_out: Option<String>,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +79,9 @@ impl Default for PipelineConfig {
             cache_shards: 0,
             serial_env_reruns: false,
             naive_detector: false,
+            telemetry: true,
+            progress: false,
+            trace_out: None,
         }
     }
 }
@@ -115,6 +131,9 @@ mod tests {
         assert_eq!(c.cache_shards, 0);
         assert!(!c.serial_env_reruns);
         assert!(!c.naive_detector);
+        assert!(c.telemetry);
+        assert!(!c.progress);
+        assert_eq!(c.trace_out, None);
     }
 
     #[test]

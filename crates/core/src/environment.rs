@@ -162,7 +162,8 @@ pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRec
                     continue;
                 };
                 let (app, paths) = &flagged[a];
-                let n = count_loaded(pipeline, app, &configs[c].1, decompiled, bytes, paths);
+                let (name, config) = &configs[c];
+                let n = count_loaded(pipeline, app, name, config, decompiled, bytes, paths);
                 loaded[c].fetch_add(n, Ordering::Relaxed);
             });
         }
@@ -192,12 +193,20 @@ pub fn rerun_all_serial(
         counts.total_files += malicious_paths.len();
         let loaded: Vec<usize> = configs
             .iter()
-            .map(|(_, config)| {
+            .map(|(name, config)| {
                 let Ok((decompiled, bytes, _)) = decompiler::prepare_for_dynamic_analysis(&app.apk)
                 else {
                     return 0;
                 };
-                count_loaded(pipeline, app, config, &decompiled, &bytes, &malicious_paths)
+                count_loaded(
+                    pipeline,
+                    app,
+                    name,
+                    config,
+                    &decompiled,
+                    &bytes,
+                    &malicious_paths,
+                )
             })
             .collect();
         counts.time_before_release += loaded[0];
@@ -213,16 +222,26 @@ pub fn rerun_all_serial(
 fn count_loaded(
     pipeline: &Pipeline,
     app: &SyntheticApp,
+    config_name: &str,
     config: &DeviceConfig,
     decompiled: &DecompiledApp,
     install_bytes: &[u8],
     malicious_paths: &[String],
 ) -> usize {
+    let mut span = pipeline.telemetry().span("env_rerun");
+    span.field("app", &app.plan.package);
+    span.field("config", config_name);
     let mut device = pipeline.prepare_device(app, config.clone());
-    let outcome = pipeline.exercise_and_analyze(app, &mut device, install_bytes, decompiled);
+    let outcome = pipeline.exercise_and_analyze_traced(
+        app,
+        &mut device,
+        install_bytes,
+        decompiled,
+        span.id(),
+    );
     // A crash after loading does not un-load the file: count events
     // regardless of the final status (interception happens at load time).
-    malicious_paths
+    let loaded = malicious_paths
         .iter()
         .filter(|p| {
             outcome
@@ -231,7 +250,9 @@ fn count_loaded(
                 .chain(outcome.native_events.iter())
                 .any(|e| e.path == **p)
         })
-        .count()
+        .count();
+    span.field("loaded", loaded);
+    loaded
 }
 
 #[cfg(test)]

@@ -48,10 +48,22 @@ pub mod environment;
 pub mod pipeline;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 pub mod training;
+
+/// Thin observability facade: the handful of telemetry types callers
+/// (CLIs, benches, tests) interact with, re-exported in one place so
+/// downstream code does not depend on `telemetry`'s module layout.
+pub mod obs {
+    pub use crate::telemetry::{
+        chrome_trace, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, Progress,
+        SpanGuard, SpanRecord, Telemetry,
+    };
+}
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use config::PipelineConfig;
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
 pub use report::{MeasurementReport, SweepStats};
 pub use sweep::Journal;
+pub use telemetry::Telemetry;

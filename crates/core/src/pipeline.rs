@@ -8,6 +8,7 @@
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -25,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
 use crate::report::{MeasurementReport, SweepStats};
+use crate::telemetry::{HistogramSummary, MetricsSnapshot, Progress, Telemetry};
 use crate::training;
 
 /// Outcome category of the dynamic phase (Table II rows).
@@ -171,29 +173,47 @@ pub struct Pipeline {
     config: PipelineConfig,
     detector: MalwareDetector,
     cache: AnalysisCache,
+    telemetry: Telemetry,
 }
 
 impl Pipeline {
     /// Creates a pipeline, training the reference malware detector (the
     /// inverted block index is built once here, at train time).
     pub fn new(config: PipelineConfig) -> Self {
-        let mut detector = training::reference_detector(config.malware_threshold);
+        let telemetry = Telemetry::new(config.telemetry);
+        let mut detector =
+            training::reference_detector_traced(config.malware_threshold, &telemetry);
         detector.set_naive(config.naive_detector);
         let cache = if config.analysis_cache {
             AnalysisCache::new(config.cache_shards)
         } else {
             AnalysisCache::disabled()
-        };
+        }
+        .with_telemetry(telemetry.clone());
         Pipeline {
             config,
             detector,
             cache,
+            telemetry,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The pipeline's telemetry handle (a no-op handle when
+    /// `PipelineConfig::telemetry` is off).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A point-in-time snapshot of every telemetry metric — counters,
+    /// gauges, and per-phase latency histograms (empty when telemetry is
+    /// disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
     }
 
     /// A snapshot of the analysis-cache counters (monotonic across runs
@@ -217,7 +237,10 @@ impl Pipeline {
         let detector_mark = self.detector.stats();
         let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
-        let results = self.sweep(corpus, &indices, None);
+        let mut sweep_span = self.telemetry.span("sweep");
+        sweep_span.field("apps", indices.len());
+        let results = self.sweep(corpus, &indices, None, sweep_span.id());
+        drop(sweep_span);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
         self.assemble(
             corpus,
@@ -242,10 +265,44 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         journal: &crate::sweep::Journal,
     ) -> std::io::Result<MeasurementReport> {
-        let existing = journal.recover()?;
+        let recovery = journal.recover_counted()?;
+        let recovered = recovery.records.len();
+        if recovery.dropped_lines > 0 {
+            eprintln!(
+                "dydroid: journal {}: recovered {recovered} record(s), dropped {} corrupt trailing line(s)",
+                journal.path().display(),
+                recovery.dropped_lines
+            );
+        }
         let mut done: HashMap<String, AppRecord> = HashMap::new();
-        for record in existing {
+        for record in recovery.records {
             done.entry(record.package.clone()).or_insert(record);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("journal.recovered_records", recovered as u64);
+            self.telemetry
+                .counter_add("journal.dropped_lines", recovery.dropped_lines as u64);
+            let events_path = journal.events_path();
+            // Stitch spans from the previous session into this timeline,
+            // then keep appending to the same event stream.
+            match self.telemetry.stitch_from(&events_path) {
+                Ok(n) if n > 0 => {
+                    self.telemetry
+                        .counter_add("telemetry.spans_stitched", n as u64);
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!(
+                    "dydroid: failed to stitch events from {}: {e}",
+                    events_path.display()
+                ),
+            }
+            if let Err(e) = self.telemetry.set_event_sink(&events_path) {
+                eprintln!(
+                    "dydroid: failed to open event sink {}: {e}",
+                    events_path.display()
+                );
+            }
         }
         let pending: Vec<usize> = (0..corpus.len())
             .filter(|&i| !done.contains_key(corpus[i].package()))
@@ -254,7 +311,11 @@ impl Pipeline {
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
         let sweep_start = Instant::now();
-        let results = self.sweep(corpus, &pending, Some(&writer));
+        let mut sweep_span = self.telemetry.span("sweep");
+        sweep_span.field("apps", pending.len());
+        sweep_span.field("resumed", recovered);
+        let results = self.sweep(corpus, &pending, Some(&writer), sweep_span.id());
+        drop(sweep_span);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
         Ok(self.assemble(corpus, results, done, sweep_ms, cache_mark, detector_mark))
     }
@@ -269,16 +330,19 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         indices: &[usize],
         journal: Option<&Mutex<crate::sweep::JournalWriter>>,
+        parent_span: u64,
     ) -> Vec<(usize, AppRecord)> {
         let workers = self.config.effective_workers().min(indices.len().max(1));
         let (task_tx, task_rx) = channel::unbounded::<usize>();
-        let (result_tx, result_rx) = channel::unbounded::<(usize, AppRecord)>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, AppRecord, u64)>();
         for &i in indices {
             if task_tx.send(i).is_err() {
                 break;
             }
         }
         drop(task_tx);
+        let progress =
+            (self.config.progress && !indices.is_empty()).then(|| Progress::new(indices.len()));
 
         // Collected outside the scope so partial results survive even a
         // worker-thread panic that escapes the per-app isolation.
@@ -289,8 +353,8 @@ impl Pipeline {
                 let result_tx = result_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(i) = task_rx.recv() {
-                        let record = self.analyze_app_resilient(&corpus[i]);
-                        if result_tx.send((i, record)).is_err() {
+                        let (record, span_id) = self.analyze_app_traced(&corpus[i], parent_span);
+                        if result_tx.send((i, record, span_id)).is_err() {
                             // Receiver gone: the sweep is shutting down.
                             break;
                         }
@@ -298,14 +362,26 @@ impl Pipeline {
                 });
             }
             drop(result_tx);
-            while let Ok((i, record)) = result_rx.recv() {
+            while let Ok((i, record, span_id)) = result_rx.recv() {
                 if let Some(writer) = journal {
                     let append = writer
                         .lock()
                         .map_err(|p| std::io::Error::other(p.to_string()))
                         .and_then(|mut w| w.append(&record));
-                    if let Err(e) = append {
-                        eprintln!("dydroid: journal append failed for {}: {e}", record.package);
+                    match append {
+                        // A checkpoint in the event stream mirrors every
+                        // successful journal append, so a resumed run can
+                        // stitch records back to their spans.
+                        Ok(()) => self.telemetry.emit_checkpoint(&record.package, span_id),
+                        Err(e) => {
+                            eprintln!("dydroid: journal append failed for {}: {e}", record.package);
+                        }
+                    }
+                }
+                if let Some(progress) = &progress {
+                    let failed = record.harness_failure().is_some();
+                    if let Some(line) = progress.on_app_done(failed, &self.telemetry) {
+                        eprintln!("dydroid: {line}");
                     }
                 }
                 if let Ok(mut records) = collected.lock() {
@@ -346,19 +422,41 @@ impl Pipeline {
             .collect();
         let env_start = Instant::now();
         let env = if self.config.environment_reruns {
-            crate::environment::rerun_all(self, corpus, &records)
+            let mut env_span = self.telemetry.span("environment");
+            let env = crate::environment::rerun_all(self, corpus, &records);
+            env_span.field("flagged_files", env.total_files);
+            env
         } else {
             crate::environment::EnvCounts::default()
         };
+        let snapshot = self.telemetry.snapshot();
+        let app_wall = snapshot
+            .histogram("span.app.us")
+            .copied()
+            .unwrap_or_default();
+        let phases: Vec<(String, HistogramSummary)> = snapshot
+            .histograms
+            .iter()
+            .filter(|(name, _)| name != "span.app.us")
+            .cloned()
+            .collect();
         let stats = SweepStats {
             sweep_ms,
             env_ms: env_start.elapsed().as_millis() as u64,
             analyzed_apps: records.len(),
             cache: self.cache.stats().since(&cache_mark),
             detector: self.detector.stats().since(&detector_mark),
+            workers: self.config.effective_workers(),
+            app_wall,
+            phases,
         };
         let mut report = MeasurementReport::new(records, env);
         report.set_stats(stats);
+        if let Some(path) = &self.config.trace_out {
+            if let Err(e) = self.telemetry.write_chrome_trace(Path::new(path)) {
+                eprintln!("dydroid: failed to write chrome trace to {path}: {e}");
+            }
+        }
         report
     }
 
@@ -367,21 +465,38 @@ impl Pipeline {
     /// (reseeding the Monkey when `retry_reseed` is set), and the final
     /// failure is recorded as [`DynamicStatus::AnalysisFailure`].
     pub fn analyze_app_resilient(&self, app: &SyntheticApp) -> AppRecord {
+        self.analyze_app_traced(app, 0).0
+    }
+
+    /// [`Pipeline::analyze_app_resilient`] under a per-app telemetry span
+    /// (parented to the sweep span); returns the record together with the
+    /// span id so the sweep collector can checkpoint it.
+    fn analyze_app_traced(&self, app: &SyntheticApp, parent_span: u64) -> (AppRecord, u64) {
+        let mut span = self.telemetry.span_with_parent("app", parent_span);
+        span.field("app", &app.plan.package);
+        let span_id = span.id();
         let attempts = self.config.max_retries.saturating_add(1);
         let mut last: Option<AppRecord> = None;
         // The static phases are input-deterministic, so a multi-attempt
         // failure spiral decompiles the app once, not once per attempt.
         let mut statics: Option<StaticPhases> = None;
         for attempt in 0..attempts {
+            if attempt > 0 && self.telemetry.is_enabled() {
+                self.telemetry.counter_add("sweep.retries", 1);
+            }
             let salt = if attempt == 0 || !self.config.retry_reseed {
                 0
             } else {
                 RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
             };
-            match catch_unwind(AssertUnwindSafe(|| self.analyze_app_salted(app, salt))) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.analyze_app_salted(app, salt, span_id)
+            })) {
                 Ok(record) => {
                     if record.harness_failure().is_none() {
-                        return record;
+                        span.field("attempt", attempt + 1);
+                        span.field("verdict", verdict_label(&record));
+                        return (record, span_id);
                     }
                     last = Some(record);
                 }
@@ -397,7 +512,11 @@ impl Pipeline {
                 }
             }
         }
-        last.unwrap_or_else(|| self.failure_record(app, "no analysis attempt ran".to_string()))
+        let record =
+            last.unwrap_or_else(|| self.failure_record(app, "no analysis attempt ran".to_string()));
+        span.field("attempt", attempts);
+        span.field("verdict", verdict_label(&record));
+        (record, span_id)
     }
 
     /// Re-runs the cheap static phases under their own panic guard, so a
@@ -464,16 +583,28 @@ impl Pipeline {
     /// Analyses a single app end to end (no panic isolation or retries;
     /// see [`Pipeline::analyze_app_resilient`] for the sweep wrapper).
     pub fn analyze_app(&self, app: &SyntheticApp) -> AppRecord {
-        self.analyze_app_salted(app, 0)
+        let mut span = self.telemetry.span("app");
+        span.field("app", &app.plan.package);
+        let record = self.analyze_app_salted(app, 0, span.id());
+        span.field("verdict", verdict_label(&record));
+        record
     }
 
     /// [`Pipeline::analyze_app`] with a Monkey seed salt (non-zero on
-    /// reseeded retries).
-    fn analyze_app_salted(&self, app: &SyntheticApp, seed_salt: u64) -> AppRecord {
+    /// reseeded retries) and a parent span for the phase children.
+    fn analyze_app_salted(
+        &self,
+        app: &SyntheticApp,
+        seed_salt: u64,
+        parent_span: u64,
+    ) -> AppRecord {
         let metadata = app.plan.metadata.clone();
         let package = app.plan.package.clone();
 
-        // Phase 1: decompile.
+        // Phase 1+2: decompile, static filter, obfuscation analysis —
+        // one "static" span; its early returns drop the guard on exit.
+        let static_span = self.telemetry.span_with_parent("static", parent_span);
+
         let decompiled = match decompiler::decompile(&app.apk) {
             Ok(d) => d,
             Err(DecompileError::AntiDecompilation { .. }) => {
@@ -523,6 +654,7 @@ impl Pipeline {
         // Phase 2: static filter + obfuscation analysis.
         let filter = DclFilter::scan(&decompiled.classes);
         let obfuscation = obfuscation::analyze(&decompiled);
+        drop(static_span);
         if !filter.any() {
             return AppRecord {
                 package,
@@ -541,6 +673,7 @@ impl Pipeline {
         // scale.
         let (install_bytes, rewritten): (Cow<[u8]>, bool) =
             if decompiler::needs_rewriting(&decompiled.manifest) {
+                let _span = self.telemetry.span_with_parent("rewrite", parent_span);
                 match decompiler::repackage_with_permission(&decompiled) {
                     Ok(bytes) => (Cow::Owned(bytes), true),
                     Err(_) => {
@@ -567,6 +700,7 @@ impl Pipeline {
             &install_bytes,
             &decompiled,
             seed_salt,
+            parent_span,
         );
 
         AppRecord {
@@ -604,7 +738,21 @@ impl Pipeline {
         install_bytes: &[u8],
         decompiled: &decompiler::DecompiledApp,
     ) -> DynamicOutcome {
-        self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0)
+        self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0, 0)
+    }
+
+    /// [`Pipeline::exercise_and_analyze`] under a caller-supplied parent
+    /// span (the environment re-runs parent their per-configuration
+    /// spans here).
+    pub(crate) fn exercise_and_analyze_traced(
+        &self,
+        app: &SyntheticApp,
+        device: &mut Device,
+        install_bytes: &[u8],
+        decompiled: &decompiler::DecompiledApp,
+        parent_span: u64,
+    ) -> DynamicOutcome {
+        self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0, parent_span)
     }
 
     /// [`Pipeline::exercise_and_analyze`] with a Monkey seed salt.
@@ -615,11 +763,17 @@ impl Pipeline {
         install_bytes: &[u8],
         decompiled: &decompiler::DecompiledApp,
         seed_salt: u64,
+        parent_span: u64,
     ) -> DynamicOutcome {
         let package = &app.plan.package;
 
-        if device.install(install_bytes).is_err() {
-            return DynamicOutcome::empty(DynamicStatus::RewriteFailure);
+        {
+            let mut install_span = self.telemetry.span_with_parent("install", parent_span);
+            install_span.field("bytes", install_bytes.len());
+            if device.install(install_bytes).is_err() {
+                install_span.field("result", "error");
+                return DynamicOutcome::empty(DynamicStatus::RewriteFailure);
+            }
         }
 
         let mut monkey = Monkey::new(MonkeyConfig {
@@ -627,7 +781,25 @@ impl Pipeline {
             event_budget: self.config.monkey_events,
             deadline_ms: self.config.deadline_ms(),
         });
-        let status = match monkey.exercise(device, package) {
+        let mut monkey_span = self.telemetry.span_with_parent("monkey", parent_span);
+        let instructions_before = device.instructions_retired();
+        let fires_before = device.hooks.fire_count();
+        let exercised = monkey.exercise(device, package);
+        // The avm contributes instruction-retirement and hook-fire
+        // deltas to the monkey span and the run-wide counters.
+        let instructions = device.instructions_retired() - instructions_before;
+        let hook_fires = device.hooks.fire_count() - fires_before;
+        if monkey_span.is_recording() {
+            monkey_span.field("instructions", instructions);
+            monkey_span.field("hook_fires", hook_fires);
+            self.telemetry.counter_add("avm.instructions", instructions);
+            self.telemetry.counter_add("avm.hook_fires", hook_fires);
+            self.telemetry.counter_add(
+                "monkey.virtual_us",
+                dydroid_monkey::virtual_us(instructions),
+            );
+        }
+        let status = match exercised {
             Ok(ExerciseOutcome::NoActivity) => DynamicStatus::NoActivity,
             Ok(ExerciseOutcome::Exercised { crashed: true, .. }) => DynamicStatus::Crash,
             Ok(ExerciseOutcome::Exercised { crashed: false, .. }) => DynamicStatus::Exercised,
@@ -635,6 +807,7 @@ impl Pipeline {
                 events_fired,
                 elapsed_ms,
             }) => {
+                monkey_span.field("status", "deadline_exceeded");
                 return DynamicOutcome::failure(format!(
                     "deadline exceeded after {events_fired} events: {elapsed_ms} ms charged, budget {} ms",
                     self.config.app_deadline_ms
@@ -642,6 +815,8 @@ impl Pipeline {
             }
             Err(_) => DynamicStatus::RewriteFailure,
         };
+        monkey_span.field("status", status_label(&status));
+        drop(monkey_span);
         if matches!(
             status,
             DynamicStatus::NoActivity | DynamicStatus::RewriteFailure
@@ -654,6 +829,7 @@ impl Pipeline {
         // re-runs of Table VIII rely on those events.
 
         // Collect DCL observations.
+        let mut collect_span = self.telemetry.span_with_parent("collect", parent_span);
         let mut dex_events = Vec::new();
         let mut native_events = Vec::new();
         for event in device.log.dcl_events() {
@@ -697,6 +873,12 @@ impl Pipeline {
                 .chain(native_events.iter())
                 .map(|e| e.path.as_str()),
         );
+        if collect_span.is_recording() {
+            collect_span.field("dex_events", dex_events.len());
+            collect_span.field("native_events", native_events.len());
+            collect_span.field("remote_loads", remote_loads.len());
+        }
+        drop(collect_span);
 
         // Static analysis of intercepted binaries: each path analysed
         // once per app however many times it was loaded, and — through
@@ -713,12 +895,30 @@ impl Pipeline {
             .collect();
         let contents: Vec<&[u8]> = unique.iter().map(|b| b.data.as_slice()).collect();
         let taint = TaintAnalysis::new();
+        let mut analysis_span = self
+            .telemetry
+            .span_with_parent("binary_analysis", parent_span);
+        // Delta marks cost shard locks, so take them only when recording.
+        let marks = analysis_span
+            .is_recording()
+            .then(|| (self.cache.stats(), self.detector.stats()));
         let verdicts = self.cache.analyze_batch(
             &contents,
             &self.detector,
             &taint,
             self.config.effective_workers().min(BATCH_ANALYSIS_WORKERS),
         );
+        if let Some((cache_mark, detector_mark)) = marks {
+            let cache_delta = self.cache.stats().since(&cache_mark);
+            let detector_delta = self.detector.stats().since(&detector_mark);
+            analysis_span.field("binaries", unique.len());
+            analysis_span.field("cache_hits", cache_delta.hits);
+            analysis_span.field("cache_misses", cache_delta.misses);
+            analysis_span.field("candidates", detector_delta.candidates);
+            analysis_span.field("pruned", detector_delta.pruned);
+            analysis_span.field("fully_scored", detector_delta.fully_scored);
+        }
+        drop(analysis_span);
         let mut malware = Vec::new();
         let mut leaks: Vec<Leak> = Vec::new();
         let mut leak_seen: HashSet<Leak> = HashSet::new();
@@ -792,6 +992,25 @@ const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// `(decompiled, filter, obfuscation)` from the cheap static phases.
 type StaticPhases = (bool, DclFilter, ObfuscationReport);
+
+/// Stable label for a [`DynamicStatus`], used as a span field value.
+fn status_label(status: &DynamicStatus) -> &'static str {
+    match status {
+        DynamicStatus::Exercised => "exercised",
+        DynamicStatus::Crash => "crash",
+        DynamicStatus::NoActivity => "no_activity",
+        DynamicStatus::RewriteFailure => "rewrite_failure",
+        DynamicStatus::AnalysisFailure { .. } => "harness_failure",
+    }
+}
+
+/// Span-field verdict for a completed app record.
+fn verdict_label(record: &AppRecord) -> &'static str {
+    match record.dynamic.as_ref() {
+        None => "static_only",
+        Some(outcome) => status_label(&outcome.status),
+    }
+}
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -31,6 +31,15 @@ impl Journal {
         &self.path
     }
 
+    /// Path of the telemetry event stream written alongside this
+    /// journal (`<journal>.events.jsonl`), used by resumed runs to
+    /// stitch spans into one timeline.
+    pub fn events_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(".events.jsonl");
+        PathBuf::from(name)
+    }
+
     /// Loads every complete record. A missing file is an empty journal;
     /// a torn or corrupt line ends the load (everything before it is
     /// kept), since a hard kill can only tear the tail.
@@ -51,8 +60,21 @@ impl Journal {
     ///
     /// Returns I/O errors from reading or rewriting the file.
     pub fn recover(&self) -> io::Result<Vec<AppRecord>> {
-        let (records, clean) = self.load_split()?;
-        if !clean {
+        Ok(self.recover_counted()?.records)
+    }
+
+    /// Like [`Journal::recover`], but also reports how many corrupt
+    /// lines were dropped from the tail — previously recovery discarded
+    /// them silently, hiding real data loss from the operator. The
+    /// pipeline surfaces the count as a telemetry counter and a stderr
+    /// warning.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from reading or rewriting the file.
+    pub fn recover_counted(&self) -> io::Result<JournalRecovery> {
+        let (records, dropped_lines) = self.load_split()?;
+        if dropped_lines > 0 {
             let mut text = String::new();
             for record in &records {
                 text.push_str(
@@ -63,27 +85,35 @@ impl Journal {
             }
             std::fs::write(&self.path, text)?;
         }
-        Ok(records)
+        Ok(JournalRecovery {
+            records,
+            dropped_lines,
+        })
     }
 
-    /// Valid leading records plus whether the whole file parsed.
-    fn load_split(&self) -> io::Result<(Vec<AppRecord>, bool)> {
+    /// Valid leading records plus the number of non-empty lines dropped
+    /// from the first unparsable line onward (0 = the whole file parsed).
+    fn load_split(&self) -> io::Result<(Vec<AppRecord>, usize)> {
         let text = match std::fs::read_to_string(&self.path) {
             Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), true)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e),
         };
         let mut records = Vec::new();
-        for line in text.lines() {
+        let mut lines = text.lines();
+        while let Some(line) = lines.next() {
             if line.trim().is_empty() {
                 continue;
             }
             match serde_json::from_str::<AppRecord>(line) {
                 Ok(record) => records.push(record),
-                Err(_) => return Ok((records, false)),
+                Err(_) => {
+                    let dropped = 1 + lines.filter(|l| !l.trim().is_empty()).count();
+                    return Ok((records, dropped));
+                }
             }
         }
-        Ok((records, true))
+        Ok((records, 0))
     }
 
     /// Opens the journal for appending, creating it if needed.
@@ -110,12 +140,29 @@ impl Journal {
     ///
     /// Returns I/O errors other than the file not existing.
     pub fn reset(&self) -> io::Result<()> {
+        // The event stream describes the journal's records; a reset
+        // journal must not stitch a stale timeline.
+        match std::fs::remove_file(self.events_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         match std::fs::remove_file(&self.path) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
     }
+}
+
+/// Outcome of [`Journal::recover_counted`]: the surviving records and
+/// the number of corrupt lines dropped from the torn tail.
+#[derive(Debug, Clone)]
+pub struct JournalRecovery {
+    /// Every record that parsed before the first corrupt line.
+    pub records: Vec<AppRecord>,
+    /// Non-empty lines discarded from the first unparsable line onward.
+    pub dropped_lines: usize,
 }
 
 /// An append handle to a [`Journal`]. One record per line, flushed per
@@ -235,6 +282,40 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[1].package, "com.later");
         journal.reset().unwrap();
+    }
+
+    #[test]
+    fn recovery_counts_dropped_lines() {
+        let path = temp_path("counted");
+        let journal = Journal::new(&path);
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.whole")).unwrap();
+        }
+        // A clean journal recovers with zero drops.
+        let clean = journal.recover_counted().unwrap();
+        assert_eq!(clean.records.len(), 1);
+        assert_eq!(clean.dropped_lines, 0);
+        // Corrupt middle line: it and everything after it is dropped
+        // and counted.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"package\":\"com.torn\",\"metad\n");
+        text.push_str("not json either\n");
+        std::fs::write(&path, text).unwrap();
+        let recovered = journal.recover_counted().unwrap();
+        assert_eq!(recovered.records.len(), 1);
+        assert_eq!(recovered.dropped_lines, 2);
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn events_path_sits_beside_the_journal() {
+        let journal = Journal::new("/tmp/sweep.jsonl");
+        assert_eq!(
+            journal.events_path(),
+            PathBuf::from("/tmp/sweep.jsonl.events.jsonl")
+        );
     }
 
     #[test]

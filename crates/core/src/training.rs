@@ -10,9 +10,20 @@ use dydroid_analysis::mail::CodeBinary;
 use dydroid_analysis::MalwareDetector;
 use dydroid_workload::plan::MalwareFamily;
 
+use crate::telemetry::Telemetry;
+
 /// Variant ids reserved for training (the corpus derives its variants
 /// from package-name hashes modulo 1,000, so these never collide).
 const TRAINING_VARIANTS: [usize; 3] = [100_001, 100_002, 100_003];
+
+/// [`reference_detector`] under a "train" telemetry span, so pipeline
+/// construction shows up in the trace timeline.
+pub fn reference_detector_traced(threshold: f64, telemetry: &Telemetry) -> MalwareDetector {
+    let mut span = telemetry.span("train");
+    let detector = reference_detector(threshold);
+    span.field("samples", detector.sample_count());
+    detector
+}
 
 /// Builds a detector trained on reference samples of the three families.
 pub fn reference_detector(threshold: f64) -> MalwareDetector {

@@ -261,13 +261,27 @@ enum FuzzResult {
     },
 }
 
+/// Converts retired interpreter instructions to deterministic
+/// virtual-clock milliseconds (the unit the deadline watchdog charges).
+pub fn virtual_ms(instructions: u64) -> u64 {
+    instructions / VIRTUAL_INSTRUCTIONS_PER_MS
+}
+
+/// Converts retired interpreter instructions to deterministic
+/// virtual-clock *microseconds* — the unit the telemetry layer
+/// accumulates per app, fine-grained enough that a short exercise run
+/// (well under `VIRTUAL_INSTRUCTIONS_PER_MS` instructions) still
+/// charges a nonzero amount instead of truncating to zero.
+pub fn virtual_us(instructions: u64) -> u64 {
+    instructions.saturating_mul(1_000) / VIRTUAL_INSTRUCTIONS_PER_MS
+}
+
 /// Milliseconds charged against the deadline: the max of real elapsed
 /// time and the deterministic virtual clock derived from retired
 /// interpreter instructions.
 fn charged_ms(process: &Process, started: Instant) -> u64 {
     let wall = started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
-    let virtual_ms = process.instructions_retired / VIRTUAL_INSTRUCTIONS_PER_MS;
-    wall.max(virtual_ms)
+    wall.max(virtual_ms(process.instructions_retired))
 }
 
 #[cfg(test)]

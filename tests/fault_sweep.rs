@@ -179,6 +179,70 @@ fn faulty_sweep_completes_and_classifies_exactly_the_injected_apps() {
     journal.reset().expect("cleanup");
 }
 
+/// The acceptance scenario for the telemetry layer: even at a 20% fault
+/// rate the sweep produces a loadable Chrome trace and an event stream
+/// whose checkpoints agree with the journal — panicking and
+/// deadline-blown apps included.
+#[test]
+fn faulty_sweep_trace_is_loadable_and_events_match_journal() {
+    let (corpus, _plans) = fault_corpus();
+    let journal = temp_journal("trace");
+    let trace_path: PathBuf = std::env::temp_dir().join(format!(
+        "dydroid_fault_sweep_{}.trace.json",
+        std::process::id()
+    ));
+
+    let traced = Pipeline::new(PipelineConfig {
+        workers: 4,
+        environment_reruns: false,
+        app_deadline_ms: 400,
+        trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        ..Default::default()
+    });
+    let report = traced
+        .run_resumable(&corpus, &journal)
+        .expect("sweep completes despite faults");
+    assert_eq!(report.records().len(), CORPUS_APPS);
+
+    // The Chrome trace parses back with one complete event per span.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), traced.telemetry().spans().len());
+    assert!(events.len() >= CORPUS_APPS, "fewer events than apps");
+
+    // The event stream checkpoints exactly the journaled packages.
+    let events_text = std::fs::read_to_string(journal.events_path()).expect("events file");
+    let mut checkpointed: HashSet<String> = HashSet::new();
+    for line in events_text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("event line parses");
+        if v.get("type").and_then(|t| t.as_str()) == Some("checkpoint") {
+            let app = v
+                .get("app")
+                .and_then(|a| a.as_str())
+                .expect("checkpoint app");
+            checkpointed.insert(app.to_string());
+        }
+    }
+    let journaled: HashSet<String> = journal
+        .load()
+        .expect("load journal")
+        .into_iter()
+        .map(|r| r.package)
+        .collect();
+    assert_eq!(journaled.len(), CORPUS_APPS);
+    assert_eq!(
+        checkpointed, journaled,
+        "event-stream checkpoints diverge from the journal"
+    );
+
+    let _ = std::fs::remove_file(&trace_path);
+    journal.reset().expect("cleanup");
+}
+
 #[test]
 fn sweep_resumes_after_mid_flight_kill_without_rework() {
     let (corpus, _plans) = fault_corpus();

@@ -2,12 +2,15 @@
 //! `#[derive(Deserialize)]` for the simplified serde model vendored in
 //! this workspace (`Serialize::to_json` / `Deserialize::from_json` over
 //! `serde::Value`). The input is parsed directly from the token stream —
-//! no `syn`/`quote` — which is enough because the workspace never uses
-//! `#[serde(...)]` attributes or generic serialized types.
+//! no `syn`/`quote` — which is enough because the workspace only uses the
+//! `#[serde(skip)]` field attribute and no generic serialized types.
 //!
 //! Encoding follows serde's externally-tagged default:
 //! unit variant → `"Name"`, newtype variant → `{"Name": inner}`,
 //! tuple variant → `{"Name": [..]}`, struct variant → `{"Name": {..}}`.
+//! A named field marked `#[serde(skip)]` is omitted on serialize and
+//! reconstructed with `Default::default()` on deserialize, exactly as in
+//! real serde.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
@@ -16,7 +19,7 @@ use std::iter::Peekable;
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -31,6 +34,11 @@ enum Shape {
     },
 }
 
+struct Field {
+    name: String,
+    skip: bool,
+}
+
 struct Variant {
     name: String,
     kind: VariantKind,
@@ -39,16 +47,39 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
+}
+
+/// Whether an attribute's bracketed token stream is `serde(skip)`
+/// (possibly among other serde options; only `skip` is recognised).
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
 }
 
 /// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
-fn skip_attrs_and_vis(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+/// Returns whether any skipped attribute was `#[serde(skip)]`.
+fn skip_attrs_and_vis(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
-                iter.next(); // the [...] group
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 iter.next();
@@ -58,21 +89,24 @@ fn skip_attrs_and_vis(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
                     }
                 }
             }
-            _ => return,
+            _ => return skip,
         }
     }
 }
 
-/// Collects the names of named fields, skipping their types. Commas inside
-/// angle brackets are not separators; groups are atomic tokens so commas
-/// inside `(..)`/`[..]` never surface here.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Collects named fields (name + `#[serde(skip)]` flag), skipping their
+/// types. Commas inside angle brackets are not separators; groups are
+/// atomic tokens so commas inside `(..)`/`[..]` never surface here.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut iter = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut iter);
+        let skip = skip_attrs_and_vis(&mut iter);
         match iter.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                skip,
+            }),
             None => return fields,
             Some(t) => panic!("serde derive shim: expected field name, got `{t}`"),
         }
@@ -192,14 +226,15 @@ fn parse_input(input: TokenStream) -> Shape {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_input(input);
     let mut out = String::new();
     match &shape {
         Shape::NamedStruct { name, fields } => {
             let mut pairs = String::new();
-            for f in fields {
+            for f in fields.iter().filter(|f| !f.skip) {
+                let f = &f.name;
                 write!(
                     pairs,
                     "(\"{f}\".to_string(), serde::Serialize::to_json(&self.{f})),"
@@ -283,9 +318,21 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         .unwrap();
                     }
                     VariantKind::Named(fields) => {
-                        let pairs: Vec<String> = fields
+                        let binds: Vec<String> = fields
                             .iter()
                             .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let f = &f.name;
                                 format!("(\"{f}\".to_string(), serde::Serialize::to_json({f}))")
                             })
                             .collect();
@@ -293,7 +340,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             arms,
                             "{name}::{vname} {{ {} }} => serde::Value::Object(vec![\
                                (\"{vname}\".to_string(), serde::Value::Object(vec![{}]))]),",
-                            fields.join(","),
+                            binds.join(","),
                             pairs.join(",")
                         )
                         .unwrap();
@@ -314,7 +361,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde derive shim: generated code")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_input(input);
     let mut out = String::new();
@@ -322,11 +369,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                write!(
-                    inits,
-                    "{f}: serde::Deserialize::from_json(serde::__field(v, \"{f}\"))?,"
-                )
-                .unwrap();
+                let skip = f.skip;
+                let f = &f.name;
+                if skip {
+                    write!(inits, "{f}: ::std::default::Default::default(),").unwrap();
+                } else {
+                    write!(
+                        inits,
+                        "{f}: serde::Deserialize::from_json(serde::__field(v, \"{f}\"))?,"
+                    )
+                    .unwrap();
+                }
             }
             write!(
                 out,
@@ -412,9 +465,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: serde::Deserialize::from_json(serde::__field(inner, \"{f}\"))?"
-                                )
+                                let skip = f.skip;
+                                let f = &f.name;
+                                if skip {
+                                    format!("{f}: ::std::default::Default::default()")
+                                } else {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_json(serde::__field(inner, \"{f}\"))?"
+                                    )
+                                }
                             })
                             .collect();
                         write!(
