@@ -173,31 +173,75 @@ pub enum Event {
     },
 }
 
-/// An append-only instrumentation log.
+/// An instrumentation log, optionally bounded as a ring buffer.
+///
+/// With a capacity set, the log keeps only the most recent `capacity`
+/// events: each push past the bound evicts the oldest surviving event and
+/// bumps [`dropped_events`](EventLog::dropped_events), so truncation is
+/// always observable. Eviction is amortized O(1) (a start cursor advances,
+/// and the backing vector is compacted once the dead prefix reaches the
+/// capacity). The default capacity of `0` means unbounded.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EventLog {
     events: Vec<Event>,
+    start: usize,
+    capacity: usize,
+    dropped: u64,
 }
 
 impl EventLog {
-    /// Creates an empty log.
+    /// Creates an empty, unbounded log.
     pub fn new() -> Self {
         EventLog::default()
     }
 
-    /// Appends an event.
-    pub fn push(&mut self, event: Event) {
-        self.events.push(event);
+    /// Bounds the log to the most recent `capacity` events (`0` = unbounded).
+    /// Shrinking below the current length evicts the oldest events.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.evict_to_capacity();
     }
 
-    /// All events, in order.
+    /// The configured ring capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted by the ring bound.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest if the log is at capacity.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.events.len() - self.start > self.capacity {
+            self.start += 1;
+            self.dropped += 1;
+        }
+        // Compact once the dead prefix is as large as the live window so
+        // each element is moved at most once per `capacity` evictions.
+        if self.start >= self.capacity.max(1) {
+            self.events.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// All surviving events, in order.
     pub fn events(&self) -> &[Event] {
-        &self.events
+        &self.events[self.start..]
     }
 
     /// All DCL events.
     pub fn dcl_events(&self) -> impl Iterator<Item = &DclEvent> {
-        self.events.iter().filter_map(|e| match e {
+        self.events().iter().filter_map(|e| match e {
             Event::Dcl(d) => Some(d),
             _ => None,
         })
@@ -205,7 +249,7 @@ impl EventLog {
 
     /// All behaviour events for a package.
     pub fn behaviors<'a>(&'a self, pkg: &'a str) -> impl Iterator<Item = &'a BehaviorEvent> {
-        self.events.iter().filter_map(move |e| match e {
+        self.events().iter().filter_map(move |e| match e {
             Event::Behavior { behavior, package } if package == pkg => Some(behavior),
             _ => None,
         })
@@ -213,24 +257,27 @@ impl EventLog {
 
     /// Whether any crash was recorded for `pkg`.
     pub fn crashed(&self, pkg: &str) -> bool {
-        self.events
+        self.events()
             .iter()
             .any(|e| matches!(e, Event::Crash { package, .. } if package == pkg))
     }
 
-    /// Number of events.
+    /// Number of surviving events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() - self.start
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
-    /// Clears the log (between per-app runs).
+    /// Clears the log and its dropped-event counter (between per-app runs).
+    /// The capacity is preserved.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.start = 0;
+        self.dropped = 0;
     }
 }
 
@@ -278,5 +325,42 @@ mod tests {
         assert_eq!(log.len(), 3);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::new();
+        log.set_capacity(3);
+        for i in 0..10 {
+            log.push(Event::Dcl(dcl(&format!("/d/{i}.dex"))));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped_events(), 7);
+        let paths: Vec<&str> = log.dcl_events().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["/d/7.dex", "/d/8.dex", "/d/9.dex"]);
+    }
+
+    #[test]
+    fn unbounded_log_never_drops() {
+        let mut log = EventLog::new();
+        for i in 0..100 {
+            log.push(Event::Dcl(dcl(&format!("/d/{i}.dex"))));
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.dropped_events(), 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.push(Event::Dcl(dcl(&format!("/d/{i}.dex"))));
+        }
+        log.set_capacity(2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped_events(), 3);
+        log.clear();
+        assert_eq!(log.dropped_events(), 0);
+        assert_eq!(log.capacity(), 2);
     }
 }

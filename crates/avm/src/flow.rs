@@ -36,11 +36,39 @@ impl FlowNode {
     }
 }
 
+/// Default cap on the number of *distinct* edges a graph will store
+/// before it starts dropping new ones (see [`FlowGraph::truncated_edges`]).
+pub const DEFAULT_EDGE_CAP: usize = 65_536;
+
 /// A directed flow graph over [`FlowNode`]s.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Identical `from → to` pairs are stored once with a multiplicity count
+/// rather than duplicated, so hot read/write loops (a buffer copied in 4 KiB
+/// chunks fires the same `Buffer → OutputStream` rule thousands of times)
+/// cost one entry. The number of distinct edges is capped; edges dropped at
+/// the cap are counted in [`truncated_edges`](FlowGraph::truncated_edges)
+/// so truncation is observable, never silent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowGraph {
-    edges: HashMap<FlowNode, Vec<FlowNode>>,
+    edges: HashMap<FlowNode, Vec<(FlowNode, u64)>>,
     reverse: HashMap<FlowNode, Vec<FlowNode>>,
+    distinct: usize,
+    cap: usize,
+    duplicates: u64,
+    truncated: u64,
+}
+
+impl Default for FlowGraph {
+    fn default() -> Self {
+        FlowGraph {
+            edges: HashMap::new(),
+            reverse: HashMap::new(),
+            distinct: 0,
+            cap: DEFAULT_EDGE_CAP,
+            duplicates: 0,
+            truncated: 0,
+        }
+    }
 }
 
 impl FlowGraph {
@@ -50,14 +78,50 @@ impl FlowGraph {
     }
 
     /// Records a flow edge `from → to` (Table I rules produce these).
+    /// A repeat of an existing edge bumps its multiplicity; a new edge past
+    /// the cap is dropped and counted in [`truncated_edges`](Self::truncated_edges).
     pub fn add_edge(&mut self, from: FlowNode, to: FlowNode) {
-        self.edges.entry(from.clone()).or_default().push(to.clone());
+        let out = self.edges.entry(from.clone()).or_default();
+        if let Some(slot) = out.iter_mut().find(|(t, _)| *t == to) {
+            slot.1 += 1;
+            self.duplicates += 1;
+            return;
+        }
+        if self.distinct >= self.cap {
+            self.truncated += 1;
+            return;
+        }
+        out.push((to.clone(), 1));
         self.reverse.entry(to).or_default().push(from);
+        self.distinct += 1;
     }
 
-    /// Number of edges.
+    /// Number of distinct edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(Vec::len).sum()
+        self.distinct
+    }
+
+    /// Iterates all distinct edges as `(from, to, multiplicity)`.
+    pub fn edges(&self) -> impl Iterator<Item = (&FlowNode, &FlowNode, u64)> {
+        self.edges
+            .iter()
+            .flat_map(|(from, outs)| outs.iter().map(move |(to, n)| (from, to, *n)))
+    }
+
+    /// How many `add_edge` calls were folded into an existing edge's
+    /// multiplicity instead of growing the graph.
+    pub fn duplicate_edges(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// How many distinct edges were dropped because the graph hit its cap.
+    pub fn truncated_edges(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Sets the distinct-edge cap (`0` is treated as "keep nothing new").
+    pub fn set_edge_cap(&mut self, cap: usize) {
+        self.cap = cap;
     }
 
     /// All URLs from which data flowed (transitively) into the file at
@@ -96,10 +160,14 @@ impl FlowGraph {
         !self.url_sources(path).is_empty()
     }
 
-    /// Clears all edges (between per-app runs).
+    /// Clears all edges and counters (between per-app runs). The edge cap
+    /// is preserved.
     pub fn clear(&mut self) {
         self.edges.clear();
         self.reverse.clear();
+        self.distinct = 0;
+        self.duplicates = 0;
+        self.truncated = 0;
     }
 }
 
@@ -190,6 +258,60 @@ mod tests {
     fn unknown_file_not_remote() {
         let g = FlowGraph::new();
         assert!(!g.is_remote("/nope"));
+    }
+
+    #[test]
+    fn duplicate_edges_are_count_annotated_not_duplicated() {
+        let mut g = FlowGraph::new();
+        for _ in 0..1000 {
+            g.add_edge(FlowNode::Buffer(2), FlowNode::OutputStream(3));
+        }
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.duplicate_edges(), 999);
+        let (_, _, n) = g.edges().next().unwrap();
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn edge_cap_truncates_and_counts() {
+        let mut g = FlowGraph::new();
+        g.set_edge_cap(3);
+        for i in 0..10u32 {
+            g.add_edge(FlowNode::InputStream(i), FlowNode::Buffer(100 + i));
+        }
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.truncated_edges(), 7);
+        // Repeats of a retained edge still count-annotate past the cap.
+        g.add_edge(FlowNode::InputStream(0), FlowNode::Buffer(100));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.duplicate_edges(), 1);
+    }
+
+    #[test]
+    fn truncation_does_not_fabricate_provenance() {
+        let mut g = FlowGraph::new();
+        g.set_edge_cap(4);
+        download_chain(&mut g, "http://a.com/1", "/f");
+        // The chain consumed the whole cap; a second download is dropped.
+        download_chain(&mut g, "http://b.com/2", "/g");
+        assert!(g.is_remote("/f"));
+        assert!(!g.is_remote("/g"));
+        assert!(g.truncated_edges() > 0);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut g = FlowGraph::new();
+        g.set_edge_cap(1);
+        g.add_edge(FlowNode::Buffer(1), FlowNode::Buffer(1));
+        g.add_edge(FlowNode::Buffer(1), FlowNode::Buffer(1));
+        g.add_edge(FlowNode::Buffer(1), FlowNode::Buffer(2));
+        assert_eq!(g.duplicate_edges(), 1);
+        assert_eq!(g.truncated_edges(), 1);
+        g.clear();
+        assert_eq!(g.duplicate_edges(), 0);
+        assert_eq!(g.truncated_edges(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

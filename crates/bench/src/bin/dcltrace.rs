@@ -1,0 +1,219 @@
+//! Queries the DCL provenance ledger written beside a sweep journal
+//! (`<journal>.provenance.jsonl`, or an explicit `--provenance-out` path).
+//!
+//! ```text
+//! dcltrace --ledger PATH summary
+//! dcltrace --ledger PATH chain <package> [<path>]
+//! dcltrace --ledger PATH diff [<package>]
+//! dcltrace --ledger PATH export --dot [--app PKG] [--out PATH]
+//! dcltrace --ledger PATH check --journal PATH
+//! ```
+//!
+//! `summary` prints one line per ledgered app; `chain` reconstructs the
+//! causal URL → stream → file → load chain for a loaded path (all loaded
+//! paths when none is given); `diff` lists the loads whose presence
+//! differs across the four Table VIII environment configurations — the
+//! logic-bomb signal; `export --dot` emits Graphviz DOT (one app, or the
+//! whole corpus as clustered subgraphs); `check` verifies that the
+//! ledger and the journal agree on the analysed app set, exiting
+//! non-zero on disagreement (the CI smoke gate).
+
+use dydroid::provenance::{check_against_journal, corpus_dot};
+use dydroid::{AppProvenance, Journal, ProvenanceLedger};
+
+const USAGE: &str = "dcltrace --ledger PATH <summary | chain <pkg> [<path>] | diff [<pkg>] | \
+export --dot [--app PKG] [--out PATH] | check --journal PATH>";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn load_ledger(path: &str) -> Vec<AppProvenance> {
+    let ledger = ProvenanceLedger::new(path);
+    match ledger.load() {
+        Ok(records) if records.is_empty() => {
+            eprintln!("ledger {path} holds no records");
+            std::process::exit(1);
+        }
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: cannot read ledger {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn find_app<'l>(records: &'l [AppProvenance], pkg: &str) -> &'l AppProvenance {
+    records
+        .iter()
+        .find(|p| p.package == pkg)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "error: package {pkg} not in ledger ({} apps)",
+                records.len()
+            );
+            std::process::exit(1);
+        })
+}
+
+fn cmd_summary(records: &[AppProvenance]) {
+    println!(
+        "{} apps in ledger ({} degraded)",
+        records.len(),
+        records.iter().filter(|p| p.degraded).count()
+    );
+    for p in records {
+        let loads = p.loaded_paths();
+        let remote = loads.iter().filter(|l| p.is_remote_chain(l)).count();
+        println!(
+            "{}  verdict={}  nodes={}  edges={}  loads={}  remote={}  env-divergent={}{}",
+            p.package,
+            p.verdict,
+            p.nodes.len(),
+            p.edges.len(),
+            loads.len(),
+            remote,
+            p.env_diff().len(),
+            if p.degraded { "  [degraded]" } else { "" },
+        );
+    }
+}
+
+fn cmd_chain(records: &[AppProvenance], pkg: &str, path: Option<&str>) {
+    let app = find_app(records, pkg);
+    let paths = match path {
+        Some(p) => vec![p.to_string()],
+        None => app.loaded_paths(),
+    };
+    if paths.is_empty() {
+        println!("{pkg}: no dynamically loaded files");
+        return;
+    }
+    for p in &paths {
+        match app.render_chain(p) {
+            Some(chain) => {
+                let origin = if app.is_remote_chain(p) {
+                    "remote"
+                } else {
+                    "local"
+                };
+                println!("{pkg} {p} [{origin} origin]");
+                print!("{chain}");
+            }
+            None => println!("{pkg} {p}: not in provenance graph"),
+        }
+    }
+}
+
+fn cmd_diff(records: &[AppProvenance], pkg: Option<&str>) {
+    let subset: Vec<&AppProvenance> = match pkg {
+        Some(pkg) => vec![find_app(records, pkg)],
+        None => records.iter().collect(),
+    };
+    let mut total = 0usize;
+    for app in subset {
+        for d in app.env_diff() {
+            total += 1;
+            println!(
+                "{} {}  loaded under [{}]  missing under [{}]",
+                app.package,
+                d.path,
+                d.loaded_under.join(", "),
+                d.missing_under.join(", ")
+            );
+        }
+    }
+    println!("{total} environment-divergent load(s)");
+}
+
+fn cmd_export(records: &[AppProvenance], app: Option<&str>, out: Option<&str>) {
+    let dot = match app {
+        Some(pkg) => find_app(records, pkg).to_dot(),
+        None => corpus_dot(records),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(path, &dot).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{dot}"),
+    }
+}
+
+fn cmd_check(records: &[AppProvenance], journal_path: &str) {
+    let journal = Journal::new(journal_path).load().unwrap_or_else(|e| {
+        eprintln!("error: cannot read journal {journal_path}: {e}");
+        std::process::exit(1);
+    });
+    match check_against_journal(records, &journal) {
+        Ok(()) => println!("ok: ledger and journal agree on {} app(s)", journal.len()),
+        Err(msg) => {
+            eprintln!("check failed: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter().map(String::as_str);
+    let mut ledger_path: Option<&str> = None;
+    let mut command: Option<&str> = None;
+    let mut operands: Vec<&str> = Vec::new();
+    let mut dot = false;
+    let mut app: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut journal: Option<&str> = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--ledger" => {
+                ledger_path = Some(it.next().unwrap_or_else(|| usage("--ledger needs a path")))
+            }
+            "--dot" => dot = true,
+            "--app" => app = Some(it.next().unwrap_or_else(|| usage("--app needs a package"))),
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage("--out needs a path"))),
+            "--journal" => {
+                journal = Some(it.next().unwrap_or_else(|| usage("--journal needs a path")));
+            }
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => usage(&format!("unknown flag {other:?}")),
+            other if command.is_none() => command = Some(other),
+            other => operands.push(other),
+        }
+    }
+    let ledger_path = ledger_path.unwrap_or_else(|| usage("--ledger PATH is required"));
+    let records = load_ledger(ledger_path);
+    match command {
+        Some("summary") => cmd_summary(&records),
+        Some("chain") => match operands.as_slice() {
+            [pkg] => cmd_chain(&records, pkg, None),
+            [pkg, path] => cmd_chain(&records, pkg, Some(path)),
+            _ => usage("chain takes <package> [<path>]"),
+        },
+        Some("diff") => match operands.as_slice() {
+            [] => cmd_diff(&records, None),
+            [pkg] => cmd_diff(&records, Some(pkg)),
+            _ => usage("diff takes at most one <package>"),
+        },
+        Some("export") => {
+            if !dot {
+                usage("export currently requires --dot");
+            }
+            cmd_export(&records, app, out);
+        }
+        Some("check") => {
+            let journal = journal.unwrap_or_else(|| usage("check needs --journal PATH"));
+            cmd_check(&records, journal);
+        }
+        Some(other) => usage(&format!("unknown command {other:?}")),
+        None => usage("a command is required"),
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
 //!        [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]
+//!        [--provenance-out PATH]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
@@ -18,7 +19,10 @@
 //! metrics snapshot (counters, gauges, per-phase histograms) as JSON;
 //! `--trace-out PATH` writes a Chrome `trace_event` file loadable in
 //! chrome://tracing or Perfetto; `--progress` prints a periodic one-line
-//! sweep progress report to stderr.
+//! sweep progress report to stderr; `--provenance-out PATH` writes the
+//! per-app provenance ledger (one causal graph per JSON line, queryable
+//! with `dcltrace`) to an explicit path — with `--journal` the ledger is
+//! always written beside the journal as `<journal>.provenance.jsonl`.
 
 use std::io::Write as _;
 
@@ -37,6 +41,7 @@ struct Args {
     perf_json: Option<String>,
     trace_out: Option<String>,
     progress: bool,
+    provenance_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +57,7 @@ fn parse_args() -> Args {
         perf_json: None,
         trace_out: None,
         progress: false,
+        provenance_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -97,6 +103,9 @@ fn parse_args() -> Args {
                 args.trace_out = it.next().or_else(|| usage("--trace-out needs a path"));
             }
             "--progress" => args.progress = true,
+            "--provenance-out" => {
+                args.provenance_out = it.next().or_else(|| usage("--provenance-out needs a path"));
+            }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 std::process::exit(0);
@@ -114,7 +123,8 @@ fn parse_args() -> Args {
 }
 
 const USAGE: &str = "tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] \
-[--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]";
+[--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress] \
+[--provenance-out PATH]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -140,6 +150,7 @@ fn main() {
         environment_reruns: needs_env,
         progress: args.progress,
         trace_out: args.trace_out.clone(),
+        provenance_out: args.provenance_out.clone(),
         ..Default::default()
     });
     let t1 = std::time::Instant::now();
@@ -227,5 +238,14 @@ fn main() {
     }
     if let Some(path) = &args.trace_out {
         eprintln!("trace written to {path} (load in chrome://tracing or https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.provenance_out {
+        eprintln!("provenance ledger written to {path} (query with dcltrace --ledger {path})");
+    } else if let Some(path) = &args.journal {
+        let ledger = Journal::new(path).provenance_path();
+        eprintln!(
+            "provenance ledger written to {} (query with dcltrace)",
+            ledger.display()
+        );
     }
 }

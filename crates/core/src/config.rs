@@ -3,6 +3,10 @@
 use dydroid_avm::DeviceConfig;
 use serde::{Deserialize, Serialize};
 
+/// Default per-app `EventLog` ring bound; generous enough that a
+/// well-behaved app never drops, small enough to bound a hot loop.
+pub const DEFAULT_MAX_EVENTS_PER_APP: usize = 65_536;
+
 /// Configuration of a measurement run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -61,6 +65,18 @@ pub struct PipelineConfig {
     /// `chrome://tracing` / Perfetto) to this path after the run
     /// (requires `telemetry`).
     pub trace_out: Option<String>,
+    /// Ring-buffer bound on each app's instrumentation `EventLog`
+    /// (`0` = unbounded). Evicted events are counted per app in the
+    /// provenance ledger and corpus-wide in `SweepStats`.
+    pub max_events_per_app: usize,
+    /// Record per-app provenance graphs (URL → file → load → verdict)
+    /// and persist them as a JSONL ledger beside the journal when one is
+    /// in use (see `crate::provenance`).
+    pub provenance: bool,
+    /// Explicit path for the provenance ledger. `None` places it beside
+    /// the sweep journal (`<journal>.provenance.jsonl`); without a
+    /// journal the ledger is kept in memory only.
+    pub provenance_out: Option<String>,
 }
 
 impl Default for PipelineConfig {
@@ -82,6 +98,9 @@ impl Default for PipelineConfig {
             telemetry: true,
             progress: false,
             trace_out: None,
+            max_events_per_app: DEFAULT_MAX_EVENTS_PER_APP,
+            provenance: true,
+            provenance_out: None,
         }
     }
 }
@@ -134,6 +153,9 @@ mod tests {
         assert!(c.telemetry);
         assert!(!c.progress);
         assert_eq!(c.trace_out, None);
+        assert_eq!(c.max_events_per_app, DEFAULT_MAX_EVENTS_PER_APP);
+        assert!(c.provenance);
+        assert_eq!(c.provenance_out, None);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Every app whose loaded code was flagged as malware is re-executed under
 //! the paper's four configurations — system time before release, airplane
 //! mode with WiFi re-enabled, airplane mode fully offline, and location
-//! service disabled — counting how many of the malicious files are still
-//! loaded in each.
+//! service disabled — recording which of the malicious files are still
+//! loaded in each. Aggregate counts feed Table VIII ([`EnvCounts`]);
+//! the per-file outcomes ([`EnvLoad`]) feed the provenance ledger, where
+//! `dcltrace diff` surfaces loads that only occur under some configs —
+//! the logic-bomb signal.
 //!
 //! The re-runs are **decompile-once and parallel**: each flagged app is
 //! decompiled and rewritten a single time, then the (app × config) pairs
@@ -13,6 +16,7 @@
 //! [`rerun_all_serial`] for differential tests and the `sweepbench`
 //! baseline, selectable via `PipelineConfig::serial_env_reruns`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -39,19 +43,51 @@ pub struct EnvCounts {
     pub location_off: usize,
 }
 
+/// One malicious file's re-run outcome: the configurations (by Table
+/// VIII name) under which it still loaded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvLoad {
+    /// Owning app's package.
+    pub package: String,
+    /// The malicious path.
+    pub path: String,
+    /// Config names under which the file loaded, in Table VIII order.
+    pub configs: Vec<String>,
+}
+
+/// Aggregate counts plus per-file detail from the environment re-runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvOutcome {
+    /// Table VIII counts.
+    pub counts: EnvCounts,
+    /// Per-file outcomes: corpus order by app, path-sorted within an app.
+    pub loads: Vec<EnvLoad>,
+}
+
+/// The four non-baseline configuration names, in Table VIII order.
+pub fn config_names() -> [&'static str; 4] {
+    [
+        "System time",
+        "Airplane mode/WiFi ON",
+        "Airplane mode/WiFi OFF",
+        "Location OFF",
+    ]
+}
+
 /// The four non-baseline configurations, in Table VIII order.
 pub fn configurations() -> [(&'static str, DeviceConfig); 4] {
     let base = DeviceConfig::default();
+    let names = config_names();
     [
         (
-            "System time",
+            names[0],
             DeviceConfig {
                 time_ms: RELEASE_MS - 86_400_000,
                 ..base.clone()
             },
         ),
         (
-            "Airplane mode/WiFi ON",
+            names[1],
             DeviceConfig {
                 airplane_mode: true,
                 wifi_on: true,
@@ -59,7 +95,7 @@ pub fn configurations() -> [(&'static str, DeviceConfig); 4] {
             },
         ),
         (
-            "Airplane mode/WiFi OFF",
+            names[2],
             DeviceConfig {
                 airplane_mode: true,
                 wifi_on: false,
@@ -67,7 +103,7 @@ pub fn configurations() -> [(&'static str, DeviceConfig); 4] {
             },
         ),
         (
-            "Location OFF",
+            names[3],
             DeviceConfig {
                 location_enabled: false,
                 ..base
@@ -99,21 +135,65 @@ fn flagged_apps<'c>(
         .collect()
 }
 
+/// Folds per-(app, config) load flags — one `bool` per malicious-path
+/// entry — into Table VIII counts and per-file [`EnvLoad`] detail. The
+/// fold runs on one thread in flagged order, so the outcome is identical
+/// however the flags were produced.
+fn assemble_outcome(
+    flagged: &[(&SyntheticApp, Vec<String>)],
+    flags_for: impl Fn(usize, usize) -> Option<Vec<bool>>,
+) -> EnvOutcome {
+    let names = config_names();
+    let mut outcome = EnvOutcome::default();
+    for (a, (app, paths)) in flagged.iter().enumerate() {
+        outcome.counts.total_files += paths.len();
+        // Distinct paths, with one presence flag per config each.
+        let mut per_path: BTreeMap<&str, [bool; 4]> = BTreeMap::new();
+        for c in 0..names.len() {
+            let flags = flags_for(a, c).unwrap_or_else(|| vec![false; paths.len()]);
+            let loaded = flags.iter().filter(|b| **b).count();
+            match c {
+                0 => outcome.counts.time_before_release += loaded,
+                1 => outcome.counts.airplane_wifi_on += loaded,
+                2 => outcome.counts.airplane_wifi_off += loaded,
+                _ => outcome.counts.location_off += loaded,
+            }
+            for (path, flag) in paths.iter().zip(&flags) {
+                per_path.entry(path).or_insert([false; 4])[c] |= *flag;
+            }
+        }
+        for (path, present) in per_path {
+            outcome.loads.push(EnvLoad {
+                package: app.plan.package.clone(),
+                path: path.to_string(),
+                configs: names
+                    .iter()
+                    .zip(present)
+                    .filter(|(_, p)| *p)
+                    .map(|(n, _)| (*n).to_string())
+                    .collect(),
+            });
+        }
+    }
+    outcome
+}
+
 /// Re-runs every malware-flagged app under the four configurations:
 /// decompile/rewrite once per app, then fan the (app × config) pairs out
-/// over the worker pool. Per-config counts are order-independent sums,
-/// so the result is identical to [`rerun_all_serial`].
-pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRecord]) -> EnvCounts {
+/// over the worker pool. Per-pair load flags land in once-written slots
+/// and are folded deterministically, so the result is identical to
+/// [`rerun_all_serial`].
+pub fn rerun_all(
+    pipeline: &Pipeline,
+    corpus: &[SyntheticApp],
+    records: &[AppRecord],
+) -> EnvOutcome {
     if pipeline.config().serial_env_reruns {
         return rerun_all_serial(pipeline, corpus, records);
     }
     let flagged = flagged_apps(corpus, records);
-    let mut counts = EnvCounts {
-        total_files: flagged.iter().map(|(_, paths)| paths.len()).sum(),
-        ..EnvCounts::default()
-    };
     if flagged.is_empty() {
-        return counts;
+        return assemble_outcome(&flagged, |_, _| None);
     }
     let configs = configurations();
     let workers = pipeline
@@ -146,10 +226,13 @@ pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRec
         );
     }
 
-    // Phase 2: the (app × config) pairs, atomically summed per config.
-    let loaded: [AtomicUsize; 4] = Default::default();
+    // Phase 2: the (app × config) pairs, each writing its load flags
+    // into a once-written slot keyed by pair index.
+    let loaded: Vec<OnceLock<Vec<bool>>> = (0..flagged.len() * configs.len())
+        .map(|_| OnceLock::new())
+        .collect();
     let next = AtomicUsize::new(0);
-    let pairs = flagged.len() * configs.len();
+    let pairs = loaded.len();
     let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -163,19 +246,17 @@ pub fn rerun_all(pipeline: &Pipeline, corpus: &[SyntheticApp], records: &[AppRec
                 };
                 let (app, paths) = &flagged[a];
                 let (name, config) = &configs[c];
-                let n = count_loaded(pipeline, app, name, config, decompiled, bytes, paths);
-                loaded[c].fetch_add(n, Ordering::Relaxed);
+                let flags = loaded_flags(pipeline, app, name, config, decompiled, bytes, paths);
+                let _ = loaded[i].set(flags);
             });
         }
     });
     if scope_result.is_err() {
         eprintln!("dydroid: an environment re-run thread panicked; counts may be partial");
     }
-    counts.time_before_release = loaded[0].load(Ordering::Relaxed);
-    counts.airplane_wifi_on = loaded[1].load(Ordering::Relaxed);
-    counts.airplane_wifi_off = loaded[2].load(Ordering::Relaxed);
-    counts.location_off = loaded[3].load(Ordering::Relaxed);
-    counts
+    assemble_outcome(&flagged, |a, c| {
+        loaded[a * configs.len() + c].get().cloned()
+    })
 }
 
 /// The pre-optimization serial re-run path: one decompile + rewrite per
@@ -186,40 +267,28 @@ pub fn rerun_all_serial(
     pipeline: &Pipeline,
     corpus: &[SyntheticApp],
     records: &[AppRecord],
-) -> EnvCounts {
-    let mut counts = EnvCounts::default();
+) -> EnvOutcome {
+    let flagged = flagged_apps(corpus, records);
     let configs = configurations();
-    for (app, malicious_paths) in flagged_apps(corpus, records) {
-        counts.total_files += malicious_paths.len();
-        let loaded: Vec<usize> = configs
-            .iter()
-            .map(|(name, config)| {
-                let Ok((decompiled, bytes, _)) = decompiler::prepare_for_dynamic_analysis(&app.apk)
-                else {
-                    return 0;
-                };
-                count_loaded(
-                    pipeline,
-                    app,
-                    name,
-                    config,
-                    &decompiled,
-                    &bytes,
-                    &malicious_paths,
-                )
-            })
-            .collect();
-        counts.time_before_release += loaded[0];
-        counts.airplane_wifi_on += loaded[1];
-        counts.airplane_wifi_off += loaded[2];
-        counts.location_off += loaded[3];
-    }
-    counts
+    assemble_outcome(&flagged, |a, c| {
+        let (app, malicious_paths) = &flagged[a];
+        let (name, config) = &configs[c];
+        let (decompiled, bytes, _) = decompiler::prepare_for_dynamic_analysis(&app.apk).ok()?;
+        Some(loaded_flags(
+            pipeline,
+            app,
+            name,
+            config,
+            &decompiled,
+            &bytes,
+            malicious_paths,
+        ))
+    })
 }
 
-/// Exercises one prepared app under `config` and counts which of its
-/// malicious files still load.
-fn count_loaded(
+/// Exercises one prepared app under `config` and reports, per malicious
+/// path entry, whether the file still loaded.
+fn loaded_flags(
     pipeline: &Pipeline,
     app: &SyntheticApp,
     config_name: &str,
@@ -227,7 +296,7 @@ fn count_loaded(
     decompiled: &DecompiledApp,
     install_bytes: &[u8],
     malicious_paths: &[String],
-) -> usize {
+) -> Vec<bool> {
     let mut span = pipeline.telemetry().span("env_rerun");
     span.field("app", &app.plan.package);
     span.field("config", config_name);
@@ -241,18 +310,18 @@ fn count_loaded(
     );
     // A crash after loading does not un-load the file: count events
     // regardless of the final status (interception happens at load time).
-    let loaded = malicious_paths
+    let flags: Vec<bool> = malicious_paths
         .iter()
-        .filter(|p| {
+        .map(|p| {
             outcome
                 .dex_events
                 .iter()
                 .chain(outcome.native_events.iter())
-                .any(|e| e.path == **p)
+                .any(|e| e.path == *p)
         })
-        .count();
-    span.field("loaded", loaded);
-    loaded
+        .collect();
+    span.field("loaded", flags.iter().filter(|b| **b).count());
+    flags
 }
 
 #[cfg(test)]
@@ -267,5 +336,9 @@ mod tests {
         assert!(configs[1].1.airplane_mode && configs[1].1.wifi_on);
         assert!(configs[2].1.airplane_mode && !configs[2].1.wifi_on);
         assert!(!configs[3].1.location_enabled);
+        let names = config_names();
+        for (i, (name, _)) in configs.iter().enumerate() {
+            assert_eq!(*name, names[i]);
+        }
     }
 }

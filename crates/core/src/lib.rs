@@ -46,6 +46,7 @@ pub mod cache;
 pub mod config;
 pub mod environment;
 pub mod pipeline;
+pub mod provenance;
 pub mod report;
 pub mod sweep;
 pub mod telemetry;
@@ -64,6 +65,7 @@ pub mod obs {
 pub use cache::{AnalysisCache, CacheStats};
 pub use config::PipelineConfig;
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
+pub use provenance::{AppProvenance, ProvenanceIndex, ProvenanceLedger};
 pub use report::{MeasurementReport, SweepStats};
 pub use sweep::Journal;
 pub use telemetry::Telemetry;

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
+use crate::provenance::{AppProvenance, ProvenanceLedger};
 use crate::report::{MeasurementReport, SweepStats};
 use crate::telemetry::{HistogramSummary, MetricsSnapshot, Progress, Telemetry};
 use crate::training;
@@ -235,20 +236,82 @@ impl Pipeline {
     pub fn run(&self, corpus: &[SyntheticApp]) -> MeasurementReport {
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
+        let avm_marks = self.avm_counter_marks();
+        // Without a journal the ledger only materializes on disk when an
+        // explicit path was configured; a fresh run starts it clean.
+        let ledger = self.ledger_for(None);
+        if let Some(ledger) = &ledger {
+            if let Err(e) = ledger.reset() {
+                eprintln!(
+                    "dydroid: failed to reset ledger {}: {e}",
+                    ledger.path().display()
+                );
+            }
+        }
+        let ledger_writer = self.open_ledger_writer(ledger.as_ref());
         let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let mut sweep_span = self.telemetry.span("sweep");
         sweep_span.field("apps", indices.len());
-        let results = self.sweep(corpus, &indices, None, sweep_span.id());
+        let results = self.sweep(
+            corpus,
+            &indices,
+            None,
+            ledger_writer.as_ref(),
+            sweep_span.id(),
+        );
         drop(sweep_span);
+        drop(ledger_writer);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
         self.assemble(
             corpus,
             results,
             HashMap::new(),
+            Vec::new(),
+            ledger.as_ref(),
             sweep_ms,
             cache_mark,
             detector_mark,
+            avm_marks,
+        )
+    }
+
+    /// The ledger backing this run's provenance records, if any: the
+    /// configured `provenance_out` path wins, else the ledger sits
+    /// beside the journal when one is in use.
+    fn ledger_for(&self, journal: Option<&crate::sweep::Journal>) -> Option<ProvenanceLedger> {
+        if !self.config.provenance {
+            return None;
+        }
+        if let Some(path) = &self.config.provenance_out {
+            return Some(ProvenanceLedger::new(path));
+        }
+        journal.map(|j| ProvenanceLedger::new(j.provenance_path()))
+    }
+
+    fn open_ledger_writer(
+        &self,
+        ledger: Option<&ProvenanceLedger>,
+    ) -> Option<Mutex<crate::provenance::LedgerWriter>> {
+        let ledger = ledger?;
+        match ledger.writer() {
+            Ok(w) => Some(Mutex::new(w)),
+            Err(e) => {
+                eprintln!(
+                    "dydroid: failed to open ledger {}: {e}",
+                    ledger.path().display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Marks of the monotonic avm-truncation counters, for per-run deltas.
+    fn avm_counter_marks(&self) -> (u64, u64, u64) {
+        (
+            self.telemetry.counter_value("avm.events_dropped"),
+            self.telemetry.counter_value("avm.flow_edges_truncated"),
+            self.telemetry.counter_value("avm.flow_edges_deduped"),
         )
     }
 
@@ -274,10 +337,48 @@ impl Pipeline {
                 recovery.dropped_lines
             );
         }
+        // Recover the prior session's ledger the same way the journal is
+        // recovered: complete lines survive, a torn tail is truncated so
+        // this session's appends extend a clean file.
+        let ledger = self.ledger_for(Some(journal));
+        let mut prior_provenance = Vec::new();
+        if let Some(ledger) = &ledger {
+            match ledger.recover_counted() {
+                Ok(recovery) => {
+                    if recovery.dropped_lines > 0 {
+                        eprintln!(
+                            "dydroid: ledger {}: recovered {} record(s), dropped {} corrupt trailing line(s)",
+                            ledger.path().display(),
+                            recovery.records.len(),
+                            recovery.dropped_lines
+                        );
+                    }
+                    prior_provenance = recovery.records;
+                }
+                Err(e) => eprintln!(
+                    "dydroid: failed to recover ledger {}: {e}",
+                    ledger.path().display()
+                ),
+            }
+        }
+        let ledgered: std::collections::HashSet<&str> = prior_provenance
+            .iter()
+            .map(|p| p.package.as_str())
+            .collect();
         let mut done: HashMap<String, AppRecord> = HashMap::new();
         for record in recovery.records {
+            // An app is resumable only when both its journal record and
+            // its ledger line survived the kill (the collector appends
+            // journal-then-ledger, so at most the last app is skewed).
+            // Re-analysing it keeps the finalized ledger byte-identical
+            // to an uninterrupted run instead of falling back to a
+            // degraded record.
+            if ledger.is_some() && !ledgered.contains(record.package.as_str()) {
+                continue;
+            }
             done.entry(record.package.clone()).or_insert(record);
         }
+        drop(ledgered);
         if self.telemetry.is_enabled() {
             self.telemetry
                 .counter_add("journal.recovered_records", recovered as u64);
@@ -308,16 +409,35 @@ impl Pipeline {
             .filter(|&i| !done.contains_key(corpus[i].package()))
             .collect();
         let writer = Mutex::new(journal.writer()?);
+        let ledger_writer = self.open_ledger_writer(ledger.as_ref());
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
+        let avm_marks = self.avm_counter_marks();
         let sweep_start = Instant::now();
         let mut sweep_span = self.telemetry.span("sweep");
         sweep_span.field("apps", pending.len());
         sweep_span.field("resumed", recovered);
-        let results = self.sweep(corpus, &pending, Some(&writer), sweep_span.id());
+        let results = self.sweep(
+            corpus,
+            &pending,
+            Some(&writer),
+            ledger_writer.as_ref(),
+            sweep_span.id(),
+        );
         drop(sweep_span);
+        drop(ledger_writer);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
-        Ok(self.assemble(corpus, results, done, sweep_ms, cache_mark, detector_mark))
+        Ok(self.assemble(
+            corpus,
+            results,
+            done,
+            prior_provenance,
+            ledger.as_ref(),
+            sweep_ms,
+            cache_mark,
+            detector_mark,
+            avm_marks,
+        ))
     }
 
     /// The parallel worker loop. Each worker pulls indices off the task
@@ -330,11 +450,13 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         indices: &[usize],
         journal: Option<&Mutex<crate::sweep::JournalWriter>>,
+        ledger: Option<&Mutex<crate::provenance::LedgerWriter>>,
         parent_span: u64,
-    ) -> Vec<(usize, AppRecord)> {
+    ) -> Vec<SweepItem> {
         let workers = self.config.effective_workers().min(indices.len().max(1));
         let (task_tx, task_rx) = channel::unbounded::<usize>();
-        let (result_tx, result_rx) = channel::unbounded::<(usize, AppRecord, u64)>();
+        let (result_tx, result_rx) =
+            channel::unbounded::<(usize, AppRecord, Option<AppProvenance>, u64)>();
         for &i in indices {
             if task_tx.send(i).is_err() {
                 break;
@@ -346,15 +468,16 @@ impl Pipeline {
 
         // Collected outside the scope so partial results survive even a
         // worker-thread panic that escapes the per-app isolation.
-        let collected: Mutex<Vec<(usize, AppRecord)>> = Mutex::new(Vec::new());
+        let collected: Mutex<Vec<SweepItem>> = Mutex::new(Vec::new());
         let scope_result = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let result_tx = result_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(i) = task_rx.recv() {
-                        let (record, span_id) = self.analyze_app_traced(&corpus[i], parent_span);
-                        if result_tx.send((i, record, span_id)).is_err() {
+                        let (record, provenance, span_id) =
+                            self.analyze_app_traced(&corpus[i], parent_span);
+                        if result_tx.send((i, record, provenance, span_id)).is_err() {
                             // Receiver gone: the sweep is shutting down.
                             break;
                         }
@@ -362,7 +485,7 @@ impl Pipeline {
                 });
             }
             drop(result_tx);
-            while let Ok((i, record, span_id)) = result_rx.recv() {
+            while let Ok((i, record, provenance, span_id)) = result_rx.recv() {
                 if let Some(writer) = journal {
                     let append = writer
                         .lock()
@@ -378,6 +501,22 @@ impl Pipeline {
                         }
                     }
                 }
+                if let (Some(writer), Some(provenance)) = (ledger, &provenance) {
+                    let append = writer
+                        .lock()
+                        .map_err(|p| std::io::Error::other(p.to_string()))
+                        .and_then(|mut w| w.append(provenance));
+                    match append {
+                        // The provenance-link line is the durable span
+                        // cross-reference the ledger itself omits.
+                        Ok(()) => self
+                            .telemetry
+                            .emit_provenance_link(&record.package, span_id),
+                        Err(e) => {
+                            eprintln!("dydroid: ledger append failed for {}: {e}", record.package);
+                        }
+                    }
+                }
                 if let Some(progress) = &progress {
                     let failed = record.harness_failure().is_some();
                     if let Some(line) = progress.on_app_done(failed, &self.telemetry) {
@@ -385,7 +524,7 @@ impl Pipeline {
                     }
                 }
                 if let Ok(mut records) = collected.lock() {
-                    records.push((i, record));
+                    records.push((i, record, provenance));
                 }
             }
         });
@@ -397,19 +536,36 @@ impl Pipeline {
 
     /// Merges sweep results (and any journaled records) into a complete,
     /// corpus-ordered report; apps lost to a non-isolated thread death
-    /// are recorded as harness failures rather than dropped.
+    /// are recorded as harness failures rather than dropped. When a
+    /// ledger is in play it is finalized here: rewritten in corpus order
+    /// with environment outcomes attached, so a completed run's ledger
+    /// is byte-identical however the sweep interleaved (and across
+    /// resume-from-checkpoint runs).
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         corpus: &[SyntheticApp],
-        results: Vec<(usize, AppRecord)>,
+        results: Vec<SweepItem>,
         mut done: HashMap<String, AppRecord>,
+        prior_provenance: Vec<AppProvenance>,
+        ledger: Option<&ProvenanceLedger>,
         sweep_ms: u64,
         cache_mark: CacheStats,
         detector_mark: dydroid_analysis::DetectorStats,
+        avm_marks: (u64, u64, u64),
     ) -> MeasurementReport {
-        for (i, record) in results {
+        // Live-built graphs win over recovered ledger lines; recovered
+        // lines cover the resumed apps this session never re-ran.
+        let mut provenance: HashMap<String, AppProvenance> = prior_provenance
+            .into_iter()
+            .map(|p| (p.package.clone(), p))
+            .collect();
+        for (i, record, prov) in results {
             if let Some(app) = corpus.get(i) {
                 done.insert(app.package().to_string(), record);
+                if let Some(prov) = prov {
+                    provenance.insert(app.package().to_string(), prov);
+                }
             }
         }
         let records: Vec<AppRecord> = corpus
@@ -424,11 +580,43 @@ impl Pipeline {
         let env = if self.config.environment_reruns {
             let mut env_span = self.telemetry.span("environment");
             let env = crate::environment::rerun_all(self, corpus, &records);
-            env_span.field("flagged_files", env.total_files);
+            env_span.field("flagged_files", env.counts.total_files);
             env
         } else {
-            crate::environment::EnvCounts::default()
+            crate::environment::EnvOutcome::default()
         };
+        // Finalize the ledger: one record per corpus app, corpus order,
+        // env outcomes attached. Apps whose live graph is gone (resumed
+        // with a torn ledger line) get a degraded reconstruction.
+        if self.config.provenance {
+            let final_provenance: Vec<AppProvenance> = corpus
+                .iter()
+                .zip(&records)
+                .map(|(app, record)| {
+                    let mut p = provenance
+                        .remove(app.package())
+                        .unwrap_or_else(|| AppProvenance::from_record(record));
+                    p.env_loads = env
+                        .loads
+                        .iter()
+                        .filter(|l| l.package == record.package)
+                        .map(|l| crate::provenance::EnvLoadOutcome {
+                            path: l.path.clone(),
+                            configs: l.configs.clone(),
+                        })
+                        .collect();
+                    p
+                })
+                .collect();
+            if let Some(ledger) = ledger {
+                if let Err(e) = ledger.finalize(&final_provenance) {
+                    eprintln!(
+                        "dydroid: failed to finalize ledger {}: {e}",
+                        ledger.path().display()
+                    );
+                }
+            }
+        }
         let snapshot = self.telemetry.snapshot();
         let app_wall = snapshot
             .histogram("span.app.us")
@@ -447,10 +635,23 @@ impl Pipeline {
             cache: self.cache.stats().since(&cache_mark),
             detector: self.detector.stats().since(&detector_mark),
             workers: self.config.effective_workers(),
+            dropped_events: self
+                .telemetry
+                .counter_value("avm.events_dropped")
+                .saturating_sub(avm_marks.0),
+            flow_truncated: self
+                .telemetry
+                .counter_value("avm.flow_edges_truncated")
+                .saturating_sub(avm_marks.1),
+            flow_deduped: self
+                .telemetry
+                .counter_value("avm.flow_edges_deduped")
+                .saturating_sub(avm_marks.2),
             app_wall,
             phases,
         };
-        let mut report = MeasurementReport::new(records, env);
+        let mut report = MeasurementReport::new(records, env.counts);
+        report.set_env_loads(env.loads);
         report.set_stats(stats);
         if let Some(path) = &self.config.trace_out {
             if let Err(e) = self.telemetry.write_chrome_trace(Path::new(path)) {
@@ -469,9 +670,14 @@ impl Pipeline {
     }
 
     /// [`Pipeline::analyze_app_resilient`] under a per-app telemetry span
-    /// (parented to the sweep span); returns the record together with the
-    /// span id so the sweep collector can checkpoint it.
-    fn analyze_app_traced(&self, app: &SyntheticApp, parent_span: u64) -> (AppRecord, u64) {
+    /// (parented to the sweep span); returns the record and provenance
+    /// graph together with the span id so the sweep collector can
+    /// checkpoint and ledger them.
+    fn analyze_app_traced(
+        &self,
+        app: &SyntheticApp,
+        parent_span: u64,
+    ) -> (AppRecord, Option<AppProvenance>, u64) {
         let mut span = self.telemetry.span_with_parent("app", parent_span);
         span.field("app", &app.plan.package);
         let span_id = span.id();
@@ -492,11 +698,21 @@ impl Pipeline {
             match catch_unwind(AssertUnwindSafe(|| {
                 self.analyze_app_salted(app, salt, span_id)
             })) {
-                Ok(record) => {
+                Ok((record, provenance)) => {
                     if record.harness_failure().is_none() {
                         span.field("attempt", attempt + 1);
                         span.field("verdict", verdict_label(&record));
-                        return (record, span_id);
+                        // Apps that never reached the dynamic phase carry
+                        // no live device state; they still get a ledger
+                        // entry, reconstructed from the record, so the
+                        // ledger's app set always matches the journal's.
+                        let provenance = self.config.provenance.then(|| {
+                            let mut p =
+                                provenance.unwrap_or_else(|| AppProvenance::from_record(&record));
+                            p.span = span_id;
+                            p
+                        });
+                        return (record, provenance, span_id);
                     }
                     last = Some(record);
                 }
@@ -516,7 +732,14 @@ impl Pipeline {
             last.unwrap_or_else(|| self.failure_record(app, "no analysis attempt ran".to_string()));
         span.field("attempt", attempts);
         span.field("verdict", verdict_label(&record));
-        (record, span_id)
+        // Harness failures carry no live device state; the ledger gets a
+        // degraded record reconstructed from the app record at finalize.
+        let provenance = self.config.provenance.then(|| {
+            let mut p = AppProvenance::from_record(&record);
+            p.span = span_id;
+            p
+        });
+        (record, provenance, span_id)
     }
 
     /// Re-runs the cheap static phases under their own panic guard, so a
@@ -583,21 +806,37 @@ impl Pipeline {
     /// Analyses a single app end to end (no panic isolation or retries;
     /// see [`Pipeline::analyze_app_resilient`] for the sweep wrapper).
     pub fn analyze_app(&self, app: &SyntheticApp) -> AppRecord {
+        self.analyze_app_with_provenance(app).0
+    }
+
+    /// [`Pipeline::analyze_app`], also returning the provenance flight
+    /// record (`None` when `PipelineConfig::provenance` is off or the
+    /// dynamic phase never ran).
+    pub fn analyze_app_with_provenance(
+        &self,
+        app: &SyntheticApp,
+    ) -> (AppRecord, Option<AppProvenance>) {
         let mut span = self.telemetry.span("app");
         span.field("app", &app.plan.package);
-        let record = self.analyze_app_salted(app, 0, span.id());
+        let (record, mut provenance) = self.analyze_app_salted(app, 0, span.id());
         span.field("verdict", verdict_label(&record));
-        record
+        if let Some(p) = &mut provenance {
+            p.span = span.id();
+        }
+        (record, provenance)
     }
 
     /// [`Pipeline::analyze_app`] with a Monkey seed salt (non-zero on
-    /// reseeded retries) and a parent span for the phase children.
+    /// reseeded retries) and a parent span for the phase children. Also
+    /// returns the app's provenance graph when the dynamic phase ran and
+    /// `PipelineConfig::provenance` is on (the graph is built from live
+    /// device state — flow graph, event log — that the record drops).
     fn analyze_app_salted(
         &self,
         app: &SyntheticApp,
         seed_salt: u64,
         parent_span: u64,
-    ) -> AppRecord {
+    ) -> (AppRecord, Option<AppProvenance>) {
         let metadata = app.plan.metadata.clone();
         let package = app.plan.package.clone();
 
@@ -608,26 +847,32 @@ impl Pipeline {
         let decompiled = match decompiler::decompile(&app.apk) {
             Ok(d) => d,
             Err(DecompileError::AntiDecompilation { .. }) => {
-                return AppRecord {
-                    package,
-                    metadata,
-                    decompiled: false,
-                    filter: DclFilter::default(),
-                    obfuscation: ObfuscationReport::anti_decompilation_only(),
-                    rewritten: false,
-                    dynamic: None,
-                };
+                return (
+                    AppRecord {
+                        package,
+                        metadata,
+                        decompiled: false,
+                        filter: DclFilter::default(),
+                        obfuscation: ObfuscationReport::anti_decompilation_only(),
+                        rewritten: false,
+                        dynamic: None,
+                    },
+                    None,
+                );
             }
             Err(_) => {
-                return AppRecord {
-                    package,
-                    metadata,
-                    decompiled: false,
-                    filter: DclFilter::default(),
-                    obfuscation: ObfuscationReport::default(),
-                    rewritten: false,
-                    dynamic: None,
-                };
+                return (
+                    AppRecord {
+                        package,
+                        metadata,
+                        decompiled: false,
+                        filter: DclFilter::default(),
+                        obfuscation: ObfuscationReport::default(),
+                        rewritten: false,
+                        dynamic: None,
+                    },
+                    None,
+                );
             }
         };
 
@@ -638,17 +883,20 @@ impl Pipeline {
         let manifest_entries =
             decompiled.manifest.permissions.len() + decompiled.manifest.components.len();
         if manifest_entries > MANIFEST_SANITY_LIMIT {
-            return AppRecord {
-                package,
-                metadata,
-                decompiled: true,
-                filter: DclFilter::default(),
-                obfuscation: ObfuscationReport::default(),
-                rewritten: false,
-                dynamic: Some(DynamicOutcome::failure(format!(
-                    "manifest exceeds sanity bounds: {manifest_entries} entries > {MANIFEST_SANITY_LIMIT}"
-                ))),
-            };
+            return (
+                AppRecord {
+                    package,
+                    metadata,
+                    decompiled: true,
+                    filter: DclFilter::default(),
+                    obfuscation: ObfuscationReport::default(),
+                    rewritten: false,
+                    dynamic: Some(DynamicOutcome::failure(format!(
+                        "manifest exceeds sanity bounds: {manifest_entries} entries > {MANIFEST_SANITY_LIMIT}"
+                    ))),
+                },
+                None,
+            );
         }
 
         // Phase 2: static filter + obfuscation analysis.
@@ -656,15 +904,18 @@ impl Pipeline {
         let obfuscation = obfuscation::analyze(&decompiled);
         drop(static_span);
         if !filter.any() {
-            return AppRecord {
-                package,
-                metadata,
-                decompiled: true,
-                filter,
-                obfuscation,
-                rewritten: false,
-                dynamic: None,
-            };
+            return (
+                AppRecord {
+                    package,
+                    metadata,
+                    decompiled: true,
+                    filter,
+                    obfuscation,
+                    rewritten: false,
+                    dynamic: None,
+                },
+                None,
+            );
         }
 
         // Phase 3: rewrite if needed. Apps that already hold the
@@ -677,15 +928,18 @@ impl Pipeline {
                 match decompiler::repackage_with_permission(&decompiled) {
                     Ok(bytes) => (Cow::Owned(bytes), true),
                     Err(_) => {
-                        return AppRecord {
-                            package,
-                            metadata,
-                            decompiled: true,
-                            filter,
-                            obfuscation,
-                            rewritten: false,
-                            dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
-                        };
+                        return (
+                            AppRecord {
+                                package,
+                                metadata,
+                                decompiled: true,
+                                filter,
+                                obfuscation,
+                                rewritten: false,
+                                dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
+                            },
+                            None,
+                        );
                     }
                 }
             } else {
@@ -694,7 +948,7 @@ impl Pipeline {
 
         // Phase 4: dynamic analysis.
         let mut device = self.prepare_device(app, self.config.device_config());
-        let dynamic = self.exercise_and_analyze_salted(
+        let (dynamic, path_leaks) = self.exercise_and_analyze_salted(
             app,
             &mut device,
             &install_bytes,
@@ -702,22 +956,54 @@ impl Pipeline {
             seed_salt,
             parent_span,
         );
-
-        AppRecord {
-            package,
-            metadata,
-            decompiled: true,
-            filter,
-            obfuscation,
-            rewritten,
-            dynamic: Some(dynamic),
+        // Per-app instrumentation-bound counters (the env re-runs bypass
+        // this path, so these count the baseline sweep only).
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("avm.events_dropped", device.log.dropped_events());
+            self.telemetry.counter_add(
+                "avm.flow_edges_truncated",
+                device.hooks.flow.truncated_edges(),
+            );
+            self.telemetry.counter_add(
+                "avm.flow_edges_deduped",
+                device.hooks.flow.duplicate_edges(),
+            );
         }
+        // The flight recorder fuses the device state the record is about
+        // to drop (flow graph, raw event log) with the outcome.
+        let provenance = self.config.provenance.then(|| {
+            AppProvenance::build(
+                &package,
+                status_label(&dynamic.status),
+                &device.log,
+                &device.hooks.flow,
+                &dynamic.dex_events,
+                &dynamic.native_events,
+                &dynamic.malware,
+                &path_leaks,
+            )
+        });
+
+        (
+            AppRecord {
+                package,
+                metadata,
+                decompiled: true,
+                filter,
+                obfuscation,
+                rewritten,
+                dynamic: Some(dynamic),
+            },
+            provenance,
+        )
     }
 
     /// Builds a device with the app's environment fixtures in place.
     pub fn prepare_device(&self, app: &SyntheticApp, config: dydroid_avm::DeviceConfig) -> Device {
         let mut device = Device::new(config);
         device.hooks.suppress_file_ops = self.config.suppress_file_ops;
+        device.log.set_capacity(self.config.max_events_per_app);
         for (domain, path, bytes) in &app.remote_resources {
             device.net.host(domain, path, bytes.clone());
         }
@@ -739,6 +1025,7 @@ impl Pipeline {
         decompiled: &decompiler::DecompiledApp,
     ) -> DynamicOutcome {
         self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0, 0)
+            .0
     }
 
     /// [`Pipeline::exercise_and_analyze`] under a caller-supplied parent
@@ -753,9 +1040,13 @@ impl Pipeline {
         parent_span: u64,
     ) -> DynamicOutcome {
         self.exercise_and_analyze_salted(app, device, install_bytes, decompiled, 0, parent_span)
+            .0
     }
 
-    /// [`Pipeline::exercise_and_analyze`] with a Monkey seed salt.
+    /// [`Pipeline::exercise_and_analyze`] with a Monkey seed salt. Also
+    /// returns per-path privacy-leak attribution `(loaded path, privacy
+    /// type label)` — the verdict edges of the provenance graph, which
+    /// the aggregate [`DynamicOutcome`] no longer resolves to paths.
     fn exercise_and_analyze_salted(
         &self,
         app: &SyntheticApp,
@@ -764,7 +1055,7 @@ impl Pipeline {
         decompiled: &decompiler::DecompiledApp,
         seed_salt: u64,
         parent_span: u64,
-    ) -> DynamicOutcome {
+    ) -> (DynamicOutcome, Vec<(String, String)>) {
         let package = &app.plan.package;
 
         {
@@ -772,7 +1063,10 @@ impl Pipeline {
             install_span.field("bytes", install_bytes.len());
             if device.install(install_bytes).is_err() {
                 install_span.field("result", "error");
-                return DynamicOutcome::empty(DynamicStatus::RewriteFailure);
+                return (
+                    DynamicOutcome::empty(DynamicStatus::RewriteFailure),
+                    Vec::new(),
+                );
             }
         }
 
@@ -808,10 +1102,13 @@ impl Pipeline {
                 elapsed_ms,
             }) => {
                 monkey_span.field("status", "deadline_exceeded");
-                return DynamicOutcome::failure(format!(
-                    "deadline exceeded after {events_fired} events: {elapsed_ms} ms charged, budget {} ms",
-                    self.config.app_deadline_ms
-                ));
+                return (
+                    DynamicOutcome::failure(format!(
+                        "deadline exceeded after {events_fired} events: {elapsed_ms} ms charged, budget {} ms",
+                        self.config.app_deadline_ms
+                    )),
+                    Vec::new(),
+                );
             }
             Err(_) => DynamicStatus::RewriteFailure,
         };
@@ -821,7 +1118,7 @@ impl Pipeline {
             status,
             DynamicStatus::NoActivity | DynamicStatus::RewriteFailure
         ) {
-            return DynamicOutcome::empty(status);
+            return (DynamicOutcome::empty(status), Vec::new());
         }
         // Crashed apps count as failures in Table II (see
         // `AppRecord::dex_intercepted`), but the instrumentation still
@@ -877,6 +1174,9 @@ impl Pipeline {
             collect_span.field("dex_events", dex_events.len());
             collect_span.field("native_events", native_events.len());
             collect_span.field("remote_loads", remote_loads.len());
+            collect_span.field("dropped_events", device.log.dropped_events());
+            collect_span.field("flow_truncated", device.hooks.flow.truncated_edges());
+            collect_span.field("flow_deduped", device.hooks.flow.duplicate_edges());
         }
         drop(collect_span);
 
@@ -923,6 +1223,7 @@ impl Pipeline {
         let mut leaks: Vec<Leak> = Vec::new();
         let mut leak_seen: HashSet<Leak> = HashSet::new();
         let mut leak_classes: HashMap<PrivacyType, Vec<String>> = HashMap::new();
+        let mut path_leaks: Vec<(String, String)> = Vec::new();
         for (binary, verdict) in unique.iter().zip(&verdicts) {
             let BinaryVerdict::Parsed {
                 native,
@@ -945,11 +1246,14 @@ impl Pipeline {
                     .entry(leak.privacy)
                     .or_default()
                     .push(leak.class.clone());
+                path_leaks.push((binary.path.clone(), format!("{:?}", leak.privacy)));
                 if leak_seen.insert(leak.clone()) {
                     leaks.push(leak.clone());
                 }
             }
         }
+        path_leaks.sort();
+        path_leaks.dedup();
         let mut leak_types: Vec<LeakSummary> = leak_classes
             .into_iter()
             .map(|(privacy, classes)| LeakSummary {
@@ -962,18 +1266,21 @@ impl Pipeline {
             .collect();
         leak_types.sort_by_key(|l| l.privacy);
 
-        DynamicOutcome {
-            status,
-            dex_events,
-            native_events,
-            remote_loads,
-            dex_entity,
-            native_entity,
-            vulns,
-            malware,
-            leaks,
-            leak_types,
-        }
+        (
+            DynamicOutcome {
+                status,
+                dex_events,
+                native_events,
+                remote_loads,
+                dex_entity,
+                native_entity,
+                vulns,
+                malware,
+                leaks,
+                leak_types,
+            },
+            path_leaks,
+        )
     }
 }
 
@@ -993,6 +1300,9 @@ const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// `(decompiled, filter, obfuscation)` from the cheap static phases.
 type StaticPhases = (bool, DclFilter, ObfuscationReport);
 
+/// One collected sweep result: corpus index, record, provenance graph.
+type SweepItem = (usize, AppRecord, Option<AppProvenance>);
+
 /// Stable label for a [`DynamicStatus`], used as a span field value.
 fn status_label(status: &DynamicStatus) -> &'static str {
     match status {
@@ -1004,8 +1314,9 @@ fn status_label(status: &DynamicStatus) -> &'static str {
     }
 }
 
-/// Span-field verdict for a completed app record.
-fn verdict_label(record: &AppRecord) -> &'static str {
+/// Span-field verdict for a completed app record (also the provenance
+/// ledger's per-app verdict label).
+pub(crate) fn verdict_label(record: &AppRecord) -> &'static str {
     match record.dynamic.as_ref() {
         None => "static_only",
         Some(outcome) => status_label(&outcome.status),

@@ -40,6 +40,15 @@ impl Journal {
         PathBuf::from(name)
     }
 
+    /// Path of the provenance ledger written alongside this journal
+    /// (`<journal>.provenance.jsonl`), holding one causal graph per
+    /// analysed app (see [`crate::provenance`]).
+    pub fn provenance_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(".provenance.jsonl");
+        PathBuf::from(name)
+    }
+
     /// Loads every complete record. A missing file is an empty journal;
     /// a torn or corrupt line ends the load (everything before it is
     /// kept), since a hard kill can only tear the tail.
@@ -140,12 +149,14 @@ impl Journal {
     ///
     /// Returns I/O errors other than the file not existing.
     pub fn reset(&self) -> io::Result<()> {
-        // The event stream describes the journal's records; a reset
-        // journal must not stitch a stale timeline.
-        match std::fs::remove_file(self.events_path()) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+        // The event stream and provenance ledger describe the journal's
+        // records; a reset journal must not resume against stale ones.
+        for side in [self.events_path(), self.provenance_path()] {
+            match std::fs::remove_file(side) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
         }
         match std::fs::remove_file(&self.path) {
             Ok(()) => Ok(()),
@@ -316,6 +327,24 @@ mod tests {
             journal.events_path(),
             PathBuf::from("/tmp/sweep.jsonl.events.jsonl")
         );
+    }
+
+    #[test]
+    fn provenance_path_sits_beside_the_journal() {
+        let journal = Journal::new("/tmp/sweep.jsonl");
+        assert_eq!(
+            journal.provenance_path(),
+            PathBuf::from("/tmp/sweep.jsonl.provenance.jsonl")
+        );
+    }
+
+    #[test]
+    fn reset_removes_the_provenance_ledger() {
+        let journal = Journal::new(temp_path("prov_reset"));
+        journal.reset().unwrap();
+        std::fs::write(journal.provenance_path(), "{}\n").unwrap();
+        journal.reset().unwrap();
+        assert!(!journal.provenance_path().exists());
     }
 
     #[test]

@@ -565,8 +565,9 @@ impl Telemetry {
         all
     }
 
-    /// Directs the JSONL event stream (span + checkpoint lines) to
-    /// `path`, appending so resumed sweeps extend the same stream.
+    /// Directs the JSONL event stream (span, checkpoint and
+    /// provenance-link lines) to `path`, appending so resumed sweeps
+    /// extend the same stream.
     pub fn set_event_sink(&self, path: &Path) -> io::Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
@@ -584,6 +585,25 @@ impl Telemetry {
             (
                 "type".to_string(),
                 serde::Value::Str("checkpoint".to_string()),
+            ),
+            ("app".to_string(), serde::Value::Str(app.to_string())),
+            ("span".to_string(), span.to_json()),
+            ("t_us".to_string(), inner.now_us().to_json()),
+        ])
+        .to_compact_string();
+        inner.write_event(&line);
+    }
+
+    /// Emits a provenance-link event tying an app's ledger record to the
+    /// span that produced it. The ledger itself omits span ids (they
+    /// depend on worker interleave and would break its byte-determinism),
+    /// so this event-stream line is the durable cross-reference.
+    pub fn emit_provenance_link(&self, app: &str, span: u64) {
+        let Some(inner) = &self.inner else { return };
+        let line = serde::Value::Object(vec![
+            (
+                "type".to_string(),
+                serde::Value::Str("provenance".to_string()),
             ),
             ("app".to_string(), serde::Value::Str(app.to_string())),
             ("span".to_string(), span.to_json()),
@@ -624,7 +644,7 @@ impl Telemetry {
                     inner.store_span(record);
                     loaded += 1;
                 }
-            } else if kind == Some("checkpoint") {
+            } else if kind == Some("checkpoint") || kind == Some("provenance") {
                 if let Some(id) = value.get("span").and_then(|s| s.as_u64()) {
                     max_id = max_id.max(id);
                 }

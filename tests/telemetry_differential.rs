@@ -147,6 +147,7 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
     let events_text = std::fs::read_to_string(journal.events_path()).expect("events file");
     let mut app_spans: HashSet<u64> = HashSet::new();
     let mut checkpoints: Vec<(String, u64)> = Vec::new();
+    let mut provenance_links: Vec<(String, u64)> = Vec::new();
     let mut first_ids: Vec<u64> = Vec::new();
     for line in events_text.lines().filter(|l| !l.trim().is_empty()) {
         let v: serde_json::Value = serde_json::from_str(line).expect("event line parses");
@@ -166,6 +167,15 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
                     .to_string();
                 let span = v.get("span").and_then(|s| s.as_u64()).expect("span ref");
                 checkpoints.push((app, span));
+            }
+            Some("provenance") => {
+                let app = v
+                    .get("app")
+                    .and_then(|a| a.as_str())
+                    .expect("provenance app")
+                    .to_string();
+                let span = v.get("span").and_then(|s| s.as_u64()).expect("span ref");
+                provenance_links.push((app, span));
             }
             other => panic!("unexpected event type {other:?}"),
         }
@@ -187,6 +197,24 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
         assert!(
             app_spans.contains(span),
             "checkpoint for {app} references unknown span {span}"
+        );
+    }
+
+    // Every journaled app also has a provenance-ledger cross-link, and
+    // each link points at the same "app" span its checkpoint does.
+    let linked: HashSet<&str> = provenance_links
+        .iter()
+        .map(|(app, _)| app.as_str())
+        .collect();
+    assert_eq!(
+        linked,
+        journaled.iter().map(String::as_str).collect::<HashSet<_>>(),
+        "provenance links diverge from journaled packages"
+    );
+    for (app, span) in &provenance_links {
+        assert!(
+            app_spans.contains(span),
+            "provenance link for {app} references unknown span {span}"
         );
     }
 
