@@ -14,10 +14,14 @@
 //! paths when none is given); `diff` lists the loads whose presence
 //! differs across the four Table VIII environment configurations — the
 //! logic-bomb signal; `export --dot` emits Graphviz DOT (one app, or the
-//! whole corpus as clustered subgraphs); `check` verifies that the
-//! ledger and the journal agree on the analysed app set, exiting
-//! non-zero on disagreement (the CI smoke gate).
+//! whole corpus as clustered subgraphs); `check` verifies frame
+//! integrity (CRC32 checksums and contiguous sequence numbers) across
+//! the journal, ledger and event streams plus ledger↔journal agreement
+//! on the analysed app set, printing per-stream intact/dropped counts
+//! and exiting non-zero on any corruption or disagreement (the CI smoke
+//! gate).
 
+use dydroid::durable::scan_path;
 use dydroid::provenance::{check_against_journal, corpus_dot};
 use dydroid::{AppProvenance, Journal, ProvenanceLedger};
 
@@ -145,17 +149,61 @@ fn cmd_export(records: &[AppProvenance], app: Option<&str>, out: Option<&str>) {
     }
 }
 
-fn cmd_check(records: &[AppProvenance], journal_path: &str) {
-    let journal = Journal::new(journal_path).load().unwrap_or_else(|e| {
+/// Frame-verifies one stream file: checksums and sequence continuity.
+/// Returns the number of corrupt/dropped frames (0 for a missing file,
+/// which only `required` streams report as a defect).
+fn check_stream(name: &str, path: &std::path::Path, required: bool) -> usize {
+    match scan_path(path) {
+        Ok(Some(scan)) => {
+            match &scan.defect {
+                Some(defect) => println!(
+                    "{name}: {} intact frame(s), {} dropped ({defect})",
+                    scan.bodies.len(),
+                    scan.dropped
+                ),
+                None => println!("{name}: {} intact frame(s), 0 dropped", scan.bodies.len()),
+            }
+            scan.dropped
+        }
+        Ok(None) => {
+            if required {
+                println!("{name}: missing ({})", path.display());
+                1
+            } else {
+                println!("{name}: not present (skipped)");
+                0
+            }
+        }
+        Err(e) => {
+            println!("{name}: unreadable ({e})");
+            1
+        }
+    }
+}
+
+fn cmd_check(records: &[AppProvenance], ledger_path: &str, journal_path: &str) {
+    let journal = Journal::new(journal_path);
+    let loaded = journal.load().unwrap_or_else(|e| {
         eprintln!("error: cannot read journal {journal_path}: {e}");
         std::process::exit(1);
     });
-    match check_against_journal(records, &journal) {
-        Ok(()) => println!("ok: ledger and journal agree on {} app(s)", journal.len()),
-        Err(msg) => {
-            eprintln!("check failed: {msg}");
-            std::process::exit(1);
-        }
+    // Layer 1: frame integrity — CRC32 checksums and contiguous sequence
+    // numbers across all three persistent streams.
+    let mut dropped = 0usize;
+    dropped += check_stream("journal", std::path::Path::new(journal_path), true);
+    dropped += check_stream("ledger", std::path::Path::new(ledger_path), true);
+    dropped += check_stream("events", &journal.events_path(), false);
+    // Layer 2: cross-stream agreement on the analysed app set.
+    let agree = check_against_journal(records, &loaded);
+    match &agree {
+        Ok(()) => println!("ok: ledger and journal agree on {} app(s)", loaded.len()),
+        Err(msg) => eprintln!("check failed: {msg}"),
+    }
+    if dropped > 0 {
+        eprintln!("check failed: {dropped} corrupt or dropped frame(s) across streams");
+    }
+    if dropped > 0 || agree.is_err() {
+        std::process::exit(1);
     }
 }
 
@@ -211,7 +259,7 @@ fn main() {
         }
         Some("check") => {
             let journal = journal.unwrap_or_else(|| usage("check needs --journal PATH"));
-            cmd_check(&records, journal);
+            cmd_check(&records, ledger_path, journal);
         }
         Some(other) => usage(&format!("unknown command {other:?}")),
         None => usage("a command is required"),

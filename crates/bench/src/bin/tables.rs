@@ -3,7 +3,7 @@
 //! ```text
 //! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
 //!        [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]
-//!        [--provenance-out PATH]
+//!        [--provenance-out PATH] [--sync-policy always|checkpoint|never]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
@@ -23,10 +23,12 @@
 //! per-app provenance ledger (one causal graph per JSON line, queryable
 //! with `dcltrace`) to an explicit path — with `--journal` the ledger is
 //! always written beside the journal as `<journal>.provenance.jsonl`.
+//! `--sync-policy` picks when the persistent streams fsync: `always`
+//! (per record), `checkpoint` (default, batched), or `never`.
 
 use std::io::Write as _;
 
-use dydroid::{Journal, Pipeline, PipelineConfig};
+use dydroid::{Journal, Pipeline, PipelineConfig, SyncPolicy};
 use dydroid_workload::{generate, CorpusSpec};
 
 struct Args {
@@ -42,6 +44,7 @@ struct Args {
     trace_out: Option<String>,
     progress: bool,
     provenance_out: Option<String>,
+    sync_policy: SyncPolicy,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +61,7 @@ fn parse_args() -> Args {
         trace_out: None,
         progress: false,
         provenance_out: None,
+        sync_policy: SyncPolicy::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -106,6 +110,14 @@ fn parse_args() -> Args {
             "--provenance-out" => {
                 args.provenance_out = it.next().or_else(|| usage("--provenance-out needs a path"));
             }
+            "--sync-policy" => {
+                args.sync_policy = match it.next().as_deref() {
+                    Some("always") => SyncPolicy::Always,
+                    Some("checkpoint") => SyncPolicy::Checkpoint,
+                    Some("never") => SyncPolicy::Never,
+                    _ => usage("--sync-policy needs always|checkpoint|never"),
+                };
+            }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 std::process::exit(0);
@@ -124,7 +136,7 @@ fn parse_args() -> Args {
 
 const USAGE: &str = "tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] \
 [--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress] \
-[--provenance-out PATH]";
+[--provenance-out PATH] [--sync-policy always|checkpoint|never]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -151,6 +163,7 @@ fn main() {
         progress: args.progress,
         trace_out: args.trace_out.clone(),
         provenance_out: args.provenance_out.clone(),
+        sync_policy: args.sync_policy,
         ..Default::default()
     });
     let t1 = std::time::Instant::now();

@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use crate::durable::{SyncPolicy, DEFAULT_RETRY_BUDGET};
 use dydroid_avm::DeviceConfig;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +78,20 @@ pub struct PipelineConfig {
     /// the sweep journal (`<journal>.provenance.jsonl`); without a
     /// journal the ledger is kept in memory only.
     pub provenance_out: Option<String>,
+    /// When the persistent streams fsync: after every record, at
+    /// checkpoint intervals (default), or never (see
+    /// [`crate::durable::SyncPolicy`]). Syncs issued on the journal are
+    /// counted in `SweepStats`.
+    pub sync_policy: SyncPolicy,
+    /// Per-run budget of transient I/O error retries (EINTR/EAGAIN-
+    /// class), shared across the journal, ledger and event streams.
+    /// Retries back off exponentially with seeded jitter on the
+    /// deterministic virtual clock.
+    pub io_retry_budget: u32,
+    /// Number of interrupted (cross-stream inconsistent) attempts an app
+    /// may accumulate across resumes before it is quarantined: recorded
+    /// as an analysis failure and skipped on re-runs.
+    pub quarantine_threshold: u32,
 }
 
 impl Default for PipelineConfig {
@@ -101,6 +116,9 @@ impl Default for PipelineConfig {
             max_events_per_app: DEFAULT_MAX_EVENTS_PER_APP,
             provenance: true,
             provenance_out: None,
+            sync_policy: SyncPolicy::default(),
+            io_retry_budget: DEFAULT_RETRY_BUDGET,
+            quarantine_threshold: 3,
         }
     }
 }
@@ -156,6 +174,9 @@ mod tests {
         assert_eq!(c.max_events_per_app, DEFAULT_MAX_EVENTS_PER_APP);
         assert!(c.provenance);
         assert_eq!(c.provenance_out, None);
+        assert_eq!(c.sync_policy, SyncPolicy::Checkpoint);
+        assert_eq!(c.io_retry_budget, DEFAULT_RETRY_BUDGET);
+        assert_eq!(c.quarantine_threshold, 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod durable;
 pub mod environment;
 pub mod pipeline;
 pub mod provenance;
@@ -64,7 +65,8 @@ pub mod obs {
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use config::PipelineConfig;
-pub use pipeline::{AppRecord, DynamicStatus, Pipeline};
+pub use durable::{IoHarness, StreamKind, SyncPolicy};
+pub use pipeline::{AppRecord, DynamicStatus, Pipeline, RecoveryOutcome};
 pub use provenance::{AppProvenance, ProvenanceIndex, ProvenanceLedger};
 pub use report::{MeasurementReport, SweepStats};
 pub use sweep::Journal;

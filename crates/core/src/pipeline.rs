@@ -6,10 +6,10 @@
 //! corpus. See `DESIGN.md`, "Failure taxonomy & fault tolerance".
 
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crossbeam::channel;
@@ -25,8 +25,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
+use crate::durable::{scan_path, IoHarness, IoState, SinkOptions, StreamKind};
 use crate::provenance::{AppProvenance, ProvenanceLedger};
 use crate::report::{MeasurementReport, SweepStats};
+use crate::sweep::QuarantineEntry;
 use crate::telemetry::{HistogramSummary, MetricsSnapshot, Progress, Telemetry};
 use crate::training;
 
@@ -175,6 +177,7 @@ pub struct Pipeline {
     detector: MalwareDetector,
     cache: AnalysisCache,
     telemetry: Telemetry,
+    io_harness: Option<Arc<IoHarness>>,
 }
 
 impl Pipeline {
@@ -196,12 +199,32 @@ impl Pipeline {
             detector,
             cache,
             telemetry,
+            io_harness: None,
         }
+    }
+
+    /// Attaches an I/O fault harness: every persistent-stream write of
+    /// subsequent runs is routed through it, so crash-torture tests can
+    /// kill the sweep at any write boundary on the deterministic virtual
+    /// op clock (see [`crate::durable`]).
+    pub fn set_io_harness(&mut self, harness: Arc<IoHarness>) {
+        self.io_harness = Some(harness);
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// Sink options for `stream`, threading the run's shared I/O state,
+    /// the configured sync policy, and any attached fault harness.
+    fn sink_options(&self, stream: StreamKind, state: &Arc<IoState>) -> SinkOptions {
+        SinkOptions {
+            stream,
+            policy: self.config.sync_policy,
+            state: Arc::clone(state),
+            harness: self.io_harness.clone(),
+        }
     }
 
     /// The pipeline's telemetry handle (a no-op handle when
@@ -248,7 +271,8 @@ impl Pipeline {
                 );
             }
         }
-        let ledger_writer = self.open_ledger_writer(ledger.as_ref());
+        let io_state = IoState::new(self.config.io_retry_budget);
+        let ledger_writer = self.open_ledger_writer(ledger.as_ref(), &io_state);
         let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let mut sweep_span = self.telemetry.span("sweep");
@@ -269,6 +293,9 @@ impl Pipeline {
             HashMap::new(),
             Vec::new(),
             ledger.as_ref(),
+            None,
+            &io_state,
+            None,
             sweep_ms,
             cache_mark,
             detector_mark,
@@ -292,9 +319,10 @@ impl Pipeline {
     fn open_ledger_writer(
         &self,
         ledger: Option<&ProvenanceLedger>,
+        io_state: &Arc<IoState>,
     ) -> Option<Mutex<crate::provenance::LedgerWriter>> {
         let ledger = ledger?;
-        match ledger.writer() {
+        match ledger.writer_with(self.sink_options(StreamKind::Ledger, io_state)) {
             Ok(w) => Some(Mutex::new(w)),
             Err(e) => {
                 eprintln!(
@@ -328,62 +356,23 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         journal: &crate::sweep::Journal,
     ) -> std::io::Result<MeasurementReport> {
-        let recovery = journal.recover_counted()?;
-        let recovered = recovery.records.len();
-        if recovery.dropped_lines > 0 {
-            eprintln!(
-                "dydroid: journal {}: recovered {recovered} record(s), dropped {} corrupt trailing line(s)",
-                journal.path().display(),
-                recovery.dropped_lines
-            );
-        }
-        // Recover the prior session's ledger the same way the journal is
-        // recovered: complete lines survive, a torn tail is truncated so
-        // this session's appends extend a clean file.
+        let mut outcome = self.recover_all(journal)?;
+        let recovered = outcome.records.len();
         let ledger = self.ledger_for(Some(journal));
-        let mut prior_provenance = Vec::new();
-        if let Some(ledger) = &ledger {
-            match ledger.recover_counted() {
-                Ok(recovery) => {
-                    if recovery.dropped_lines > 0 {
-                        eprintln!(
-                            "dydroid: ledger {}: recovered {} record(s), dropped {} corrupt trailing line(s)",
-                            ledger.path().display(),
-                            recovery.records.len(),
-                            recovery.dropped_lines
-                        );
-                    }
-                    prior_provenance = recovery.records;
-                }
-                Err(e) => eprintln!(
-                    "dydroid: failed to recover ledger {}: {e}",
-                    ledger.path().display()
-                ),
-            }
-        }
-        let ledgered: std::collections::HashSet<&str> = prior_provenance
-            .iter()
-            .map(|p| p.package.as_str())
-            .collect();
-        let mut done: HashMap<String, AppRecord> = HashMap::new();
-        for record in recovery.records {
-            // An app is resumable only when both its journal record and
-            // its ledger line survived the kill (the collector appends
-            // journal-then-ledger, so at most the last app is skewed).
-            // Re-analysing it keeps the finalized ledger byte-identical
-            // to an uninterrupted run instead of falling back to a
-            // degraded record.
-            if ledger.is_some() && !ledgered.contains(record.package.as_str()) {
-                continue;
-            }
-            done.entry(record.package.clone()).or_insert(record);
-        }
-        drop(ledgered);
+        let io_state = IoState::new(self.config.io_retry_budget);
         if self.telemetry.is_enabled() {
             self.telemetry
                 .counter_add("journal.recovered_records", recovered as u64);
             self.telemetry
-                .counter_add("journal.dropped_lines", recovery.dropped_lines as u64);
+                .counter_add("journal.dropped_lines", outcome.journal_dropped as u64);
+            self.telemetry
+                .counter_add("ledger.dropped_lines", outcome.ledger_dropped as u64);
+            self.telemetry
+                .counter_add("events.dropped_lines", outcome.events_dropped as u64);
+            self.telemetry
+                .counter_add("sweep.inconsistent_apps", outcome.inconsistent.len() as u64);
+            self.telemetry
+                .counter_add("sweep.quarantined_apps", outcome.quarantined.len() as u64);
             let events_path = journal.events_path();
             // Stitch spans from the previous session into this timeline,
             // then keep appending to the same event stream.
@@ -398,18 +387,70 @@ impl Pipeline {
                     events_path.display()
                 ),
             }
-            if let Err(e) = self.telemetry.set_event_sink(&events_path) {
+            if let Err(e) = self.telemetry.set_event_sink_with(
+                &events_path,
+                self.sink_options(StreamKind::Events, &io_state),
+            ) {
                 eprintln!(
                     "dydroid: failed to open event sink {}: {e}",
                     events_path.display()
                 );
             }
         }
+        let mut done: HashMap<String, AppRecord> = std::mem::take(&mut outcome.records)
+            .into_iter()
+            .map(|r| (r.package.clone(), r))
+            .collect();
+        let prior_provenance = std::mem::take(&mut outcome.provenance);
+        let writer =
+            Mutex::new(journal.writer_with(self.sink_options(StreamKind::Journal, &io_state))?);
+        let ledger_writer = self.open_ledger_writer(ledger.as_ref(), &io_state);
+        // Apps that exhausted their interrupted-attempt budget are not
+        // re-analysed: a deterministic failure record is persisted through
+        // the normal journal/checkpoint/ledger path so all three streams
+        // stay mutually consistent, then the app is excluded from the
+        // pending set.
+        for entry in &outcome.quarantine {
+            if entry.attempts < self.config.quarantine_threshold
+                || done.contains_key(entry.package.as_str())
+            {
+                continue;
+            }
+            let Some(app) = corpus.iter().find(|a| a.package() == entry.package) else {
+                continue;
+            };
+            let record = self.failure_record(
+                app,
+                format!("quarantined after {} interrupted attempts", entry.attempts),
+            );
+            let append = writer
+                .lock()
+                .map_err(|p| std::io::Error::other(p.to_string()))
+                .and_then(|mut w| w.append(&record));
+            match append {
+                Ok(()) => self.telemetry.emit_checkpoint(&record.package, 0),
+                Err(e) => {
+                    eprintln!("dydroid: journal append failed for {}: {e}", record.package)
+                }
+            }
+            if let Some(ledger_writer) = &ledger_writer {
+                let provenance = AppProvenance::from_record(&record);
+                let append = ledger_writer
+                    .lock()
+                    .map_err(|p| std::io::Error::other(p.to_string()))
+                    .and_then(|mut w| w.append(&provenance));
+                match append {
+                    Ok(()) => self.telemetry.emit_provenance_link(&record.package, 0),
+                    Err(e) => {
+                        eprintln!("dydroid: ledger append failed for {}: {e}", record.package)
+                    }
+                }
+            }
+            done.insert(record.package.clone(), record);
+        }
         let pending: Vec<usize> = (0..corpus.len())
             .filter(|&i| !done.contains_key(corpus[i].package()))
             .collect();
-        let writer = Mutex::new(journal.writer()?);
-        let ledger_writer = self.open_ledger_writer(ledger.as_ref());
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
         let avm_marks = self.avm_counter_marks();
@@ -427,17 +468,192 @@ impl Pipeline {
         drop(sweep_span);
         drop(ledger_writer);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
+        let summary = RecoverySummary {
+            recovered: recovered as u64,
+            dropped: (outcome.journal_dropped + outcome.ledger_dropped + outcome.events_dropped)
+                as u64,
+            inconsistent: outcome.inconsistent.len() as u64,
+            quarantined: outcome.quarantined,
+        };
         Ok(self.assemble(
             corpus,
             results,
             done,
             prior_provenance,
             ledger.as_ref(),
+            Some(journal),
+            &io_state,
+            Some(summary),
             sweep_ms,
             cache_mark,
             detector_mark,
             avm_marks,
         ))
+    }
+
+    /// Reconciles the three persistent streams of an interrupted run —
+    /// journal, provenance ledger, telemetry event stream — to their
+    /// longest mutually consistent checkpoint prefix.
+    ///
+    /// Per stream, corrupt or torn frames are dropped (with a uniform
+    /// stderr warning) and the file is rewritten to its valid prefix.
+    /// An app then counts as recovered only when every active stream
+    /// holds it: a journal record, a ledger graph (when provenance is
+    /// on), and a `checkpoint` event (when telemetry wrote an event
+    /// stream). Apps present in some but not all streams are re-analysed;
+    /// each such interruption bumps the app's quarantine attempt count,
+    /// and apps at or over [`PipelineConfig::quarantine_threshold`] are
+    /// reported in [`RecoveryOutcome::quarantined`] and skipped by
+    /// [`Pipeline::run_resumable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from reading or rewriting the journal and its
+    /// quarantine sidecar; ledger and event-stream read failures degrade
+    /// to warnings (their records are simply not recovered).
+    pub fn recover_all(&self, journal: &crate::sweep::Journal) -> std::io::Result<RecoveryOutcome> {
+        let recovery = journal.recover_counted()?;
+        warn_recovered(
+            "journal",
+            journal.path(),
+            recovery.records.len(),
+            recovery.dropped_lines,
+        );
+        let journal_dropped = recovery.dropped_lines;
+        let journal_count = recovery.records.len();
+
+        let ledger = self.ledger_for(Some(journal));
+        let mut ledger_records: Vec<AppProvenance> = Vec::new();
+        let mut ledger_dropped = 0usize;
+        let mut ledger_active = false;
+        if let Some(ledger) = &ledger {
+            match ledger.recover_counted() {
+                Ok(r) => {
+                    warn_recovered("ledger", ledger.path(), r.records.len(), r.dropped_lines);
+                    ledger_dropped = r.dropped_lines;
+                    ledger_records = r.records;
+                    ledger_active = true;
+                }
+                Err(e) => eprintln!(
+                    "dydroid: failed to recover ledger {}: {e}",
+                    ledger.path().display()
+                ),
+            }
+        }
+
+        // The event stream constrains recovery only when telemetry is
+        // enabled and a stream exists: each `checkpoint` event mirrors a
+        // successful journal append, so a journal record without one
+        // belongs to the torn tail of the killed session.
+        let events_path = journal.events_path();
+        let mut events_dropped = 0usize;
+        let mut checkpoints: Option<HashSet<String>> = None;
+        if self.telemetry.is_enabled() {
+            match scan_path(&events_path) {
+                Ok(Some(scan)) => {
+                    warn_recovered("events", &events_path, scan.bodies.len(), scan.dropped);
+                    events_dropped = scan.dropped;
+                    let mut set = HashSet::new();
+                    for body in &scan.bodies {
+                        let Ok(value) = serde_json::from_str::<serde::Value>(body) else {
+                            continue;
+                        };
+                        if value.get("type").and_then(|t| t.as_str()) == Some("checkpoint") {
+                            if let Some(app) = value.get("app").and_then(|a| a.as_str()) {
+                                set.insert(app.to_string());
+                            }
+                        }
+                    }
+                    checkpoints = Some(set);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!(
+                    "dydroid: failed to scan events {}: {e}",
+                    events_path.display()
+                ),
+            }
+        }
+
+        let ledgered: HashSet<&str> = ledger_records.iter().map(|p| p.package.as_str()).collect();
+        let mut inconsistent: BTreeSet<String> = BTreeSet::new();
+        let mut consistent: Vec<AppRecord> = Vec::new();
+        for record in recovery.records {
+            let in_ledger = !ledger_active || ledgered.contains(record.package.as_str());
+            let in_events = checkpoints
+                .as_ref()
+                .is_none_or(|c| c.contains(record.package.as_str()));
+            if in_ledger && in_events {
+                consistent.push(record);
+            } else {
+                inconsistent.insert(record.package.clone());
+            }
+        }
+        drop(ledgered);
+        let consistent_set: HashSet<&str> = consistent.iter().map(|r| r.package.as_str()).collect();
+        for p in ledger_records
+            .iter()
+            .map(|p| p.package.as_str())
+            .chain(checkpoints.iter().flatten().map(String::as_str))
+        {
+            if !consistent_set.contains(p) {
+                inconsistent.insert(p.to_string());
+            }
+        }
+
+        // Rewrite the journal and ledger down to the consistent prefix so
+        // this session's appends extend files that agree with each other.
+        if consistent.len() != journal_count {
+            journal.rewrite(&consistent)?;
+        }
+        let provenance: Vec<AppProvenance> = ledger_records
+            .into_iter()
+            .filter(|p| consistent_set.contains(p.package.as_str()))
+            .collect();
+        if let Some(ledger) = &ledger {
+            if ledger_active && !inconsistent.is_empty() {
+                if let Err(e) = ledger.rewrite(&provenance) {
+                    eprintln!(
+                        "dydroid: failed to rewrite ledger {}: {e}",
+                        ledger.path().display()
+                    );
+                }
+            }
+        }
+        drop(consistent_set);
+
+        // Quarantine bookkeeping: every cross-stream-inconsistent app
+        // burned one interrupted attempt; apps that completed since then
+        // shed their entries.
+        let mut quarantine = journal.load_quarantine()?;
+        for package in &inconsistent {
+            match quarantine.iter_mut().find(|e| &e.package == package) {
+                Some(entry) => entry.attempts = entry.attempts.saturating_add(1),
+                None => quarantine.push(QuarantineEntry {
+                    package: package.clone(),
+                    attempts: 1,
+                }),
+            }
+        }
+        let completed: HashSet<&str> = consistent.iter().map(|r| r.package.as_str()).collect();
+        quarantine.retain(|e| !completed.contains(e.package.as_str()));
+        drop(completed);
+        journal.write_quarantine(&quarantine)?;
+        let quarantined: Vec<String> = quarantine
+            .iter()
+            .filter(|e| e.attempts >= self.config.quarantine_threshold)
+            .map(|e| e.package.clone())
+            .collect();
+
+        Ok(RecoveryOutcome {
+            records: consistent,
+            provenance,
+            journal_dropped,
+            ledger_dropped,
+            events_dropped,
+            inconsistent: inconsistent.into_iter().collect(),
+            quarantine,
+            quarantined,
+        })
     }
 
     /// The parallel worker loop. Each worker pulls indices off the task
@@ -549,6 +765,9 @@ impl Pipeline {
         mut done: HashMap<String, AppRecord>,
         prior_provenance: Vec<AppProvenance>,
         ledger: Option<&ProvenanceLedger>,
+        journal: Option<&crate::sweep::Journal>,
+        io_state: &Arc<IoState>,
+        recovery: Option<RecoverySummary>,
         sweep_ms: u64,
         cache_mark: CacheStats,
         detector_mark: dydroid_analysis::DetectorStats,
@@ -609,10 +828,45 @@ impl Pipeline {
                 })
                 .collect();
             if let Some(ledger) = ledger {
-                if let Err(e) = ledger.finalize(&final_provenance) {
+                if let Err(e) = ledger.finalize_with(&final_provenance, self.io_harness.as_ref()) {
                     eprintln!(
                         "dydroid: failed to finalize ledger {}: {e}",
                         ledger.path().display()
+                    );
+                }
+            }
+        }
+        // Finalize the journal and the event stream the same way the
+        // ledger is finalized: atomically rewritten in corpus order, so
+        // a completed run's three streams are byte-identical however the
+        // sweep interleaved and however many resumes it took. The
+        // canonical event stream keeps only the per-app checkpoint and
+        // provenance-link facts; live span timings are interleave-
+        // dependent and are dropped.
+        if let Some(journal) = journal {
+            if let Err(e) = journal.finalize_with(&records, self.io_harness.as_ref()) {
+                eprintln!(
+                    "dydroid: failed to finalize journal {}: {e}",
+                    journal.path().display()
+                );
+            }
+            if self.telemetry.is_enabled() {
+                let mut bodies = Vec::with_capacity(records.len() * 2);
+                for record in &records {
+                    bodies.push(canonical_event(&record.package, "checkpoint"));
+                    if self.config.provenance {
+                        bodies.push(canonical_event(&record.package, "provenance"));
+                    }
+                }
+                let events_path = journal.events_path();
+                if let Err(e) = self.telemetry.finalize_event_sink(
+                    &events_path,
+                    &bodies,
+                    self.io_harness.as_ref(),
+                ) {
+                    eprintln!(
+                        "dydroid: failed to finalize events {}: {e}",
+                        events_path.display()
                     );
                 }
             }
@@ -628,6 +882,8 @@ impl Pipeline {
             .filter(|(name, _)| name != "span.app.us")
             .cloned()
             .collect();
+        let io = io_state.snapshot();
+        let recovery = recovery.unwrap_or_default();
         let stats = SweepStats {
             sweep_ms,
             env_ms: env_start.elapsed().as_millis() as u64,
@@ -647,6 +903,15 @@ impl Pipeline {
                 .telemetry
                 .counter_value("avm.flow_edges_deduped")
                 .saturating_sub(avm_marks.2),
+            journal_syncs: io.syncs[StreamKind::Journal.index()],
+            io_retries: io.retries,
+            io_backoff_us: io.backoff_us,
+            shed_events: io.shed[StreamKind::Events.index()],
+            shed_provenance: io.shed[StreamKind::Ledger.index()],
+            recovered_records: recovery.recovered,
+            recovery_dropped: recovery.dropped,
+            inconsistent_apps: recovery.inconsistent,
+            quarantined: recovery.quarantined,
             app_wall,
             phases,
         };
@@ -1302,6 +1567,64 @@ type StaticPhases = (bool, DclFilter, ObfuscationReport);
 
 /// One collected sweep result: corpus index, record, provenance graph.
 type SweepItem = (usize, AppRecord, Option<AppProvenance>);
+
+/// What [`Pipeline::recover_all`] reconciled out of the three persistent
+/// streams (journal, provenance ledger, telemetry events) of an
+/// interrupted journaled run.
+#[derive(Debug, Default)]
+pub struct RecoveryOutcome {
+    /// Journal records of the longest mutually consistent prefix, in
+    /// journal order: every active stream holds each of these apps.
+    pub records: Vec<AppRecord>,
+    /// Recovered provenance graphs for exactly the consistent apps.
+    pub provenance: Vec<AppProvenance>,
+    /// Corrupt or torn journal frames dropped during recovery.
+    pub journal_dropped: usize,
+    /// Corrupt or torn ledger frames dropped during recovery.
+    pub ledger_dropped: usize,
+    /// Corrupt or torn event frames dropped during recovery.
+    pub events_dropped: usize,
+    /// Packages present in at least one stream but not all (sorted);
+    /// these are re-analysed on resume.
+    pub inconsistent: Vec<String>,
+    /// The quarantine ledger after this reconciliation: interrupted
+    /// attempts accumulated per package across resumes.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Packages at or over [`PipelineConfig::quarantine_threshold`]
+    /// (sorted); [`Pipeline::run_resumable`] records these as analysis
+    /// failures instead of re-analysing them.
+    pub quarantined: Vec<String>,
+}
+
+/// Recovery counts carried into [`Pipeline::assemble`] for [`SweepStats`].
+#[derive(Debug, Default)]
+struct RecoverySummary {
+    recovered: u64,
+    dropped: u64,
+    inconsistent: u64,
+    quarantined: Vec<String>,
+}
+
+/// Uniform stream-recovery warning, emitted only when frames were lost.
+fn warn_recovered(stream: &str, path: &Path, recovered: usize, dropped: usize) {
+    if dropped > 0 {
+        eprintln!(
+            "dydroid: {stream} {}: recovered {recovered} record(s), dropped {dropped} corrupt frame(s)",
+            path.display()
+        );
+    }
+}
+
+/// One line of the canonical (finalized) event stream: a bare per-app
+/// fact, free of span ids and timestamps so the finalized stream is
+/// byte-identical however the sweep interleaved.
+fn canonical_event(package: &str, kind: &str) -> String {
+    serde::Value::Object(vec![
+        ("type".to_string(), serde::Value::Str(kind.to_string())),
+        ("app".to_string(), serde::Value::Str(package.to_string())),
+    ])
+    .to_compact_string()
+}
 
 /// Stable label for a [`DynamicStatus`], used as a span field value.
 fn status_label(status: &DynamicStatus) -> &'static str {

@@ -21,14 +21,16 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use dydroid_analysis::entity::{classify, Entity};
 use dydroid_avm::{DclEvent, DclKind, Event, EventLog, FileOp, FlowGraph, FlowNode};
 use serde::{Deserialize, Serialize};
 
+use crate::durable::{
+    atomic_write_frames, encode_frames, scan_path, FramedWriter, IoHarness, SinkOptions, StreamKind,
+};
 use crate::pipeline::{verdict_label, AppRecord, MalwareHit};
 
 /// A node in the causal provenance graph. Every variant carries the
@@ -760,9 +762,9 @@ pub struct ProvenanceLedger {
 /// Outcome of [`ProvenanceLedger::recover_counted`].
 #[derive(Debug, Clone)]
 pub struct LedgerRecovery {
-    /// Every record that parsed before the first corrupt line.
+    /// Every record in the valid framed prefix before the first defect.
     pub records: Vec<AppProvenance>,
-    /// Non-empty lines discarded from the first unparsable line onward.
+    /// Frames/lines discarded from the first defect onward.
     pub dropped_lines: usize,
 }
 
@@ -787,8 +789,9 @@ impl ProvenanceLedger {
         Ok(self.load_split()?.0)
     }
 
-    /// Like [`ProvenanceLedger::load`], but truncates a torn tail so
-    /// later appends extend a clean file, and reports the dropped count.
+    /// Like [`ProvenanceLedger::load`], but truncates a torn or corrupt
+    /// tail so later appends extend a clean contiguous stream, and
+    /// reports the dropped count.
     ///
     /// # Errors
     ///
@@ -796,15 +799,7 @@ impl ProvenanceLedger {
     pub fn recover_counted(&self) -> io::Result<LedgerRecovery> {
         let (records, dropped_lines) = self.load_split()?;
         if dropped_lines > 0 {
-            let mut text = String::new();
-            for record in &records {
-                text.push_str(
-                    &serde_json::to_string(record)
-                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-                );
-                text.push('\n');
-            }
-            std::fs::write(&self.path, text)?;
+            self.rewrite(&records)?;
         }
         Ok(LedgerRecovery {
             records,
@@ -812,45 +807,52 @@ impl ProvenanceLedger {
         })
     }
 
-    fn load_split(&self) -> io::Result<(Vec<AppProvenance>, usize)> {
-        let text = match std::fs::read_to_string(&self.path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-            Err(e) => return Err(e),
-        };
-        let mut records = Vec::new();
-        let mut lines = text.lines();
-        while let Some(line) = lines.next() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match serde_json::from_str::<AppProvenance>(line) {
-                Ok(record) => records.push(record),
-                Err(_) => {
-                    let dropped = 1 + lines.filter(|l| !l.trim().is_empty()).count();
-                    return Ok((records, dropped));
-                }
-            }
-        }
-        Ok((records, 0))
+    /// Rewrites the ledger to exactly `records`, reframed from
+    /// sequence 0 (plain write; for recovery paths).
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or write errors.
+    pub fn rewrite(&self, records: &[AppProvenance]) -> io::Result<()> {
+        std::fs::write(&self.path, encode_frames(0, &ledger_bodies(records)?))
     }
 
-    /// Opens the ledger for appending, creating it if needed.
+    fn load_split(&self) -> io::Result<(Vec<AppProvenance>, usize)> {
+        let Some(scan) = scan_path(&self.path)? else {
+            return Ok((Vec::new(), 0));
+        };
+        let mut records = Vec::new();
+        for (i, body) in scan.bodies.iter().enumerate() {
+            match serde_json::from_str::<AppProvenance>(body) {
+                Ok(record) => records.push(record),
+                Err(_) => return Ok((records, scan.bodies.len() - i + scan.dropped)),
+            }
+        }
+        Ok((records, scan.dropped))
+    }
+
+    /// Opens the ledger for appending with stand-alone sink options,
+    /// creating it if needed; a torn tail is truncated so the sequence
+    /// continues cleanly.
     ///
     /// # Errors
     ///
     /// Returns the underlying open error.
     pub fn writer(&self) -> io::Result<LedgerWriter> {
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        Ok(LedgerWriter { file })
+        self.writer_with(SinkOptions::direct(StreamKind::Ledger))
+    }
+
+    /// Like [`ProvenanceLedger::writer`], but with explicit sink options
+    /// so the pipeline can thread the run's shared I/O state, sync
+    /// policy, and fault harness through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying open error.
+    pub fn writer_with(&self, opts: SinkOptions) -> io::Result<LedgerWriter> {
+        Ok(LedgerWriter {
+            inner: FramedWriter::open(&self.path, opts)?,
+        })
     }
 
     /// Deletes the ledger file if present.
@@ -875,42 +877,57 @@ impl ProvenanceLedger {
     ///
     /// Returns I/O errors from writing the file.
     pub fn finalize(&self, records: &[AppProvenance]) -> io::Result<()> {
-        let mut text = String::new();
-        for record in records {
-            text.push_str(
-                &serde_json::to_string(record)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-            );
-            text.push('\n');
-        }
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        std::fs::write(&self.path, text)
+        self.finalize_with(records, None)
     }
-}
 
-/// An append handle to a [`ProvenanceLedger`]; one record per line,
-/// flushed per append.
-#[derive(Debug)]
-pub struct LedgerWriter {
-    file: File,
-}
-
-impl LedgerWriter {
-    /// Appends one record as a JSON line and flushes it.
+    /// Like [`ProvenanceLedger::finalize`], but atomic (temp file +
+    /// rename) and routed through the fault harness when present — a
+    /// crash or injected fault mid-finalize leaves the previous bytes
+    /// intact rather than a blend.
     ///
     /// # Errors
     ///
-    /// Returns the underlying write error.
+    /// Returns serialization or write errors.
+    pub fn finalize_with(
+        &self,
+        records: &[AppProvenance],
+        harness: Option<&std::sync::Arc<IoHarness>>,
+    ) -> io::Result<()> {
+        atomic_write_frames(&self.path, &ledger_bodies(records)?, harness)
+    }
+}
+
+fn ledger_bodies(records: &[AppProvenance]) -> io::Result<Vec<String>> {
+    records
+        .iter()
+        .map(|r| {
+            serde_json::to_string(r)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+/// An append handle to a [`ProvenanceLedger`]; one framed record per
+/// line, flushed per append. Under sustained disk pressure (shed level
+/// ≥ 2) appends are shed — counted, not written — since the finalize at
+/// run completion reconstructs the full ledger from memory.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    inner: FramedWriter,
+}
+
+impl LedgerWriter {
+    /// Appends one record as a framed JSON line (or sheds it under disk
+    /// pressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error (transient faults are retried
+    /// within the run's budget first).
     pub fn append(&mut self, record: &AppProvenance) -> io::Result<()> {
-        let mut line = serde_json::to_string(record)
+        let body = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.inner.append_body(&body).map(|_| ())
     }
 }
 

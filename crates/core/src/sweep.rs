@@ -1,20 +1,33 @@
-//! Checkpointed corpus sweeps: a JSON-lines journal of completed
+//! Checkpointed corpus sweeps: a framed JSON-lines journal of completed
 //! [`AppRecord`]s.
 //!
 //! Every record finished by [`crate::Pipeline::run_resumable`] is
-//! appended (and flushed) as one JSON line, so a sweep killed mid-flight
-//! loses at most the apps that were in progress. On restart the journal
-//! is loaded, already-analysed packages are skipped, and the sweep
-//! continues. A torn final line — the usual artefact of a hard kill — is
-//! tolerated: loading stops at the first unparsable line.
+//! appended as one framed line (see [`crate::durable`]): a CRC32-checked,
+//! sequence-numbered envelope around the record's JSON. A sweep killed
+//! mid-flight loses at most the apps that were in progress; on restart
+//! the journal is scanned for its longest valid prefix, already-analysed
+//! packages are skipped, and the sweep continues. Torn tails, bit rot,
+//! and lost records are all detected by the frame scan rather than
+//! trusted to JSON parsing.
+//!
+//! The journal also owns the sweep's **quarantine file**
+//! (`<journal>.quarantine.jsonl`): apps repeatedly caught in-flight at a
+//! crash accumulate attempts there, and past a configured threshold the
+//! pipeline skips them with an analysis-failure record instead of
+//! letting one poisonous app wedge every resume.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
+use serde::{Deserialize, Serialize};
+
+use crate::durable::{
+    atomic_write_frames, encode_frames, scan_path, Appended, FramedWriter, IoHarness, SinkOptions,
+    StreamKind,
+};
 use crate::pipeline::AppRecord;
 
-/// A JSON-lines checkpoint file of completed app records.
+/// A framed JSON-lines checkpoint file of completed app records.
 #[derive(Debug, Clone)]
 pub struct Journal {
     path: PathBuf,
@@ -49,9 +62,18 @@ impl Journal {
         PathBuf::from(name)
     }
 
-    /// Loads every complete record. A missing file is an empty journal;
-    /// a torn or corrupt line ends the load (everything before it is
-    /// kept), since a hard kill can only tear the tail.
+    /// Path of the quarantine file written alongside this journal
+    /// (`<journal>.quarantine.jsonl`): one entry per app that was
+    /// in-flight at a crash, with its interrupted-attempt count.
+    pub fn quarantine_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(".quarantine.jsonl");
+        PathBuf::from(name)
+    }
+
+    /// Loads every record in the valid framed prefix. A missing file is
+    /// an empty journal; the first torn, corrupt, or out-of-sequence
+    /// frame ends the load (everything before it is kept).
     ///
     /// # Errors
     ///
@@ -60,10 +82,9 @@ impl Journal {
         Ok(self.load_split()?.0)
     }
 
-    /// Like [`Journal::load`], but when the file ends in a torn or
-    /// corrupt tail, rewrites it to exactly the valid records first —
-    /// so appends after a resume extend a clean file rather than hiding
-    /// behind the garbage line.
+    /// Like [`Journal::load`], but when the file holds anything past the
+    /// valid prefix, rewrites it to exactly the surviving records first —
+    /// so appends after a resume extend a clean, contiguous stream.
     ///
     /// # Errors
     ///
@@ -73,10 +94,9 @@ impl Journal {
     }
 
     /// Like [`Journal::recover`], but also reports how many corrupt
-    /// lines were dropped from the tail — previously recovery discarded
-    /// them silently, hiding real data loss from the operator. The
-    /// pipeline surfaces the count as a telemetry counter and a stderr
-    /// warning.
+    /// frames were dropped — recovery must never discard data silently.
+    /// The pipeline surfaces the count as a telemetry counter and a
+    /// stderr warning.
     ///
     /// # Errors
     ///
@@ -84,15 +104,7 @@ impl Journal {
     pub fn recover_counted(&self) -> io::Result<JournalRecovery> {
         let (records, dropped_lines) = self.load_split()?;
         if dropped_lines > 0 {
-            let mut text = String::new();
-            for record in &records {
-                text.push_str(
-                    &serde_json::to_string(record)
-                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-                );
-                text.push('\n');
-            }
-            std::fs::write(&self.path, text)?;
+            self.rewrite(&records)?;
         }
         Ok(JournalRecovery {
             records,
@@ -100,47 +112,122 @@ impl Journal {
         })
     }
 
-    /// Valid leading records plus the number of non-empty lines dropped
-    /// from the first unparsable line onward (0 = the whole file parsed).
-    fn load_split(&self) -> io::Result<(Vec<AppRecord>, usize)> {
-        let text = match std::fs::read_to_string(&self.path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-            Err(e) => return Err(e),
-        };
-        let mut records = Vec::new();
-        let mut lines = text.lines();
-        while let Some(line) = lines.next() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match serde_json::from_str::<AppRecord>(line) {
-                Ok(record) => records.push(record),
-                Err(_) => {
-                    let dropped = 1 + lines.filter(|l| !l.trim().is_empty()).count();
-                    return Ok((records, dropped));
-                }
-            }
-        }
-        Ok((records, 0))
+    /// Rewrites the journal to exactly `records`, reframed from
+    /// sequence 0 (plain write; for recovery paths).
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or write errors.
+    pub fn rewrite(&self, records: &[AppRecord]) -> io::Result<()> {
+        let bodies = record_bodies(records)?;
+        std::fs::write(&self.path, encode_frames(0, &bodies))
     }
 
-    /// Opens the journal for appending, creating it if needed.
+    /// Atomically replaces the journal with `records` in the given
+    /// (corpus) order, reframed from sequence 0 — the completed-run
+    /// finalize that makes same-seed runs byte-identical however the
+    /// sweep interleaved or how many times it was resumed. Faults are
+    /// routed through `harness` when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or write errors.
+    pub fn finalize_with(
+        &self,
+        records: &[AppRecord],
+        harness: Option<&std::sync::Arc<IoHarness>>,
+    ) -> io::Result<()> {
+        let bodies = record_bodies(records)?;
+        atomic_write_frames(&self.path, &bodies, harness)
+    }
+
+    /// Valid leading records plus the number of frames/lines dropped
+    /// from the first defect onward (0 = the whole file scanned clean).
+    /// A frame whose body fails to parse as an [`AppRecord`] also ends
+    /// the load.
+    fn load_split(&self) -> io::Result<(Vec<AppRecord>, usize)> {
+        let Some(scan) = scan_path(&self.path)? else {
+            return Ok((Vec::new(), 0));
+        };
+        let mut records = Vec::new();
+        for (i, body) in scan.bodies.iter().enumerate() {
+            match serde_json::from_str::<AppRecord>(body) {
+                Ok(record) => records.push(record),
+                Err(_) => return Ok((records, scan.bodies.len() - i + scan.dropped)),
+            }
+        }
+        Ok((records, scan.dropped))
+    }
+
+    /// Opens the journal for appending with stand-alone sink options
+    /// (default sync policy, no fault injection), creating the file if
+    /// needed and truncating any torn tail so the sequence continues
+    /// cleanly.
     ///
     /// # Errors
     ///
     /// Returns the underlying open error.
     pub fn writer(&self) -> io::Result<JournalWriter> {
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+        self.writer_with(SinkOptions::direct(StreamKind::Journal))
+    }
+
+    /// Like [`Journal::writer`], but with explicit sink options — the
+    /// pipeline threads the run's shared [`crate::durable::IoState`],
+    /// sync policy, and fault harness through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying open error.
+    pub fn writer_with(&self, opts: SinkOptions) -> io::Result<JournalWriter> {
+        Ok(JournalWriter {
+            inner: FramedWriter::open(&self.path, opts)?,
+        })
+    }
+
+    /// Loads quarantine entries; a missing file is an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than the file not existing.
+    pub fn load_quarantine(&self) -> io::Result<Vec<QuarantineEntry>> {
+        let Some(scan) = scan_path(&self.quarantine_path())? else {
+            return Ok(Vec::new());
+        };
+        let mut entries = Vec::new();
+        for body in &scan.bodies {
+            match serde_json::from_str::<QuarantineEntry>(body) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => break,
             }
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        Ok(JournalWriter { file })
+        Ok(entries)
+    }
+
+    /// Rewrites the quarantine file to exactly `entries` (sorted by
+    /// package for determinism); an empty list removes the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or write errors.
+    pub fn write_quarantine(&self, entries: &[QuarantineEntry]) -> io::Result<()> {
+        let path = self.quarantine_path();
+        if entries.is_empty() {
+            return match std::fs::remove_file(&path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            };
+        }
+        let mut sorted: Vec<&QuarantineEntry> = entries.iter().collect();
+        sorted.sort_by(|a, b| a.package.cmp(&b.package));
+        let bodies = sorted
+            .iter()
+            .map(|e| {
+                serde_json::to_string(e)
+                    .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+            })
+            .collect::<io::Result<Vec<String>>>()?;
+        std::fs::write(&path, encode_frames(0, &bodies))
     }
 
     /// Deletes the journal file if present (start a sweep from scratch).
@@ -149,9 +236,14 @@ impl Journal {
     ///
     /// Returns I/O errors other than the file not existing.
     pub fn reset(&self) -> io::Result<()> {
-        // The event stream and provenance ledger describe the journal's
-        // records; a reset journal must not resume against stale ones.
-        for side in [self.events_path(), self.provenance_path()] {
+        // The event stream, provenance ledger, and quarantine file all
+        // describe the journal's records; a reset journal must not
+        // resume against stale ones.
+        for side in [
+            self.events_path(),
+            self.provenance_path(),
+            self.quarantine_path(),
+        ] {
             match std::fs::remove_file(side) {
                 Ok(()) => {}
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -166,35 +258,62 @@ impl Journal {
     }
 }
 
+fn record_bodies(records: &[AppRecord]) -> io::Result<Vec<String>> {
+    records
+        .iter()
+        .map(|r| {
+            serde_json::to_string(r)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
 /// Outcome of [`Journal::recover_counted`]: the surviving records and
-/// the number of corrupt lines dropped from the torn tail.
+/// the number of corrupt frames dropped.
 #[derive(Debug, Clone)]
 pub struct JournalRecovery {
-    /// Every record that parsed before the first corrupt line.
+    /// Every record in the valid prefix before the first defect.
     pub records: Vec<AppRecord>,
-    /// Non-empty lines discarded from the first unparsable line onward.
+    /// Frames/lines discarded from the first defect onward.
     pub dropped_lines: usize,
 }
 
-/// An append handle to a [`Journal`]. One record per line, flushed per
-/// append so a kill loses at most in-flight apps.
+/// One quarantine entry: an app observed in-flight at a crash, with how
+/// many resumes it has interrupted so far.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The app's package name.
+    pub package: String,
+    /// Interrupted attempts accumulated across resumes.
+    pub attempts: u32,
+}
+
+/// An append handle to a [`Journal`]. One framed record per line,
+/// flushed per append so a kill loses at most in-flight apps; fsyncs
+/// follow the sink's [`crate::durable::SyncPolicy`].
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    inner: FramedWriter,
 }
 
 impl JournalWriter {
-    /// Appends one record as a JSON line and flushes it.
+    /// Appends one record as a framed JSON line.
     ///
     /// # Errors
     ///
-    /// Returns the underlying write error.
+    /// Returns the underlying write error (transient faults are retried
+    /// within the run's budget first). The journal is never shed.
     pub fn append(&mut self, record: &AppRecord) -> io::Result<()> {
-        let mut line = serde_json::to_string(record)
+        let body = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        match self.inner.append_body(&body)? {
+            Appended::Written | Appended::Shed => Ok(()),
+        }
+    }
+
+    /// Sequence number the next appended record will carry.
+    pub fn seq(&self) -> u64 {
+        self.inner.seq()
     }
 }
 
@@ -240,6 +359,14 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].package, "com.a");
         assert_eq!(loaded[1].package, "com.b");
+        // Every line is a framed envelope that still parses as JSON.
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        for line in text.lines() {
+            let v: serde::Value = serde_json::from_str(line).expect("frame is JSON");
+            assert!(v.get("seq").is_some());
+            assert!(v.get("crc").is_some());
+            assert!(v.get("body").and_then(|b| b.get("package")).is_some());
+        }
         journal.reset().unwrap();
     }
 
@@ -261,7 +388,7 @@ mod tests {
         }
         // Simulate a kill mid-append: garbage half-line at the end.
         let mut text = std::fs::read_to_string(&path).unwrap();
-        text.push_str("{\"package\":\"com.torn\",\"metad");
+        text.push_str("{\"seq\":1,\"len\":231,\"crc\":17,\"body\":{\"package\":\"com.torn");
         std::fs::write(&path, text).unwrap();
         let loaded = journal.load().unwrap();
         assert_eq!(loaded.len(), 1);
@@ -321,6 +448,48 @@ mod tests {
     }
 
     #[test]
+    fn a_flipped_bit_is_detected_and_dropped() {
+        let path = temp_path("bitflip");
+        let journal = Journal::new(&path);
+        journal.reset().unwrap();
+        {
+            let mut w = journal.writer().unwrap();
+            w.append(&record("com.a")).unwrap();
+            w.append(&record("com.b")).unwrap();
+        }
+        // Flip one bit inside the second record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.len() - 20;
+        bytes[target] ^= 0b0000_0100;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = journal.recover_counted().unwrap();
+        assert_eq!(recovered.records.len(), 1, "corrupt record must drop");
+        assert_eq!(recovered.records[0].package, "com.a");
+        assert_eq!(recovered.dropped_lines, 1);
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn finalize_is_byte_deterministic_and_atomic() {
+        let path = temp_path("finalize");
+        let journal = Journal::new(&path);
+        journal.reset().unwrap();
+        let records = vec![record("com.a"), record("com.b")];
+        journal.finalize_with(&records, None).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        // Append out-of-band garbage, then finalize again: identical bytes.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, b"garbage"))
+            .unwrap();
+        journal.finalize_with(&records, None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        assert_eq!(journal.load().unwrap().len(), 2);
+        journal.reset().unwrap();
+    }
+
+    #[test]
     fn events_path_sits_beside_the_journal() {
         let journal = Journal::new("/tmp/sweep.jsonl");
         assert_eq!(
@@ -348,15 +517,58 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_round_trips_and_empties_away() {
+        let journal = Journal::new(temp_path("quarantine"));
+        journal.reset().unwrap();
+        assert!(journal.load_quarantine().unwrap().is_empty());
+        let entries = vec![
+            QuarantineEntry {
+                package: "com.b".to_string(),
+                attempts: 2,
+            },
+            QuarantineEntry {
+                package: "com.a".to_string(),
+                attempts: 1,
+            },
+        ];
+        journal.write_quarantine(&entries).unwrap();
+        let loaded = journal.load_quarantine().unwrap();
+        // Stored sorted by package for deterministic reporting.
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].package, "com.a");
+        assert_eq!(loaded[1].package, "com.b");
+        assert_eq!(loaded[1].attempts, 2);
+        journal.write_quarantine(&[]).unwrap();
+        assert!(!journal.quarantine_path().exists());
+        journal.reset().unwrap();
+    }
+
+    #[test]
+    fn reset_removes_the_quarantine_file() {
+        let journal = Journal::new(temp_path("quarantine_reset"));
+        journal.reset().unwrap();
+        journal
+            .write_quarantine(&[QuarantineEntry {
+                package: "com.q".to_string(),
+                attempts: 3,
+            }])
+            .unwrap();
+        journal.reset().unwrap();
+        assert!(!journal.quarantine_path().exists());
+    }
+
+    #[test]
     fn append_after_load_continues_file() {
         let journal = Journal::new(temp_path("resume"));
         journal.reset().unwrap();
         {
             let mut w = journal.writer().unwrap();
             w.append(&record("com.first")).unwrap();
+            assert_eq!(w.seq(), 1);
         }
         {
             let mut w = journal.writer().unwrap();
+            assert_eq!(w.seq(), 1, "sequence continues across sessions");
             w.append(&record("com.second")).unwrap();
         }
         assert_eq!(journal.load().unwrap().len(), 2);

@@ -26,12 +26,15 @@
 //! allocation, no clock read, no atomics.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Write as _};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use crate::durable::{
+    atomic_write_frames, scan_path, FramedWriter, IoHarness, SinkOptions, StreamKind,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -387,7 +390,7 @@ struct Inner {
     registry: MetricsRegistry,
     spans: Box<[Mutex<Vec<SpanRecord>>]>,
     span_count: AtomicUsize,
-    sink: Mutex<Option<BufWriter<File>>>,
+    sink: Mutex<Option<FramedWriter>>,
 }
 
 static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
@@ -441,9 +444,17 @@ impl Inner {
     fn write_event(&self, line: &str) {
         let mut sink = self.sink.lock().expect("event sink poisoned");
         if let Some(w) = sink.as_mut() {
-            // Mirror the journal's crash discipline: one line, then flush.
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
+            // Mirror the journal's crash discipline: one framed line per
+            // event. The writer sheds events itself under disk pressure;
+            // hard errors are counted and warned once (the finalized
+            // stream is reconstructed from memory at run completion, so
+            // a lost live event never corrupts the durable record).
+            if let Err(e) = w.append_body(line) {
+                self.registry.counter_add("telemetry.event_write_errors", 1);
+                if self.registry.counter_value("telemetry.event_write_errors") == 1 {
+                    eprintln!("dydroid: events: write failed ({e}); degrading telemetry");
+                }
+            }
         }
     }
 
@@ -565,16 +576,47 @@ impl Telemetry {
         all
     }
 
-    /// Directs the JSONL event stream (span, checkpoint and
+    /// Directs the framed JSONL event stream (span, checkpoint and
     /// provenance-link lines) to `path`, appending so resumed sweeps
-    /// extend the same stream.
+    /// extend the same stream; a torn or corrupt tail is truncated and
+    /// the frame sequence continues from the valid prefix.
     pub fn set_event_sink(&self, path: &Path) -> io::Result<()> {
+        self.set_event_sink_with(path, SinkOptions::direct(StreamKind::Events))
+    }
+
+    /// Like [`Telemetry::set_event_sink`], but with explicit sink
+    /// options so the pipeline can thread the run's shared I/O state,
+    /// sync policy, and fault harness through.
+    pub fn set_event_sink_with(&self, path: &Path, opts: SinkOptions) -> io::Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        *inner.sink.lock().expect("event sink poisoned") = Some(BufWriter::new(file));
+        let writer = FramedWriter::open(path, opts)?;
+        *inner.sink.lock().expect("event sink poisoned") = Some(writer);
         Ok(())
+    }
+
+    /// Atomically replaces the event stream at `path` with the given
+    /// canonical body lines (reframed from sequence 0), closing the live
+    /// sink first. Called when a journaled run completes: the canonical
+    /// stream holds only interleave-independent lines, which is what
+    /// makes the finalized file byte-identical across same-seed and
+    /// resumed runs. No-op when telemetry is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns write errors from the atomic rewrite.
+    pub fn finalize_event_sink(
+        &self,
+        path: &Path,
+        bodies: &[String],
+        harness: Option<&Arc<IoHarness>>,
+    ) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        *inner.sink.lock().expect("event sink poisoned") = None;
+        atomic_write_frames(path, bodies, harness)
     }
 
     /// Emits a checkpoint event tying a journaled app record to the span
@@ -618,24 +660,20 @@ impl Telemetry {
     /// retained for trace export and the span-id counter is advanced
     /// past the highest prior id (ids stay unique across sessions).
     /// Histograms are *not* replayed — metrics describe this process.
-    /// Returns the number of spans stitched; a torn tail stops the read.
+    /// Returns the number of spans stitched; the first torn or corrupt
+    /// frame stops the read (same tolerance as the journal).
     pub fn stitch_from(&self, path: &Path) -> io::Result<usize> {
         let Some(inner) = &self.inner else {
             return Ok(0);
         };
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(e),
+        let Some(scan) = scan_path(path)? else {
+            return Ok(0);
         };
         let mut loaded = 0usize;
         let mut max_id = 0u64;
-        for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let Ok(value) = serde_json::from_str::<serde::Value>(line) else {
-                break; // torn tail — same tolerance as the journal
+        for body in &scan.bodies {
+            let Ok(value) = serde_json::from_str::<serde::Value>(body) else {
+                break;
             };
             let kind = value.get("type").and_then(|t| t.as_str());
             if kind == Some("span") {

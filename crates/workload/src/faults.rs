@@ -147,6 +147,179 @@ pub fn apply(app: &mut SyntheticApp, kind: FaultKind) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// I/O fault injection and crash torture
+// ---------------------------------------------------------------------------
+
+/// The persistence-layer failure modes the durable record framing must
+/// survive (see `dydroid::durable`). Unlike [`FaultKind`], these target
+/// the *harness's own* writes — journal, provenance ledger and telemetry
+/// event stream — not the apps under analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFaultKind {
+    /// Only a prefix of the record reaches the file before the write
+    /// errors out (interrupted syscall mid-buffer).
+    ShortWrite,
+    /// One bit of the record is flipped on its way to disk; the write
+    /// reports success (silent media corruption).
+    BitFlip,
+    /// The write fails with an `EINTR`/`EAGAIN`-class transient error
+    /// without touching the file; a retry may succeed.
+    Transient,
+    /// The write fails with an `ENOSPC`-class disk-pressure error; the
+    /// pipeline must shed load rather than retry forever.
+    DiskFull,
+}
+
+impl IoFaultKind {
+    /// Every kind, in the order [`IoFaultScript::decide`] draws them.
+    pub const ALL: [IoFaultKind; 4] = [
+        IoFaultKind::ShortWrite,
+        IoFaultKind::BitFlip,
+        IoFaultKind::Transient,
+        IoFaultKind::DiskFull,
+    ];
+}
+
+/// How often write operations fault, and under which seed.
+#[derive(Debug, Clone, Copy)]
+pub struct IoFaultSpec {
+    /// Per-write fault probability in `[0, 1]`.
+    pub rate: f64,
+    /// Script seed; same seed = same faults at the same write ops.
+    pub seed: u64,
+}
+
+/// A stateless, deterministic fault script over the global write-op
+/// counter: `decide(op)` depends only on `(seed, op)`, never on call
+/// order, so the same ops fault identically however sweep workers
+/// interleave — the property that makes crash-torture runs replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct IoFaultScript {
+    spec: IoFaultSpec,
+}
+
+/// `splitmix64` finalizer: a cheap, well-mixed stateless hash.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl IoFaultScript {
+    /// A script drawing from `spec`.
+    pub fn new(spec: IoFaultSpec) -> Self {
+        IoFaultScript { spec }
+    }
+
+    /// The fault injected at write op `op`, if any. Pure: the verdict is
+    /// a hash of `(seed, op)` against the configured rate.
+    pub fn decide(&self, op: u64) -> Option<IoFaultKind> {
+        if self.spec.rate <= 0.0 {
+            return None;
+        }
+        let h = mix64(self.spec.seed ^ mix64(op));
+        // Top 53 bits → uniform f64 in [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw < self.spec.rate {
+            Some(IoFaultKind::ALL[(h & 3) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// A secondary deterministic parameter for op `op` (prefix length
+    /// for short writes, bit index for flips), drawn from an independent
+    /// hash stream so it does not correlate with [`IoFaultScript::decide`].
+    pub fn param(&self, op: u64) -> u64 {
+        mix64(self.spec.seed.wrapping_add(0xD1B5_4A32_D192_ED03) ^ mix64(op))
+    }
+}
+
+/// Deterministic backoff jitter for retry `attempt` of write op `op`:
+/// independent of wall clock and thread interleave, so retried sweeps
+/// charge identical virtual backoff.
+pub fn retry_jitter(op: u64, attempt: u32) -> u64 {
+    mix64(op.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt))
+}
+
+/// Outcome of one crash point in a [`crash_torture`] matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashVerdict {
+    /// The write op the simulated kill landed on.
+    pub op: u64,
+    /// Whether the resumed run reproduced the fault-free bytes exactly.
+    pub identical: bool,
+}
+
+/// Result of a [`crash_torture`] matrix: per-point verdicts plus the
+/// fault-free run's write-op count.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    /// Write ops the fault-free reference run performed.
+    pub total_ops: u64,
+    /// One verdict per exercised crash point.
+    pub verdicts: Vec<CrashVerdict>,
+}
+
+impl TortureReport {
+    /// Crash points whose recovered output diverged from the reference.
+    pub fn divergent(&self) -> Vec<u64> {
+        self.verdicts
+            .iter()
+            .filter(|v| !v.identical)
+            .map(|v| v.op)
+            .collect()
+    }
+
+    /// Whether every crash point recovered byte-identically.
+    pub fn all_identical(&self) -> bool {
+        self.verdicts.iter().all(|v| v.identical)
+    }
+}
+
+/// Drives a kill/resume matrix over a persistence layer without knowing
+/// anything about it: `reference` runs the workload fault-free and
+/// returns `(finalized bytes, write ops performed)`; `crash_resume(op)`
+/// re-runs it with a simulated kill at write op `op`, resumes, and
+/// returns the recovered finalized bytes. `points` selects the crash
+/// ops to exercise (use [`crash_points`] to enumerate or sample them).
+pub fn crash_torture<B: PartialEq>(
+    reference: impl FnOnce() -> (B, u64),
+    points: &[u64],
+    mut crash_resume: impl FnMut(u64) -> B,
+) -> TortureReport {
+    let (expected, total_ops) = reference();
+    let verdicts = points
+        .iter()
+        .map(|&op| CrashVerdict {
+            op,
+            identical: crash_resume(op) == expected,
+        })
+        .collect();
+    TortureReport {
+        total_ops,
+        verdicts,
+    }
+}
+
+/// The crash ops to exercise for a run that performed `total_ops`
+/// writes: every write boundary when `sample == 0` or `total_ops <=
+/// sample`, else `sample` evenly spaced boundaries (always including
+/// the first and last).
+pub fn crash_points(total_ops: u64, sample: u64) -> Vec<u64> {
+    if total_ops == 0 {
+        return Vec::new();
+    }
+    if sample == 0 || total_ops <= sample {
+        return (0..total_ops).collect();
+    }
+    (0..sample)
+        .map(|i| i * (total_ops - 1) / (sample - 1).max(1))
+        .collect()
+}
+
 /// Junk permissions injected by [`FaultKind::OversizedManifest`]; far
 /// past any sane manifest, so the pipeline's sanity limit must trip.
 pub const OVERSIZED_MANIFEST_PERMISSIONS: usize = 8_192;
@@ -294,6 +467,61 @@ mod tests {
             let classes = Apk::parse(&apk).unwrap().classes().unwrap();
             assert!(DclFilter::scan(&classes).has_dex_dcl);
         }
+    }
+
+    #[test]
+    fn io_fault_script_is_pure_and_rate_bounded() {
+        let script = IoFaultScript::new(IoFaultSpec {
+            rate: 0.25,
+            seed: 42,
+        });
+        let first: Vec<_> = (0..4096).map(|op| script.decide(op)).collect();
+        let second: Vec<_> = (0..4096).map(|op| script.decide(op)).collect();
+        assert_eq!(first, second, "decide must be pure");
+        let faults = first.iter().flatten().count();
+        // Rate 0.25 over 4096 draws: expect ~1024, allow a wide margin.
+        assert!((700..1400).contains(&faults), "fault count {faults}");
+        for kind in IoFaultKind::ALL {
+            assert!(
+                first.iter().flatten().any(|k| *k == kind),
+                "kind {kind:?} never drawn"
+            );
+        }
+        let zero = IoFaultScript::new(IoFaultSpec {
+            rate: 0.0,
+            seed: 42,
+        });
+        assert!((0..4096).all(|op| zero.decide(op).is_none()));
+    }
+
+    #[test]
+    fn crash_points_enumerate_and_sample() {
+        assert_eq!(crash_points(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(crash_points(3, 10), vec![0, 1, 2]);
+        let sampled = crash_points(100, 5);
+        assert_eq!(sampled.len(), 5);
+        assert_eq!(sampled[0], 0);
+        assert_eq!(*sampled.last().unwrap(), 99);
+        assert!(sampled.windows(2).all(|w| w[0] < w[1]));
+        assert!(crash_points(0, 5).is_empty());
+    }
+
+    #[test]
+    fn crash_torture_reports_divergence() {
+        let report = crash_torture(
+            || (vec![1u8, 2, 3], 3),
+            &[0, 1, 2],
+            |op| {
+                if op == 1 {
+                    vec![9, 9, 9] // a broken recovery at op 1
+                } else {
+                    vec![1, 2, 3]
+                }
+            },
+        );
+        assert_eq!(report.total_ops, 3);
+        assert!(!report.all_identical());
+        assert_eq!(report.divergent(), vec![1]);
     }
 
     #[test]

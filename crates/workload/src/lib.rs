@@ -40,7 +40,7 @@ pub mod popularity;
 pub mod spec;
 
 pub use corpus::{generate, SyntheticApp};
-pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use faults::{FaultKind, FaultPlan, FaultSpec, IoFaultKind, IoFaultScript, IoFaultSpec};
 pub use plan::{AppPlan, DclPlan, EntityPlan, MalwareFamily, TriggerSet, VulnPlan};
 pub use popularity::AppMetadata;
 pub use spec::CorpusSpec;

@@ -5,9 +5,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use dydroid::{Journal, Pipeline, PipelineConfig};
-use dydroid_workload::faults::{self, FaultKind, FaultPlan, FaultSpec};
+use dydroid::{IoHarness, Journal, Pipeline, PipelineConfig};
+use dydroid_workload::faults::{
+    self, crash_points, crash_torture, FaultKind, FaultPlan, FaultSpec,
+};
 use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
 
 const CORPUS_APPS: usize = 200;
@@ -214,13 +217,15 @@ fn faulty_sweep_trace_is_loadable_and_events_match_journal() {
     assert_eq!(events.len(), traced.telemetry().spans().len());
     assert!(events.len() >= CORPUS_APPS, "fewer events than apps");
 
-    // The event stream checkpoints exactly the journaled packages.
+    // The event stream checkpoints exactly the journaled packages. Each
+    // line is a checksummed frame whose `body` carries the event.
     let events_text = std::fs::read_to_string(journal.events_path()).expect("events file");
     let mut checkpointed: HashSet<String> = HashSet::new();
     for line in events_text.lines().filter(|l| !l.trim().is_empty()) {
-        let v: serde_json::Value = serde_json::from_str(line).expect("event line parses");
-        if v.get("type").and_then(|t| t.as_str()) == Some("checkpoint") {
-            let app = v
+        let v: serde_json::Value = serde_json::from_str(line).expect("event frame parses");
+        let body = v.get("body").expect("framed event has a body");
+        if body.get("type").and_then(|t| t.as_str()) == Some("checkpoint") {
+            let app = body
                 .get("app")
                 .and_then(|a| a.as_str())
                 .expect("checkpoint app");
@@ -286,4 +291,75 @@ fn sweep_resumes_after_mid_flight_kill_without_rework() {
     assert_eq!(resumed.records().len(), CORPUS_APPS);
     assert_eq!(resumed.table2(), first.table2());
     journal.reset().expect("cleanup");
+}
+
+/// The crash-consistency acceptance: kill a journaled sweep at *every*
+/// write boundary of its three persistent streams, resume it cleanly,
+/// and require the finalized journal, provenance ledger and event stream
+/// to be byte-identical to the fault-free run at the same seed.
+#[test]
+fn crash_torture_recovers_byte_identical_streams_at_every_boundary() {
+    let mut corpus = generate(&CorpusSpec {
+        scale: 0.004,
+        seed: 99,
+    });
+    corpus.truncate(6);
+    let config = PipelineConfig {
+        workers: 2,
+        environment_reruns: false,
+        app_deadline_ms: 400,
+        ..Default::default()
+    };
+
+    // All three finalized streams of one journaled run, concatenated.
+    let stream_bytes = |journal: &Journal| -> Vec<u8> {
+        let mut bytes = std::fs::read(journal.path()).expect("journal bytes");
+        bytes.extend(std::fs::read(journal.provenance_path()).expect("ledger bytes"));
+        bytes.extend(std::fs::read(journal.events_path()).expect("events bytes"));
+        bytes
+    };
+    let run = |tag: &str, harness: Option<Arc<IoHarness>>| -> Vec<u8> {
+        let journal = temp_journal(tag);
+        let mut pipeline = Pipeline::new(config.clone());
+        if let Some(h) = &harness {
+            pipeline.set_io_harness(Arc::clone(h));
+        }
+        let _ = pipeline
+            .run_resumable(&corpus, &journal)
+            .expect("interrupted run still returns");
+        if harness.is_some() {
+            // The kill froze the files mid-run; resume with a clean
+            // pipeline, exactly as a restarted process would.
+            let _ = Pipeline::new(config.clone())
+                .run_resumable(&corpus, &journal)
+                .expect("resumed run");
+        }
+        let bytes = stream_bytes(&journal);
+        journal.reset().expect("cleanup");
+        bytes
+    };
+
+    // Size the crash matrix from a counting reference run, then exercise
+    // every write boundary of the small corpus.
+    let counter = IoHarness::counting();
+    let reference = run("torture_ref", Some(Arc::clone(&counter)));
+    let total_ops = counter.ops();
+    let points = crash_points(total_ops, 0);
+    let report = crash_torture(
+        move || (reference, total_ops),
+        &points,
+        |op| {
+            run(
+                &format!("torture_{op}"),
+                Some(IoHarness::new(Some(op), None)),
+            )
+        },
+    );
+    assert!(report.total_ops > 0, "reference run wrote nothing");
+    assert!(
+        report.all_identical(),
+        "crash points diverged: {:?} of {} ops",
+        report.divergent(),
+        report.total_ops
+    );
 }

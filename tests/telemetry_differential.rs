@@ -125,11 +125,89 @@ fn chrome_trace_from_sweep_parses_back() {
     }
 }
 
-/// The event stream written beside the journal checkpoints exactly the
-/// journaled apps, and a resumed run stitches the previous session's
-/// spans into its timeline without ever reusing a span id.
+/// A completed journaled run finalizes the event stream to its canonical
+/// form: checksummed frames with contiguous sequence numbers whose bodies
+/// are per-app checkpoint and provenance facts in corpus order — free of
+/// span ids and timestamps, so the finalized stream is byte-stable
+/// however the sweep interleaved.
 #[test]
-fn event_stream_agrees_with_journal_and_resume_stitches() {
+fn completed_event_stream_is_canonical_and_agrees_with_journal() {
+    let corpus = small_corpus(60);
+    let journal = temp_journal("canonical");
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        environment_reruns: false,
+        ..PipelineConfig::default()
+    });
+    let _ = pipeline
+        .run_resumable(&corpus, &journal)
+        .expect("initial sweep");
+
+    let events_text = std::fs::read_to_string(journal.events_path()).expect("events file");
+    let mut checkpoints: Vec<String> = Vec::new();
+    let mut provenance_links: Vec<String> = Vec::new();
+    for (i, line) in events_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+    {
+        let v: serde_json::Value = serde_json::from_str(line).expect("event frame parses");
+        assert_eq!(
+            v.get("seq").and_then(|s| s.as_u64()),
+            Some(i as u64),
+            "finalized frames must be contiguously sequenced"
+        );
+        let body = v.get("body").expect("framed event has a body");
+        assert!(
+            body.get("span").is_none() && body.get("t_us").is_none(),
+            "canonical events must not carry span ids or timestamps: {line}"
+        );
+        let app = body
+            .get("app")
+            .and_then(|a| a.as_str())
+            .expect("event app")
+            .to_string();
+        match body.get("type").and_then(|t| t.as_str()) {
+            Some("checkpoint") => checkpoints.push(app),
+            Some("provenance") => provenance_links.push(app),
+            other => panic!("unexpected canonical event type {other:?}"),
+        }
+    }
+    let journaled: Vec<String> = journal
+        .load()
+        .expect("journal")
+        .into_iter()
+        .map(|r| r.package)
+        .collect();
+    assert_eq!(journaled.len(), corpus.len());
+    let corpus_order: Vec<String> = corpus.iter().map(|a| a.package().to_string()).collect();
+    assert_eq!(
+        journaled, corpus_order,
+        "finalized journal is corpus-ordered"
+    );
+    assert_eq!(
+        checkpoints, corpus_order,
+        "checkpoints diverge from the corpus"
+    );
+    assert_eq!(
+        provenance_links, corpus_order,
+        "provenance links diverge from the corpus"
+    );
+
+    journal.reset().expect("cleanup");
+    assert!(
+        !journal.events_path().exists(),
+        "journal reset must remove the event stream"
+    );
+}
+
+/// A run killed mid-sweep (via the virtual-clock I/O harness) leaves a
+/// live event stream whose surviving checkpoints reference recorded app
+/// spans; a fresh pipeline resumes it, stitches the prior session's spans
+/// into its own timeline without reusing a span id, and completes the
+/// corpus.
+#[test]
+fn interrupted_event_stream_stitches_into_the_resumed_timeline() {
     let corpus = small_corpus(60);
     let journal = temp_journal("stitch");
 
@@ -137,62 +215,46 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
         environment_reruns: false,
         ..PipelineConfig::default()
     };
-    let first = Pipeline::new(config.clone());
+    let mut first = Pipeline::new(config.clone());
+    // Freeze every persistent stream at write op 150 — mid-sweep, after
+    // some apps have fully checkpointed.
+    first.set_io_harness(dydroid::IoHarness::new(Some(150), None));
     let _ = first
         .run_resumable(&corpus, &journal)
-        .expect("initial sweep");
+        .expect("interrupted sweep still returns");
 
-    // Every journaled package has exactly one checkpoint, and every
-    // checkpoint points at a recorded "app" span.
+    // The torn live stream: span lines precede the checkpoints that
+    // reference them, so every surviving checkpoint resolves.
     let events_text = std::fs::read_to_string(journal.events_path()).expect("events file");
     let mut app_spans: HashSet<u64> = HashSet::new();
-    let mut checkpoints: Vec<(String, u64)> = Vec::new();
-    let mut provenance_links: Vec<(String, u64)> = Vec::new();
     let mut first_ids: Vec<u64> = Vec::new();
+    let mut checkpoints: Vec<(String, u64)> = Vec::new();
     for line in events_text.lines().filter(|l| !l.trim().is_empty()) {
-        let v: serde_json::Value = serde_json::from_str(line).expect("event line parses");
-        match v.get("type").and_then(|t| t.as_str()) {
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+            continue; // torn tail
+        };
+        let Some(body) = v.get("body") else { continue };
+        match body.get("type").and_then(|t| t.as_str()) {
             Some("span") => {
-                let id = v.get("id").and_then(|i| i.as_u64()).expect("span id");
+                let id = body.get("id").and_then(|i| i.as_u64()).expect("span id");
                 first_ids.push(id);
-                if v.get("name").and_then(|n| n.as_str()) == Some("app") {
+                if body.get("name").and_then(|n| n.as_str()) == Some("app") {
                     app_spans.insert(id);
                 }
             }
             Some("checkpoint") => {
-                let app = v
+                let app = body
                     .get("app")
                     .and_then(|a| a.as_str())
                     .expect("checkpoint app")
                     .to_string();
-                let span = v.get("span").and_then(|s| s.as_u64()).expect("span ref");
+                let span = body.get("span").and_then(|s| s.as_u64()).expect("span ref");
                 checkpoints.push((app, span));
             }
-            Some("provenance") => {
-                let app = v
-                    .get("app")
-                    .and_then(|a| a.as_str())
-                    .expect("provenance app")
-                    .to_string();
-                let span = v.get("span").and_then(|s| s.as_u64()).expect("span ref");
-                provenance_links.push((app, span));
-            }
-            other => panic!("unexpected event type {other:?}"),
+            _ => {}
         }
     }
-    let journaled: HashSet<String> = journal
-        .load()
-        .expect("journal")
-        .into_iter()
-        .map(|r| r.package)
-        .collect();
-    assert_eq!(journaled.len(), corpus.len());
-    let checkpointed: HashSet<&str> = checkpoints.iter().map(|(app, _)| app.as_str()).collect();
-    assert_eq!(
-        checkpointed,
-        journaled.iter().map(String::as_str).collect::<HashSet<_>>(),
-        "checkpoints diverge from journaled packages"
-    );
+    assert!(!first_ids.is_empty(), "crash left no spans to stitch");
     for (app, span) in &checkpoints {
         assert!(
             app_spans.contains(span),
@@ -200,40 +262,12 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
         );
     }
 
-    // Every journaled app also has a provenance-ledger cross-link, and
-    // each link points at the same "app" span its checkpoint does.
-    let linked: HashSet<&str> = provenance_links
-        .iter()
-        .map(|(app, _)| app.as_str())
-        .collect();
-    assert_eq!(
-        linked,
-        journaled.iter().map(String::as_str).collect::<HashSet<_>>(),
-        "provenance links diverge from journaled packages"
-    );
-    for (app, span) in &provenance_links {
-        assert!(
-            app_spans.contains(span),
-            "provenance link for {app} references unknown span {span}"
-        );
-    }
-
-    // Kill simulation: drop the journal's tail so the resume re-analyses
-    // the missing apps in a *fresh* pipeline (fresh telemetry).
-    const SURVIVORS: usize = 40;
-    let text = std::fs::read_to_string(journal.path()).expect("read journal");
-    let kept: String = text
-        .lines()
-        .take(SURVIVORS)
-        .map(|l| format!("{l}\n"))
-        .collect();
-    std::fs::write(journal.path(), kept).expect("truncate journal");
-
     let second = Pipeline::new(config);
     let resumed = second
         .run_resumable(&corpus, &journal)
         .expect("resumed sweep");
     assert_eq!(resumed.records().len(), corpus.len());
+    assert_eq!(journal.load().expect("journal").len(), corpus.len());
 
     // The resumed pipeline's timeline contains the stitched first-session
     // spans plus its own, with globally unique ids.
@@ -252,10 +286,6 @@ fn event_stream_agrees_with_journal_and_resume_stitches() {
     );
 
     journal.reset().expect("cleanup");
-    assert!(
-        !journal.events_path().exists(),
-        "journal reset must remove the event stream"
-    );
 }
 
 /// A trace file requested through the config lands on disk and is valid
