@@ -1,6 +1,13 @@
 //! Runtime values, heap objects and intrinsic framework-object state.
+//!
+//! The heap is an arena: objects live in one contiguous vector, ids are
+//! indices, and nothing is freed individually — processes are
+//! short-lived, and whole-app teardown is an O(1) [`Heap::reset`] that
+//! keeps the arena's capacity (and pools the per-object field tables)
+//! for the next episode. Class and field names are interned
+//! [`Sym`]s; resolve them through the owning process's interner.
 
-use std::collections::HashMap;
+use crate::sym::Sym;
 
 /// A heap object identifier — doubles as the "hash code" that the download
 //  tracker uses to identify objects, as in the paper.
@@ -136,21 +143,44 @@ pub enum IntrinsicState {
     },
 }
 
-/// A heap object: dynamic class name, fields, optional intrinsic state.
+/// A heap object: interned runtime class, fields, optional intrinsic
+/// state. Fields are a flat `(name, value)` table — objects have a
+/// handful of fields, and the interpreter's per-site inline caches
+/// remember the slot index, so a linear scan only happens on cache
+/// misses.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Object {
-    /// Dotted runtime class name.
-    pub class: String,
-    /// Instance fields by name.
-    pub fields: HashMap<String, Value>,
+    /// Interned dotted runtime class name.
+    pub class: Sym,
+    /// Instance fields as `(interned name, value)` slots, in insertion
+    /// order. A name appears at most once.
+    pub fields: Vec<(Sym, Value)>,
     /// Framework state for intrinsic objects.
     pub intrinsic: IntrinsicState,
 }
 
-/// The per-process heap.
+impl Object {
+    /// Reads a field by interned name.
+    pub fn field(&self, name: Sym) -> Option<&Value> {
+        self.fields.iter().find(|(s, _)| *s == name).map(|(_, v)| v)
+    }
+
+    /// Writes a field by interned name, creating the slot on first write.
+    pub fn put_field(&mut self, name: Sym, value: Value) {
+        match self.fields.iter_mut().find(|(s, _)| *s == name) {
+            Some((_, v)) => *v = value,
+            None => self.fields.push((name, value)),
+        }
+    }
+}
+
+/// The per-process heap: an arena of objects.
 #[derive(Debug, Clone, Default)]
 pub struct Heap {
     objects: Vec<Object>,
+    /// Field tables recovered by [`Heap::reset`], reused by later
+    /// allocations so steady-state episodes allocate nothing.
+    spare_fields: Vec<Vec<(Sym, Value)>>,
 }
 
 impl Heap {
@@ -160,20 +190,17 @@ impl Heap {
     }
 
     /// Allocates a plain object of `class`.
-    pub fn alloc(&mut self, class: impl Into<String>) -> ObjId {
+    pub fn alloc(&mut self, class: Sym) -> ObjId {
         self.alloc_intrinsic(class, IntrinsicState::None)
     }
 
     /// Allocates an object with intrinsic state.
-    pub fn alloc_intrinsic(
-        &mut self,
-        class: impl Into<String>,
-        intrinsic: IntrinsicState,
-    ) -> ObjId {
+    pub fn alloc_intrinsic(&mut self, class: Sym, intrinsic: IntrinsicState) -> ObjId {
         let id = ObjId(self.objects.len() as u32);
+        let fields = self.spare_fields.pop().unwrap_or_default();
         self.objects.push(Object {
-            class: class.into(),
-            fields: HashMap::new(),
+            class,
+            fields,
             intrinsic,
         });
         id
@@ -189,8 +216,8 @@ impl Heap {
         self.objects.get_mut(id.0 as usize)
     }
 
-    /// Number of live objects (the heap never frees; processes are
-    /// short-lived).
+    /// Number of live objects (the heap never frees individually;
+    /// processes are short-lived).
     pub fn len(&self) -> usize {
         self.objects.len()
     }
@@ -199,11 +226,24 @@ impl Heap {
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }
+
+    /// Whole-heap reset: drops every object but keeps the arena's
+    /// capacity and recycles the per-object field tables, so the next
+    /// episode's allocations are O(1) bump pushes with no heap traffic.
+    /// All previously issued [`ObjId`]s become dangling — callers reset
+    /// only between episodes, never mid-run.
+    pub fn reset(&mut self) {
+        for mut obj in self.objects.drain(..) {
+            obj.fields.clear();
+            self.spare_fields.push(std::mem::take(&mut obj.fields));
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sym::Interner;
 
     #[test]
     fn value_accessors() {
@@ -226,22 +266,40 @@ mod tests {
 
     #[test]
     fn alloc_and_fields() {
+        let mut names = Interner::new();
         let mut heap = Heap::new();
-        let id = heap.alloc("com.x.Y");
+        let cls = names.intern("com.x.Y");
+        let count = names.intern("count");
+        let id = heap.alloc(cls);
         assert_eq!(heap.len(), 1);
-        heap.get_mut(id)
-            .unwrap()
-            .fields
-            .insert("count".to_string(), Value::Int(3));
-        assert_eq!(heap.get(id).unwrap().fields["count"], Value::Int(3));
-        assert_eq!(heap.get(id).unwrap().class, "com.x.Y");
+        heap.get_mut(id).unwrap().put_field(count, Value::Int(3));
+        assert_eq!(heap.get(id).unwrap().field(count), Some(&Value::Int(3)));
+        assert_eq!(heap.get(id).unwrap().field(names.intern("n")), None);
+        assert_eq!(names.resolve(heap.get(id).unwrap().class), "com.x.Y");
+    }
+
+    #[test]
+    fn put_field_overwrites_in_place() {
+        let mut names = Interner::new();
+        let mut heap = Heap::new();
+        let id = heap.alloc(names.intern("A"));
+        let f = names.intern("f");
+        let g = names.intern("g");
+        let obj = heap.get_mut(id).unwrap();
+        obj.put_field(f, Value::Int(1));
+        obj.put_field(g, Value::Int(2));
+        obj.put_field(f, Value::Int(3));
+        assert_eq!(obj.fields.len(), 2);
+        assert_eq!(obj.field(f), Some(&Value::Int(3)));
+        assert_eq!(obj.field(g), Some(&Value::Int(2)));
     }
 
     #[test]
     fn intrinsic_objects() {
+        let mut names = Interner::new();
         let mut heap = Heap::new();
         let id = heap.alloc_intrinsic(
-            "java.net.URL",
+            names.intern("java.net.URL"),
             IntrinsicState::Url {
                 url: "http://a.com/x".to_string(),
             },
@@ -254,11 +312,30 @@ mod tests {
 
     #[test]
     fn ids_are_sequential() {
+        let mut names = Interner::new();
         let mut heap = Heap::new();
-        let a = heap.alloc("A");
-        let b = heap.alloc("B");
+        let a = heap.alloc(names.intern("A"));
+        let b = heap.alloc(names.intern("B"));
         assert_eq!(a, ObjId(0));
         assert_eq!(b, ObjId(1));
         assert!(heap.get(ObjId(2)).is_none());
+    }
+
+    #[test]
+    fn reset_recycles_field_tables() {
+        let mut names = Interner::new();
+        let mut heap = Heap::new();
+        let cls = names.intern("A");
+        let f = names.intern("f");
+        let id = heap.alloc(cls);
+        heap.get_mut(id).unwrap().put_field(f, Value::Int(1));
+        heap.alloc(cls);
+        heap.reset();
+        assert!(heap.is_empty());
+        assert!(heap.get(ObjId(0)).is_none());
+        // Fresh allocations start clean and ids restart from zero.
+        let id = heap.alloc(cls);
+        assert_eq!(id, ObjId(0));
+        assert_eq!(heap.get(id).unwrap().field(f), None);
     }
 }

@@ -9,6 +9,17 @@
 //! Parameters are passed in the low registers: for instance methods
 //! `v0 = this, v1.. = params`; for static methods `v0.. = params`. The
 //! frame size is the method's declared register count.
+//!
+//! # Two execution paths
+//!
+//! The **fast path** (default) runs each method's pre-resolved
+//! [`crate::resolved::RInsn`] stream: interned operands, per-site inline
+//! caches for invoke/field/static resolution, pooled register files and
+//! an arena heap — no strings and no hash map on the hot loop. The
+//! **legacy path** (`DeviceConfig::legacy_interp`) is the original
+//! string-resolving interpreter, kept as the reference implementation;
+//! both decrement fuel identically per instruction and produce
+//! bit-identical outcomes, which `tests/avm_differential.rs` enforces.
 
 use dydroid_dex::{AccessFlags, Instruction, InvokeKind, Method};
 
@@ -17,6 +28,8 @@ use crate::error::Exec;
 use crate::heap::{ObjId, Value};
 use crate::intrinsics;
 use crate::process::Process;
+use crate::resolved::{RInsn, ResolvedCall, ResolvedMethod, IC_EMPTY, IC_NO_RECEIVER};
+use crate::sym::Sym;
 
 /// Maximum instructions executed per entry point (infinite-loop guard —
 /// the Monkey must survive hostile apps).
@@ -32,18 +45,24 @@ pub struct Vm<'a> {
     pub proc: &'a mut Process,
     /// Remaining instruction budget.
     pub fuel: u64,
-    /// App-level call stack, outermost first: `(class, method)`.
-    pub call_stack: Vec<(String, String)>,
+    /// App-level call stack, outermost first: interned `(class, method)`
+    /// frames. Strings are materialized only at error/event boundaries
+    /// ([`Vm::caller_class`], [`Vm::stack_trace`]).
+    pub call_stack: Vec<(Sym, Sym)>,
+    legacy: bool,
 }
 
 impl<'a> Vm<'a> {
-    /// Creates a VM with the default fuel budget.
+    /// Creates a VM with the default fuel budget. The execution path
+    /// (fast or legacy) follows the device's `legacy_interp` flag.
     pub fn new(device: &'a mut Device, proc: &'a mut Process) -> Self {
+        let legacy = device.legacy_interp();
         Vm {
             device,
             proc,
             fuel: DEFAULT_FUEL,
             call_stack: Vec::new(),
+            legacy,
         }
     }
 
@@ -58,7 +77,7 @@ impl<'a> Vm<'a> {
     pub fn caller_class(&self) -> &str {
         self.call_stack
             .last()
-            .map(|(c, _)| c.as_str())
+            .map(|(c, _)| self.proc.interner.resolve(*c))
             .unwrap_or("<none>")
     }
 
@@ -67,7 +86,13 @@ impl<'a> Vm<'a> {
         self.call_stack
             .iter()
             .rev()
-            .map(|(c, m)| format!("{c}->{m}"))
+            .map(|(c, m)| {
+                format!(
+                    "{}->{}",
+                    self.proc.interner.resolve(*c),
+                    self.proc.interner.resolve(*m)
+                )
+            })
             .collect()
     }
 
@@ -101,7 +126,8 @@ impl<'a> Vm<'a> {
         if is_static {
             return self.invoke_resolved(class, method, Vec::new());
         }
-        let this = self.proc.heap.alloc(class.to_string());
+        let cls = self.proc.interner.intern(class);
+        let this = self.proc.heap.alloc(cls);
         if self.proc.resolve_method(class, "<init>").is_some() {
             self.invoke_resolved(class, "<init>", vec![Value::Obj(this)])?;
         }
@@ -134,12 +160,30 @@ impl<'a> Vm<'a> {
             };
             return intrinsics::dispatch(self, &mref, &args);
         }
+        if self.legacy {
+            return self.invoke_app_legacy(class, method, args);
+        }
+        let c = self.proc.interner.intern(class);
+        let m = self.proc.interner.intern(method);
+        self.invoke_app_fast(c, m, args, None)
+    }
+
+    /// The reference app-method dispatch: string-keyed virtual
+    /// resolution on every call, executing the original instruction
+    /// stream.
+    fn invoke_app_legacy(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, Exec> {
         // Virtual dispatch: start at the receiver's runtime class.
         let start_class = args
             .first()
             .and_then(|v| v.as_obj())
             .and_then(|id| self.proc.heap.get(id))
-            .map(|o| o.class.clone())
+            .map(|o| o.class)
+            .map(|s| self.proc.interner.resolve(s).to_string())
             .filter(|c| self.proc.resolve_method(c, method).is_some())
             .unwrap_or_else(|| class.to_string());
         let (_def_class, m) = self
@@ -157,10 +201,118 @@ impl<'a> Vm<'a> {
             return self.invoke_native(&start_class, &m, args);
         }
 
-        self.call_stack.push((start_class, method.to_string()));
-        let result = self.execute(&m, args);
+        let frame = (
+            self.proc.interner.intern(&start_class),
+            self.proc.interner.intern(method),
+        );
+        self.call_stack.push(frame);
+        let result = self.execute_legacy(&m, args);
         self.call_stack.pop();
         result
+    }
+
+    /// The fast app-method dispatch: interned names, a positive
+    /// resolution cache, and (for bytecode invoke sites) a monomorphic
+    /// per-site inline cache keyed by the receiver's runtime class.
+    fn invoke_app_fast(
+        &mut self,
+        class: Sym,
+        method: Sym,
+        args: Vec<Value>,
+        site: Option<u32>,
+    ) -> Result<Value, Exec> {
+        if self.call_stack.len() >= MAX_DEPTH {
+            return Err(Exec::StackOverflow);
+        }
+        let receiver = args
+            .first()
+            .and_then(|v| v.as_obj())
+            .and_then(|id| self.proc.heap.get(id))
+            .map(|o| o.class);
+        let key = receiver.map(|s| s.0).unwrap_or(IC_NO_RECEIVER);
+        if let Some(site) = site {
+            let ic = &self.proc.ics.calls[site as usize];
+            if ic.key == key {
+                if let Some(target) = ic.target.clone() {
+                    let pushed = ic.pushed;
+                    self.proc.ics.stats.call_hits += 1;
+                    return self.run_call(pushed, method, target, args);
+                }
+            }
+            self.proc.ics.stats.call_misses += 1;
+        }
+        // Miss: resolve exactly like the legacy path — the receiver's
+        // runtime class if it resolves the method, else the static class.
+        let (start, cacheable) = match receiver {
+            Some(r) => {
+                if self.proc.resolve_call(r, method).is_some() {
+                    (r, true)
+                } else {
+                    // The receiver class exists but does not (yet)
+                    // resolve the method; a later DCL load could change
+                    // that, so this outcome must not be cached.
+                    (class, false)
+                }
+            }
+            None => (class, true),
+        };
+        let Some(target) = self.proc.resolve_call(start, method) else {
+            let start_s = self.proc.interner.resolve(start).to_string();
+            return Err(if self.proc.find_class(&start_s).is_none() {
+                Exec::Throw(format!("ClassNotFoundException: {start_s}"))
+            } else {
+                let method_s = self.proc.interner.resolve(method);
+                Exec::Throw(format!("NoSuchMethodError: {start_s}.{method_s}"))
+            });
+        };
+        if let Some(site) = site {
+            if cacheable {
+                let ic = &mut self.proc.ics.calls[site as usize];
+                ic.key = key;
+                ic.pushed = start;
+                ic.target = Some(target.clone());
+            }
+        }
+        self.run_call(start, method, target, args)
+    }
+
+    /// Executes a resolved target, maintaining the interned call stack.
+    fn run_call(
+        &mut self,
+        pushed_class: Sym,
+        method: Sym,
+        target: ResolvedCall,
+        args: Vec<Value>,
+    ) -> Result<Value, Exec> {
+        match target {
+            ResolvedCall::Bytecode(rm) => {
+                self.call_stack.push((pushed_class, method));
+                let result = self.execute_fast(&rm, args);
+                self.call_stack.pop();
+                result
+            }
+            ResolvedCall::Native { name, ret } => {
+                let lib_idx = self
+                    .proc
+                    .native_libs
+                    .iter()
+                    .rposition(|l| l.function(&name).map(|f| f.exported).unwrap_or(false));
+                match lib_idx {
+                    Some(idx) => {
+                        self.call_stack.push((pushed_class, method));
+                        let result = crate::nativerun::run_native(self, idx, &name);
+                        self.call_stack.pop();
+                        result?;
+                        Ok(ret)
+                    }
+                    None => {
+                        let c = self.proc.interner.resolve(pushed_class);
+                        let n = self.proc.interner.resolve(method);
+                        Err(Exec::Throw(format!("UnsatisfiedLinkError: {c}.{n}")))
+                    }
+                }
+            }
+        }
     }
 
     /// Dispatches a `native` app method through the loaded libraries:
@@ -179,8 +331,11 @@ impl<'a> Vm<'a> {
         });
         match lib_idx {
             Some(idx) => {
-                self.call_stack
-                    .push((class.to_string(), method.name.clone()));
+                let frame = (
+                    self.proc.interner.intern(class),
+                    self.proc.interner.intern(&method.name),
+                );
+                self.call_stack.push(frame);
                 let result = crate::nativerun::run_native(self, idx, &method.name);
                 self.call_stack.pop();
                 result?;
@@ -193,13 +348,29 @@ impl<'a> Vm<'a> {
         }
     }
 
-    fn execute(&mut self, method: &Method, args: Vec<Value>) -> Result<Value, Exec> {
-        let mut regs = vec![Value::Null; method.registers as usize];
+    /// Pops a recycled register file from the process pool, sized and
+    /// zeroed for `registers`, with `args` moved into the low registers.
+    fn frame_regs(&mut self, registers: u16, args: Vec<Value>) -> Vec<Value> {
+        let mut regs = self.proc.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(registers as usize, Value::Null);
         for (i, arg) in args.into_iter().enumerate() {
             if i < regs.len() {
                 regs[i] = arg;
             }
         }
+        regs
+    }
+
+    fn execute_legacy(&mut self, method: &Method, args: Vec<Value>) -> Result<Value, Exec> {
+        let mut regs = self.frame_regs(method.registers, args);
+        let result = self.run_legacy(method, &mut regs);
+        regs.clear();
+        self.proc.reg_pool.push(regs);
+        result
+    }
+
+    fn run_legacy(&mut self, method: &Method, regs: &mut [Value]) -> Result<Value, Exec> {
         let mut pc: usize = 0;
         let mut last_result = Value::Null;
         let code = &method.code;
@@ -235,7 +406,8 @@ impl<'a> Vm<'a> {
                     pc += 1;
                 }
                 Instruction::NewInstance { dst, class } => {
-                    let id = self.proc.heap.alloc(class.clone());
+                    let cls = self.proc.interner.intern(class);
+                    let id = self.proc.heap.alloc(cls);
                     regs[*dst as usize] = Value::Obj(id);
                     pc += 1;
                 }
@@ -260,6 +432,7 @@ impl<'a> Vm<'a> {
                     pc += 1;
                 }
                 Instruction::IGet { dst, obj, field } => {
+                    let fsym = self.proc.interner.intern(&field.name);
                     let id = regs[*obj as usize]
                         .as_obj()
                         .ok_or_else(|| npe("iget", &field.name))?;
@@ -268,14 +441,11 @@ impl<'a> Vm<'a> {
                         .heap
                         .get(id)
                         .ok_or_else(|| npe("iget", &field.name))?;
-                    regs[*dst as usize] = object
-                        .fields
-                        .get(&field.name)
-                        .cloned()
-                        .unwrap_or(Value::Null);
+                    regs[*dst as usize] = object.field(fsym).cloned().unwrap_or(Value::Null);
                     pc += 1;
                 }
                 Instruction::IPut { src, obj, field } => {
+                    let fsym = self.proc.interner.intern(&field.name);
                     let value = regs[*src as usize].clone();
                     let id = regs[*obj as usize]
                         .as_obj()
@@ -285,7 +455,7 @@ impl<'a> Vm<'a> {
                         .heap
                         .get_mut(id)
                         .ok_or_else(|| npe("iput", &field.name))?;
-                    object.fields.insert(field.name.clone(), value);
+                    object.put_field(fsym, value);
                     pc += 1;
                 }
                 Instruction::SGet { dst, field } => {
@@ -329,35 +499,279 @@ impl<'a> Vm<'a> {
                     let bv = regs[*b as usize].as_int().ok_or_else(|| {
                         Exec::Throw("ClassCastException: int op on reference".to_string())
                     })?;
-                    use dydroid_dex::BinOp as B;
-                    let result = match op {
-                        B::Add => av.wrapping_add(bv),
-                        B::Sub => av.wrapping_sub(bv),
-                        B::Mul => av.wrapping_mul(bv),
-                        B::Div | B::Rem if bv == 0 => {
-                            return Err(Exec::Throw(
-                                "ArithmeticException: divide by zero".to_string(),
-                            ));
-                        }
-                        B::Div => av.wrapping_div(bv),
-                        B::Rem => av.wrapping_rem(bv),
-                        B::Xor => av ^ bv,
-                        B::And => av & bv,
-                        B::Or => av | bv,
-                    };
-                    regs[*dst as usize] = Value::Int(result);
+                    regs[*dst as usize] = Value::Int(arith(*op, av, bv)?);
                     pc += 1;
                 }
                 Instruction::ReturnVoid => return Ok(Value::Null),
-                Instruction::Return { reg } => return Ok(regs[*reg as usize].clone()),
+                Instruction::Return { reg } => {
+                    return Ok(std::mem::replace(&mut regs[*reg as usize], Value::Null));
+                }
                 Instruction::Throw { reg } => {
-                    let msg = match &regs[*reg as usize] {
-                        Value::Str(s) => s.clone(),
+                    let msg = match std::mem::replace(&mut regs[*reg as usize], Value::Null) {
+                        Value::Str(s) => s,
                         other => format!("{other:?}"),
                     };
                     return Err(Exec::Throw(msg));
                 }
                 Instruction::CheckCast { .. } => pc += 1,
+            }
+        }
+    }
+
+    fn execute_fast(&mut self, rm: &ResolvedMethod, args: Vec<Value>) -> Result<Value, Exec> {
+        let mut regs = self.frame_regs(rm.registers, args);
+        let result = self.run_fast(rm, &mut regs);
+        regs.clear();
+        self.proc.reg_pool.push(regs);
+        result
+    }
+
+    fn run_fast(&mut self, rm: &ResolvedMethod, regs: &mut [Value]) -> Result<Value, Exec> {
+        let mut pc: usize = 0;
+        let mut last_result = Value::Null;
+        let code = &rm.code;
+        loop {
+            if self.fuel == 0 {
+                return Err(Exec::OutOfFuel);
+            }
+            self.fuel -= 1;
+            let Some(insn) = code.get(pc) else {
+                // Falling off the end is a void return.
+                return Ok(Value::Null);
+            };
+            match insn {
+                RInsn::Nop => pc += 1,
+                RInsn::Const { dst, value } => {
+                    regs[*dst as usize] = Value::Int(*value);
+                    pc += 1;
+                }
+                RInsn::ConstString { dst, value } => {
+                    regs[*dst as usize] = Value::Str(value.clone());
+                    pc += 1;
+                }
+                RInsn::ConstNull { dst } => {
+                    regs[*dst as usize] = Value::Null;
+                    pc += 1;
+                }
+                RInsn::Move { dst, src } => {
+                    regs[*dst as usize] = regs[*src as usize].clone();
+                    pc += 1;
+                }
+                RInsn::MoveResult { dst } => {
+                    regs[*dst as usize] = last_result.clone();
+                    pc += 1;
+                }
+                RInsn::NewInstance { dst, class } => {
+                    let id = self.proc.heap.alloc(*class);
+                    regs[*dst as usize] = Value::Obj(id);
+                    pc += 1;
+                }
+                RInsn::InvokeFramework {
+                    mref,
+                    args,
+                    has_receiver,
+                } => {
+                    let argv: Vec<Value> = args.iter().map(|r| regs[*r as usize].clone()).collect();
+                    if *has_receiver && matches!(argv.first(), Some(Value::Null) | None) {
+                        return Err(Exec::Throw(format!(
+                            "NullPointerException: invoking {}.{}",
+                            mref.class, mref.name
+                        )));
+                    }
+                    last_result = intrinsics::dispatch(self, mref, &argv)?;
+                    pc += 1;
+                }
+                RInsn::InvokeApp {
+                    class,
+                    name,
+                    args,
+                    has_receiver,
+                    site,
+                } => {
+                    let argv: Vec<Value> = args.iter().map(|r| regs[*r as usize].clone()).collect();
+                    if *has_receiver && matches!(argv.first(), Some(Value::Null) | None) {
+                        let c = self.proc.interner.resolve(*class);
+                        let n = self.proc.interner.resolve(*name);
+                        return Err(Exec::Throw(format!(
+                            "NullPointerException: invoking {c}.{n}"
+                        )));
+                    }
+                    last_result = self.invoke_app_fast(*class, *name, argv, Some(*site))?;
+                    pc += 1;
+                }
+                RInsn::IGet {
+                    dst,
+                    obj,
+                    field,
+                    site,
+                } => {
+                    let id = match regs[*obj as usize].as_obj() {
+                        Some(id) => id,
+                        None => return Err(npe("iget", self.proc.interner.resolve(*field))),
+                    };
+                    let cached = self.proc.ics.fields[*site as usize].slot;
+                    let object = match self.proc.heap.get(id) {
+                        Some(o) => o,
+                        None => return Err(npe("iget", self.proc.interner.resolve(*field))),
+                    };
+                    // (value, new slot to cache): slot == IC_EMPTY on a
+                    // miss with no existing field.
+                    let (value, found) = match object.fields.get(cached as usize) {
+                        Some((s, v)) if s == field => (v.clone(), None),
+                        _ => match object.fields.iter().position(|(s, _)| s == field) {
+                            Some(idx) => (object.fields[idx].1.clone(), Some(idx as u32)),
+                            None => (Value::Null, Some(IC_EMPTY)),
+                        },
+                    };
+                    match found {
+                        None => self.proc.ics.stats.field_hits += 1,
+                        Some(slot) => {
+                            self.proc.ics.stats.field_misses += 1;
+                            if slot != IC_EMPTY {
+                                self.proc.ics.fields[*site as usize].slot = slot;
+                            }
+                        }
+                    }
+                    regs[*dst as usize] = value;
+                    pc += 1;
+                }
+                RInsn::IPut {
+                    src,
+                    obj,
+                    field,
+                    site,
+                } => {
+                    let value = regs[*src as usize].clone();
+                    let id = match regs[*obj as usize].as_obj() {
+                        Some(id) => id,
+                        None => return Err(npe("iput", self.proc.interner.resolve(*field))),
+                    };
+                    let cached = self.proc.ics.fields[*site as usize].slot;
+                    let object = match self.proc.heap.get_mut(id) {
+                        Some(o) => o,
+                        None => return Err(npe("iput", self.proc.interner.resolve(*field))),
+                    };
+                    let found = match object.fields.get_mut(cached as usize) {
+                        Some((s, v)) if s == field => {
+                            *v = value;
+                            None
+                        }
+                        _ => match object.fields.iter().position(|(s, _)| s == field) {
+                            Some(idx) => {
+                                object.fields[idx].1 = value;
+                                Some(idx as u32)
+                            }
+                            None => {
+                                object.fields.push((*field, value));
+                                Some((object.fields.len() - 1) as u32)
+                            }
+                        },
+                    };
+                    match found {
+                        None => self.proc.ics.stats.field_hits += 1,
+                        Some(slot) => {
+                            self.proc.ics.stats.field_misses += 1;
+                            self.proc.ics.fields[*site as usize].slot = slot;
+                        }
+                    }
+                    pc += 1;
+                }
+                RInsn::SGet {
+                    dst,
+                    class,
+                    name,
+                    site,
+                } => {
+                    let cached = self.proc.ics.statics[*site as usize].slot;
+                    let value = if cached != IC_EMPTY {
+                        self.proc.ics.stats.field_hits += 1;
+                        self.proc.statics.slot(cached).clone()
+                    } else {
+                        self.proc.ics.stats.field_misses += 1;
+                        let idx = {
+                            let proc = &mut *self.proc;
+                            proc.statics.slot_index(
+                                proc.interner.resolve(*class),
+                                proc.interner.resolve(*name),
+                            )
+                        };
+                        match idx {
+                            Some(idx) => {
+                                self.proc.ics.statics[*site as usize].slot = idx;
+                                self.proc.statics.slot(idx).clone()
+                            }
+                            // Reading a never-written static is Null and
+                            // does not create the slot (same as legacy).
+                            None => Value::Null,
+                        }
+                    };
+                    regs[*dst as usize] = value;
+                    pc += 1;
+                }
+                RInsn::SPut {
+                    src,
+                    class,
+                    name,
+                    site,
+                } => {
+                    let value = regs[*src as usize].clone();
+                    let cached = self.proc.ics.statics[*site as usize].slot;
+                    if cached != IC_EMPTY {
+                        self.proc.ics.stats.field_hits += 1;
+                        *self.proc.statics.slot_mut(cached) = value;
+                    } else {
+                        self.proc.ics.stats.field_misses += 1;
+                        let idx = {
+                            let proc = &mut *self.proc;
+                            proc.statics.ensure_slot(
+                                proc.interner.resolve(*class),
+                                proc.interner.resolve(*name),
+                            )
+                        };
+                        self.proc.ics.statics[*site as usize].slot = idx;
+                        *self.proc.statics.slot_mut(idx) = value;
+                    }
+                    pc += 1;
+                }
+                RInsn::IfZero { cmp, reg, target } => {
+                    let v = int_for_cmp(&regs[*reg as usize]);
+                    if cmp.eval(v, 0) {
+                        pc = *target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                RInsn::IfCmp { cmp, a, b, target } => {
+                    let av = int_for_cmp(&regs[*a as usize]);
+                    let bv = int_for_cmp(&regs[*b as usize]);
+                    if cmp.eval(av, bv) {
+                        pc = *target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                RInsn::Goto { target } => pc = *target as usize,
+                RInsn::Arith { op, dst, a, b } => {
+                    let av = regs[*a as usize].as_int().ok_or_else(|| {
+                        Exec::Throw("ClassCastException: int op on reference".to_string())
+                    })?;
+                    let bv = regs[*b as usize].as_int().ok_or_else(|| {
+                        Exec::Throw("ClassCastException: int op on reference".to_string())
+                    })?;
+                    regs[*dst as usize] = Value::Int(arith(*op, av, bv)?);
+                    pc += 1;
+                }
+                RInsn::ReturnVoid => return Ok(Value::Null),
+                RInsn::Return { reg } => {
+                    return Ok(std::mem::replace(&mut regs[*reg as usize], Value::Null));
+                }
+                RInsn::Throw { reg } => {
+                    let msg = match std::mem::replace(&mut regs[*reg as usize], Value::Null) {
+                        Value::Str(s) => s,
+                        other => format!("{other:?}"),
+                    };
+                    return Err(Exec::Throw(msg));
+                }
             }
         }
     }
@@ -380,8 +794,28 @@ impl<'a> Vm<'a> {
 
     /// Allocates a heap object (used by intrinsics).
     pub fn alloc(&mut self, class: &str, intrinsic: crate::heap::IntrinsicState) -> ObjId {
-        self.proc.heap.alloc_intrinsic(class.to_string(), intrinsic)
+        let sym = self.proc.interner.intern(class);
+        self.proc.heap.alloc_intrinsic(sym, intrinsic)
     }
+}
+
+fn arith(op: dydroid_dex::BinOp, av: i64, bv: i64) -> Result<i64, Exec> {
+    use dydroid_dex::BinOp as B;
+    Ok(match op {
+        B::Add => av.wrapping_add(bv),
+        B::Sub => av.wrapping_sub(bv),
+        B::Mul => av.wrapping_mul(bv),
+        B::Div | B::Rem if bv == 0 => {
+            return Err(Exec::Throw(
+                "ArithmeticException: divide by zero".to_string(),
+            ));
+        }
+        B::Div => av.wrapping_div(bv),
+        B::Rem => av.wrapping_rem(bv),
+        B::Xor => av ^ bv,
+        B::And => av & bv,
+        B::Or => av | bv,
+    })
 }
 
 fn npe(op: &str, field: &str) -> Exec {
@@ -428,14 +862,33 @@ mod tests {
     use dydroid_dex::builder::DexBuilder;
     use dydroid_dex::{CmpKind, DexFile, FieldRef, Manifest, MethodRef};
 
-    fn run(classes: DexFile, class: &str, method: &str) -> (Result<Value, Exec>, Device) {
-        let mut device = Device::new(DeviceConfig::default());
+    fn run_mode(
+        classes: DexFile,
+        class: &str,
+        method: &str,
+        legacy: bool,
+    ) -> (Result<Value, Exec>, Device, u64) {
+        let mut device = Device::new(DeviceConfig {
+            legacy_interp: legacy,
+            ..DeviceConfig::default()
+        });
         let mut proc = Process::new("com.a".to_string(), classes, &Manifest::new("com.a"));
-        let result = {
+        let (result, used) = {
             let mut vm = Vm::new(&mut device, &mut proc);
-            vm.call_entry(class, method)
+            let r = vm.call_entry(class, method);
+            (r, DEFAULT_FUEL - vm.fuel)
         };
-        (result, device)
+        (result, device, used)
+    }
+
+    fn run(classes: DexFile, class: &str, method: &str) -> (Result<Value, Exec>, Device) {
+        // Every interpreter test runs through BOTH paths and insists
+        // on identical results and identical fuel accounting.
+        let (fast, device, fast_used) = run_mode(classes.clone(), class, method, false);
+        let (legacy, _, legacy_used) = run_mode(classes, class, method, true);
+        assert_eq!(fast, legacy, "fast and legacy paths diverged");
+        assert_eq!(fast_used, legacy_used, "fuel accounting diverged");
+        (fast, device)
     }
 
     #[test]
@@ -623,5 +1076,58 @@ mod tests {
         }
         let (r, _) = run(b.build(), "com.a.M", "f");
         assert_eq!(r.unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn call_site_cache_survives_megamorphic_receivers() {
+        // One call site sees Sub1 then Sub2 then Sub1 again: the
+        // monomorphic cache must re-resolve correctly each time the
+        // receiver class flips.
+        let mut b = DexBuilder::new();
+        for (cls, v) in [("com.a.Sub1", 10), ("com.a.Sub2", 20)] {
+            let c = b.class(cls, "com.a.Base");
+            let m = c.method("v", "()I", AccessFlags::PUBLIC);
+            m.const_int(1, v);
+            m.ret(1);
+        }
+        b.class("com.a.Base", "java.lang.Object");
+        {
+            let c = b.class("com.a.M", "java.lang.Object");
+            // call(obj) -> obj.v()
+            let call = c.method(
+                "call",
+                "(Ljava/lang/Object;)I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+            );
+            call.registers(2);
+            call.invoke_virtual(MethodRef::new("com.a.Base", "v", "()I"), vec![0]);
+            call.move_result(1);
+            call.ret(1);
+            let m = c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+            m.registers(6);
+            m.new_instance(0, "com.a.Sub1");
+            m.new_instance(1, "com.a.Sub2");
+            m.invoke_static(
+                MethodRef::new("com.a.M", "call", "(Ljava/lang/Object;)I"),
+                vec![0],
+            );
+            m.move_result(2);
+            m.invoke_static(
+                MethodRef::new("com.a.M", "call", "(Ljava/lang/Object;)I"),
+                vec![1],
+            );
+            m.move_result(3);
+            m.invoke_static(
+                MethodRef::new("com.a.M", "call", "(Ljava/lang/Object;)I"),
+                vec![0],
+            );
+            m.move_result(4);
+            // 10 + 20 + 10 = 40
+            m.binop(dydroid_dex::BinOp::Add, 2, 2, 3);
+            m.binop(dydroid_dex::BinOp::Add, 2, 2, 4);
+            m.ret(2);
+        }
+        let (r, _) = run(b.build(), "com.a.M", "f");
+        assert_eq!(r.unwrap(), Value::Int(40));
     }
 }

@@ -210,7 +210,8 @@ pub fn dispatch(vm: &mut Vm<'_>, mref: &MethodRef, args: &[Value]) -> Result<Val
                 Some(IntrinsicState::Class { name }) => name.clone(),
                 _ => return Err(Exec::Throw("InstantiationException".to_string())),
             };
-            let id = vm.proc.heap.alloc(cls.clone());
+            let sym = vm.proc.interner.intern(&cls);
+            let id = vm.proc.heap.alloc(sym);
             if vm.proc.resolve_method(&cls, "<init>").is_some() {
                 vm.invoke_resolved(&cls, "<init>", vec![Value::Obj(id)])?;
             }

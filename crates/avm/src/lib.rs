@@ -53,6 +53,8 @@ pub mod nativerun;
 pub mod net;
 pub mod paths;
 pub mod process;
+mod resolved;
+pub mod sym;
 
 pub use device::{Device, DeviceConfig, DeviceState};
 pub use error::{AvmError, Exec};
@@ -62,4 +64,6 @@ pub use fs::{FileSystem, FsError, Owner};
 pub use heap::{Heap, ObjId, Value};
 pub use hooks::{Instrumentation, InterceptedBinary};
 pub use net::Network;
-pub use process::Process;
+pub use process::{Process, Statics};
+pub use resolved::IcStats;
+pub use sym::{Interner, Sym};

@@ -2,14 +2,86 @@
 //! libraries and liveness.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use dydroid_dex::{ClassDef, DexFile, Manifest, Method, NativeLibrary};
+use dydroid_dex::{AccessFlags, ClassDef, DexFile, Manifest, Method, NativeLibrary};
 
 use crate::device::Device;
 use crate::error::Exec;
 use crate::events::Event;
 use crate::heap::{Heap, Value};
 use crate::interp::Vm;
+use crate::resolved::{self, IcTables, ResolvedCall};
+use crate::sym::{Interner, Sym};
+
+/// Static fields, stored as a dense slot table. The public API is keyed
+/// by `(class, field)` name pairs — exactly the old `HashMap` surface —
+/// while the fast interpreter caches a site's slot index after the first
+/// resolution and then reads/writes by index. Slots are append-only, so
+/// a cached index stays valid for the life of the process.
+#[derive(Debug, Clone, Default)]
+pub struct Statics {
+    index: HashMap<(String, String), u32>,
+    slots: Vec<Value>,
+}
+
+impl Statics {
+    /// Reads a static field by `(class, field)` name.
+    pub fn get(&self, key: &(String, String)) -> Option<&Value> {
+        self.index.get(key).map(|&i| &self.slots[i as usize])
+    }
+
+    /// Writes a static field by `(class, field)` name, creating its slot
+    /// on first write.
+    pub fn insert(&mut self, key: (String, String), value: Value) {
+        match self.index.get(&key) {
+            Some(&i) => self.slots[i as usize] = value,
+            None => {
+                self.index.insert(key, self.slots.len() as u32);
+                self.slots.push(value);
+            }
+        }
+    }
+
+    /// Number of distinct static fields written so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no static field has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot index of an existing static field, if any.
+    pub(crate) fn slot_index(&self, class: &str, name: &str) -> Option<u32> {
+        self.index
+            .get(&(class.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// The slot index of a static field, creating it (as `Null`) if
+    /// missing.
+    pub(crate) fn ensure_slot(&mut self, class: &str, name: &str) -> u32 {
+        if let Some(i) = self.slot_index(class, name) {
+            return i;
+        }
+        let i = self.slots.len() as u32;
+        self.index.insert((class.to_string(), name.to_string()), i);
+        self.slots.push(Value::Null);
+        i
+    }
+
+    /// Reads a slot by index.
+    pub(crate) fn slot(&self, idx: u32) -> &Value {
+        &self.slots[idx as usize]
+    }
+
+    /// Writes a slot by index.
+    pub(crate) fn slot_mut(&mut self, idx: u32) -> &mut Value {
+        &mut self.slots[idx as usize]
+    }
+}
 
 /// A running application process.
 ///
@@ -23,7 +95,7 @@ pub struct Process {
     /// Heap.
     pub heap: Heap,
     /// Static fields, keyed by `(class, field)`.
-    pub statics: HashMap<(String, String), Value>,
+    pub statics: Statics,
     /// Class spaces: app classes plus dynamically loaded DEX files.
     pub spaces: Vec<DexFile>,
     /// Loaded native libraries, in load order.
@@ -36,7 +108,28 @@ pub struct Process {
     /// point run in this process. The Monkey's per-app deadline watchdog
     /// reads this as a deterministic virtual clock.
     pub instructions_retired: u64,
+    /// Per-process string interner for class/method/field names. Heap
+    /// object classes and fields are stored as its [`Sym`]s.
+    pub interner: Interner,
+    /// Positive `(start class, method) -> resolved call` cache; key packs
+    /// the two syms into one `u64`. Positive entries never go stale
+    /// (spaces are append-only and lookup is first-match).
+    pub(crate) code_cache: HashMap<u64, ResolvedCall>,
+    /// Negative resolutions with the space count they were observed at;
+    /// re-checked once a DCL load appends a space.
+    pub(crate) neg_cache: HashMap<u64, u32>,
+    /// Inline-cache tables for the resolved code's call/field/static
+    /// sites.
+    pub(crate) ics: IcTables,
+    /// Recycled register files, so nested frames reuse one allocation.
+    pub(crate) reg_pool: Vec<Vec<Value>>,
+    /// Cached UI-callback enumeration, invalidated when a DCL load
+    /// appends a class space (the manifest never changes).
+    ui_cache: Option<(usize, UiCallbacks)>,
 }
+
+/// Shared `(class, method)` list of fuzzable UI callbacks.
+pub type UiCallbacks = Arc<Vec<(String, String)>>;
 
 impl Process {
     /// Creates a process with the app's primary class space.
@@ -44,12 +137,18 @@ impl Process {
         Process {
             package,
             heap: Heap::new(),
-            statics: HashMap::new(),
+            statics: Statics::default(),
             spaces: vec![classes],
             native_libs: Vec::new(),
             alive: true,
             permissions: manifest.permissions.iter().cloned().collect(),
             instructions_retired: 0,
+            interner: Interner::new(),
+            code_cache: HashMap::new(),
+            neg_cache: HashMap::new(),
+            ics: IcTables::default(),
+            reg_pool: Vec::new(),
+            ui_cache: None,
         }
     }
 
@@ -79,8 +178,58 @@ impl Process {
         None
     }
 
+    /// Resolves `(start class, method)` to a cached [`ResolvedCall`],
+    /// translating the method on first use. Mirrors
+    /// [`Process::resolve_method`] exactly — same chain walk, same
+    /// outcome — but pays the string resolution once per unique target.
+    pub(crate) fn resolve_call(&mut self, class: Sym, method: Sym) -> Option<ResolvedCall> {
+        let key = (u64::from(class.0) << 32) | u64::from(method.0);
+        if let Some(rc) = self.code_cache.get(&key) {
+            return Some(rc.clone());
+        }
+        if let Some(&epoch) = self.neg_cache.get(&key) {
+            if epoch as usize == self.spaces.len() {
+                return None;
+            }
+        }
+        let class_s = self.interner.resolve(class).to_string();
+        let method_s = self.interner.resolve(method).to_string();
+        match self.resolve_method(&class_s, &method_s) {
+            Some((_def_class, m)) => {
+                let rc = if m.flags.contains(AccessFlags::NATIVE) {
+                    ResolvedCall::Native {
+                        name: m.name.as_str().into(),
+                        ret: crate::interp::default_return(&m),
+                    }
+                } else {
+                    ResolvedCall::Bytecode(Arc::new(resolved::translate(
+                        &mut self.interner,
+                        &mut self.ics,
+                        &m,
+                    )))
+                };
+                self.neg_cache.remove(&key);
+                self.code_cache.insert(key, rc.clone());
+                Some(rc)
+            }
+            None => {
+                self.neg_cache.insert(key, self.spaces.len() as u32);
+                None
+            }
+        }
+    }
+
+    /// Inline-cache hit/miss totals accumulated by this process's
+    /// interpreter runs (all zero on the legacy path, which has no
+    /// caches). The same deltas are charged to the owning device's
+    /// counters when an entry point returns.
+    pub fn ic_stats(&self) -> crate::resolved::IcStats {
+        self.ics.stats
+    }
+
     /// Executes one entry point with an explicit fuel budget, accounting
-    /// retired instructions into [`Process::instructions_retired`].
+    /// retired instructions into [`Process::instructions_retired`] and
+    /// charging inline-cache deltas to the device's telemetry counters.
     fn execute_entry(
         &mut self,
         device: &mut Device,
@@ -88,6 +237,7 @@ impl Process {
         method: &str,
         fuel: u64,
     ) -> Result<Value, Exec> {
+        let ic_mark = self.ics.stats;
         let (outcome, used) = {
             let mut vm = Vm::new(device, self);
             vm.fuel = fuel;
@@ -95,6 +245,7 @@ impl Process {
             (outcome, fuel - vm.fuel)
         };
         self.instructions_retired += used;
+        device.charge_ic(&self.ics.stats.since(&ic_mark));
         outcome
     }
 
@@ -163,7 +314,17 @@ impl Process {
     /// Enumerates fuzzable UI callbacks: public, zero-argument, non-static
     /// methods whose names start with `on`, excluding lifecycle methods,
     /// across every class declared as an activity of `manifest`.
-    pub fn ui_callbacks(&self, manifest: &Manifest) -> Vec<(String, String)> {
+    ///
+    /// The enumeration is cached per class-space count — the Monkey asks
+    /// before every event, and the answer only changes when a DCL load
+    /// appends a space. Callers always pass the app's own (immutable)
+    /// manifest.
+    pub fn ui_callbacks(&mut self, manifest: &Manifest) -> UiCallbacks {
+        if let Some((epoch, cached)) = &self.ui_cache {
+            if *epoch == self.spaces.len() {
+                return Arc::clone(cached);
+            }
+        }
         const LIFECYCLE: [&str; 6] = [
             "onCreate",
             "onStart",
@@ -187,6 +348,8 @@ impl Process {
                 }
             }
         }
+        let out = Arc::new(out);
+        self.ui_cache = Some((self.spaces.len(), Arc::clone(&out)));
         out
     }
 
@@ -245,6 +408,49 @@ mod tests {
     }
 
     #[test]
+    fn resolve_call_matches_string_resolution() {
+        let mut p = Process::new("com.a".to_string(), classes(), &manifest());
+        let child = p.interner.intern("com.a.Child");
+        let inherited = p.interner.intern("inherited");
+        let nope = p.interner.intern("nope");
+        // Cold, then cached, then compared against the reference path.
+        assert!(p.resolve_call(child, inherited).is_some());
+        assert!(p.resolve_call(child, inherited).is_some());
+        assert!(p.resolve_method("com.a.Child", "inherited").is_some());
+        assert!(p.resolve_call(child, nope).is_none());
+        // The negative is cached at the current space count...
+        assert!(p.resolve_call(child, nope).is_none());
+        // ...and re-checked after a space is appended.
+        let mut b = DexBuilder::new();
+        b.class("com.a.Child", "com.a.Base")
+            .method("nope", "()V", AccessFlags::PUBLIC)
+            .ret_void();
+        p.spaces.push(b.build());
+        // First-match keeps the original Child (without `nope`), so the
+        // lookup result must not change — exactly like resolve_method.
+        assert_eq!(
+            p.resolve_call(child, nope).is_some(),
+            p.resolve_method("com.a.Child", "nope").is_some()
+        );
+    }
+
+    #[test]
+    fn statics_preserve_map_surface() {
+        let mut s = Statics::default();
+        let key = ("com.a.G".to_string(), "v".to_string());
+        assert!(s.get(&key).is_none());
+        assert!(s.is_empty());
+        s.insert(key.clone(), Value::Int(1));
+        s.insert(key.clone(), Value::Int(2));
+        assert_eq!(s.get(&key), Some(&Value::Int(2)));
+        assert_eq!(s.len(), 1);
+        // Slot indices are stable once created.
+        let idx = s.slot_index("com.a.G", "v").unwrap();
+        assert_eq!(s.ensure_slot("com.a.G", "v"), idx);
+        assert_eq!(s.slot(idx), &Value::Int(2));
+    }
+
+    #[test]
     fn superclass_cycle_terminates() {
         let mut b = DexBuilder::new();
         b.class("a.A", "a.B");
@@ -254,15 +460,23 @@ mod tests {
     }
 
     #[test]
-    fn ui_callbacks_enumerated() {
-        let p = Process::new("com.a".to_string(), classes(), &manifest());
+    fn ui_callbacks_enumerated_and_cached() {
+        let mut p = Process::new("com.a".to_string(), classes(), &manifest());
         let cbs = p.ui_callbacks(&manifest());
         // onClickLoad qualifies; onCreate/onResume are lifecycle; helper
         // doesn't start with `on`; onStatic is static.
         assert_eq!(
-            cbs,
+            *cbs,
             vec![("com.a.Main".to_string(), "onClickLoad".to_string())]
         );
+        // Second call returns the cached vector (same allocation).
+        let again = p.ui_callbacks(&manifest());
+        assert!(Arc::ptr_eq(&cbs, &again));
+        // A DCL space append invalidates the cache.
+        p.spaces.push(DexFile::new());
+        let after = p.ui_callbacks(&manifest());
+        assert!(!Arc::ptr_eq(&cbs, &after));
+        assert_eq!(*cbs, *after);
     }
 
     #[test]

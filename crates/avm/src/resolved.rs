@@ -1,0 +1,389 @@
+//! Pre-resolved bytecode and inline caches — the fast interpreter's
+//! memory layout.
+//!
+//! Each app method is translated exactly once, at first invoke, from its
+//! string-operand [`dydroid_dex::Instruction`] stream into a compact
+//! [`RInsn`] stream: names become interned [`Sym`]s, framework-vs-app
+//! dispatch is decided ahead of time (framework-ness depends only on the
+//! static class-name prefix, so it can never change), and every invoke /
+//! field / static site is assigned a process-wide inline-cache slot. The
+//! translation is 1:1 — one `RInsn` per `Instruction` — so absolute
+//! branch targets and the fuel accounting are bit-identical to the
+//! legacy interpreter.
+//!
+//! # Cache soundness
+//!
+//! Class spaces are append-only and class lookup is first-match in load
+//! order, so a *positive* resolution (class found, method found) can
+//! never change once observed — later DCL loads can only make previously
+//! missing names resolvable. All caches here therefore store positive
+//! results only; negative lookups are re-checked whenever the space
+//! count has grown.
+
+use std::sync::Arc;
+
+use dydroid_dex::{AccessFlags, BinOp, CmpKind, Instruction, Method, MethodRef, Reg};
+
+use crate::heap::Value;
+use crate::sym::{Interner, Sym};
+
+/// Sentinel for an unfilled inline-cache slot.
+pub(crate) const IC_EMPTY: u32 = u32::MAX;
+/// Call-site cache key for invokes whose first argument is not a heap
+/// object (static calls, string/int receivers): resolution then starts
+/// at the site's fixed static class, so one cache entry covers them all.
+pub(crate) const IC_NO_RECEIVER: u32 = u32::MAX - 1;
+
+/// One pre-resolved instruction. Mirrors [`Instruction`] 1:1 (same
+/// program counter arithmetic, same fuel cost) with string operands
+/// replaced by interned symbols and dispatch pre-decided.
+#[derive(Debug, Clone)]
+pub(crate) enum RInsn {
+    /// No-op (also stands in for `CheckCast`, which the legacy
+    /// interpreter treats as a no-op).
+    Nop,
+    /// Load an integer constant.
+    Const { dst: Reg, value: i64 },
+    /// Load a string constant.
+    ConstString { dst: Reg, value: String },
+    /// Load null.
+    ConstNull { dst: Reg },
+    /// Register copy.
+    Move { dst: Reg, src: Reg },
+    /// Copy the last invoke result.
+    MoveResult { dst: Reg },
+    /// Allocate a new object.
+    NewInstance { dst: Reg, class: Sym },
+    /// Invoke resolved to the framework at translation time; dispatches
+    /// straight to intrinsics with the original method reference.
+    InvokeFramework {
+        mref: Box<MethodRef>,
+        args: Box<[Reg]>,
+        has_receiver: bool,
+    },
+    /// Invoke of an app method, with a per-site monomorphic inline cache.
+    InvokeApp {
+        class: Sym,
+        name: Sym,
+        args: Box<[Reg]>,
+        has_receiver: bool,
+        site: u32,
+    },
+    /// Instance field read with a per-site field-offset cache.
+    IGet {
+        dst: Reg,
+        obj: Reg,
+        field: Sym,
+        site: u32,
+    },
+    /// Instance field write with a per-site field-offset cache.
+    IPut {
+        src: Reg,
+        obj: Reg,
+        field: Sym,
+        site: u32,
+    },
+    /// Static field read with a per-site slot cache.
+    SGet {
+        dst: Reg,
+        class: Sym,
+        name: Sym,
+        site: u32,
+    },
+    /// Static field write with a per-site slot cache.
+    SPut {
+        src: Reg,
+        class: Sym,
+        name: Sym,
+        site: u32,
+    },
+    /// Conditional branch against zero.
+    IfZero { cmp: CmpKind, reg: Reg, target: u32 },
+    /// Conditional branch comparing two registers.
+    IfCmp {
+        cmp: CmpKind,
+        a: Reg,
+        b: Reg,
+        target: u32,
+    },
+    /// Unconditional branch.
+    Goto { target: u32 },
+    /// Integer arithmetic.
+    Arith { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// Return void.
+    ReturnVoid,
+    /// Return a register.
+    Return { reg: Reg },
+    /// Throw the value in a register.
+    Throw { reg: Reg },
+}
+
+/// A method translated to the resolved stream, shared via `Arc` so hot
+/// re-invokes clone a pointer, not a code vector.
+#[derive(Debug)]
+pub(crate) struct ResolvedMethod {
+    /// Declared register-file size.
+    pub registers: u16,
+    /// The resolved instruction stream (same length as the source).
+    pub code: Vec<RInsn>,
+}
+
+/// The cached result of resolving `(start class, method)`: either
+/// translated bytecode or a native stub's name and default return.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedCall {
+    /// Interpreted bytecode.
+    Bytecode(Arc<ResolvedMethod>),
+    /// A `native`-flagged method: dispatched through the loaded
+    /// libraries at call time (libraries can still be loaded later).
+    Native { name: Arc<str>, ret: Value },
+}
+
+/// A monomorphic call-site cache: one remembered receiver-class key and
+/// its resolved target. `key` is the receiver's runtime class sym,
+/// [`IC_NO_RECEIVER`] for non-object receivers, or [`IC_EMPTY`] when the
+/// site has not cached yet.
+#[derive(Debug, Clone)]
+pub(crate) struct CallIc {
+    pub key: u32,
+    /// The class pushed on the call stack for this target (the class
+    /// resolution started at, exactly as the legacy path pushes it).
+    pub pushed: Sym,
+    pub target: Option<ResolvedCall>,
+}
+
+impl Default for CallIc {
+    fn default() -> Self {
+        CallIc {
+            key: IC_EMPTY,
+            pushed: Sym(0),
+            target: None,
+        }
+    }
+}
+
+/// A field- or static-slot cache: the remembered slot index, or
+/// [`IC_EMPTY`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotIc {
+    pub slot: u32,
+}
+
+impl Default for SlotIc {
+    fn default() -> Self {
+        SlotIc { slot: IC_EMPTY }
+    }
+}
+
+/// Inline-cache hit/miss counters, surfaced through the telemetry layer.
+/// Static-field sites are counted with the instance-field sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcStats {
+    /// Call-site cache hits.
+    pub call_hits: u64,
+    /// Call-site cache misses (full string resolution taken).
+    pub call_misses: u64,
+    /// Field/static slot cache hits.
+    pub field_hits: u64,
+    /// Field/static slot cache misses.
+    pub field_misses: u64,
+}
+
+impl IcStats {
+    /// Component-wise delta since `mark`.
+    pub fn since(&self, mark: &IcStats) -> IcStats {
+        IcStats {
+            call_hits: self.call_hits - mark.call_hits,
+            call_misses: self.call_misses - mark.call_misses,
+            field_hits: self.field_hits - mark.field_hits,
+            field_misses: self.field_misses - mark.field_misses,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &IcStats) {
+        self.call_hits += other.call_hits;
+        self.call_misses += other.call_misses;
+        self.field_hits += other.field_hits;
+        self.field_misses += other.field_misses;
+    }
+
+    /// Total hits across all cache kinds.
+    pub fn hits(&self) -> u64 {
+        self.call_hits + self.field_hits
+    }
+
+    /// Total misses across all cache kinds.
+    pub fn misses(&self) -> u64 {
+        self.call_misses + self.field_misses
+    }
+}
+
+/// Per-process inline-cache tables. Sites are allocated at translation
+/// time and live as long as the process, so the resolved code can refer
+/// to them by dense index.
+#[derive(Debug, Default)]
+pub(crate) struct IcTables {
+    pub calls: Vec<CallIc>,
+    pub fields: Vec<SlotIc>,
+    pub statics: Vec<SlotIc>,
+    pub stats: IcStats,
+}
+
+impl IcTables {
+    fn new_call_site(&mut self) -> u32 {
+        self.calls.push(CallIc::default());
+        (self.calls.len() - 1) as u32
+    }
+
+    fn new_field_site(&mut self) -> u32 {
+        self.fields.push(SlotIc::default());
+        (self.fields.len() - 1) as u32
+    }
+
+    fn new_static_site(&mut self) -> u32 {
+        self.statics.push(SlotIc::default());
+        (self.statics.len() - 1) as u32
+    }
+}
+
+/// Translates one method into the resolved stream, interning names and
+/// allocating inline-cache sites.
+pub(crate) fn translate(
+    interner: &mut Interner,
+    ics: &mut IcTables,
+    method: &Method,
+) -> ResolvedMethod {
+    let code = method
+        .code
+        .iter()
+        .map(|insn| match insn {
+            Instruction::Nop | Instruction::CheckCast { .. } => RInsn::Nop,
+            Instruction::Const { dst, value } => RInsn::Const {
+                dst: *dst,
+                value: *value,
+            },
+            Instruction::ConstString { dst, value } => RInsn::ConstString {
+                dst: *dst,
+                value: value.clone(),
+            },
+            Instruction::ConstNull { dst } => RInsn::ConstNull { dst: *dst },
+            Instruction::Move { dst, src } => RInsn::Move {
+                dst: *dst,
+                src: *src,
+            },
+            Instruction::MoveResult { dst } => RInsn::MoveResult { dst: *dst },
+            Instruction::NewInstance { dst, class } => RInsn::NewInstance {
+                dst: *dst,
+                class: interner.intern(class),
+            },
+            Instruction::Invoke {
+                kind,
+                method: mref,
+                args,
+            } => {
+                let has_receiver = kind.has_receiver();
+                let args: Box<[Reg]> = args.as_slice().into();
+                if crate::interp::is_framework_class(&mref.class) {
+                    RInsn::InvokeFramework {
+                        mref: Box::new(mref.clone()),
+                        args,
+                        has_receiver,
+                    }
+                } else {
+                    RInsn::InvokeApp {
+                        class: interner.intern(&mref.class),
+                        name: interner.intern(&mref.name),
+                        args,
+                        has_receiver,
+                        site: ics.new_call_site(),
+                    }
+                }
+            }
+            Instruction::IGet { dst, obj, field } => RInsn::IGet {
+                dst: *dst,
+                obj: *obj,
+                field: interner.intern(&field.name),
+                site: ics.new_field_site(),
+            },
+            Instruction::IPut { src, obj, field } => RInsn::IPut {
+                src: *src,
+                obj: *obj,
+                field: interner.intern(&field.name),
+                site: ics.new_field_site(),
+            },
+            Instruction::SGet { dst, field } => RInsn::SGet {
+                dst: *dst,
+                class: interner.intern(&field.class),
+                name: interner.intern(&field.name),
+                site: ics.new_static_site(),
+            },
+            Instruction::SPut { src, field } => RInsn::SPut {
+                src: *src,
+                class: interner.intern(&field.class),
+                name: interner.intern(&field.name),
+                site: ics.new_static_site(),
+            },
+            Instruction::IfZero { cmp, reg, target } => RInsn::IfZero {
+                cmp: *cmp,
+                reg: *reg,
+                target: *target,
+            },
+            Instruction::IfCmp { cmp, a, b, target } => RInsn::IfCmp {
+                cmp: *cmp,
+                a: *a,
+                b: *b,
+                target: *target,
+            },
+            Instruction::Goto { target } => RInsn::Goto { target: *target },
+            Instruction::BinOp { op, dst, a, b } => RInsn::Arith {
+                op: *op,
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            Instruction::ReturnVoid => RInsn::ReturnVoid,
+            Instruction::Return { reg } => RInsn::Return { reg: *reg },
+            Instruction::Throw { reg } => RInsn::Throw { reg: *reg },
+        })
+        .collect();
+    debug_assert!(!method.flags.contains(AccessFlags::NATIVE));
+    ResolvedMethod {
+        registers: method.registers,
+        code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydroid_dex::builder::DexBuilder;
+    use dydroid_dex::{FieldRef, MethodRef};
+
+    #[test]
+    fn translation_is_one_to_one_and_pre_decides_dispatch() {
+        let mut b = DexBuilder::new();
+        let c = b.class("com.a.M", "java.lang.Object");
+        let m = c.method("f", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+        m.registers(4);
+        m.const_int(0, 1);
+        m.sput(0, FieldRef::new("com.a.G", "v", "I"));
+        m.invoke_static(
+            MethodRef::new("java.lang.System", "currentTimeMillis", "()J"),
+            vec![],
+        );
+        m.invoke_static(MethodRef::new("com.a.M", "g", "()V"), vec![]);
+        m.ret_void();
+        let dex = b.build();
+        let method = dex.class("com.a.M").unwrap().method_by_name("f").unwrap();
+
+        let mut interner = Interner::new();
+        let mut ics = IcTables::default();
+        let rm = translate(&mut interner, &mut ics, method);
+        assert_eq!(rm.code.len(), method.code.len());
+        assert!(matches!(rm.code[2], RInsn::InvokeFramework { .. }));
+        assert!(matches!(rm.code[3], RInsn::InvokeApp { .. }));
+        assert_eq!(ics.calls.len(), 1, "only the app invoke gets a call site");
+        assert_eq!(ics.statics.len(), 1);
+    }
+}

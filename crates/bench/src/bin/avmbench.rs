@@ -1,0 +1,383 @@
+//! rebar-style interpreter benchmark: drives a fixed mini-corpus of
+//! synthetic bytecode workloads through the AVM twice — once on the
+//! **legacy** string-resolving interpreter and once on the default
+//! **fast** path (interned symbols, pre-resolved instruction streams,
+//! inline caches, arena heap) — verifies both retire exactly the same
+//! instruction count, and emits a `BENCH_avm.json` perf record with
+//! per-workload samples so future changes have a regression trajectory.
+//!
+//! ```text
+//! avmbench [--samples N] [--warmup N] [--iters N] [--min-speedup F] [--out PATH]
+//! ```
+//!
+//! `--min-speedup` gates on the **aggregate** speedup (total instructions
+//! over total wall-clock, fast vs legacy): CI passes `3.0`.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dydroid_avm::{Device, DeviceConfig, Process};
+use dydroid_dex::builder::DexBuilder;
+use dydroid_dex::{AccessFlags, CmpKind, DexFile, FieldRef, Manifest, MethodRef};
+
+struct Args {
+    samples: usize,
+    warmup: usize,
+    iters: usize,
+    min_speedup: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 10,
+        warmup: 3,
+        iters: 5,
+        min_speedup: 0.0,
+        out: "BENCH_avm.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--samples needs an integer"));
+            }
+            "--warmup" => {
+                args.warmup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--warmup needs an integer"));
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs an integer"));
+            }
+            "--min-speedup" => {
+                args.min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-speedup needs a float"));
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+const USAGE: &str =
+    "avmbench [--samples N] [--warmup N] [--iters N] [--min-speedup F] [--out PATH]";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+const PKG: &str = "com.bench.app";
+const ENTRY_CLASS: &str = "com.bench.Main";
+const ENTRY: &str = "bench";
+
+/// A `Worker` class with one int field and a `bump()V` virtual method,
+/// shared by the call-heavy workloads.
+fn add_worker(b: &mut DexBuilder) {
+    let c = b.class("com.bench.Worker", "java.lang.Object");
+    c.field("n", "I", AccessFlags::PRIVATE);
+    let m = c.method("bump", "()V", AccessFlags::PUBLIC);
+    m.registers(4);
+    m.iget(1, 0, FieldRef::new("com.bench.Worker", "n", "I"));
+    m.const_int(2, 1);
+    m.binop(dydroid_dex::BinOp::Add, 1, 1, 2);
+    m.iput(1, 0, FieldRef::new("com.bench.Worker", "n", "I"));
+    m.ret_void();
+}
+
+/// Virtual-call churn: one hot monomorphic call site invoked in a loop —
+/// the case the call-site inline cache exists for.
+fn workload_calls() -> DexFile {
+    let mut b = DexBuilder::new();
+    add_worker(&mut b);
+    let c = b.class(ENTRY_CLASS, "java.lang.Object");
+    let m = c.method(ENTRY, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+    m.registers(6);
+    m.new_instance(0, "com.bench.Worker");
+    m.const_int(1, 6000);
+    m.const_int(2, 1);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.if_zero(CmpKind::Le, 1, done);
+    m.invoke_virtual(MethodRef::new("com.bench.Worker", "bump", "()V"), vec![0]);
+    m.binop(dydroid_dex::BinOp::Sub, 1, 1, 2);
+    m.goto(head);
+    m.bind(done);
+    m.ret_void();
+    b.build()
+}
+
+/// Field churn: eight-field object, hot loop reads/writes the *last*
+/// declared field — worst case for a linear scan, best case for the
+/// field slot cache.
+fn workload_fields() -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class(ENTRY_CLASS, "java.lang.Object");
+    let m = c.method(ENTRY, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+    m.registers(8);
+    m.new_instance(0, ENTRY_CLASS);
+    // Populate eight fields so `f7` sits at the end of the slot table.
+    for i in 0..8 {
+        m.const_int(1, i);
+        m.iput(1, 0, FieldRef::new(ENTRY_CLASS, format!("f{i}"), "I"));
+    }
+    m.const_int(2, 5000);
+    m.const_int(3, 1);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.if_zero(CmpKind::Le, 2, done);
+    m.iget(4, 0, FieldRef::new(ENTRY_CLASS, "f7", "I"));
+    m.binop(dydroid_dex::BinOp::Add, 4, 4, 3);
+    m.iput(4, 0, FieldRef::new(ENTRY_CLASS, "f7", "I"));
+    m.binop(dydroid_dex::BinOp::Sub, 2, 2, 3);
+    m.goto(head);
+    m.bind(done);
+    m.ret_void();
+    b.build()
+}
+
+/// Mixed: statics, a virtual call and arithmetic per iteration —
+/// the shape of real app glue code.
+fn workload_mixed() -> DexFile {
+    let mut b = DexBuilder::new();
+    add_worker(&mut b);
+    let c = b.class(ENTRY_CLASS, "java.lang.Object");
+    let m = c.method(ENTRY, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+    m.registers(8);
+    m.new_instance(0, "com.bench.Worker");
+    m.const_int(1, 4000);
+    m.const_int(2, 1);
+    m.const_int(3, 0);
+    m.sput(3, FieldRef::new("com.bench.G", "total", "I"));
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.if_zero(CmpKind::Le, 1, done);
+    m.invoke_virtual(MethodRef::new("com.bench.Worker", "bump", "()V"), vec![0]);
+    m.sget(4, FieldRef::new("com.bench.G", "total", "I"));
+    m.binop(dydroid_dex::BinOp::Add, 4, 4, 1);
+    m.sput(4, FieldRef::new("com.bench.G", "total", "I"));
+    m.binop(dydroid_dex::BinOp::Sub, 1, 1, 2);
+    m.goto(head);
+    m.bind(done);
+    m.ret_void();
+    b.build()
+}
+
+/// Pure register arithmetic — the floor: no names, no dispatch, so both
+/// interpreters should be close here.
+fn workload_arith() -> DexFile {
+    let mut b = DexBuilder::new();
+    let c = b.class(ENTRY_CLASS, "java.lang.Object");
+    let m = c.method(ENTRY, "()V", AccessFlags::PUBLIC | AccessFlags::STATIC);
+    m.registers(8);
+    m.const_int(0, 0); // acc
+    m.const_int(1, 15000); // i
+    m.const_int(2, 1);
+    m.const_int(3, 3);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.if_zero(CmpKind::Le, 1, done);
+    m.binop(dydroid_dex::BinOp::Mul, 4, 1, 3);
+    m.binop(dydroid_dex::BinOp::Add, 0, 0, 4);
+    m.binop(dydroid_dex::BinOp::Sub, 1, 1, 2);
+    m.goto(head);
+    m.bind(done);
+    m.ret_void();
+    b.build()
+}
+
+fn workloads() -> Vec<(&'static str, DexFile)> {
+    vec![
+        ("calls", workload_calls()),
+        ("fields", workload_fields()),
+        ("mixed", workload_mixed()),
+        ("arith", workload_arith()),
+    ]
+}
+
+struct Measured {
+    /// Per-sample instructions/second.
+    samples_ips: Vec<f64>,
+    total_instructions: u64,
+    total_secs: f64,
+}
+
+/// Runs one workload in one mode: a persistent process executes the
+/// entry `iters` times per sample (resetting the heap between entries
+/// so the arena, register pool and inline caches are exercised in
+/// steady state), `warmup` unrecorded rounds first.
+fn measure(classes: &DexFile, legacy: bool, args: &Args) -> Measured {
+    let mut device = Device::new(DeviceConfig {
+        legacy_interp: legacy,
+        instrumented: false,
+        ..DeviceConfig::default()
+    });
+    let manifest = Manifest::new(PKG);
+    let mut proc = Process::new(PKG.to_string(), classes.clone(), &manifest);
+    let run_round = |proc: &mut Process, device: &mut Device| {
+        for _ in 0..args.iters {
+            proc.heap.reset();
+            if !proc.run_entry(device, ENTRY_CLASS, ENTRY) {
+                eprintln!("avmbench: FAIL — workload crashed (legacy={legacy})");
+                std::process::exit(1);
+            }
+        }
+    };
+    for _ in 0..args.warmup {
+        run_round(&mut proc, &mut device);
+    }
+    let before_all = device.instructions_retired();
+    let mut samples_ips = Vec::with_capacity(args.samples);
+    let mut total_secs = 0.0;
+    for _ in 0..args.samples {
+        let before = device.instructions_retired();
+        let t0 = Instant::now();
+        run_round(&mut proc, &mut device);
+        let secs = t0.elapsed().as_secs_f64();
+        let insns = device.instructions_retired() - before;
+        total_secs += secs;
+        samples_ips.push(if secs > 0.0 { insns as f64 / secs } else { 0.0 });
+    }
+    Measured {
+        samples_ips,
+        total_instructions: device.instructions_retired() - before_all,
+        total_secs,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let mid = s.len() / 2;
+    if s.len().is_multiple_of(2) {
+        (s[mid - 1] + s[mid]) / 2.0
+    } else {
+        s[mid]
+    }
+}
+
+fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+fn variant_json(m: &Measured) -> serde_json::Value {
+    serde_json::json!({
+        "samples_ips": m.samples_ips,
+        "mean_ips": mean(&m.samples_ips),
+        "median_ips": median(&m.samples_ips),
+        "stddev_ips": stddev(&m.samples_ips),
+        "instructions": m.total_instructions,
+        "wall_secs": m.total_secs,
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut per_workload = Vec::new();
+    let mut legacy_insns = 0u64;
+    let mut legacy_secs = 0.0f64;
+    let mut fast_insns = 0u64;
+    let mut fast_secs = 0.0f64;
+
+    for (name, classes) in workloads() {
+        eprintln!("avmbench: {name} ...");
+        let legacy = measure(&classes, true, &args);
+        let fast = measure(&classes, false, &args);
+        // Correctness identity: both interpreters must retire exactly
+        // the same instruction count on the same program.
+        if legacy.total_instructions != fast.total_instructions {
+            eprintln!(
+                "avmbench: FAIL — {name}: legacy retired {} instructions, fast retired {}",
+                legacy.total_instructions, fast.total_instructions
+            );
+            std::process::exit(1);
+        }
+        let speedup = median(&fast.samples_ips) / median(&legacy.samples_ips).max(1.0);
+        eprintln!(
+            "avmbench: {name:<8} legacy {:>12.0} ips | fast {:>12.0} ips | {speedup:.2}x",
+            median(&legacy.samples_ips),
+            median(&fast.samples_ips),
+        );
+        legacy_insns += legacy.total_instructions;
+        legacy_secs += legacy.total_secs;
+        fast_insns += fast.total_instructions;
+        fast_secs += fast.total_secs;
+        per_workload.push(serde_json::json!({
+            "workload": name,
+            "legacy": variant_json(&legacy),
+            "fast": variant_json(&fast),
+            "speedup": speedup,
+        }));
+    }
+
+    let legacy_agg = legacy_insns as f64 / legacy_secs.max(f64::MIN_POSITIVE);
+    let fast_agg = fast_insns as f64 / fast_secs.max(f64::MIN_POSITIVE);
+    let aggregate = fast_agg / legacy_agg.max(1.0);
+    eprintln!(
+        "avmbench: aggregate legacy {legacy_agg:.0} ips -> fast {fast_agg:.0} ips ({aggregate:.2}x)"
+    );
+
+    let aggregate_json = serde_json::json!({
+        "legacy_ips": legacy_agg,
+        "fast_ips": fast_agg,
+        "speedup": aggregate,
+    });
+    let doc = serde_json::json!({
+        "bench": "avm",
+        "samples": args.samples,
+        "warmup": args.warmup,
+        "iters_per_sample": args.iters,
+        "workloads": per_workload,
+        "aggregate": aggregate_json,
+    });
+    let mut f = std::fs::File::create(&args.out).expect("create bench output");
+    f.write_all(
+        serde_json::to_string_pretty(&doc)
+            .expect("serialise")
+            .as_bytes(),
+    )
+    .expect("write bench output");
+    eprintln!("avmbench: wrote {}", args.out);
+
+    if args.min_speedup > 0.0 && aggregate < args.min_speedup {
+        eprintln!(
+            "avmbench: FAIL — aggregate speedup {aggregate:.2}x below required {:.2}x",
+            args.min_speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -53,6 +53,11 @@ pub struct PipelineConfig {
     /// of the inverted block index. Kept for differential tests and the
     /// `detectbench` baseline; verdicts are identical either way.
     pub naive_detector: bool,
+    /// Run every app on the AVM's legacy string-resolving interpreter
+    /// instead of the interned/pre-resolved fast path. Outcomes —
+    /// verdicts, ledger, report JSON — are identical either way; kept
+    /// for differential tests and the `avmbench` baseline.
+    pub legacy_interp: bool,
     /// Collect span traces and metrics during the run (see
     /// `crate::telemetry`). Disabled, every telemetry call site is a
     /// single branch — the no-op fast path measured by `tracebench`.
@@ -110,6 +115,7 @@ impl Default for PipelineConfig {
             cache_shards: 0,
             serial_env_reruns: false,
             naive_detector: false,
+            legacy_interp: false,
             telemetry: true,
             progress: false,
             trace_out: None,
@@ -126,7 +132,10 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// The baseline device configuration (instrumented, defaults).
     pub fn device_config(&self) -> DeviceConfig {
-        DeviceConfig::default()
+        DeviceConfig {
+            legacy_interp: self.legacy_interp,
+            ..DeviceConfig::default()
+        }
     }
 
     /// The deadline as an `Option` (`0` = disabled).
@@ -168,6 +177,7 @@ mod tests {
         assert_eq!(c.cache_shards, 0);
         assert!(!c.serial_env_reruns);
         assert!(!c.naive_detector);
+        assert!(!c.legacy_interp);
         assert!(c.telemetry);
         assert!(!c.progress);
         assert_eq!(c.trace_out, None);
