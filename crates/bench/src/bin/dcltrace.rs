@@ -16,10 +16,12 @@
 //! logic-bomb signal; `export --dot` emits Graphviz DOT (one app, or the
 //! whole corpus as clustered subgraphs); `check` verifies frame
 //! integrity (CRC32 checksums and contiguous sequence numbers) across
-//! the journal, ledger and event streams plus ledger↔journal agreement
-//! on the analysed app set, printing per-stream intact/dropped counts
-//! and exiting non-zero on any corruption or disagreement (the CI smoke
-//! gate).
+//! the journal, ledger and event streams — including any unmerged
+//! per-shard triplets (`<journal>.shard-K…`) a killed multi-writer
+//! sweep left behind, each with its own sequence space — plus
+//! ledger↔journal agreement on the analysed app set, printing
+//! per-stream intact/dropped counts and exiting non-zero on any
+//! corruption or disagreement (the CI smoke gate).
 
 use dydroid::durable::scan_path;
 use dydroid::provenance::{check_against_journal, corpus_dot};
@@ -34,10 +36,10 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn load_ledger(path: &str) -> Vec<AppProvenance> {
+fn load_ledger(path: &str, allow_empty: bool) -> Vec<AppProvenance> {
     let ledger = ProvenanceLedger::new(path);
     match ledger.load() {
-        Ok(records) if records.is_empty() => {
+        Ok(records) if records.is_empty() && !allow_empty => {
             eprintln!("ledger {path} holds no records");
             std::process::exit(1);
         }
@@ -193,6 +195,37 @@ fn cmd_check(records: &[AppProvenance], ledger_path: &str, journal_path: &str) {
     dropped += check_stream("journal", std::path::Path::new(journal_path), true);
     dropped += check_stream("ledger", std::path::Path::new(ledger_path), true);
     dropped += check_stream("events", &journal.events_path(), false);
+    // Shard triplets of an interrupted multi-writer sweep (a completed
+    // run merges and removes them): frame-verify each pre-merge, with
+    // per-shard intact/dropped counts. Sequence numbers are per shard.
+    match journal.discover_shards() {
+        Ok(shards) => {
+            if !shards.is_empty() {
+                println!(
+                    "{} unmerged shard triplet(s) from an interrupted multi-writer sweep:",
+                    shards.len()
+                );
+            }
+            for k in shards {
+                dropped +=
+                    check_stream(&format!("shard-{k} journal"), &journal.shard_path(k), true);
+                dropped += check_stream(
+                    &format!("shard-{k} ledger"),
+                    &journal.shard_provenance_path(k),
+                    false,
+                );
+                dropped += check_stream(
+                    &format!("shard-{k} events"),
+                    &journal.shard_events_path(k),
+                    false,
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("check failed: cannot scan for shard files: {e}");
+            dropped += 1;
+        }
+    }
     // Layer 2: cross-stream agreement on the analysed app set.
     let agree = check_against_journal(records, &loaded);
     match &agree {
@@ -238,7 +271,9 @@ fn main() {
         }
     }
     let ledger_path = ledger_path.unwrap_or_else(|| usage("--ledger PATH is required"));
-    let records = load_ledger(ledger_path);
+    // `check` must still verify an interrupted first run, where every
+    // record is in shard files and the base ledger is legitimately empty.
+    let records = load_ledger(ledger_path, command == Some("check"));
     match command {
         Some("summary") => cmd_summary(&records),
         Some("chain") => match operands.as_slice() {

@@ -2,18 +2,28 @@
 //! once as the **uncached serial baseline** (analysis cache off, Table
 //! VIII re-runs serial with per-config re-decompilation) and once
 //! **optimized** (content-addressed cache on, parallel decompile-once
-//! re-runs) — verifies both produce identical measurement JSON, and
-//! emits a `BENCH_sweep.json` perf record so future changes have a
-//! regression trajectory.
+//! re-runs) — verifies both produce identical measurement JSON, then
+//! sweeps the worker count 1→N through the sharded multi-writer path
+//! and emits the apps/sec-per-core scaling curve alongside the cached/
+//! baseline perf record in `BENCH_sweep.json`.
+//!
+//! Scaling is judged on the **virtual makespan** — the longest summed
+//! deterministic per-app virtual cost any one worker was charged (see
+//! `dydroid::WorkerStats`) — not wall-clock: the curve then measures
+//! scheduler load balance and is reproducible on any machine, including
+//! single-core CI runners where wall-clock cannot speed up at all.
+//! Wall-clock per worker count is still recorded, unjudged.
 //!
 //! ```text
 //! sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline]
+//!            [--max-workers N] [--min-scaling F]
 //! ```
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use dydroid::{MeasurementReport, Pipeline, PipelineConfig};
+use dydroid::scheduler::virtual_makespan_us;
+use dydroid::{Journal, MeasurementReport, Pipeline, PipelineConfig};
 use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
 
 struct Args {
@@ -21,6 +31,8 @@ struct Args {
     seed: u64,
     out: String,
     skip_baseline: bool,
+    max_workers: usize,
+    min_scaling: f64,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +41,8 @@ fn parse_args() -> Args {
         seed: CorpusSpec::default().seed,
         out: "BENCH_sweep.json".to_string(),
         skip_baseline: false,
+        max_workers: 4,
+        min_scaling: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +61,19 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
             "--skip-baseline" => args.skip_baseline = true,
+            "--max-workers" => {
+                args.max_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage("--max-workers needs an integer >= 1"));
+            }
+            "--min-scaling" => {
+                args.min_scaling = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-scaling needs a float"));
+            }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 std::process::exit(0);
@@ -57,7 +84,8 @@ fn parse_args() -> Args {
     args
 }
 
-const USAGE: &str = "sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline]";
+const USAGE: &str = "sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline] \
+[--max-workers N] [--min-scaling F]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -71,6 +99,34 @@ fn timed_sweep(config: PipelineConfig, corpus: &[SyntheticApp]) -> (MeasurementR
     let t0 = Instant::now();
     let report = pipeline.run(corpus);
     (report, t0.elapsed().as_millis() as u64)
+}
+
+/// One scaling point: a journaled sweep at a fixed worker count through
+/// the sharded multi-writer path. Returns the report, the wall-clock
+/// ms, and the finalized journal bytes (the cross-count byte-identity
+/// evidence).
+fn scaling_point(
+    corpus: &[SyntheticApp],
+    workers: usize,
+    dir: &std::path::Path,
+) -> (MeasurementReport, u64, Vec<u8>) {
+    let config = PipelineConfig {
+        workers,
+        telemetry: false,
+        environment_reruns: false,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(config);
+    let path = dir.join(format!("scaling-{workers}.jsonl"));
+    let journal = Journal::new(&path);
+    journal.reset().expect("reset scaling journal");
+    let t0 = Instant::now();
+    let report = pipeline
+        .run_resumable(corpus, &journal)
+        .expect("scaling sweep");
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    let bytes = std::fs::read(&path).expect("read finalized scaling journal");
+    (report, wall_ms, bytes)
 }
 
 /// The perf facts of one variant as a JSON object.
@@ -169,6 +225,98 @@ fn main() {
             ));
             map.push(("speedup".to_string(), serde_json::json!(speedup)));
         }
+    }
+
+    // Worker-count scaling sweep 1→N through the sharded multi-writer
+    // journaled path. Each count runs the same corpus; the finalized
+    // journal and the report JSON must be byte-identical across counts.
+    let scaling_dir =
+        std::env::temp_dir().join(format!("sweepbench-scaling-{}", std::process::id()));
+    std::fs::create_dir_all(&scaling_dir).expect("create scaling dir");
+    let mut points = Vec::new();
+    let mut makespan_1 = 0u64;
+    let mut reference: Option<(Vec<u8>, String)> = None;
+    for workers in 1..=args.max_workers {
+        eprintln!("sweepbench: scaling sweep at {workers} worker(s) ...");
+        let (report, wall_ms, journal_bytes) = scaling_point(&corpus, workers, &scaling_dir);
+        let stats = report.stats();
+        let makespan_us = virtual_makespan_us(&stats.worker_stats);
+        if workers == 1 {
+            makespan_1 = makespan_us;
+        }
+        // Scaling factor: how much shorter the critical path (longest
+        // per-worker virtual cost) got versus one worker.
+        let scaling = if makespan_us == 0 {
+            0.0
+        } else {
+            makespan_1 as f64 / makespan_us as f64
+        };
+        let report_json = serde_json::to_string(&report).expect("serialise scaling report");
+        match &reference {
+            None => reference = Some((journal_bytes, report_json)),
+            Some((ref_journal, ref_report)) => {
+                if *ref_journal != journal_bytes {
+                    eprintln!(
+                        "sweepbench: FAIL — finalized journal at {workers} workers differs from 1 worker"
+                    );
+                    std::process::exit(1);
+                }
+                if *ref_report != report_json {
+                    eprintln!(
+                        "sweepbench: FAIL — report JSON at {workers} workers differs from 1 worker"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        let steals: u64 = stats.worker_stats.iter().map(|w| w.steals).sum();
+        let virtual_total: u64 = stats.worker_stats.iter().map(|w| w.virtual_us).sum();
+        let apps_per_virtual_sec_per_core = if makespan_us == 0 {
+            0.0
+        } else {
+            apps as f64 * 1_000_000.0 / (makespan_us as f64 * workers as f64)
+        };
+        eprintln!(
+            "sweepbench:   wall {wall_ms} ms, virtual makespan {makespan_us} µs, scaling {scaling:.2}x, {steals} steals"
+        );
+        points.push(serde_json::json!({
+            "workers": workers,
+            "stream_shards": stats.stream_shards,
+            "wall_ms": wall_ms,
+            "virtual_makespan_us": makespan_us,
+            "virtual_total_us": virtual_total,
+            "scaling": scaling,
+            "apps_per_virtual_sec_per_core": apps_per_virtual_sec_per_core,
+            "steals": steals,
+            "shard_contention": stats.shard_contention,
+        }));
+    }
+    let _ = std::fs::remove_dir_all(&scaling_dir);
+    let final_scaling = points
+        .last()
+        .and_then(|p| p["scaling"].as_f64())
+        .unwrap_or(0.0);
+    eprintln!(
+        "sweepbench: scaling 1→{}: {final_scaling:.2}x on virtual makespan (streams byte-identical across counts)",
+        args.max_workers
+    );
+    if args.min_scaling > 0.0 && final_scaling < args.min_scaling {
+        eprintln!(
+            "sweepbench: FAIL — scaling {final_scaling:.2}x at {} workers below required {:.2}x",
+            args.max_workers, args.min_scaling
+        );
+        std::process::exit(1);
+    }
+    if let serde_json::Value::Object(map) = &mut doc {
+        map.push((
+            "scaling".to_string(),
+            serde_json::json!({
+                "judged_on": "virtual_makespan_us",
+                "max_workers": args.max_workers,
+                "scaling_at_max": final_scaling,
+                "points": points,
+            }),
+        ));
     }
 
     let mut f = std::fs::File::create(&args.out).expect("create bench output");

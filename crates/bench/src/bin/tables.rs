@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the DyDroid evaluation section.
 //!
 //! ```text
-//! tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] [--json PATH]
-//!        [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress]
-//!        [--provenance-out PATH] [--sync-policy always|checkpoint|never]
+//! tables [--scale F] [--seed N] [--workers N] [--table N]... [--figure 3] [--all]
+//!        [--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH]
+//!        [--progress] [--provenance-out PATH] [--sync-policy always|checkpoint|never]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
@@ -34,6 +34,7 @@ use dydroid_workload::{generate, CorpusSpec};
 struct Args {
     scale: f64,
     seed: u64,
+    workers: usize,
     tables: Vec<u32>,
     figure3: bool,
     all: bool,
@@ -51,6 +52,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scale: 0.1,
         seed: CorpusSpec::default().seed,
+        workers: 0,
         tables: Vec::new(),
         figure3: false,
         all: false,
@@ -77,6 +79,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs an integer (0 = all cores)"));
             }
             "--table" => {
                 let n = it
@@ -134,9 +142,9 @@ fn parse_args() -> Args {
     args
 }
 
-const USAGE: &str = "tables [--scale F] [--seed N] [--table N]... [--figure 3] [--all] \
-[--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] [--progress] \
-[--provenance-out PATH] [--sync-policy always|checkpoint|never]";
+const USAGE: &str = "tables [--scale F] [--seed N] [--workers N] [--table N]... [--figure 3] \
+[--all] [--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] \
+[--progress] [--provenance-out PATH] [--sync-policy always|checkpoint|never]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -160,6 +168,7 @@ fn main() {
     let needs_env = args.all || args.tables.contains(&8);
     let pipeline = Pipeline::new(PipelineConfig {
         environment_reruns: needs_env,
+        workers: args.workers,
         progress: args.progress,
         trace_out: args.trace_out.clone(),
         provenance_out: args.provenance_out.clone(),

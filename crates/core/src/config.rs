@@ -97,6 +97,18 @@ pub struct PipelineConfig {
     /// may accumulate across resumes before it is quarantined: recorded
     /// as an analysis failure and skipped on re-runs.
     pub quarantine_threshold: u32,
+    /// Shard count for the multi-writer persistent streams (journal,
+    /// ledger, events) during journaled sweeps: each worker appends to
+    /// the shard owning its app's content hash, and `finalize` merges
+    /// the shards back into the canonical single-file streams. `0`
+    /// resolves to the worker count; `1` keeps the single-writer
+    /// collector path (always used when no journal is attached).
+    pub stream_shards: usize,
+    /// Whether the work-stealing scheduler keeps two lanes per worker —
+    /// fresh apps ahead of retry/re-scan work (apps that came back
+    /// inconsistent from recovery) — so a crash loop cannot starve
+    /// first-pass coverage. Disabled, all tasks share one FIFO lane.
+    pub priority_lanes: bool,
 }
 
 impl Default for PipelineConfig {
@@ -125,6 +137,8 @@ impl Default for PipelineConfig {
             sync_policy: SyncPolicy::default(),
             io_retry_budget: DEFAULT_RETRY_BUDGET,
             quarantine_threshold: 3,
+            stream_shards: 0,
+            priority_lanes: true,
         }
     }
 }
@@ -157,6 +171,15 @@ impl PipelineConfig {
                 .unwrap_or(4)
         }
     }
+
+    /// Resolved stream shard count (`0` = one shard per worker).
+    pub fn resolved_stream_shards(&self) -> usize {
+        if self.stream_shards > 0 {
+            self.stream_shards
+        } else {
+            self.effective_workers()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +210,9 @@ mod tests {
         assert_eq!(c.sync_policy, SyncPolicy::Checkpoint);
         assert_eq!(c.io_retry_budget, DEFAULT_RETRY_BUDGET);
         assert_eq!(c.quarantine_threshold, 3);
+        assert_eq!(c.stream_shards, 0);
+        assert_eq!(c.resolved_stream_shards(), c.effective_workers());
+        assert!(c.priority_lanes);
     }
 
     #[test]
@@ -205,5 +231,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.effective_workers(), 3);
+    }
+
+    #[test]
+    fn explicit_stream_shards_respected() {
+        let c = PipelineConfig {
+            workers: 3,
+            stream_shards: 8,
+            ..Default::default()
+        };
+        assert_eq!(c.resolved_stream_shards(), 8);
+        let auto = PipelineConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        assert_eq!(auto.resolved_stream_shards(), 3);
     }
 }

@@ -49,6 +49,7 @@ pub mod environment;
 pub mod pipeline;
 pub mod provenance;
 pub mod report;
+pub mod scheduler;
 pub mod sweep;
 pub mod telemetry;
 pub mod training;
@@ -58,8 +59,8 @@ pub mod training;
 /// downstream code does not depend on `telemetry`'s module layout.
 pub mod obs {
     pub use crate::telemetry::{
-        chrome_trace, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, Progress,
-        SpanGuard, SpanRecord, Telemetry,
+        chrome_trace, EventShardGuard, Histogram, HistogramSummary, MetricsRegistry,
+        MetricsSnapshot, Progress, SpanGuard, SpanRecord, Telemetry,
     };
 }
 
@@ -69,5 +70,6 @@ pub use durable::{IoHarness, StreamKind, SyncPolicy};
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline, RecoveryOutcome};
 pub use provenance::{AppProvenance, ProvenanceIndex, ProvenanceLedger};
 pub use report::{MeasurementReport, SweepStats};
+pub use scheduler::{Lane, Scheduler, WorkerStats};
 pub use sweep::Journal;
 pub use telemetry::Telemetry;

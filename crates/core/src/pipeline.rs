@@ -9,7 +9,8 @@ use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, TryLockError};
 use std::time::Instant;
 
 use crossbeam::channel;
@@ -23,11 +24,12 @@ use dydroid_monkey::{ExerciseOutcome, Monkey, MonkeyConfig};
 use dydroid_workload::{AppMetadata, SyntheticApp};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{AnalysisCache, BinaryVerdict, CacheStats};
+use crate::cache::{content_hash, AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
-use crate::durable::{scan_path, IoHarness, IoState, SinkOptions, StreamKind};
+use crate::durable::{scan_path, FramedWriter, IoHarness, IoState, SinkOptions, StreamKind};
 use crate::provenance::{AppProvenance, ProvenanceLedger};
 use crate::report::{MeasurementReport, SweepStats};
+use crate::scheduler::{Lane, Scheduler, WorkerStats};
 use crate::sweep::QuarantineEntry;
 use crate::telemetry::{HistogramSummary, MetricsSnapshot, Progress, Telemetry};
 use crate::training;
@@ -277,11 +279,13 @@ impl Pipeline {
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let mut sweep_span = self.telemetry.span("sweep");
         sweep_span.field("apps", indices.len());
-        let results = self.sweep(
+        let (results, worker_stats) = self.sweep(
             corpus,
             &indices,
             None,
             ledger_writer.as_ref(),
+            None,
+            &HashSet::new(),
             sweep_span.id(),
         );
         drop(sweep_span);
@@ -296,6 +300,11 @@ impl Pipeline {
             None,
             &io_state,
             None,
+            SweepPerf {
+                worker_stats,
+                stream_shards: 1,
+                shard_contention: 0,
+            },
             sweep_ms,
             cache_mark,
             detector_mark,
@@ -361,6 +370,35 @@ impl Pipeline {
         corpus: &[SyntheticApp],
         journal: &crate::sweep::Journal,
     ) -> std::io::Result<MeasurementReport> {
+        // Stitch spans from the previous session — base stream plus any
+        // shard streams a killed multi-writer sweep left behind — before
+        // recovery merges the shards away.
+        if self.telemetry.is_enabled() {
+            let mut event_paths = vec![journal.events_path()];
+            event_paths.extend(
+                journal
+                    .discover_shards()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|k| journal.shard_events_path(k)),
+            );
+            let mut stitched = 0usize;
+            for path in &event_paths {
+                match self.telemetry.stitch_from(path) {
+                    Ok(n) => stitched += n,
+                    Err(e) => {
+                        eprintln!(
+                            "dydroid: failed to stitch events from {}: {e}",
+                            path.display()
+                        )
+                    }
+                }
+            }
+            if stitched > 0 {
+                self.telemetry
+                    .counter_add("telemetry.spans_stitched", stitched as u64);
+            }
+        }
         let mut outcome = self.recover_all(journal)?;
         let recovered = outcome.records.len();
         let ledger = self.ledger_for(Some(journal));
@@ -379,19 +417,6 @@ impl Pipeline {
             self.telemetry
                 .counter_add("sweep.quarantined_apps", outcome.quarantined.len() as u64);
             let events_path = journal.events_path();
-            // Stitch spans from the previous session into this timeline,
-            // then keep appending to the same event stream.
-            match self.telemetry.stitch_from(&events_path) {
-                Ok(n) if n > 0 => {
-                    self.telemetry
-                        .counter_add("telemetry.spans_stitched", n as u64);
-                }
-                Ok(_) => {}
-                Err(e) => eprintln!(
-                    "dydroid: failed to stitch events from {}: {e}",
-                    events_path.display()
-                ),
-            }
             if let Err(e) = self.telemetry.set_event_sink_with(
                 &events_path,
                 self.sink_options(StreamKind::Events, &io_state),
@@ -456,6 +481,33 @@ impl Pipeline {
         let pending: Vec<usize> = (0..corpus.len())
             .filter(|&i| !done.contains_key(corpus[i].package()))
             .collect();
+        // Apps invalidated by recovery re-run in the low-priority retry
+        // lane so a crash loop cannot starve first-pass coverage.
+        let retry: HashSet<String> = outcome.inconsistent.iter().cloned().collect();
+        // Multi-writer mode: with more than one shard resolved and real
+        // work pending, every worker appends to its app's stream shard
+        // and the collector only aggregates. A failure to open the
+        // shards degrades to the single-writer collector path.
+        let shard_count = self.config.resolved_stream_shards();
+        let shards = if shard_count > 1 && pending.len() > 1 {
+            match StreamShards::open(
+                self,
+                journal,
+                ledger_writer.is_some(),
+                shard_count,
+                &io_state,
+            ) {
+                Ok(shards) => Some(shards),
+                Err(e) => {
+                    eprintln!(
+                        "dydroid: failed to open stream shards: {e}; using single-writer path"
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
         let avm_marks = self.avm_counter_marks();
@@ -463,14 +515,33 @@ impl Pipeline {
         let mut sweep_span = self.telemetry.span("sweep");
         sweep_span.field("apps", pending.len());
         sweep_span.field("resumed", recovered);
-        let results = self.sweep(
+        let (results, worker_stats) = self.sweep(
             corpus,
             &pending,
-            Some(&writer),
-            ledger_writer.as_ref(),
+            if shards.is_none() {
+                Some(&writer)
+            } else {
+                None
+            },
+            if shards.is_none() {
+                ledger_writer.as_ref()
+            } else {
+                None
+            },
+            shards.as_ref(),
+            &retry,
             sweep_span.id(),
         );
         drop(sweep_span);
+        let perf = SweepPerf {
+            worker_stats,
+            stream_shards: shards.as_ref().map_or(1, |s| s.shards.len()),
+            shard_contention: shards.as_ref().map_or(0, StreamShards::contention),
+        };
+        // Close the shard writers before finalize merges and removes the
+        // shard files (the telemetry shard sinks close inside
+        // `finalize_event_sink`).
+        drop(shards);
         drop(ledger_writer);
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
         let summary = RecoverySummary {
@@ -489,6 +560,7 @@ impl Pipeline {
             Some(journal),
             &io_state,
             Some(summary),
+            perf,
             sweep_ms,
             cache_mark,
             detector_mark,
@@ -517,6 +589,165 @@ impl Pipeline {
     /// quarantine sidecar; ledger and event-stream read failures degrade
     /// to warnings (their records are simply not recovered).
     pub fn recover_all(&self, journal: &crate::sweep::Journal) -> std::io::Result<RecoveryOutcome> {
+        // The base triplet and every shard triplet a killed multi-writer
+        // sweep left behind are reconciled with the same per-segment
+        // rule: longest mutually consistent prefix of that segment's
+        // journal, ledger, and checkpoint stream.
+        let base_ledger = self.ledger_for(Some(journal));
+        let base = self.recover_segment(journal, base_ledger.as_ref(), &journal.events_path())?;
+        let shard_ids = journal.discover_shards()?;
+        let mut shard_segments = Vec::with_capacity(shard_ids.len());
+        for &k in &shard_ids {
+            let shard_journal = journal.shard(k);
+            let shard_ledger = self
+                .config
+                .provenance
+                .then(|| ProvenanceLedger::new(journal.shard_provenance_path(k)));
+            shard_segments.push(self.recover_segment(
+                &shard_journal,
+                shard_ledger.as_ref(),
+                &journal.shard_events_path(k),
+            )?);
+        }
+
+        // Merge: base records first, then shards in ascending shard
+        // order, first record per package wins. Duplicates only arise
+        // from a crash between the base finalize and shard removal,
+        // where both copies are identical.
+        let base_record_count = base.records.len();
+        let base_checkpoints = base.checkpoints.clone();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut consistent: Vec<AppRecord> = Vec::new();
+        let mut provenance: Vec<AppProvenance> = Vec::new();
+        let mut inconsistent: BTreeSet<String> = BTreeSet::new();
+        let mut journal_dropped = 0usize;
+        let mut ledger_dropped = 0usize;
+        let mut events_dropped = 0usize;
+        let mut base_journal_count = 0usize;
+        let mut prov_by_pkg: HashMap<String, AppProvenance> = HashMap::new();
+        for (idx, segment) in std::iter::once(base).chain(shard_segments).enumerate() {
+            if idx == 0 {
+                base_journal_count = segment.journal_count;
+            }
+            journal_dropped += segment.journal_dropped;
+            ledger_dropped += segment.ledger_dropped;
+            events_dropped += segment.events_dropped;
+            inconsistent.extend(segment.inconsistent);
+            for p in segment.provenance {
+                prov_by_pkg.entry(p.package.clone()).or_insert(p);
+            }
+            for record in segment.records {
+                if seen.insert(record.package.clone()) {
+                    if let Some(p) = prov_by_pkg.remove(record.package.as_str()) {
+                        provenance.push(p);
+                    }
+                    consistent.push(record);
+                }
+            }
+        }
+        drop(prov_by_pkg);
+        // A package consistent in any segment is recovered; it is not
+        // re-analysed even if another segment holds a torn copy of it.
+        inconsistent.retain(|p| !seen.contains(p.as_str()));
+        let shards_contributed = consistent.len() > base_record_count;
+
+        // Rewrite the base journal and ledger to the merged consistent
+        // set so this session's appends extend files that agree with
+        // each other (and hold everything the shards contributed).
+        if consistent.len() != base_journal_count || shards_contributed {
+            journal.rewrite(&consistent)?;
+        }
+        if let Some(ledger) = &base_ledger {
+            if !inconsistent.is_empty() || shards_contributed {
+                if let Err(e) = ledger.rewrite(&provenance) {
+                    eprintln!(
+                        "dydroid: failed to rewrite ledger {}: {e}",
+                        ledger.path().display()
+                    );
+                }
+            }
+        }
+        // Shard-contributed records have their checkpoint events only in
+        // the shard streams being merged away: append the missing
+        // per-app facts to the base stream so a later recovery still
+        // sees every merged record as checkpointed.
+        if self.telemetry.is_enabled() {
+            let known = base_checkpoints.unwrap_or_default();
+            let missing: Vec<&AppRecord> = consistent
+                .iter()
+                .filter(|r| !known.contains(r.package.as_str()))
+                .collect();
+            if !missing.is_empty() {
+                let events_path = journal.events_path();
+                let append = FramedWriter::open(&events_path, {
+                    let mut opts = SinkOptions::direct(StreamKind::Events);
+                    opts.harness = self.io_harness.clone();
+                    opts
+                })
+                .and_then(|mut w| {
+                    for record in &missing {
+                        w.append_body(&canonical_event(&record.package, "checkpoint"))?;
+                        if self.config.provenance {
+                            w.append_body(&canonical_event(&record.package, "provenance"))?;
+                        }
+                    }
+                    Ok(())
+                });
+                if let Err(e) = append {
+                    eprintln!(
+                        "dydroid: failed to merge shard checkpoints into {}: {e}",
+                        events_path.display()
+                    );
+                }
+            }
+        }
+        if !shard_ids.is_empty() {
+            journal.remove_shards()?;
+        }
+
+        // Quarantine bookkeeping: every cross-stream-inconsistent app
+        // burned one interrupted attempt; apps that completed since then
+        // shed their entries.
+        let mut quarantine = journal.load_quarantine()?;
+        for package in &inconsistent {
+            match quarantine.iter_mut().find(|e| &e.package == package) {
+                Some(entry) => entry.attempts = entry.attempts.saturating_add(1),
+                None => quarantine.push(QuarantineEntry {
+                    package: package.clone(),
+                    attempts: 1,
+                }),
+            }
+        }
+        quarantine.retain(|e| !seen.contains(e.package.as_str()));
+        drop(seen);
+        journal.write_quarantine(&quarantine)?;
+        let quarantined: Vec<String> = quarantine
+            .iter()
+            .filter(|e| e.attempts >= self.config.quarantine_threshold)
+            .map(|e| e.package.clone())
+            .collect();
+
+        Ok(RecoveryOutcome {
+            records: consistent,
+            provenance,
+            journal_dropped,
+            ledger_dropped,
+            events_dropped,
+            inconsistent: inconsistent.into_iter().collect(),
+            quarantine,
+            quarantined,
+        })
+    }
+
+    /// Reconciles one segment — a (journal, ledger, events) triplet,
+    /// either the base streams or one shard's — to its longest mutually
+    /// consistent prefix. Pure read: rewrites happen at the merge layer.
+    fn recover_segment(
+        &self,
+        journal: &crate::sweep::Journal,
+        ledger: Option<&ProvenanceLedger>,
+        events_path: &Path,
+    ) -> std::io::Result<SegmentRecovery> {
         let recovery = journal.recover_counted()?;
         warn_recovered(
             "journal",
@@ -527,11 +758,10 @@ impl Pipeline {
         let journal_dropped = recovery.dropped_lines;
         let journal_count = recovery.records.len();
 
-        let ledger = self.ledger_for(Some(journal));
         let mut ledger_records: Vec<AppProvenance> = Vec::new();
         let mut ledger_dropped = 0usize;
         let mut ledger_active = false;
-        if let Some(ledger) = &ledger {
+        if let Some(ledger) = ledger {
             match ledger.recover_counted() {
                 Ok(r) => {
                     warn_recovered("ledger", ledger.path(), r.records.len(), r.dropped_lines);
@@ -550,13 +780,12 @@ impl Pipeline {
         // enabled and a stream exists: each `checkpoint` event mirrors a
         // successful journal append, so a journal record without one
         // belongs to the torn tail of the killed session.
-        let events_path = journal.events_path();
         let mut events_dropped = 0usize;
         let mut checkpoints: Option<HashSet<String>> = None;
         if self.telemetry.is_enabled() {
-            match scan_path(&events_path) {
+            match scan_path(events_path) {
                 Ok(Some(scan)) => {
-                    warn_recovered("events", &events_path, scan.bodies.len(), scan.dropped);
+                    warn_recovered("events", events_path, scan.bodies.len(), scan.dropped);
                     events_dropped = scan.dropped;
                     let mut set = HashSet::new();
                     for body in &scan.bodies {
@@ -581,20 +810,20 @@ impl Pipeline {
 
         let ledgered: HashSet<&str> = ledger_records.iter().map(|p| p.package.as_str()).collect();
         let mut inconsistent: BTreeSet<String> = BTreeSet::new();
-        let mut consistent: Vec<AppRecord> = Vec::new();
+        let mut records: Vec<AppRecord> = Vec::new();
         for record in recovery.records {
             let in_ledger = !ledger_active || ledgered.contains(record.package.as_str());
             let in_events = checkpoints
                 .as_ref()
                 .is_none_or(|c| c.contains(record.package.as_str()));
             if in_ledger && in_events {
-                consistent.push(record);
+                records.push(record);
             } else {
                 inconsistent.insert(record.package.clone());
             }
         }
         drop(ledgered);
-        let consistent_set: HashSet<&str> = consistent.iter().map(|r| r.package.as_str()).collect();
+        let consistent_set: HashSet<&str> = records.iter().map(|r| r.package.as_str()).collect();
         for p in ledger_records
             .iter()
             .map(|p| p.package.as_str())
@@ -604,86 +833,56 @@ impl Pipeline {
                 inconsistent.insert(p.to_string());
             }
         }
-
-        // Rewrite the journal and ledger down to the consistent prefix so
-        // this session's appends extend files that agree with each other.
-        if consistent.len() != journal_count {
-            journal.rewrite(&consistent)?;
-        }
         let provenance: Vec<AppProvenance> = ledger_records
             .into_iter()
             .filter(|p| consistent_set.contains(p.package.as_str()))
             .collect();
-        if let Some(ledger) = &ledger {
-            if ledger_active && !inconsistent.is_empty() {
-                if let Err(e) = ledger.rewrite(&provenance) {
-                    eprintln!(
-                        "dydroid: failed to rewrite ledger {}: {e}",
-                        ledger.path().display()
-                    );
-                }
-            }
-        }
         drop(consistent_set);
 
-        // Quarantine bookkeeping: every cross-stream-inconsistent app
-        // burned one interrupted attempt; apps that completed since then
-        // shed their entries.
-        let mut quarantine = journal.load_quarantine()?;
-        for package in &inconsistent {
-            match quarantine.iter_mut().find(|e| &e.package == package) {
-                Some(entry) => entry.attempts = entry.attempts.saturating_add(1),
-                None => quarantine.push(QuarantineEntry {
-                    package: package.clone(),
-                    attempts: 1,
-                }),
-            }
-        }
-        let completed: HashSet<&str> = consistent.iter().map(|r| r.package.as_str()).collect();
-        quarantine.retain(|e| !completed.contains(e.package.as_str()));
-        drop(completed);
-        journal.write_quarantine(&quarantine)?;
-        let quarantined: Vec<String> = quarantine
-            .iter()
-            .filter(|e| e.attempts >= self.config.quarantine_threshold)
-            .map(|e| e.package.clone())
-            .collect();
-
-        Ok(RecoveryOutcome {
-            records: consistent,
+        Ok(SegmentRecovery {
+            records,
             provenance,
             journal_dropped,
             ledger_dropped,
             events_dropped,
-            inconsistent: inconsistent.into_iter().collect(),
-            quarantine,
-            quarantined,
+            inconsistent,
+            journal_count,
+            checkpoints,
         })
     }
 
-    /// The parallel worker loop. Each worker pulls indices off the task
-    /// queue and analyses the app inside a panic-isolation boundary; the
-    /// collector journals and gathers records. All channel endpoints shut
-    /// down gracefully: a dropped receiver stops the senders instead of
-    /// panicking them.
+    /// The parallel worker loop. Every worker owns a two-lane deque in
+    /// the work-stealing [`Scheduler`] (new work ahead of recovery
+    /// re-scans) and analyses each app inside a panic-isolation
+    /// boundary. With `shards` attached, the worker itself appends the
+    /// finished record to its app's stream shard — no collector
+    /// bottleneck; otherwise the collector owns the single-writer
+    /// journal/ledger appends as before. Results flow through a bounded
+    /// channel so a slow collector backpressures workers instead of
+    /// buffering the whole corpus in memory.
+    #[allow(clippy::too_many_arguments)]
     fn sweep(
         &self,
         corpus: &[SyntheticApp],
         indices: &[usize],
         journal: Option<&Mutex<crate::sweep::JournalWriter>>,
         ledger: Option<&Mutex<crate::provenance::LedgerWriter>>,
+        shards: Option<&StreamShards>,
+        retry: &HashSet<String>,
         parent_span: u64,
-    ) -> Vec<SweepItem> {
+    ) -> (Vec<SweepItem>, Vec<WorkerStats>) {
         let workers = self.config.effective_workers().min(indices.len().max(1));
-        let (task_tx, task_rx) = channel::unbounded::<usize>();
-        let (result_tx, result_rx) =
-            channel::unbounded::<(usize, AppRecord, Option<AppProvenance>, u64)>();
-        for &i in indices {
-            if task_tx.send(i).is_err() {
-                break;
-            }
+        let scheduler = Scheduler::new(workers);
+        for (pos, &i) in indices.iter().enumerate() {
+            let lane = if self.config.priority_lanes && retry.contains(corpus[i].package()) {
+                Lane::Retry
+            } else {
+                Lane::New
+            };
+            scheduler.seed(pos % workers, i, lane);
         }
-        drop(task_tx);
+        let (result_tx, result_rx) =
+            channel::bounded::<(usize, AppRecord, Option<AppProvenance>, u64)>(4 * workers);
         let progress =
             (self.config.progress && !indices.is_empty()).then(|| Progress::new(indices.len()));
 
@@ -691,13 +890,34 @@ impl Pipeline {
         // worker-thread panic that escapes the per-app isolation.
         let collected: Mutex<Vec<SweepItem>> = Mutex::new(Vec::new());
         let scope_result = crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
+            for worker in 0..workers {
                 let result_tx = result_tx.clone();
+                let scheduler = &scheduler;
                 scope.spawn(move |_| {
-                    while let Ok(i) = task_rx.recv() {
-                        let (record, provenance, span_id) =
-                            self.analyze_app_traced(&corpus[i], parent_span);
+                    while let Some(i) = scheduler.next_task(worker) {
+                        let app = &corpus[i];
+                        // Scope this thread's event lines (spans, then the
+                        // checkpoint/provenance links of the shard append)
+                        // to the app's shard for the whole task.
+                        let shard = shards.map(|s| s.shard_of(app));
+                        let _scope = shard.map(|k| self.telemetry.event_shard_scope(Some(k)));
+                        let started = Instant::now();
+                        let (record, provenance, span_id, virtual_us) =
+                            self.analyze_app_traced(app, parent_span);
+                        if let (Some(shards), Some(k)) = (shards, shard) {
+                            shards.append(
+                                k,
+                                &record,
+                                provenance.as_ref(),
+                                span_id,
+                                &self.telemetry,
+                            );
+                        }
+                        scheduler.note_executed(
+                            worker,
+                            started.elapsed().as_micros() as u64,
+                            virtual_us,
+                        );
                         if result_tx.send((i, record, provenance, span_id)).is_err() {
                             // Receiver gone: the sweep is shutting down.
                             break;
@@ -752,7 +972,10 @@ impl Pipeline {
         if scope_result.is_err() {
             eprintln!("dydroid: a sweep thread panicked outside per-app isolation; continuing with partial results");
         }
-        collected.into_inner().unwrap_or_default()
+        (
+            collected.into_inner().unwrap_or_default(),
+            scheduler.worker_stats(),
+        )
     }
 
     /// Merges sweep results (and any journaled records) into a complete,
@@ -773,6 +996,7 @@ impl Pipeline {
         journal: Option<&crate::sweep::Journal>,
         io_state: &Arc<IoState>,
         recovery: Option<RecoverySummary>,
+        perf: SweepPerf,
         sweep_ms: u64,
         cache_mark: CacheStats,
         detector_mark: dydroid_analysis::DetectorStats,
@@ -812,6 +1036,7 @@ impl Pipeline {
         // Finalize the ledger: one record per corpus app, corpus order,
         // env outcomes attached. Apps whose live graph is gone (resumed
         // with a torn ledger line) get a degraded reconstruction.
+        let mut finalized = true;
         if self.config.provenance {
             let final_provenance: Vec<AppProvenance> = corpus
                 .iter()
@@ -834,6 +1059,7 @@ impl Pipeline {
                 .collect();
             if let Some(ledger) = ledger {
                 if let Err(e) = ledger.finalize_with(&final_provenance, self.io_harness.as_ref()) {
+                    finalized = false;
                     eprintln!(
                         "dydroid: failed to finalize ledger {}: {e}",
                         ledger.path().display()
@@ -850,6 +1076,7 @@ impl Pipeline {
         // dependent and are dropped.
         if let Some(journal) = journal {
             if let Err(e) = journal.finalize_with(&records, self.io_harness.as_ref()) {
+                finalized = false;
                 eprintln!(
                     "dydroid: failed to finalize journal {}: {e}",
                     journal.path().display()
@@ -869,9 +1096,28 @@ impl Pipeline {
                     &bodies,
                     self.io_harness.as_ref(),
                 ) {
+                    finalized = false;
                     eprintln!(
                         "dydroid: failed to finalize events {}: {e}",
                         events_path.display()
+                    );
+                }
+            }
+            // A sharded sweep's per-shard files are fully folded into
+            // the canonical streams above; drop them so the layout a
+            // completed run leaves behind is identical to a serial one.
+            // Only once every stream actually finalized: a failed
+            // finalize — or a crash-frozen harness, whose post-crash
+            // writes report success without touching disk — must leave
+            // the shard files for the next session's recovery to merge.
+            if self.io_harness.as_ref().is_some_and(|h| h.crashed()) {
+                finalized = false;
+            }
+            if finalized {
+                if let Err(e) = journal.remove_shards() {
+                    eprintln!(
+                        "dydroid: failed to remove shard files beside {}: {e}",
+                        journal.path().display()
                     );
                 }
             }
@@ -933,6 +1179,9 @@ impl Pipeline {
             recovery_dropped: recovery.dropped,
             inconsistent_apps: recovery.inconsistent,
             quarantined: recovery.quarantined,
+            stream_shards: perf.stream_shards,
+            shard_contention: perf.shard_contention,
+            worker_stats: perf.worker_stats,
             app_wall,
             phases,
         };
@@ -957,18 +1206,21 @@ impl Pipeline {
 
     /// [`Pipeline::analyze_app_resilient`] under a per-app telemetry span
     /// (parented to the sweep span); returns the record and provenance
-    /// graph together with the span id so the sweep collector can
-    /// checkpoint and ledger them.
+    /// graph together with the span id (so the sweep collector can
+    /// checkpoint and ledger them) and the app's deterministic virtual
+    /// cost in microseconds, summed across attempts, which the scheduler
+    /// charges to the worker that ran it.
     fn analyze_app_traced(
         &self,
         app: &SyntheticApp,
         parent_span: u64,
-    ) -> (AppRecord, Option<AppProvenance>, u64) {
+    ) -> (AppRecord, Option<AppProvenance>, u64, u64) {
         let mut span = self.telemetry.span_with_parent("app", parent_span);
         span.field("app", &app.plan.package);
         let span_id = span.id();
         let attempts = self.config.max_retries.saturating_add(1);
         let mut last: Option<AppRecord> = None;
+        let mut total_virtual_us = 0u64;
         // The static phases are input-deterministic, so a multi-attempt
         // failure spiral decompiles the app once, not once per attempt.
         let mut statics: Option<StaticPhases> = None;
@@ -984,7 +1236,8 @@ impl Pipeline {
             match catch_unwind(AssertUnwindSafe(|| {
                 self.analyze_app_salted(app, salt, span_id)
             })) {
-                Ok((record, provenance)) => {
+                Ok((record, provenance, virtual_us)) => {
+                    total_virtual_us += virtual_us;
                     if record.harness_failure().is_none() {
                         span.field("attempt", attempt + 1);
                         span.field("verdict", verdict_label(&record));
@@ -998,7 +1251,7 @@ impl Pipeline {
                             p.span = span_id;
                             p
                         });
-                        return (record, provenance, span_id);
+                        return (record, provenance, span_id, total_virtual_us);
                     }
                     last = Some(record);
                 }
@@ -1025,7 +1278,7 @@ impl Pipeline {
             p.span = span_id;
             p
         });
-        (record, provenance, span_id)
+        (record, provenance, span_id, total_virtual_us)
     }
 
     /// Re-runs the cheap static phases under their own panic guard, so a
@@ -1104,7 +1357,7 @@ impl Pipeline {
     ) -> (AppRecord, Option<AppProvenance>) {
         let mut span = self.telemetry.span("app");
         span.field("app", &app.plan.package);
-        let (record, mut provenance) = self.analyze_app_salted(app, 0, span.id());
+        let (record, mut provenance, _) = self.analyze_app_salted(app, 0, span.id());
         span.field("verdict", verdict_label(&record));
         if let Some(p) = &mut provenance {
             p.span = span.id();
@@ -1122,7 +1375,7 @@ impl Pipeline {
         app: &SyntheticApp,
         seed_salt: u64,
         parent_span: u64,
-    ) -> (AppRecord, Option<AppProvenance>) {
+    ) -> (AppRecord, Option<AppProvenance>, u64) {
         let metadata = app.plan.metadata.clone();
         let package = app.plan.package.clone();
 
@@ -1144,6 +1397,7 @@ impl Pipeline {
                         dynamic: None,
                     },
                     None,
+                    0,
                 );
             }
             Err(_) => {
@@ -1158,6 +1412,7 @@ impl Pipeline {
                         dynamic: None,
                     },
                     None,
+                    0,
                 );
             }
         };
@@ -1182,6 +1437,7 @@ impl Pipeline {
                     ))),
                 },
                 None,
+                0,
             );
         }
 
@@ -1201,6 +1457,7 @@ impl Pipeline {
                     dynamic: None,
                 },
                 None,
+                0,
             );
         }
 
@@ -1225,6 +1482,7 @@ impl Pipeline {
                                 dynamic: Some(DynamicOutcome::empty(DynamicStatus::RewriteFailure)),
                             },
                             None,
+                            0,
                         );
                     }
                 }
@@ -1234,7 +1492,7 @@ impl Pipeline {
 
         // Phase 4: dynamic analysis.
         let mut device = self.prepare_device(app, self.config.device_config());
-        let (dynamic, path_leaks) = self.exercise_and_analyze_salted(
+        let (dynamic, path_leaks, virtual_us) = self.exercise_and_analyze_salted(
             app,
             &mut device,
             &install_bytes,
@@ -1282,6 +1540,7 @@ impl Pipeline {
                 dynamic: Some(dynamic),
             },
             provenance,
+            virtual_us,
         )
     }
 
@@ -1341,7 +1600,9 @@ impl Pipeline {
     /// [`Pipeline::exercise_and_analyze`] with a Monkey seed salt. Also
     /// returns per-path privacy-leak attribution `(loaded path, privacy
     /// type label)` — the verdict edges of the provenance graph, which
-    /// the aggregate [`DynamicOutcome`] no longer resolves to paths.
+    /// the aggregate [`DynamicOutcome`] no longer resolves to paths —
+    /// and the app's deterministic virtual cost in microseconds (from
+    /// instructions retired), which the scheduler charges to its worker.
     fn exercise_and_analyze_salted(
         &self,
         app: &SyntheticApp,
@@ -1350,7 +1611,7 @@ impl Pipeline {
         decompiled: &decompiler::DecompiledApp,
         seed_salt: u64,
         parent_span: u64,
-    ) -> (DynamicOutcome, Vec<(String, String)>) {
+    ) -> (DynamicOutcome, Vec<(String, String)>, u64) {
         let package = &app.plan.package;
 
         {
@@ -1361,6 +1622,7 @@ impl Pipeline {
                 return (
                     DynamicOutcome::empty(DynamicStatus::RewriteFailure),
                     Vec::new(),
+                    0,
                 );
             }
         }
@@ -1378,6 +1640,7 @@ impl Pipeline {
         // The avm contributes instruction-retirement, inline-cache and
         // hook-fire deltas to the monkey span and the run-wide counters.
         let instructions = device.instructions_retired() - instructions_before;
+        let virtual_us = dydroid_monkey::virtual_us(instructions);
         let ic = device.ic_stats().since(&ic_before);
         let hook_fires = device.hooks.fire_count() - fires_before;
         if monkey_span.is_recording() {
@@ -1394,10 +1657,7 @@ impl Pipeline {
                 .counter_add("avm.ic_field_hits", ic.field_hits);
             self.telemetry
                 .counter_add("avm.ic_field_misses", ic.field_misses);
-            self.telemetry.counter_add(
-                "monkey.virtual_us",
-                dydroid_monkey::virtual_us(instructions),
-            );
+            self.telemetry.counter_add("monkey.virtual_us", virtual_us);
         }
         let status = match exercised {
             Ok(ExerciseOutcome::NoActivity) => DynamicStatus::NoActivity,
@@ -1414,6 +1674,7 @@ impl Pipeline {
                         self.config.app_deadline_ms
                     )),
                     Vec::new(),
+                    virtual_us,
                 );
             }
             Err(_) => DynamicStatus::RewriteFailure,
@@ -1424,7 +1685,7 @@ impl Pipeline {
             status,
             DynamicStatus::NoActivity | DynamicStatus::RewriteFailure
         ) {
-            return (DynamicOutcome::empty(status), Vec::new());
+            return (DynamicOutcome::empty(status), Vec::new(), virtual_us);
         }
         // Crashed apps count as failures in Table II (see
         // `AppRecord::dex_intercepted`), but the instrumentation still
@@ -1586,8 +1847,130 @@ impl Pipeline {
                 leak_types,
             },
             path_leaks,
+            virtual_us,
         )
     }
+}
+
+/// Per-shard writers of the three persistent streams during a sharded
+/// multi-writer sweep. Apps are routed by APK content hash (the same
+/// key the analysis cache stripes on), so each worker appends to the
+/// shard owning its current app with no collector bottleneck; the
+/// shards are merged back into the canonical single-file streams by
+/// `finalize` and by [`Pipeline::recover_all`] after a crash.
+struct StreamShards {
+    shards: Vec<Mutex<ShardStreams>>,
+    /// Appends that found their shard mutex held by another worker
+    /// (they block and proceed; the count sizes the contention report).
+    contention: AtomicU64,
+}
+
+struct ShardStreams {
+    journal: crate::sweep::JournalWriter,
+    ledger: Option<crate::provenance::LedgerWriter>,
+}
+
+impl StreamShards {
+    /// Opens `count` shard triplets beside `journal` (journal + ledger
+    /// writers here, event sinks registered with the telemetry layer).
+    /// Per-shard frame sequences continue from each shard file's valid
+    /// prefix, exactly like the base streams.
+    fn open(
+        pipeline: &Pipeline,
+        journal: &crate::sweep::Journal,
+        ledger_active: bool,
+        count: usize,
+        io_state: &Arc<IoState>,
+    ) -> std::io::Result<StreamShards> {
+        let mut shards = Vec::with_capacity(count);
+        let mut event_paths = Vec::with_capacity(count);
+        for k in 0..count {
+            let journal_writer = journal
+                .shard(k)
+                .writer_with(pipeline.sink_options(StreamKind::Journal, io_state))?;
+            let ledger = ledger_active
+                .then(|| {
+                    ProvenanceLedger::new(journal.shard_provenance_path(k))
+                        .writer_with(pipeline.sink_options(StreamKind::Ledger, io_state))
+                })
+                .transpose()?;
+            shards.push(Mutex::new(ShardStreams {
+                journal: journal_writer,
+                ledger,
+            }));
+            event_paths.push(journal.shard_events_path(k));
+        }
+        if pipeline.telemetry.is_enabled() {
+            pipeline.telemetry.set_sharded_event_sinks(
+                &event_paths,
+                &pipeline.sink_options(StreamKind::Events, io_state),
+            )?;
+        }
+        Ok(StreamShards {
+            shards,
+            contention: AtomicU64::new(0),
+        })
+    }
+
+    /// The shard owning `app`, by APK content hash.
+    fn shard_of(&self, app: &SyntheticApp) -> usize {
+        (content_hash(&app.apk) % self.shards.len() as u64) as usize
+    }
+
+    /// Appends one completed app to its shard, holding the shard lock
+    /// through the journal append → checkpoint → ledger append →
+    /// provenance-link quad so the virtual op clock orders the four
+    /// writes as a unit — the per-segment recovery intersection depends
+    /// on that ordering.
+    fn append(
+        &self,
+        k: usize,
+        record: &AppRecord,
+        provenance: Option<&AppProvenance>,
+        span_id: u64,
+        telemetry: &Telemetry,
+    ) {
+        let mut shard = match self.shards[k].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                match self.shards[k].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                }
+            }
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        };
+        match shard.journal.append(record) {
+            Ok(()) => telemetry.emit_checkpoint(&record.package, span_id),
+            Err(e) => eprintln!(
+                "dydroid: shard {k} journal append failed for {}: {e}",
+                record.package
+            ),
+        }
+        if let (Some(writer), Some(provenance)) = (shard.ledger.as_mut(), provenance) {
+            match writer.append(provenance) {
+                Ok(()) => telemetry.emit_provenance_link(&record.package, span_id),
+                Err(e) => eprintln!(
+                    "dydroid: shard {k} ledger append failed for {}: {e}",
+                    record.package
+                ),
+            }
+        }
+    }
+
+    /// Total contended shard appends so far.
+    fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+}
+
+/// Scheduler/shard accounting of one sweep, carried into [`SweepStats`].
+#[derive(Debug, Default)]
+struct SweepPerf {
+    worker_stats: Vec<WorkerStats>,
+    stream_shards: usize,
+    shard_contention: u64,
 }
 
 /// Manifest-entry ceiling of the resource-sanity guard (permissions +
@@ -1635,6 +2018,21 @@ pub struct RecoveryOutcome {
     /// (sorted); [`Pipeline::run_resumable`] records these as analysis
     /// failures instead of re-analysing them.
     pub quarantined: Vec<String>,
+}
+
+/// One segment's reconciliation: the longest mutually consistent prefix
+/// of a (journal, ledger, events) triplet — the base streams or one
+/// shard's — before the per-segment results are merged.
+#[derive(Debug, Default)]
+struct SegmentRecovery {
+    records: Vec<AppRecord>,
+    provenance: Vec<AppProvenance>,
+    journal_dropped: usize,
+    ledger_dropped: usize,
+    events_dropped: usize,
+    inconsistent: BTreeSet<String>,
+    journal_count: usize,
+    checkpoints: Option<HashSet<String>>,
 }
 
 /// Marks of the monotonic avm telemetry counters taken at sweep start,

@@ -25,11 +25,12 @@
 //! [`Telemetry`] is a single `Option` check per call site — no
 //! allocation, no clock read, no atomics.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::durable::{
@@ -391,6 +392,29 @@ struct Inner {
     spans: Box<[Mutex<Vec<SpanRecord>>]>,
     span_count: AtomicUsize,
     sink: Mutex<Option<FramedWriter>>,
+    /// Per-shard event sinks for multi-writer sweeps: each worker routes
+    /// its events (via the thread-local shard scope) to its app's shard
+    /// file, so concurrent appends never contend on one sink mutex.
+    shard_sinks: RwLock<Vec<Arc<Mutex<FramedWriter>>>>,
+}
+
+thread_local! {
+    /// The event shard the current thread's writes are scoped to. Set by
+    /// [`Telemetry::event_shard_scope`] around each sharded-sweep task;
+    /// `None` routes to the base sink.
+    static EVENT_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// RAII guard scoping the current thread's event writes to one shard;
+/// restores the previous scope on drop (scopes nest).
+pub struct EventShardGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for EventShardGuard {
+    fn drop(&mut self) {
+        EVENT_SHARD.with(|s| s.set(self.prev));
+    }
 }
 
 static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
@@ -421,6 +445,7 @@ impl Inner {
             spans,
             span_count: AtomicUsize::new(0),
             sink: Mutex::new(None),
+            shard_sinks: RwLock::new(Vec::new()),
         }
     }
 
@@ -442,18 +467,40 @@ impl Inner {
     }
 
     fn write_event(&self, line: &str) {
+        // A thread inside a shard scope appends to its shard's sink so
+        // concurrent workers never contend on the base sink mutex; all
+        // other threads (and non-sharded runs) use the base sink.
+        if let Some(shard) = EVENT_SHARD.with(Cell::get) {
+            let writer = {
+                let sinks = self.shard_sinks.read().expect("shard sinks poisoned");
+                if sinks.is_empty() {
+                    None
+                } else {
+                    Some(Arc::clone(&sinks[shard % sinks.len()]))
+                }
+            };
+            if let Some(writer) = writer {
+                let mut w = writer.lock().expect("shard sink poisoned");
+                self.append_event(&mut w, line);
+                return;
+            }
+        }
         let mut sink = self.sink.lock().expect("event sink poisoned");
         if let Some(w) = sink.as_mut() {
-            // Mirror the journal's crash discipline: one framed line per
-            // event. The writer sheds events itself under disk pressure;
-            // hard errors are counted and warned once (the finalized
-            // stream is reconstructed from memory at run completion, so
-            // a lost live event never corrupts the durable record).
-            if let Err(e) = w.append_body(line) {
-                self.registry.counter_add("telemetry.event_write_errors", 1);
-                if self.registry.counter_value("telemetry.event_write_errors") == 1 {
-                    eprintln!("dydroid: events: write failed ({e}); degrading telemetry");
-                }
+            self.append_event(w, line);
+        }
+    }
+
+    /// Mirror the journal's crash discipline: one framed line per
+    /// event. The writer sheds events itself under disk pressure;
+    /// hard errors are counted and warned once (the finalized
+    /// stream is reconstructed from memory at run completion, so
+    /// a lost live event never corrupts the durable record).
+    fn append_event(&self, w: &mut FramedWriter, line: &str) {
+        if let Err(e) = w.append_body(line) {
+            self.registry.counter_add("telemetry.event_write_errors", 1);
+            if self.registry.counter_value("telemetry.event_write_errors") == 1 {
+                eprintln!("dydroid: events: write failed ({e}); degrading telemetry");
             }
         }
     }
@@ -596,6 +643,49 @@ impl Telemetry {
         Ok(())
     }
 
+    /// Opens one framed event sink per shard path (appending, torn tails
+    /// truncated — same contract as [`Telemetry::set_event_sink_with`]).
+    /// Worker threads opt into a shard with
+    /// [`Telemetry::event_shard_scope`]; threads outside any scope keep
+    /// writing to the base sink. Replaces any previous shard sinks.
+    pub fn set_sharded_event_sinks(
+        &self,
+        paths: &[std::path::PathBuf],
+        opts: &SinkOptions,
+    ) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut sinks = Vec::with_capacity(paths.len());
+        for path in paths {
+            let writer = FramedWriter::open(path, opts.clone())?;
+            sinks.push(Arc::new(Mutex::new(writer)));
+        }
+        *inner.shard_sinks.write().expect("shard sinks poisoned") = sinks;
+        Ok(())
+    }
+
+    /// Closes all per-shard event sinks (flushing on drop); subsequent
+    /// writes from any shard scope fall back to the base sink.
+    pub fn clear_sharded_event_sinks(&self) {
+        if let Some(inner) = &self.inner {
+            inner
+                .shard_sinks
+                .write()
+                .expect("shard sinks poisoned")
+                .clear();
+        }
+    }
+
+    /// Scopes the current thread's event writes to `shard` until the
+    /// returned guard drops (pass `None` to force the base sink). Safe
+    /// to call with telemetry disabled — the scope is thread-local and
+    /// simply never consulted.
+    pub fn event_shard_scope(&self, shard: Option<usize>) -> EventShardGuard {
+        let prev = EVENT_SHARD.with(|s| s.replace(shard));
+        EventShardGuard { prev }
+    }
+
     /// Atomically replaces the event stream at `path` with the given
     /// canonical body lines (reframed from sequence 0), closing the live
     /// sink first. Called when a journaled run completes: the canonical
@@ -616,6 +706,11 @@ impl Telemetry {
             return Ok(());
         };
         *inner.sink.lock().expect("event sink poisoned") = None;
+        inner
+            .shard_sinks
+            .write()
+            .expect("shard sinks poisoned")
+            .clear();
         atomic_write_frames(path, bodies, harness)
     }
 
@@ -1089,6 +1184,63 @@ mod tests {
         let third = Telemetry::new(true);
         assert_eq!(third.stitch_from(&path).expect("stitch torn"), 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_event_sinks_route_by_thread_scope() {
+        let dir = std::env::temp_dir().join(format!(
+            "dydroid-evshard-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = dir.join("events.jsonl");
+        let shard_paths = vec![
+            dir.join("shard-0.events.jsonl"),
+            dir.join("shard-1.events.jsonl"),
+        ];
+
+        let t = Telemetry::new(true);
+        t.set_event_sink(&base).expect("base sink");
+        t.set_sharded_event_sinks(&shard_paths, &SinkOptions::direct(StreamKind::Events))
+            .expect("shard sinks");
+
+        // No scope → base sink; scoped → that shard; scopes nest/restore.
+        t.emit_checkpoint("com.base", 1);
+        {
+            let _guard = t.event_shard_scope(Some(0));
+            t.emit_checkpoint("com.zero", 2);
+            {
+                let _inner = t.event_shard_scope(Some(1));
+                t.emit_checkpoint("com.one", 3);
+            }
+            t.emit_checkpoint("com.zero.again", 4);
+        }
+        t.emit_checkpoint("com.base.again", 5);
+        t.clear_sharded_event_sinks();
+        {
+            // After clearing, a scoped write falls back to the base sink.
+            let _guard = t.event_shard_scope(Some(0));
+            t.emit_checkpoint("com.fallback", 6);
+        }
+        drop(t);
+
+        let read = |p: &Path| {
+            scan_path(p)
+                .expect("scan")
+                .map_or_else(Vec::new, |s| s.bodies)
+        };
+        let base_bodies = read(&base);
+        assert_eq!(base_bodies.len(), 3);
+        assert!(base_bodies[0].contains("com.base"));
+        assert!(base_bodies[2].contains("com.fallback"));
+        let zero = read(&shard_paths[0]);
+        assert_eq!(zero.len(), 2);
+        assert!(zero[0].contains("com.zero") && zero[1].contains("com.zero.again"));
+        let one = read(&shard_paths[1]);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].contains("com.one"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

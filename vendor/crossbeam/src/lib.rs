@@ -1,13 +1,14 @@
-//! Offline shim for the `crossbeam` crate: an unbounded MPMC channel and
-//! scoped threads, both built on std. Semantics match what the pipeline
-//! relies on: cloneable receivers, `Err` on send-to-closed and
-//! recv-from-drained, and `thread::scope` returning `Err` when any
-//! spawned thread panicked instead of propagating the panic.
+//! Offline shim for the `crossbeam` crate: unbounded and bounded MPMC
+//! channels and scoped threads, all built on std. Semantics match what
+//! the pipeline relies on: cloneable receivers, `Err` on send-to-closed
+//! and recv-from-drained, backpressure-blocking `send` on bounded
+//! channels, and `thread::scope` returning `Err` when any spawned
+//! thread panicked instead of propagating the panic.
 
 #![forbid(unsafe_code)]
 
 pub mod channel {
-    //! Unbounded multi-producer multi-consumer FIFO channel.
+    //! Unbounded and bounded multi-producer multi-consumer FIFO channels.
 
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,6 +17,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue drains below capacity.
+        vacancy: Condvar,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -47,11 +52,12 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            vacancy: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -63,17 +69,34 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    /// `send` blocks while the queue is full (backpressure) until a
+    /// receiver drains it or every receiver is dropped.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(cap.max(1))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message; fails when every receiver is dropped.
+        /// Enqueues a message, blocking while a bounded queue is full;
+        /// fails when every receiver is dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.inner
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .push_back(value);
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            while queue.len() >= self.inner.capacity {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                queue = self.inner.vacancy.wait(queue).expect("channel poisoned");
+            }
+            queue.push_back(value);
+            drop(queue);
             self.inner.ready.notify_one();
             Ok(())
         }
@@ -91,6 +114,9 @@ pub mod channel {
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
             if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Taking the lock serializes with receivers between their
+                // drained-check and wait, so this wakeup cannot be lost.
+                let _queue = self.inner.queue.lock();
                 self.inner.ready.notify_all();
             }
         }
@@ -102,6 +128,8 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.vacancy.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -115,6 +143,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.inner.vacancy.notify_one();
                 return Ok(value);
             }
             if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -136,7 +166,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake senders blocked on a full bounded queue so they
+                // observe the disconnect instead of waiting forever. The
+                // lock serializes with their full-check, so the wakeup
+                // cannot slip in before they wait.
+                let _queue = self.inner.queue.lock();
+                self.inner.vacancy.notify_all();
+            }
         }
     }
 }
@@ -213,6 +250,31 @@ mod tests {
         let (tx, rx) = super::channel::unbounded::<u32>();
         drop(rx);
         assert_eq!(tx.send(9), Err(super::channel::SendError(9)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must block until the receiver drains a slot.
+        let handle = std::thread::spawn(move || tx.send(3));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(super::channel::SendError(2)));
     }
 
     #[test]
