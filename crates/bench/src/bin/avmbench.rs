@@ -3,85 +3,24 @@
 //! **legacy** string-resolving interpreter and once on the default
 //! **fast** path (interned symbols, pre-resolved instruction streams,
 //! inline caches, arena heap) — verifies both retire exactly the same
-//! instruction count, and emits a `BENCH_avm.json` perf record with
-//! per-workload samples so future changes have a regression trajectory.
-//!
-//! ```text
-//! avmbench [--samples N] [--warmup N] [--iters N] [--min-speedup F] [--out PATH]
-//! ```
+//! instruction count, and emits a unified `BENCH_avm.json` measurement
+//! record (appended to `BENCH_history.jsonl`) with per-workload samples
+//! so future changes have a regression trajectory. The retired
+//! instruction count is a `Steady` virtual identity benchcmp gates
+//! across machines.
 //!
 //! `--min-speedup` gates on the **aggregate** speedup (total instructions
 //! over total wall-clock, fast vs legacy): CI passes `3.0`.
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use dydroid_avm::{Device, DeviceConfig, Process};
+use dydroid_bench::{ArgParser, CommonArgs, Direction, Measurement, Stats, EXIT_FINDING};
 use dydroid_dex::builder::DexBuilder;
 use dydroid_dex::{AccessFlags, CmpKind, DexFile, FieldRef, Manifest, MethodRef};
 
-struct Args {
-    samples: usize,
-    warmup: usize,
-    iters: usize,
-    min_speedup: f64,
-    out: String,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        samples: 10,
-        warmup: 3,
-        iters: 5,
-        min_speedup: 0.0,
-        out: "BENCH_avm.json".to_string(),
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--samples" => {
-                args.samples = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--samples needs an integer"));
-            }
-            "--warmup" => {
-                args.warmup = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--warmup needs an integer"));
-            }
-            "--iters" => {
-                args.iters = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--iters needs an integer"));
-            }
-            "--min-speedup" => {
-                args.min_speedup = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--min-speedup needs a float"));
-            }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
-            "--help" | "-h" => {
-                println!("usage: {USAGE}");
-                std::process::exit(0);
-            }
-            other => usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    args
-}
-
-const USAGE: &str =
-    "avmbench [--samples N] [--warmup N] [--iters N] [--min-speedup F] [--out PATH]";
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: {USAGE}");
-    std::process::exit(2);
-}
+const USAGE: &str = "avmbench [--samples N] [--warmup N] [--iters N] [--min-speedup F] \
+[--out PATH] [--history PATH | --no-history]";
 
 const PKG: &str = "com.bench.app";
 const ENTRY_CLASS: &str = "com.bench.Main";
@@ -226,7 +165,7 @@ struct Measured {
 /// entry `iters` times per sample (resetting the heap between entries
 /// so the arena, register pool and inline caches are exercised in
 /// steady state), `warmup` unrecorded rounds first.
-fn measure(classes: &DexFile, legacy: bool, args: &Args) -> Measured {
+fn measure(classes: &DexFile, legacy: bool, common: &CommonArgs, iters: usize) -> Measured {
     let mut device = Device::new(DeviceConfig {
         legacy_interp: legacy,
         instrumented: false,
@@ -235,21 +174,21 @@ fn measure(classes: &DexFile, legacy: bool, args: &Args) -> Measured {
     let manifest = Manifest::new(PKG);
     let mut proc = Process::new(PKG.to_string(), classes.clone(), &manifest);
     let run_round = |proc: &mut Process, device: &mut Device| {
-        for _ in 0..args.iters {
+        for _ in 0..iters {
             proc.heap.reset();
             if !proc.run_entry(device, ENTRY_CLASS, ENTRY) {
                 eprintln!("avmbench: FAIL — workload crashed (legacy={legacy})");
-                std::process::exit(1);
+                std::process::exit(EXIT_FINDING);
             }
         }
     };
-    for _ in 0..args.warmup {
+    for _ in 0..common.warmup {
         run_round(&mut proc, &mut device);
     }
     let before_all = device.instructions_retired();
-    let mut samples_ips = Vec::with_capacity(args.samples);
+    let mut samples_ips = Vec::with_capacity(common.samples);
     let mut total_secs = 0.0;
-    for _ in 0..args.samples {
+    for _ in 0..common.samples {
         let before = device.instructions_retired();
         let t0 = Instant::now();
         run_round(&mut proc, &mut device);
@@ -265,48 +204,42 @@ fn measure(classes: &DexFile, legacy: bool, args: &Args) -> Measured {
     }
 }
 
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut s = xs.to_vec();
-    s.sort_by(|a, b| a.total_cmp(b));
-    let mid = s.len() / 2;
-    if s.len().is_multiple_of(2) {
-        (s[mid - 1] + s[mid]) / 2.0
-    } else {
-        s[mid]
-    }
-}
-
-fn stddev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
-}
-
 fn variant_json(m: &Measured) -> serde_json::Value {
+    let stats = Stats::from_samples(&m.samples_ips);
     serde_json::json!({
         "samples_ips": m.samples_ips,
-        "mean_ips": mean(&m.samples_ips),
-        "median_ips": median(&m.samples_ips),
-        "stddev_ips": stddev(&m.samples_ips),
+        "mean_ips": stats.mean,
+        "median_ips": stats.median,
+        "stddev_ips": stats.stddev,
         "instructions": m.total_instructions,
         "wall_secs": m.total_secs,
     })
 }
 
 fn main() {
-    let args = parse_args();
+    let mut parser = ArgParser::new(USAGE);
+    let mut common = CommonArgs::for_bench("BENCH_avm.json", 10, 3);
+    common.scale = 0.0;
+    common.seed = 0;
+    let mut iters = 5usize;
+    while let Some(arg) = parser.next() {
+        if common.accept(&arg, &mut parser) {
+            continue;
+        }
+        match arg.as_str() {
+            "--iters" => iters = parser.value("--iters", "an integer"),
+            other => parser.fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // The iteration count shapes the instruction-retirement identity, so
+    // it belongs in the workload string: records at different --iters
+    // are a shape mismatch and their Steady metrics must not gate.
+    let workload = format!("legacy-vs-fast-i{iters}");
+    let mut record = Measurement::new("avm", &workload, common.scale, common.seed);
+    record.samples = common.samples;
+    record.warmup = common.warmup;
+
     let mut per_workload = Vec::new();
     let mut legacy_insns = 0u64;
     let mut legacy_secs = 0.0f64;
@@ -315,8 +248,8 @@ fn main() {
 
     for (name, classes) in workloads() {
         eprintln!("avmbench: {name} ...");
-        let legacy = measure(&classes, true, &args);
-        let fast = measure(&classes, false, &args);
+        let legacy = measure(&classes, true, &common, iters);
+        let fast = measure(&classes, false, &common, iters);
         // Correctness identity: both interpreters must retire exactly
         // the same instruction count on the same program.
         if legacy.total_instructions != fast.total_instructions {
@@ -324,18 +257,32 @@ fn main() {
                 "avmbench: FAIL — {name}: legacy retired {} instructions, fast retired {}",
                 legacy.total_instructions, fast.total_instructions
             );
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         }
-        let speedup = median(&fast.samples_ips) / median(&legacy.samples_ips).max(1.0);
+        let legacy_med = Stats::from_samples(&legacy.samples_ips).median;
+        let fast_med = Stats::from_samples(&fast.samples_ips).median;
+        let speedup = fast_med / legacy_med.max(1.0);
         eprintln!(
-            "avmbench: {name:<8} legacy {:>12.0} ips | fast {:>12.0} ips | {speedup:.2}x",
-            median(&legacy.samples_ips),
-            median(&fast.samples_ips),
+            "avmbench: {name:<8} legacy {legacy_med:>12.0} ips | fast {fast_med:>12.0} ips | {speedup:.2}x"
         );
         legacy_insns += legacy.total_instructions;
         legacy_secs += legacy.total_secs;
         fast_insns += fast.total_instructions;
         fast_secs += fast.total_secs;
+        record.push_metric(
+            &format!("{name}_fast_ips"),
+            "instructions/sec",
+            Direction::Higher,
+            false,
+            fast.samples_ips.clone(),
+        );
+        record.push_metric(
+            &format!("{name}_speedup"),
+            "ratio",
+            Direction::Higher,
+            false,
+            vec![speedup],
+        );
         per_workload.push(serde_json::json!({
             "workload": name,
             "legacy": variant_json(&legacy),
@@ -351,33 +298,53 @@ fn main() {
         "avmbench: aggregate legacy {legacy_agg:.0} ips -> fast {fast_agg:.0} ips ({aggregate:.2}x)"
     );
 
-    let aggregate_json = serde_json::json!({
-        "legacy_ips": legacy_agg,
-        "fast_ips": fast_agg,
-        "speedup": aggregate,
-    });
-    let doc = serde_json::json!({
-        "bench": "avm",
-        "samples": args.samples,
-        "warmup": args.warmup,
-        "iters_per_sample": args.iters,
-        "workloads": per_workload,
-        "aggregate": aggregate_json,
-    });
-    let mut f = std::fs::File::create(&args.out).expect("create bench output");
-    f.write_all(
-        serde_json::to_string_pretty(&doc)
-            .expect("serialise")
-            .as_bytes(),
-    )
-    .expect("write bench output");
-    eprintln!("avmbench: wrote {}", args.out);
+    record.push_metric(
+        "aggregate_fast_ips",
+        "instructions/sec",
+        Direction::Higher,
+        false,
+        vec![fast_agg],
+    );
+    record.push_metric(
+        "aggregate_speedup",
+        "ratio",
+        Direction::Higher,
+        false,
+        vec![aggregate],
+    );
+    // Deterministic identity: the fast path must retire exactly this
+    // many instructions for the fixed workloads, on any machine.
+    record.push_metric(
+        "instructions_retired",
+        "count",
+        Direction::Steady,
+        true,
+        vec![fast_insns as f64],
+    );
+    record.counter("avm.instructions_retired", fast_insns);
 
-    if args.min_speedup > 0.0 && aggregate < args.min_speedup {
-        eprintln!(
-            "avmbench: FAIL — aggregate speedup {aggregate:.2}x below required {:.2}x",
-            args.min_speedup
-        );
-        std::process::exit(1);
+    record.payload = serde_json::json!({
+        "iters_per_sample": iters,
+        "workloads": per_workload,
+        "aggregate": serde_json::json!({
+            "legacy_ips": legacy_agg,
+            "fast_ips": fast_agg,
+            "speedup": aggregate,
+        }),
+    });
+
+    record
+        .write_pretty(&common.out)
+        .expect("write bench output");
+    eprintln!("avmbench: wrote {}", common.out);
+    common.append_history("avmbench", &record);
+
+    if let Some(min_speedup) = common.gate("speedup") {
+        if aggregate < min_speedup {
+            eprintln!(
+                "avmbench: FAIL — aggregate speedup {aggregate:.2}x below required {min_speedup:.2}x"
+            );
+            std::process::exit(EXIT_FINDING);
+        }
     }
 }

@@ -4,96 +4,28 @@
 //! provenance ledger and event stream against the fault-free run at the
 //! same seed.
 //!
-//! ```text
-//! crashtorture [--scale F] [--seed N] [--crash-points N] [--fault-rate F]
-//!              [--fault-seed N] [--out PATH]
-//! ```
-//!
 //! `--crash-points 0` exercises every write boundary; otherwise `N`
 //! evenly spaced boundaries are sampled. `--fault-rate` additionally
 //! injects short writes, bit-flips, transient errors and ENOSPC at that
-//! per-op probability during the killed runs. `--out` writes the
-//! recovered report (tables rendered from the last resumed run) as a CI
-//! artifact. Exits non-zero if any crash point fails to recover
-//! byte-identically.
+//! per-op probability during the killed runs. The run emits a unified
+//! `BENCH_crash.json` measurement record (appended to
+//! `BENCH_history.jsonl`) whose write-op and crash-point totals are
+//! `Steady` virtual identities benchcmp gates across machines;
+//! `--report-out` additionally writes the recovered report (tables
+//! rendered from the last resumed run) as a CI artifact. Exits 1 if any
+//! crash point fails to recover byte-identically.
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dydroid::{IoHarness, Journal, Pipeline, PipelineConfig};
+use dydroid_bench::{ArgParser, CommonArgs, Direction, Measurement, EXIT_FINDING};
 use dydroid_workload::faults::{crash_points, crash_torture, IoFaultScript, IoFaultSpec};
 use dydroid_workload::{generate, CorpusSpec};
 
 const USAGE: &str = "crashtorture [--scale F] [--seed N] [--crash-points N] [--fault-rate F] \
-[--fault-seed N] [--out PATH]";
-
-struct Args {
-    scale: f64,
-    seed: u64,
-    crash_points: u64,
-    fault_rate: f64,
-    fault_seed: u64,
-    out: Option<String>,
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: {USAGE}");
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        scale: 0.01,
-        seed: CorpusSpec::default().seed,
-        crash_points: 16,
-        fault_rate: 0.0,
-        fault_seed: 17,
-        out: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--scale needs a float"));
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--crash-points" => {
-                args.crash_points = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--crash-points needs an integer (0 = every op)"));
-            }
-            "--fault-rate" => {
-                args.fault_rate = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--fault-rate needs a float in [0,1)"));
-            }
-            "--fault-seed" => {
-                args.fault_seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--fault-seed needs an integer"));
-            }
-            "--out" => args.out = it.next().or_else(|| usage("--out needs a path")),
-            "--help" | "-h" => {
-                println!("usage: {USAGE}");
-                std::process::exit(0);
-            }
-            other => usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    args
-}
+[--fault-seed N] [--out PATH] [--report-out PATH] [--history PATH | --no-history]";
 
 fn temp_journal(tag: &str) -> Journal {
     let path: PathBuf = std::env::temp_dir().join(format!(
@@ -106,26 +38,46 @@ fn temp_journal(tag: &str) -> Journal {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut parser = ArgParser::new(USAGE);
+    let mut common = CommonArgs::for_bench("BENCH_crash.json", 1, 0);
+    let mut crash_count = 16u64;
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 17u64;
+    let mut report_out: Option<String> = None;
+    while let Some(arg) = parser.next() {
+        if common.accept(&arg, &mut parser) {
+            continue;
+        }
+        match arg.as_str() {
+            "--crash-points" => {
+                crash_count = parser.value("--crash-points", "an integer (0 = every op)")
+            }
+            "--fault-rate" => fault_rate = parser.value("--fault-rate", "a float in [0,1)"),
+            "--fault-seed" => fault_seed = parser.value("--fault-seed", "an integer"),
+            "--report-out" => report_out = Some(parser.raw("--report-out")),
+            other => parser.fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
     let corpus = generate(&CorpusSpec {
-        scale: args.scale,
-        seed: args.seed,
+        scale: common.scale,
+        seed: common.seed,
     });
     eprintln!(
         "crashtorture: {} apps (scale {}, seed {:#x}), fault rate {}",
         corpus.len(),
-        args.scale,
-        args.seed,
-        args.fault_rate
+        common.scale,
+        common.seed,
+        fault_rate
     );
     let config = PipelineConfig {
         environment_reruns: false,
         ..Default::default()
     };
-    let script = (args.fault_rate > 0.0).then(|| {
+    let script = (fault_rate > 0.0).then(|| {
         IoFaultScript::new(IoFaultSpec {
-            rate: args.fault_rate,
-            seed: args.fault_seed,
+            rate: fault_rate,
+            seed: fault_seed,
         })
     });
 
@@ -157,10 +109,11 @@ fn main() {
         bytes
     };
 
+    let t0 = Instant::now();
     let counter = IoHarness::counting();
     let reference = run("ref", Some(Arc::clone(&counter)));
     let total_ops = counter.ops();
-    let points = crash_points(total_ops, args.crash_points);
+    let points = crash_points(total_ops, crash_count);
     eprintln!(
         "crashtorture: {} write ops, exercising {} crash point(s)",
         total_ops,
@@ -171,16 +124,81 @@ fn main() {
         &points,
         |op| run(&format!("op{op}"), Some(IoHarness::new(Some(op), script))),
     );
+    let torture_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    if let (Some(path), Some(recovered)) = (&args.out, last_report.borrow().as_ref()) {
+    if let (Some(path), Some(recovered)) = (&report_out, last_report.borrow().as_ref()) {
         std::fs::write(path, recovered.render_all()).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         });
         eprintln!("crashtorture: recovered report written to {path}");
     }
 
     let divergent = report.divergent();
+    // `--crash-points` shapes the sampled-point identity, so it belongs
+    // in the workload string: records at different point counts are a
+    // shape mismatch and their Steady metrics must not gate.
+    let workload = if fault_rate > 0.0 {
+        format!("faults-{fault_rate}-p{crash_count}")
+    } else {
+        format!("crash-only-p{crash_count}")
+    };
+    let mut record = Measurement::new("crash", &workload, common.scale, common.seed);
+    record.samples = common.samples;
+    record.warmup = common.warmup;
+    if let Some(recovered) = last_report.borrow().as_ref() {
+        record.counters_from_stats(recovered.stats());
+    }
+    // Deterministic identities: the write-op total and sampled point
+    // count must never move for a fixed scale + seed, on any machine.
+    record.push_metric(
+        "write_ops",
+        "count",
+        Direction::Steady,
+        true,
+        vec![report.total_ops as f64],
+    );
+    record.push_metric(
+        "crash_points",
+        "count",
+        Direction::Steady,
+        true,
+        vec![report.verdicts.len() as f64],
+    );
+    // Any divergence is a correctness failure; the metric also gates in
+    // benchcmp (Lower: 0 is the only clean value).
+    record.push_metric(
+        "divergent",
+        "count",
+        Direction::Lower,
+        true,
+        vec![divergent.len() as f64],
+    );
+    record.push_metric(
+        "torture_wall_ms",
+        "ms",
+        Direction::Lower,
+        false,
+        vec![torture_ms],
+    );
+    record.counter("crash.write_ops", report.total_ops);
+    record.counter("crash.points", report.verdicts.len() as u64);
+    record.counter("crash.divergent", divergent.len() as u64);
+    record.payload = serde_json::json!({
+        "apps": corpus.len(),
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "total_ops": report.total_ops,
+        "points": report.verdicts.len(),
+        "divergent": serde_json::to_value(&divergent).expect("serialise divergent"),
+    });
+
+    record
+        .write_pretty(&common.out)
+        .expect("write bench output");
+    eprintln!("crashtorture: wrote {}", common.out);
+    common.append_history("crashtorture", &record);
+
     if divergent.is_empty() {
         println!(
             "ok: {} crash point(s) of {} write ops all recovered byte-identically",
@@ -193,6 +211,6 @@ fn main() {
             divergent.len(),
             report.verdicts.len()
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
 }

@@ -26,6 +26,7 @@
 use dydroid::durable::scan_path;
 use dydroid::provenance::{check_against_journal, corpus_dot};
 use dydroid::{AppProvenance, Journal, ProvenanceLedger};
+use dydroid_bench::{EXIT_CODE_HELP, EXIT_FINDING, EXIT_USAGE};
 
 const USAGE: &str = "dcltrace --ledger PATH <summary | chain <pkg> [<path>] | diff [<pkg>] | \
 export --dot [--app PKG] [--out PATH] | check --journal PATH>";
@@ -33,7 +34,8 @@ export --dot [--app PKG] [--out PATH] | check --journal PATH>";
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: {USAGE}");
-    std::process::exit(2);
+    eprintln!("{EXIT_CODE_HELP}");
+    std::process::exit(EXIT_USAGE);
 }
 
 fn load_ledger(path: &str, allow_empty: bool) -> Vec<AppProvenance> {
@@ -41,12 +43,12 @@ fn load_ledger(path: &str, allow_empty: bool) -> Vec<AppProvenance> {
     match ledger.load() {
         Ok(records) if records.is_empty() && !allow_empty => {
             eprintln!("ledger {path} holds no records");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         }
         Ok(records) => records,
         Err(e) => {
             eprintln!("error: cannot read ledger {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         }
     }
 }
@@ -60,7 +62,7 @@ fn find_app<'l>(records: &'l [AppProvenance], pkg: &str) -> &'l AppProvenance {
                 "error: package {pkg} not in ledger ({} apps)",
                 records.len()
             );
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         })
 }
 
@@ -143,7 +145,7 @@ fn cmd_export(records: &[AppProvenance], app: Option<&str>, out: Option<&str>) {
         Some(path) => {
             std::fs::write(path, &dot).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_FINDING);
             });
             eprintln!("wrote {path}");
         }
@@ -187,7 +189,7 @@ fn cmd_check(records: &[AppProvenance], ledger_path: &str, journal_path: &str) {
     let journal = Journal::new(journal_path);
     let loaded = journal.load().unwrap_or_else(|e| {
         eprintln!("error: cannot read journal {journal_path}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     });
     // Layer 1: frame integrity — CRC32 checksums and contiguous sequence
     // numbers across all three persistent streams.
@@ -236,7 +238,7 @@ fn cmd_check(records: &[AppProvenance], ledger_path: &str, journal_path: &str) {
         eprintln!("check failed: {dropped} corrupt or dropped frame(s) across streams");
     }
     if dropped > 0 || agree.is_err() {
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
 }
 
@@ -263,6 +265,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
+                println!("{EXIT_CODE_HELP}");
                 std::process::exit(0);
             }
             other if other.starts_with("--") => usage(&format!("unknown flag {other:?}")),

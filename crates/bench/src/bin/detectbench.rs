@@ -2,88 +2,25 @@
 //! detector, then runs the same test set through the **naive quadratic
 //! scan** and the **inverted block index** (sequentially and fanned over
 //! a thread pool), verifies all three produce identical verdicts, and
-//! emits a `BENCH_detect.json` perf record with the index's pruning
-//! counters so future changes have a regression trajectory.
-//!
-//! ```text
-//! detectbench [--families N] [--samples M] [--tests T] [--blocks B]
-//!             [--threshold F] [--seed S] [--out PATH] [--skip-naive]
-//! ```
+//! emits a unified `BENCH_detect.json` measurement record (appended to
+//! `BENCH_history.jsonl`) with the index's pruning counters so future
+//! changes have a regression trajectory. Wall-clock passes are sampled
+//! over several rounds (rebar warmup/sample discipline); the flagged
+//! count is a deterministic `Steady` identity benchcmp gates across
+//! machines.
 
-use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use dydroid_analysis::{BinarySig, BlockSig, FamilyMatch, MalwareDetector};
+use dydroid_bench::measure::sample_rounds;
+use dydroid_bench::{ArgParser, CommonArgs, Direction, Measurement, Stats, EXIT_FINDING};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-struct Args {
-    families: usize,
-    samples: usize,
-    tests: usize,
-    blocks: usize,
-    threshold: f64,
-    seed: u64,
-    out: String,
-    skip_naive: bool,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        families: 12,
-        samples: 8,
-        tests: 400,
-        blocks: 300,
-        threshold: dydroid_analysis::acfg::DEFAULT_THRESHOLD,
-        seed: 0xD37EC7,
-        out: "BENCH_detect.json".to_string(),
-        skip_naive: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut num = |flag: &str| -> usize {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
-        };
-        match arg.as_str() {
-            "--families" => args.families = num("--families"),
-            "--samples" => args.samples = num("--samples"),
-            "--tests" => args.tests = num("--tests"),
-            "--blocks" => args.blocks = num("--blocks"),
-            "--threshold" => {
-                args.threshold = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--threshold needs a float"));
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
-            "--skip-naive" => args.skip_naive = true,
-            "--help" | "-h" => {
-                println!("usage: {USAGE}");
-                std::process::exit(0);
-            }
-            other => usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    args
-}
-
-const USAGE: &str = "detectbench [--families N] [--samples M] [--tests T] [--blocks B] \
-[--threshold F] [--seed S] [--out PATH] [--skip-naive]";
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: {USAGE}");
-    std::process::exit(2);
-}
+const USAGE: &str = "detectbench [--families N] [--family-samples M] [--tests T] [--blocks B] \
+[--threshold F] [--seed S] [--out PATH] [--samples N] [--warmup N] \
+[--history PATH | --no-history] [--skip-naive]";
 
 /// A family's base signature: variants of one family mutate this shared
 /// block sequence, so intra-family overlap is high and cross-family
@@ -128,13 +65,13 @@ fn benign(rng: &mut ChaCha8Rng, blocks: usize) -> BinarySig {
 }
 
 /// Runs every test through `detect` and returns verdicts + wall ms.
-fn timed_pass<F>(tests: &[BinarySig], detect: F) -> (Vec<Option<FamilyMatch>>, u64)
+fn timed_pass<F>(tests: &[BinarySig], detect: F) -> (Vec<Option<FamilyMatch>>, f64)
 where
     F: Fn(&BinarySig) -> Option<FamilyMatch>,
 {
     let t0 = Instant::now();
     let verdicts = tests.iter().map(detect).collect();
-    (verdicts, t0.elapsed().as_millis() as u64)
+    (verdicts, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Fans the test set over `workers` threads against the shared detector
@@ -143,7 +80,7 @@ fn timed_parallel(
     detector: &MalwareDetector,
     tests: &[BinarySig],
     workers: usize,
-) -> (Vec<Option<FamilyMatch>>, u64) {
+) -> (Vec<Option<FamilyMatch>>, f64) {
     let t0 = Instant::now();
     let slots: Vec<std::sync::Mutex<Option<FamilyMatch>>> =
         tests.iter().map(|_| std::sync::Mutex::new(None)).collect();
@@ -164,7 +101,7 @@ fn timed_parallel(
         .into_iter()
         .map(|slot| slot.into_inner().unwrap())
         .collect();
-    (verdicts, t0.elapsed().as_millis() as u64)
+    (verdicts, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 fn verdicts_identical(a: &[Option<FamilyMatch>], b: &[Option<FamilyMatch>]) -> bool {
@@ -177,18 +114,40 @@ fn verdicts_identical(a: &[Option<FamilyMatch>], b: &[Option<FamilyMatch>]) -> b
 }
 
 fn main() {
-    let args = parse_args();
-    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut parser = ArgParser::new(USAGE);
+    let mut common = CommonArgs::for_bench("BENCH_detect.json", 3, 1);
+    common.scale = 0.0;
+    common.seed = 0xD37EC7;
+    let mut families = 12usize;
+    let mut family_samples = 8usize;
+    let mut tests_n = 400usize;
+    let mut blocks = 300usize;
+    let mut threshold = dydroid_analysis::acfg::DEFAULT_THRESHOLD;
+    let mut skip_naive = false;
+    while let Some(arg) = parser.next() {
+        if common.accept(&arg, &mut parser) {
+            continue;
+        }
+        match arg.as_str() {
+            "--families" => families = parser.value("--families", "an integer"),
+            "--family-samples" => family_samples = parser.value("--family-samples", "an integer"),
+            "--tests" => tests_n = parser.value("--tests", "an integer"),
+            "--blocks" => blocks = parser.value("--blocks", "an integer"),
+            "--threshold" => threshold = parser.value("--threshold", "a float"),
+            "--skip-naive" => skip_naive = true,
+            other => parser.fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(common.seed);
 
     eprintln!(
-        "detectbench: training {} families x {} samples ({} blocks each) ...",
-        args.families, args.samples, args.blocks
+        "detectbench: training {families} families x {family_samples} samples ({blocks} blocks each) ..."
     );
-    let mut detector = MalwareDetector::with_threshold(args.threshold);
-    let mut bases = Vec::with_capacity(args.families);
-    for f in 0..args.families {
-        let base = family_base(&mut rng, args.blocks);
-        let sigs = (0..args.samples)
+    let mut detector = MalwareDetector::with_threshold(threshold);
+    let mut bases = Vec::with_capacity(families);
+    for f in 0..families {
+        let base = family_base(&mut rng, blocks);
+        let sigs = (0..family_samples)
             .map(|_| variant(&mut rng, &base, 0.02))
             .collect();
         detector.train_sigs(format!("family_{f:02}"), sigs);
@@ -197,14 +156,14 @@ fn main() {
 
     // Test set: half unseen family variants (mutation 1-12%, so scores
     // straddle the 0.9 default threshold), half unrelated binaries.
-    let tests: Vec<BinarySig> = (0..args.tests)
+    let tests: Vec<BinarySig> = (0..tests_n)
         .map(|i| {
             if i % 2 == 0 {
                 let base = &bases[rng.gen_range(0..bases.len())];
                 let mutation = 0.01 + 0.11 * (i % 11) as f64 / 10.0;
                 variant(&mut rng, base, mutation)
             } else {
-                benign(&mut rng, args.blocks)
+                benign(&mut rng, blocks)
             }
         })
         .collect();
@@ -214,9 +173,15 @@ fn main() {
         detector.sample_count()
     );
 
+    let workload = format!("f{families}x{family_samples}-t{tests_n}-b{blocks}");
+    let mut record = Measurement::new("detect", &workload, common.scale, common.seed);
+    record.samples = common.samples;
+    record.warmup = common.warmup;
+
+    // One counted pass first: the pruning counters of exactly one pass
+    // over the test set, independent of how many timing rounds follow.
     let mark = detector.stats();
-    eprintln!("detectbench: indexed sequential pass ...");
-    let (indexed, indexed_ms) = timed_pass(&tests, |t| detector.detect_sig(t));
+    let (indexed, _) = timed_pass(&tests, |t| detector.detect_sig(t));
     let stats = detector.stats().since(&mark);
     let hits = indexed.iter().filter(|v| v.is_some()).count();
     eprintln!(
@@ -228,16 +193,53 @@ fn main() {
         stats.fully_scored,
         stats.early_exits
     );
+    record.counter("detector.candidates", stats.candidates);
+    record.counter("detector.pruned", stats.pruned);
+    record.counter("detector.fully_scored", stats.fully_scored);
+    record.counter("detector.early_exits", stats.early_exits);
+
+    eprintln!(
+        "detectbench: indexed sequential pass ({} warmup + {} sample rounds) ...",
+        common.warmup, common.samples
+    );
+    let indexed_ms = sample_rounds(common.samples, common.warmup, || {
+        timed_pass(&tests, |t| detector.detect_sig(t)).1
+    });
+    let indexed_med = Stats::from_samples(&indexed_ms).median;
 
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4);
     eprintln!("detectbench: indexed parallel pass ({workers} workers) ...");
-    let (par, parallel_ms) = timed_parallel(&detector, &tests, workers);
-    if !verdicts_identical(&indexed, &par) {
+    let mut par_verdicts: Option<Vec<Option<FamilyMatch>>> = None;
+    let parallel_ms = sample_rounds(common.samples, common.warmup, || {
+        let (verdicts, ms) = timed_parallel(&detector, &tests, workers);
+        par_verdicts = Some(verdicts);
+        ms
+    });
+    let parallel_med = Stats::from_samples(&parallel_ms).median;
+    if !verdicts_identical(&indexed, &par_verdicts.expect("parallel rounds")) {
         eprintln!("detectbench: FAIL — parallel and sequential verdicts differ");
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
+
+    record.push_metric("indexed_wall_ms", "ms", Direction::Lower, false, indexed_ms);
+    record.push_metric(
+        "parallel_wall_ms",
+        "ms",
+        Direction::Lower,
+        false,
+        parallel_ms,
+    );
+    // Deterministic identity: the verdict count must never move for a
+    // fixed shape + seed, on any machine.
+    record.push_metric(
+        "flagged",
+        "count",
+        Direction::Steady,
+        true,
+        vec![hits as f64],
+    );
 
     let counters = serde_json::json!({
         "candidates": stats.candidates,
@@ -245,46 +247,61 @@ fn main() {
         "fully_scored": stats.fully_scored,
         "early_exits": stats.early_exits,
     });
-    let mut doc = serde_json::json!({
-        "bench": "detect",
-        "families": args.families,
-        "samples_per_family": args.samples,
-        "blocks_per_sample": args.blocks,
-        "tests": args.tests,
-        "threshold": args.threshold,
-        "seed": args.seed,
+    let mut payload = serde_json::json!({
+        "families": families,
+        "samples_per_family": family_samples,
+        "blocks_per_sample": blocks,
+        "tests": tests_n,
+        "threshold": threshold,
         "workers": workers,
         "flagged": hits,
-        "indexed_ms": indexed_ms,
-        "parallel_ms": parallel_ms,
+        "indexed_ms": indexed_med,
+        "parallel_ms": parallel_med,
         "counters": counters,
     });
 
-    if !args.skip_naive {
-        eprintln!("detectbench: naive quadratic pass ...");
-        let (naive, naive_ms) = timed_pass(&tests, |t| detector.detect_sig_naive(t));
+    if !skip_naive {
+        eprintln!(
+            "detectbench: naive quadratic pass ({} warmup + {} sample rounds) ...",
+            common.warmup, common.samples
+        );
+        let mut naive_verdicts: Option<Vec<Option<FamilyMatch>>> = None;
+        let naive_ms = sample_rounds(common.samples, common.warmup, || {
+            let (verdicts, ms) = timed_pass(&tests, |t| detector.detect_sig_naive(t));
+            naive_verdicts = Some(verdicts);
+            ms
+        });
         // The index must not change a single verdict bit.
-        if !verdicts_identical(&indexed, &naive) {
+        if !verdicts_identical(&indexed, &naive_verdicts.expect("naive rounds")) {
             eprintln!("detectbench: FAIL — indexed and naive verdicts differ");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         }
         eprintln!("detectbench: verdicts identical across all passes");
-        let speedup = if indexed_ms == 0 {
-            naive_ms as f64
+        let naive_med = Stats::from_samples(&naive_ms).median;
+        let speedup = if indexed_med == 0.0 {
+            naive_med
         } else {
-            naive_ms as f64 / indexed_ms as f64
+            naive_med / indexed_med
         };
-        let parallel_speedup = if parallel_ms == 0 {
-            naive_ms as f64
+        let parallel_speedup = if parallel_med == 0.0 {
+            naive_med
         } else {
-            naive_ms as f64 / parallel_ms as f64
+            naive_med / parallel_med
         };
         eprintln!(
-            "detectbench: naive {naive_ms} ms -> indexed {indexed_ms} ms ({speedup:.2}x), \
-parallel {parallel_ms} ms ({parallel_speedup:.2}x)"
+            "detectbench: naive {naive_med:.1} ms -> indexed {indexed_med:.1} ms ({speedup:.2}x), \
+parallel {parallel_med:.1} ms ({parallel_speedup:.2}x)"
         );
-        if let serde_json::Value::Object(map) = &mut doc {
-            map.push(("naive_ms".to_string(), serde_json::json!(naive_ms)));
+        record.push_metric("naive_wall_ms", "ms", Direction::Lower, false, naive_ms);
+        record.push_metric(
+            "index_speedup",
+            "ratio",
+            Direction::Higher,
+            false,
+            vec![speedup],
+        );
+        if let serde_json::Value::Object(map) = &mut payload {
+            map.push(("naive_ms".to_string(), serde_json::json!(naive_med)));
             map.push(("speedup".to_string(), serde_json::json!(speedup)));
             map.push((
                 "parallel_speedup".to_string(),
@@ -292,13 +309,11 @@ parallel {parallel_ms} ms ({parallel_speedup:.2}x)"
             ));
         }
     }
+    record.payload = payload;
 
-    let mut f = std::fs::File::create(&args.out).expect("create bench output");
-    f.write_all(
-        serde_json::to_string_pretty(&doc)
-            .expect("serialise")
-            .as_bytes(),
-    )
-    .expect("write bench output");
-    eprintln!("detectbench: wrote {}", args.out);
+    record
+        .write_pretty(&common.out)
+        .expect("write bench output");
+    eprintln!("detectbench: wrote {}", common.out);
+    common.append_history("detectbench", &record);
 }

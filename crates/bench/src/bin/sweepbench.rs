@@ -1,11 +1,15 @@
-//! rebar-style sweep benchmark: runs a fixed-seed corpus sweep twice —
-//! once as the **uncached serial baseline** (analysis cache off, Table
-//! VIII re-runs serial with per-config re-decompilation) and once
-//! **optimized** (content-addressed cache on, parallel decompile-once
-//! re-runs) — verifies both produce identical measurement JSON, then
-//! sweeps the worker count 1→N through the sharded multi-writer path
-//! and emits the apps/sec-per-core scaling curve alongside the cached/
-//! baseline perf record in `BENCH_sweep.json`.
+//! rebar-style sweep benchmark: runs a fixed-seed corpus sweep through
+//! two variants — the **uncached serial baseline** (analysis cache off,
+//! Table VIII re-runs serial with per-config re-decompilation) and the
+//! **optimized** path (content-addressed cache on, parallel
+//! decompile-once re-runs) — verifies both produce identical measurement
+//! JSON, then sweeps the worker count 1→N through the sharded
+//! multi-writer path and emits the apps/sec-per-core scaling curve.
+//!
+//! Each variant is sampled over several rounds (rebar warmup/sample
+//! discipline) and the cached-vs-baseline speedup is judged with the
+//! shared noise-aware comparator: a wall-clock difference inside the
+//! run-to-run noise band reads "within noise", not "0.99x".
 //!
 //! Scaling is judged on the **virtual makespan** — the longest summed
 //! deterministic per-app virtual cost any one worker was charged (see
@@ -14,91 +18,30 @@
 //! single-core CI runners where wall-clock cannot speed up at all.
 //! Wall-clock per worker count is still recorded, unjudged.
 //!
-//! ```text
-//! sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline]
-//!            [--max-workers N] [--min-scaling F]
-//! ```
+//! The run emits one unified measurement record (`BENCH_sweep.json`),
+//! appends it to `BENCH_history.jsonl`, and exits 1 on any failed
+//! identity check or `--min-scaling` gate (the shared bench exit-code
+//! convention).
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use dydroid::scheduler::virtual_makespan_us;
 use dydroid::{Journal, MeasurementReport, Pipeline, PipelineConfig};
-use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
+use dydroid_bench::measure::sample_rounds;
+use dydroid_bench::{
+    significant, ArgParser, CommonArgs, CompareConfig, Direction, Measurement, EXIT_FINDING,
+};
+use dydroid_workload::{generate, SyntheticApp};
 
-struct Args {
-    scale: f64,
-    seed: u64,
-    out: String,
-    skip_baseline: bool,
-    max_workers: usize,
-    min_scaling: f64,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        scale: 0.01,
-        seed: CorpusSpec::default().seed,
-        out: "BENCH_sweep.json".to_string(),
-        skip_baseline: false,
-        max_workers: 4,
-        min_scaling: 0.0,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--scale needs a float"));
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
-            "--skip-baseline" => args.skip_baseline = true,
-            "--max-workers" => {
-                args.max_workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n: &usize| n >= 1)
-                    .unwrap_or_else(|| usage("--max-workers needs an integer >= 1"));
-            }
-            "--min-scaling" => {
-                args.min_scaling = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--min-scaling needs a float"));
-            }
-            "--help" | "-h" => {
-                println!("usage: {USAGE}");
-                std::process::exit(0);
-            }
-            other => usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    args
-}
-
-const USAGE: &str = "sweepbench [--scale F] [--seed N] [--out PATH] [--skip-baseline] \
-[--max-workers N] [--min-scaling F]";
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: {USAGE}");
-    std::process::exit(2);
-}
+const USAGE: &str = "sweepbench [--scale F] [--seed N] [--out PATH] [--samples N] [--warmup N] \
+[--history PATH | --no-history] [--skip-baseline] [--max-workers N] [--min-scaling F]";
 
 /// One timed sweep; returns the report and total wall-clock ms.
-fn timed_sweep(config: PipelineConfig, corpus: &[SyntheticApp]) -> (MeasurementReport, u64) {
+fn timed_sweep(config: PipelineConfig, corpus: &[SyntheticApp]) -> (MeasurementReport, f64) {
     let pipeline = Pipeline::new(config);
     let t0 = Instant::now();
     let report = pipeline.run(corpus);
-    (report, t0.elapsed().as_millis() as u64)
+    (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// One scaling point: a journaled sweep at a fixed worker count through
@@ -129,14 +72,15 @@ fn scaling_point(
     (report, wall_ms, bytes)
 }
 
-/// The perf facts of one variant as a JSON object.
-fn variant_json(report: &MeasurementReport, wall_ms: u64, apps: usize) -> serde_json::Value {
+/// The perf facts of one variant as a JSON object (the legacy payload
+/// shape, median wall-clock over the sampled rounds).
+fn variant_json(report: &MeasurementReport, wall_ms: f64, apps: usize) -> serde_json::Value {
     let stats = report.stats();
     let cache = &stats.cache;
-    let apps_per_sec = if wall_ms == 0 {
+    let apps_per_sec = if wall_ms == 0.0 {
         0.0
     } else {
-        apps as f64 * 1000.0 / wall_ms as f64
+        apps as f64 * 1000.0 / wall_ms
     };
     let phases = serde_json::json!({
         "sweep_ms": stats.sweep_ms,
@@ -159,17 +103,41 @@ fn variant_json(report: &MeasurementReport, wall_ms: u64, apps: usize) -> serde_
 }
 
 fn main() {
-    let args = parse_args();
+    let mut parser = ArgParser::new(USAGE);
+    let mut common = CommonArgs::for_bench("BENCH_sweep.json", 3, 1);
+    common.scale = 0.01;
+    let mut skip_baseline = false;
+    let mut max_workers = 4usize;
+    while let Some(arg) = parser.next() {
+        if common.accept(&arg, &mut parser) {
+            continue;
+        }
+        match arg.as_str() {
+            "--skip-baseline" => skip_baseline = true,
+            "--max-workers" => {
+                max_workers = parser.value("--max-workers", "an integer >= 1");
+                if max_workers == 0 {
+                    parser.fail("--max-workers needs an integer >= 1");
+                }
+            }
+            other => parser.fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
     eprintln!(
         "sweepbench: generating corpus (scale {}, seed {:#x}) ...",
-        args.scale, args.seed
+        common.scale, common.seed
     );
-    let corpus = generate(&CorpusSpec {
-        scale: args.scale,
-        seed: args.seed,
+    let corpus = generate(&dydroid_workload::CorpusSpec {
+        scale: common.scale,
+        seed: common.seed,
     });
     let apps = corpus.len();
     eprintln!("sweepbench: {apps} apps");
+
+    let mut record = Measurement::new("sweep", "cached-vs-baseline", common.scale, common.seed);
+    record.samples = common.samples;
+    record.warmup = common.warmup;
 
     // Telemetry off in both variants: this benchmark is the PR-over-PR
     // perf trajectory, so it measures the disabled-telemetry fast path
@@ -185,22 +153,62 @@ fn main() {
         ..PipelineConfig::default()
     };
 
-    eprintln!("sweepbench: cached + parallel-rerun sweep ...");
-    let (cached_report, cached_ms) = timed_sweep(cached_config, &corpus);
+    eprintln!(
+        "sweepbench: cached + parallel-rerun sweep ({} warmup + {} sample rounds) ...",
+        common.warmup, common.samples
+    );
+    let mut cached_report: Option<MeasurementReport> = None;
+    let cached_ms = sample_rounds(common.samples, common.warmup, || {
+        let (report, ms) = timed_sweep(cached_config.clone(), &corpus);
+        cached_report = Some(report);
+        ms
+    });
+    let cached_report = cached_report.expect("at least one cached round");
     eprint!("{}", cached_report.render_perf());
+    record.counters_from_stats(cached_report.stats());
+    record.push_metric(
+        "cached_wall_ms",
+        "ms",
+        Direction::Lower,
+        false,
+        cached_ms.clone(),
+    );
+    let cached_median = dydroid_bench::Stats::from_samples(&cached_ms).median;
+    record.push_metric(
+        "apps_per_sec",
+        "apps/sec",
+        Direction::Higher,
+        false,
+        cached_ms
+            .iter()
+            .map(|ms| {
+                if *ms == 0.0 {
+                    0.0
+                } else {
+                    apps as f64 * 1000.0 / ms
+                }
+            })
+            .collect(),
+    );
 
-    let mut doc = serde_json::json!({
-        "bench": "sweep",
-        "scale": args.scale,
-        "seed": args.seed,
+    let mut payload = serde_json::json!({
         "apps": apps,
         "workers": PipelineConfig::default().effective_workers(),
-        "cached": variant_json(&cached_report, cached_ms, apps),
+        "cached": variant_json(&cached_report, cached_median, apps),
     });
 
-    if !args.skip_baseline {
-        eprintln!("sweepbench: uncached serial baseline ...");
-        let (baseline_report, baseline_ms) = timed_sweep(baseline_config, &corpus);
+    if !skip_baseline {
+        eprintln!(
+            "sweepbench: uncached serial baseline ({} warmup + {} sample rounds) ...",
+            common.warmup, common.samples
+        );
+        let mut baseline_report: Option<MeasurementReport> = None;
+        let baseline_ms = sample_rounds(common.samples, common.warmup, || {
+            let (report, ms) = timed_sweep(baseline_config.clone(), &corpus);
+            baseline_report = Some(report);
+            ms
+        });
+        let baseline_report = baseline_report.expect("at least one baseline round");
         eprint!("{}", baseline_report.render_perf());
 
         // The optimization must not change a single measured byte.
@@ -208,22 +216,54 @@ fn main() {
         let b = serde_json::to_string(&baseline_report).expect("serialise baseline");
         if a != b {
             eprintln!("sweepbench: FAIL — cached and baseline reports differ");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         }
         eprintln!("sweepbench: reports identical ({} bytes of JSON)", a.len());
 
-        let speedup = if cached_ms == 0 {
+        let baseline_median = dydroid_bench::Stats::from_samples(&baseline_ms).median;
+        let speedup = if cached_median == 0.0 {
             0.0
         } else {
-            baseline_ms as f64 / cached_ms as f64
+            baseline_median / cached_median
         };
-        eprintln!("sweepbench: baseline {baseline_ms} ms -> cached {cached_ms} ms ({speedup:.2}x)");
-        if let serde_json::Value::Object(map) = &mut doc {
+        // Noise-aware judgement of the cache effect: the same floor/k
+        // thresholds benchcmp applies. A sub-noise difference is
+        // reported as such instead of a meaningless 0.99x.
+        let cfg = CompareConfig::default();
+        let (beyond_noise, threshold) = significant(&baseline_ms, &cached_ms, cfg.floor, cfg.k);
+        let verdict = if beyond_noise {
+            "beyond noise"
+        } else {
+            "WITHIN NOISE — treat as 1.00x"
+        };
+        eprintln!(
+            "sweepbench: baseline median {baseline_median:.1} ms -> cached median \
+             {cached_median:.1} ms ({speedup:.2}x, {verdict}; threshold ±{threshold:.1} ms)"
+        );
+        record.push_metric(
+            "baseline_wall_ms",
+            "ms",
+            Direction::Lower,
+            false,
+            baseline_ms,
+        );
+        record.push_metric(
+            "cache_speedup",
+            "ratio",
+            Direction::Higher,
+            false,
+            vec![speedup],
+        );
+        if let serde_json::Value::Object(map) = &mut payload {
             map.push((
                 "baseline".to_string(),
-                variant_json(&baseline_report, baseline_ms, apps),
+                variant_json(&baseline_report, baseline_median, apps),
             ));
             map.push(("speedup".to_string(), serde_json::json!(speedup)));
+            map.push((
+                "speedup_beyond_noise".to_string(),
+                serde_json::json!(beyond_noise),
+            ));
         }
     }
 
@@ -235,8 +275,9 @@ fn main() {
     std::fs::create_dir_all(&scaling_dir).expect("create scaling dir");
     let mut points = Vec::new();
     let mut makespan_1 = 0u64;
+    let mut makespan_max = 0u64;
     let mut reference: Option<(Vec<u8>, String)> = None;
-    for workers in 1..=args.max_workers {
+    for workers in 1..=max_workers {
         eprintln!("sweepbench: scaling sweep at {workers} worker(s) ...");
         let (report, wall_ms, journal_bytes) = scaling_point(&corpus, workers, &scaling_dir);
         let stats = report.stats();
@@ -244,6 +285,7 @@ fn main() {
         if workers == 1 {
             makespan_1 = makespan_us;
         }
+        makespan_max = makespan_us;
         // Scaling factor: how much shorter the critical path (longest
         // per-worker virtual cost) got versus one worker.
         let scaling = if makespan_us == 0 {
@@ -259,13 +301,13 @@ fn main() {
                     eprintln!(
                         "sweepbench: FAIL — finalized journal at {workers} workers differs from 1 worker"
                     );
-                    std::process::exit(1);
+                    std::process::exit(EXIT_FINDING);
                 }
                 if *ref_report != report_json {
                     eprintln!(
                         "sweepbench: FAIL — report JSON at {workers} workers differs from 1 worker"
                     );
-                    std::process::exit(1);
+                    std::process::exit(EXIT_FINDING);
                 }
             }
         }
@@ -297,34 +339,50 @@ fn main() {
         .and_then(|p| p["scaling"].as_f64())
         .unwrap_or(0.0);
     eprintln!(
-        "sweepbench: scaling 1→{}: {final_scaling:.2}x on virtual makespan (streams byte-identical across counts)",
-        args.max_workers
+        "sweepbench: scaling 1→{max_workers}: {final_scaling:.2}x on virtual makespan \
+         (streams byte-identical across counts)"
     );
-    if args.min_scaling > 0.0 && final_scaling < args.min_scaling {
-        eprintln!(
-            "sweepbench: FAIL — scaling {final_scaling:.2}x at {} workers below required {:.2}x",
-            args.max_workers, args.min_scaling
-        );
-        std::process::exit(1);
-    }
-    if let serde_json::Value::Object(map) = &mut doc {
+    // Virtual metrics: deterministic, judged across machines by benchcmp.
+    record.push_metric(
+        "virtual_makespan_us",
+        "us",
+        Direction::Lower,
+        true,
+        vec![makespan_max as f64],
+    );
+    record.push_metric(
+        "scaling_at_max",
+        "ratio",
+        Direction::Higher,
+        true,
+        vec![final_scaling],
+    );
+    if let serde_json::Value::Object(map) = &mut payload {
         map.push((
             "scaling".to_string(),
             serde_json::json!({
                 "judged_on": "virtual_makespan_us",
-                "max_workers": args.max_workers,
+                "max_workers": max_workers,
                 "scaling_at_max": final_scaling,
                 "points": points,
             }),
         ));
     }
+    record.payload = payload;
 
-    let mut f = std::fs::File::create(&args.out).expect("create bench output");
-    f.write_all(
-        serde_json::to_string_pretty(&doc)
-            .expect("serialise")
-            .as_bytes(),
-    )
-    .expect("write bench output");
-    eprintln!("sweepbench: wrote {}", args.out);
+    record
+        .write_pretty(&common.out)
+        .expect("write bench output");
+    eprintln!("sweepbench: wrote {}", common.out);
+    common.append_history("sweepbench", &record);
+
+    if let Some(min_scaling) = common.gate("scaling") {
+        if final_scaling < min_scaling {
+            eprintln!(
+                "sweepbench: FAIL — scaling {final_scaling:.2}x at {max_workers} workers below \
+                 required {min_scaling:.2}x"
+            );
+            std::process::exit(EXIT_FINDING);
+        }
+    }
 }

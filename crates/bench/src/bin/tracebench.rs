@@ -1,98 +1,41 @@
-//! Telemetry overhead benchmark: runs the sweepbench-shape corpus once
-//! with telemetry **disabled** and once **enabled**, verifies the two
-//! reports are byte-identical JSON (the observability layer must never
-//! change a measured byte), validates the Chrome-trace export by parsing
-//! it back, micro-benchmarks the no-op span fast path, and emits a
-//! `BENCH_trace.json` perf record.
+//! Telemetry overhead benchmark: runs the sweepbench-shape corpus with
+//! telemetry **disabled** and **enabled**, verifies the two reports are
+//! byte-identical JSON (the observability layer must never change a
+//! measured byte), validates the Chrome-trace export by parsing it
+//! back, micro-benchmarks the no-op span fast path, and emits a unified
+//! `BENCH_trace.json` measurement record (appended to
+//! `BENCH_history.jsonl`). Wall-clock and span-cost numbers are sampled
+//! over several rounds (rebar warmup/sample discipline); the recorded
+//! span count is a deterministic `Steady` identity benchcmp gates
+//! across machines.
 //!
 //! The gate: the *disabled* fast path must cost < `--max-overhead`
 //! percent (default 3%) of sweep wall time. A disabled span guard does
 //! no allocation and no locking, so its estimated share — spans the
 //! enabled run recorded × the measured ns per disabled span, over the
 //! disabled-run wall time — stays far below the budget.
-//!
-//! ```text
-//! tracebench [--scale F] [--seed N] [--out PATH] [--trace-out PATH]
-//!            [--max-overhead PCT]
-//! ```
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use dydroid::obs::Telemetry;
 use dydroid::{MeasurementReport, Pipeline, PipelineConfig};
+use dydroid_bench::measure::sample_rounds;
+use dydroid_bench::{ArgParser, CommonArgs, Direction, Measurement, Stats, EXIT_FINDING};
 use dydroid_workload::{generate, CorpusSpec, SyntheticApp};
 
-struct Args {
-    scale: f64,
-    seed: u64,
-    out: String,
-    trace_out: Option<String>,
-    max_overhead_pct: f64,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        scale: 0.01,
-        seed: CorpusSpec::default().seed,
-        out: "BENCH_trace.json".to_string(),
-        trace_out: None,
-        max_overhead_pct: 3.0,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--scale needs a float"));
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
-            "--trace-out" => {
-                args.trace_out = it.next().or_else(|| usage("--trace-out needs a path"));
-            }
-            "--max-overhead" => {
-                args.max_overhead_pct = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--max-overhead needs a float percentage"));
-            }
-            "--help" | "-h" => {
-                println!("usage: {USAGE}");
-                std::process::exit(0);
-            }
-            other => usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    args
-}
-
-const USAGE: &str =
-    "tracebench [--scale F] [--seed N] [--out PATH] [--trace-out PATH] [--max-overhead PCT]";
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: {USAGE}");
-    std::process::exit(2);
-}
+const USAGE: &str = "tracebench [--scale F] [--seed N] [--out PATH] [--samples N] [--warmup N] \
+[--history PATH | --no-history] [--trace-out PATH] [--max-overhead PCT]";
 
 /// One timed sweep; returns the pipeline (for its telemetry), the report
 /// and the wall-clock ms.
 fn timed_sweep(
     config: PipelineConfig,
     corpus: &[SyntheticApp],
-) -> (Pipeline, MeasurementReport, u64) {
+) -> (Pipeline, MeasurementReport, f64) {
     let pipeline = Pipeline::new(config);
     let t0 = Instant::now();
     let report = pipeline.run(corpus);
-    (pipeline, report, t0.elapsed().as_millis() as u64)
+    (pipeline, report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Nanoseconds per span open/field/close round trip on `telemetry`.
@@ -106,39 +49,80 @@ fn span_round_trip_ns(telemetry: &Telemetry, iters: u64) -> f64 {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut parser = ArgParser::new(USAGE);
+    let mut common = CommonArgs::for_bench("BENCH_trace.json", 3, 1);
+    let mut trace_out: Option<String> = None;
+    let mut max_overhead_pct = 3.0f64;
+    while let Some(arg) = parser.next() {
+        if common.accept(&arg, &mut parser) {
+            continue;
+        }
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(parser.raw("--trace-out")),
+            "--max-overhead" => {
+                max_overhead_pct = parser.value("--max-overhead", "a float percentage")
+            }
+            other => parser.fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
     eprintln!(
         "tracebench: generating corpus (scale {}, seed {:#x}) ...",
-        args.scale, args.seed
+        common.scale, common.seed
     );
     let corpus = generate(&CorpusSpec {
-        scale: args.scale,
-        seed: args.seed,
+        scale: common.scale,
+        seed: common.seed,
     });
     let apps = corpus.len();
     eprintln!("tracebench: {apps} apps");
 
-    eprintln!("tracebench: telemetry-disabled sweep ...");
-    let (_, off_report, off_ms) = timed_sweep(
-        PipelineConfig {
-            telemetry: false,
-            ..PipelineConfig::default()
-        },
-        &corpus,
-    );
-    eprintln!("tracebench: disabled sweep in {off_ms} ms");
+    let mut record = Measurement::new("trace", "on-vs-off", common.scale, common.seed);
+    record.samples = common.samples;
+    record.warmup = common.warmup;
 
-    eprintln!("tracebench: telemetry-enabled sweep ...");
-    let (on_pipeline, on_report, on_ms) = timed_sweep(PipelineConfig::default(), &corpus);
-    eprintln!("tracebench: enabled sweep in {on_ms} ms");
+    eprintln!(
+        "tracebench: telemetry-disabled sweep ({} warmup + {} sample rounds) ...",
+        common.warmup, common.samples
+    );
+    let mut off_report: Option<MeasurementReport> = None;
+    let off_ms = sample_rounds(common.samples, common.warmup, || {
+        let (_, report, ms) = timed_sweep(
+            PipelineConfig {
+                telemetry: false,
+                ..PipelineConfig::default()
+            },
+            &corpus,
+        );
+        off_report = Some(report);
+        ms
+    });
+    let off_report = off_report.expect("disabled rounds");
+    let off_med = Stats::from_samples(&off_ms).median;
+    eprintln!("tracebench: disabled sweep median {off_med:.1} ms");
+
+    eprintln!(
+        "tracebench: telemetry-enabled sweep ({} warmup + {} sample rounds) ...",
+        common.warmup, common.samples
+    );
+    let mut on_run: Option<(Pipeline, MeasurementReport)> = None;
+    let on_ms = sample_rounds(common.samples, common.warmup, || {
+        let (pipeline, report, ms) = timed_sweep(PipelineConfig::default(), &corpus);
+        on_run = Some((pipeline, report));
+        ms
+    });
+    let (on_pipeline, on_report) = on_run.expect("enabled rounds");
+    let on_med = Stats::from_samples(&on_ms).median;
+    eprintln!("tracebench: enabled sweep median {on_med:.1} ms");
     eprint!("{}", on_report.render_perf());
+    record.counters_from_stats(on_report.stats());
 
     // Telemetry must never change a measured byte.
     let off_json = serde_json::to_string(&off_report).expect("serialise disabled report");
     let on_json = serde_json::to_string(&on_report).expect("serialise enabled report");
     if off_json != on_json {
         eprintln!("tracebench: FAIL — telemetry on/off reports differ");
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
     eprintln!(
         "tracebench: reports identical ({} bytes of JSON)",
@@ -157,7 +141,7 @@ fn main() {
         .map(|a| a.len())
         .unwrap_or_else(|| {
             eprintln!("tracebench: FAIL — trace document has no traceEvents array");
-            std::process::exit(1);
+            std::process::exit(EXIT_FINDING);
         });
     if n_events != spans.len() {
         eprintln!(
@@ -165,69 +149,94 @@ fn main() {
             spans.len(),
             n_events
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
     eprintln!("tracebench: chrome trace valid ({n_events} events)");
-    if let Some(path) = &args.trace_out {
+    if let Some(path) = &trace_out {
         std::fs::write(path, &trace_text).expect("write trace");
         eprintln!("tracebench: wrote {path}");
     }
 
-    // Micro-benchmark both span fast paths.
+    // Micro-benchmark both span fast paths, one measurement per round.
     const ITERS: u64 = 1_000_000;
-    let disabled_ns = span_round_trip_ns(&Telemetry::new(false), ITERS);
-    let enabled_ns = span_round_trip_ns(&Telemetry::new(true), ITERS);
+    let disabled_ns = sample_rounds(common.samples, common.warmup, || {
+        span_round_trip_ns(&Telemetry::new(false), ITERS)
+    });
+    let enabled_ns = sample_rounds(common.samples, common.warmup, || {
+        span_round_trip_ns(&Telemetry::new(true), ITERS)
+    });
+    let disabled_ns_med = Stats::from_samples(&disabled_ns).median;
+    let enabled_ns_med = Stats::from_samples(&enabled_ns).median;
     eprintln!(
-        "tracebench: span round trip {disabled_ns:.1} ns disabled / {enabled_ns:.1} ns enabled"
+        "tracebench: span round trip {disabled_ns_med:.1} ns disabled / {enabled_ns_med:.1} ns enabled"
     );
 
     // The disabled-path overhead estimate: every span the enabled run
     // recorded would have been a no-op guard in the disabled run.
-    let off_ns = (off_ms.max(1) as f64) * 1e6;
-    let disabled_overhead_pct = 100.0 * (spans.len() as f64 * disabled_ns) / off_ns;
-    let enabled_overhead_pct = if off_ms == 0 {
+    let off_ns = off_med.max(1.0) * 1e6;
+    let disabled_overhead_pct = 100.0 * (spans.len() as f64 * disabled_ns_med) / off_ns;
+    let enabled_overhead_pct = if off_med == 0.0 {
         0.0
     } else {
-        100.0 * (on_ms as f64 - off_ms as f64) / off_ms as f64
+        100.0 * (on_med - off_med) / off_med
     };
     eprintln!(
         "tracebench: estimated disabled overhead {disabled_overhead_pct:.3}% \
-         (budget {:.1}%), enabled overhead {enabled_overhead_pct:.1}%",
-        args.max_overhead_pct
+         (budget {max_overhead_pct:.1}%), enabled overhead {enabled_overhead_pct:.1}%"
     );
 
-    let doc = serde_json::json!({
-        "bench": "trace",
-        "scale": args.scale,
-        "seed": args.seed,
+    record.push_metric("disabled_wall_ms", "ms", Direction::Lower, false, off_ms);
+    record.push_metric("enabled_wall_ms", "ms", Direction::Lower, false, on_ms);
+    record.push_metric(
+        "span_ns_disabled",
+        "ns",
+        Direction::Lower,
+        false,
+        disabled_ns,
+    );
+    record.push_metric("span_ns_enabled", "ns", Direction::Lower, false, enabled_ns);
+    record.push_metric(
+        "disabled_overhead_pct",
+        "percent",
+        Direction::Lower,
+        false,
+        vec![disabled_overhead_pct],
+    );
+    // Deterministic identity: the span count for a fixed corpus must
+    // never move, on any machine.
+    record.push_metric(
+        "spans_recorded",
+        "count",
+        Direction::Steady,
+        true,
+        vec![spans.len() as f64],
+    );
+    record.payload = serde_json::json!({
         "apps": apps,
         "workers": PipelineConfig::default().effective_workers(),
-        "disabled_wall_ms": off_ms,
-        "enabled_wall_ms": on_ms,
+        "disabled_wall_ms": off_med,
+        "enabled_wall_ms": on_med,
         "spans_recorded": spans.len(),
         "trace_events": n_events,
-        "span_ns_disabled": disabled_ns,
-        "span_ns_enabled": enabled_ns,
+        "span_ns_disabled": disabled_ns_med,
+        "span_ns_enabled": enabled_ns_med,
         "disabled_overhead_pct": disabled_overhead_pct,
         "enabled_overhead_pct": enabled_overhead_pct,
-        "max_overhead_pct": args.max_overhead_pct,
+        "max_overhead_pct": max_overhead_pct,
         "reports_identical": true,
     });
-    let mut f = std::fs::File::create(&args.out).expect("create bench output");
-    f.write_all(
-        serde_json::to_string_pretty(&doc)
-            .expect("serialise")
-            .as_bytes(),
-    )
-    .expect("write bench output");
-    eprintln!("tracebench: wrote {}", args.out);
 
-    if disabled_overhead_pct > args.max_overhead_pct {
+    record
+        .write_pretty(&common.out)
+        .expect("write bench output");
+    eprintln!("tracebench: wrote {}", common.out);
+    common.append_history("tracebench", &record);
+
+    if disabled_overhead_pct > max_overhead_pct {
         eprintln!(
             "tracebench: FAIL — disabled-telemetry overhead {disabled_overhead_pct:.3}% \
-             exceeds {:.1}%",
-            args.max_overhead_pct
+             exceeds {max_overhead_pct:.1}%"
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDING);
     }
 }

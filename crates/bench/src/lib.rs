@@ -5,10 +5,23 @@
 //! - the `tables` binary regenerates every table and figure of the
 //!   paper's evaluation section (`cargo run -p dydroid-bench --bin tables`);
 //! - the Criterion benches under `benches/` measure component throughput
-//!   and run the ablations called out in `DESIGN.md`.
+//!   and run the ablations called out in `DESIGN.md`;
+//! - the [`measure`]/[`compare`]/[`history`]/[`args`] modules form the
+//!   unified measurement harness every `*bench` binary reports through:
+//!   one record shape (`BENCH_*.json`), one noise-aware comparator
+//!   (`benchcmp`), one framed history stream (`BENCH_history.jsonl`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod args;
+pub mod compare;
+pub mod history;
+pub mod measure;
+
+pub use args::{ArgParser, CommonArgs, EXIT_CLEAN, EXIT_CODE_HELP, EXIT_FINDING, EXIT_USAGE};
+pub use compare::{compare, significant, CompareConfig, Comparison, Gate, MetricDelta, Verdict};
+pub use measure::{Direction, Measurement, Metric, Stats};
 
 use dydroid::{Pipeline, PipelineConfig};
 use dydroid_workload::{generate, CorpusSpec, SyntheticApp};

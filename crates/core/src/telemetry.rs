@@ -354,6 +354,13 @@ impl MetricsSnapshot {
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
     }
+
+    /// The counters as an ordered name → value map — the export surface
+    /// the unified bench measurement record (`dydroid-bench`) feeds its
+    /// `counters` envelope from. Registry names are kept verbatim.
+    pub fn counter_map(&self) -> std::collections::BTreeMap<String, u64> {
+        self.counters.iter().cloned().collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
