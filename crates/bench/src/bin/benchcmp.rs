@@ -3,6 +3,7 @@
 //! ```text
 //! benchcmp OLD.json NEW.json            # explicit pair
 //! benchcmp --history PATH NEW.json      # NEW vs latest same-bench entry
+//! benchcmp --trend [--history PATH]     # per-metric median trajectories
 //! ```
 //!
 //! A delta only counts when it clears `max(floor · old_median,
@@ -11,6 +12,11 @@
 //! virtual metrics, so a committed baseline from one host can gate CI
 //! runs on another. Exit codes follow the shared convention (also used
 //! by `dcltrace check`): 0 clean, 1 finding, 2 usage error.
+//!
+//! `--trend` switches to the trajectory view: every metric of every
+//! bench in the history stream gets one row of medians oldest → newest,
+//! its last step judged `improving` / `steady` / `REGRESSING` with the
+//! same noise thresholds. The trend view reports, it never gates.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -20,11 +26,14 @@ use dydroid_bench::{
 };
 
 const USAGE: &str = "benchcmp [OLD.json] NEW.json [--history PATH] \
-[--floor FRACTION] [--k F] [--gate virtual|all|none] [--plant FRACTION]
+[--floor FRACTION] [--k F] [--gate virtual|all|none] [--plant FRACTION] | \
+benchcmp --trend [--history PATH]
   OLD.json           baseline record (omit when using --history)
   NEW.json           fresh record to judge
   --history PATH     take the baseline from the latest same-bench entry
                      of this BENCH_history.jsonl stream
+  --trend            render per-metric median trajectories over the whole
+                     history stream instead of diffing a pair (never gates)
   --floor FRACTION   relative floor below which deltas never count (default 0.05)
   --k F              noise multiplier on the pooled stddev (default 3)
   --gate MODE        which regressions exit 1: virtual (default), all, none
@@ -63,10 +72,12 @@ fn main() -> ExitCode {
     let mut history_path: Option<String> = None;
     let mut cfg = CompareConfig::default();
     let mut planted: Option<f64> = None;
+    let mut trend = false;
 
     while let Some(arg) = parser.next() {
         match arg.as_str() {
             "--history" => history_path = Some(parser.raw("--history")),
+            "--trend" => trend = true,
             "--floor" => cfg.floor = parser.value("--floor", "a fraction (e.g. 0.05)"),
             "--k" => cfg.k = parser.value("--k", "a float"),
             "--gate" => {
@@ -82,6 +93,24 @@ fn main() -> ExitCode {
             flag if flag.starts_with("--") => parser.fail(&format!("unknown flag {flag}")),
             path => paths.push(path.to_string()),
         }
+    }
+
+    if trend {
+        if !paths.is_empty() {
+            parser.fail("--trend reads the history stream; record paths make no sense with it");
+        }
+        let hist = history_path.unwrap_or_else(|| history::DEFAULT_HISTORY.to_string());
+        let records = match history::load(Path::new(&hist)) {
+            Ok(records) => records,
+            Err(e) => parser.fail(&format!("cannot read history {hist}: {e}")),
+        };
+        if records.is_empty() {
+            println!("benchcmp trend: no records in {hist}");
+            return ExitCode::SUCCESS;
+        }
+        let rows = dydroid_bench::trend_rows(&records, cfg.floor, cfg.k);
+        print!("{}", dydroid_bench::trend::render(&hist, &records, &rows));
+        return ExitCode::SUCCESS;
     }
 
     let (old, mut new) = match (history_path, paths.as_slice()) {

@@ -3,7 +3,8 @@
 //! ```text
 //! tables [--scale F] [--seed N] [--workers N] [--table N]... [--figure 3] [--all]
 //!        [--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH]
-//!        [--progress] [--provenance-out PATH] [--sync-policy always|checkpoint|never]
+//!        [--profile-out PATH] [--progress] [--provenance-out PATH]
+//!        [--sync-policy always|checkpoint|never]
 //! ```
 //!
 //! With no selection flags, prints everything. Table numbers follow the
@@ -18,8 +19,11 @@
 //! Observability: `--perf-json PATH` writes the perf stats and the full
 //! metrics snapshot (counters, gauges, per-phase histograms) as JSON;
 //! `--trace-out PATH` writes a Chrome `trace_event` file loadable in
-//! chrome://tracing or Perfetto; `--progress` prints a periodic one-line
-//! sweep progress report to stderr; `--provenance-out PATH` writes the
+//! chrome://tracing or Perfetto; `--profile-out PATH` writes the sweep's
+//! span-derived self-time profile as flamegraph-collapsed stack lines
+//! (feed to `inferno` / `flamegraph.pl`, or read directly — hottest
+//! self-time first via `dcltrace profile`); `--progress` prints a
+//! periodic one-line sweep progress report to stderr; `--provenance-out PATH` writes the
 //! per-app provenance ledger (one causal graph per JSON line, queryable
 //! with `dcltrace`) to an explicit path — with `--journal` the ledger is
 //! always written beside the journal as `<journal>.provenance.jsonl`.
@@ -43,6 +47,7 @@ struct Args {
     resume: bool,
     perf_json: Option<String>,
     trace_out: Option<String>,
+    profile_out: Option<String>,
     progress: bool,
     provenance_out: Option<String>,
     sync_policy: SyncPolicy,
@@ -61,6 +66,7 @@ fn parse_args() -> Args {
         resume: false,
         perf_json: None,
         trace_out: None,
+        profile_out: None,
         progress: false,
         provenance_out: None,
         sync_policy: SyncPolicy::default(),
@@ -114,6 +120,9 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = it.next().or_else(|| usage("--trace-out needs a path"));
             }
+            "--profile-out" => {
+                args.profile_out = it.next().or_else(|| usage("--profile-out needs a path"));
+            }
             "--progress" => args.progress = true,
             "--provenance-out" => {
                 args.provenance_out = it.next().or_else(|| usage("--provenance-out needs a path"));
@@ -144,7 +153,8 @@ fn parse_args() -> Args {
 
 const USAGE: &str = "tables [--scale F] [--seed N] [--workers N] [--table N]... [--figure 3] \
 [--all] [--json PATH] [--journal PATH] [--resume] [--perf-json PATH] [--trace-out PATH] \
-[--progress] [--provenance-out PATH] [--sync-policy always|checkpoint|never]";
+[--profile-out PATH] [--progress] [--provenance-out PATH] \
+[--sync-policy always|checkpoint|never]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -171,6 +181,7 @@ fn main() {
         workers: args.workers,
         progress: args.progress,
         trace_out: args.trace_out.clone(),
+        profile_out: args.profile_out.clone(),
         provenance_out: args.provenance_out.clone(),
         sync_policy: args.sync_policy,
         ..Default::default()
@@ -260,6 +271,9 @@ fn main() {
     }
     if let Some(path) = &args.trace_out {
         eprintln!("trace written to {path} (load in chrome://tracing or https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.profile_out {
+        eprintln!("profile written to {path} (flamegraph-collapsed stacks; feed to inferno)");
     }
     if let Some(path) = &args.provenance_out {
         eprintln!("provenance ledger written to {path} (query with dcltrace --ledger {path})");

@@ -9,7 +9,9 @@
 //! - the [`measure`]/[`compare`]/[`history`]/[`args`] modules form the
 //!   unified measurement harness every `*bench` binary reports through:
 //!   one record shape (`BENCH_*.json`), one noise-aware comparator
-//!   (`benchcmp`), one framed history stream (`BENCH_history.jsonl`).
+//!   (`benchcmp`), one framed history stream (`BENCH_history.jsonl`);
+//! - the [`trend`] module renders per-metric median trajectories over
+//!   that history (`benchcmp --trend`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +20,12 @@ pub mod args;
 pub mod compare;
 pub mod history;
 pub mod measure;
+pub mod trend;
 
 pub use args::{ArgParser, CommonArgs, EXIT_CLEAN, EXIT_CODE_HELP, EXIT_FINDING, EXIT_USAGE};
 pub use compare::{compare, significant, CompareConfig, Comparison, Gate, MetricDelta, Verdict};
 pub use measure::{Direction, Measurement, Metric, Stats};
+pub use trend::{trend_rows, Trend, TrendRow};
 
 use dydroid::{Pipeline, PipelineConfig};
 use dydroid_workload::{generate, CorpusSpec, SyntheticApp};

@@ -8,6 +8,19 @@ use serde::{Deserialize, Serialize};
 /// well-behaved app never drops, small enough to bound a hot loop.
 pub const DEFAULT_MAX_EVENTS_PER_APP: usize = 65_536;
 
+/// Default virtual-clock interval between durable metrics snapshots
+/// (~44 virtual µs per app at the default corpus mix → a snapshot every
+/// few dozen apps).
+pub const DEFAULT_METRICS_INTERVAL_US: u64 = 1_000;
+
+/// Default straggler threshold: flag apps over 4× the running median
+/// virtual cost (a planted 10× app trips it; ordinary corpus variance
+/// does not).
+pub const DEFAULT_WATCHDOG_K: f64 = 4.0;
+
+/// Default straggler-appendix size in the perf report.
+pub const DEFAULT_STRAGGLER_TOP: usize = 5;
+
 /// Configuration of a measurement run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -71,6 +84,25 @@ pub struct PipelineConfig {
     /// `chrome://tracing` / Perfetto) to this path after the run
     /// (requires `telemetry`).
     pub trace_out: Option<String>,
+    /// Write the run's span profile as Brendan-Gregg collapsed-stack
+    /// ("folded") lines to this path after the run — one
+    /// `root;child;leaf self_µs` line per distinct span path, ready for
+    /// `flamegraph.pl` (requires `telemetry`; see `crate::profile`).
+    pub profile_out: Option<String>,
+    /// Virtual-clock interval between durable metrics snapshots on
+    /// journaled runs: every time `monkey.virtual_us` advances by this
+    /// many microseconds, the full metrics registry is serialized as a
+    /// CRC-framed record to `<journal>.metrics.jsonl`. `0` disables the
+    /// snapshot stream (requires `telemetry`).
+    pub metrics_interval_us: u64,
+    /// Straggler watchdog threshold: a dynamic-phase app whose virtual
+    /// cost exceeds `watchdog_k` × the running per-app median is flagged
+    /// as a straggler (warning event + `SweepStats` stall section).
+    /// Values ≤ 1.0 disable the watchdog.
+    pub watchdog_k: f64,
+    /// How many of the slowest flagged stragglers the report appendix
+    /// keeps, with per-phase breakdowns.
+    pub straggler_top: usize,
     /// Ring-buffer bound on each app's instrumentation `EventLog`
     /// (`0` = unbounded). Evicted events are counted per app in the
     /// provenance ledger and corpus-wide in `SweepStats`.
@@ -131,6 +163,10 @@ impl Default for PipelineConfig {
             telemetry: true,
             progress: false,
             trace_out: None,
+            profile_out: None,
+            metrics_interval_us: DEFAULT_METRICS_INTERVAL_US,
+            watchdog_k: DEFAULT_WATCHDOG_K,
+            straggler_top: DEFAULT_STRAGGLER_TOP,
             max_events_per_app: DEFAULT_MAX_EVENTS_PER_APP,
             provenance: true,
             provenance_out: None,
@@ -204,6 +240,10 @@ mod tests {
         assert!(c.telemetry);
         assert!(!c.progress);
         assert_eq!(c.trace_out, None);
+        assert_eq!(c.profile_out, None);
+        assert_eq!(c.metrics_interval_us, DEFAULT_METRICS_INTERVAL_US);
+        assert!((c.watchdog_k - 4.0).abs() < 1e-9);
+        assert_eq!(c.straggler_top, DEFAULT_STRAGGLER_TOP);
         assert_eq!(c.max_events_per_app, DEFAULT_MAX_EVENTS_PER_APP);
         assert!(c.provenance);
         assert_eq!(c.provenance_out, None);

@@ -1,9 +1,9 @@
 //! Crash-consistent record framing and fault-injectable I/O.
 //!
 //! Every persistent stream the sweep writes — the journal, the
-//! provenance ledger, and the telemetry event stream — shares one
-//! framed-record format defined here: each line is a self-describing
-//! JSON envelope
+//! provenance ledger, the telemetry event stream, and the metrics
+//! snapshot stream — shares one framed-record format defined here:
+//! each line is a self-describing JSON envelope
 //!
 //! ```text
 //! {"seq":<n>,"len":<body bytes>,"crc":<crc32 of body>,"body":<payload json>}
@@ -23,8 +23,8 @@
 //! [`FramedWriter`] layers policy on top: transient-error retries with
 //! exponential backoff and seeded jitter against a per-run retry budget,
 //! fsync scheduling per [`SyncPolicy`], and graceful degradation on disk
-//! pressure — telemetry events shed first, provenance detail second, the
-//! journal never (see [`IoState`]).
+//! pressure — metrics snapshots shed first, telemetry events second,
+//! provenance detail third, the journal never (see [`IoState`]).
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -311,22 +311,29 @@ fn transient_error() -> io::Error {
 // Streams, sync policy, shared per-run I/O state
 // ---------------------------------------------------------------------------
 
-/// The three persistent streams a sweep writes, in shed-priority order:
-/// under disk pressure telemetry events are shed first, provenance
-/// detail second, and the journal never.
+/// The four persistent streams a sweep writes, in shed-priority order:
+/// under disk pressure metrics snapshots are shed first, telemetry
+/// events second, provenance detail third, and the journal never.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamKind {
     /// The sweep journal — the source of truth, never shed.
     Journal,
     /// The provenance ledger — shed only under sustained pressure.
     Ledger,
-    /// The telemetry event stream — first to shed.
+    /// The telemetry event stream — shed before provenance detail.
     Events,
+    /// The durable metrics snapshot stream — first to shed.
+    Metrics,
 }
 
 impl StreamKind {
     /// All streams, indexable by [`StreamKind::index`].
-    pub const ALL: [StreamKind; 3] = [StreamKind::Journal, StreamKind::Ledger, StreamKind::Events];
+    pub const ALL: [StreamKind; 4] = [
+        StreamKind::Journal,
+        StreamKind::Ledger,
+        StreamKind::Events,
+        StreamKind::Metrics,
+    ];
 
     /// Stable array index for per-stream counters.
     pub fn index(self) -> usize {
@@ -334,6 +341,7 @@ impl StreamKind {
             StreamKind::Journal => 0,
             StreamKind::Ledger => 1,
             StreamKind::Events => 2,
+            StreamKind::Metrics => 3,
         }
     }
 
@@ -343,6 +351,7 @@ impl StreamKind {
             StreamKind::Journal => "journal",
             StreamKind::Ledger => "ledger",
             StreamKind::Events => "events",
+            StreamKind::Metrics => "metrics",
         }
     }
 }
@@ -368,19 +377,21 @@ pub const DEFAULT_RETRY_BUDGET: u32 = 64;
 /// Shared per-run I/O accounting: the shed level, the transient-retry
 /// budget, and per-stream counters that feed `SweepStats`.
 ///
-/// The shed level is sticky for the run: `ENOSPC` on the event stream
-/// raises it to 1 (events shed), on the ledger or journal to 2 (events
-/// and provenance shed). The journal itself is never shed — its failures
-/// surface as errors so the app is re-analyzed on resume.
+/// The shed level is sticky for the run: `ENOSPC` on the metrics
+/// snapshot stream raises it to 1 (metrics shed), on the event stream
+/// to 2 (metrics and events shed), on the ledger or journal to 3
+/// (everything but the journal shed). The journal itself is never shed
+/// — its failures surface as errors so the app is re-analyzed on
+/// resume.
 #[derive(Debug)]
 pub struct IoState {
     shed_level: AtomicU8,
     retry_budget: AtomicU64,
-    syncs: [AtomicU64; 3],
+    syncs: [AtomicU64; 4],
     retries: AtomicU64,
     backoff_us: AtomicU64,
-    shed: [AtomicU64; 3],
-    write_errors: [AtomicU64; 3],
+    shed: [AtomicU64; 4],
+    write_errors: [AtomicU64; 4],
 }
 
 impl IoState {
@@ -401,8 +412,9 @@ impl IoState {
     pub fn should_shed(&self, stream: StreamKind) -> bool {
         let level = self.shed_level.load(Ordering::Relaxed);
         match stream {
-            StreamKind::Events => level >= 1,
-            StreamKind::Ledger => level >= 2,
+            StreamKind::Metrics => level >= 1,
+            StreamKind::Events => level >= 2,
+            StreamKind::Ledger => level >= 3,
             StreamKind::Journal => false,
         }
     }
@@ -410,8 +422,9 @@ impl IoState {
     /// Raises the shed level after `ENOSPC` on `stream`.
     pub fn raise_shed_for(&self, stream: StreamKind) {
         let level = match stream {
-            StreamKind::Events => 1,
-            StreamKind::Ledger | StreamKind::Journal => 2,
+            StreamKind::Metrics => 1,
+            StreamKind::Events => 2,
+            StreamKind::Ledger | StreamKind::Journal => 3,
         };
         self.shed_level.fetch_max(level, Ordering::Relaxed);
     }
@@ -442,11 +455,12 @@ impl IoState {
 
     /// Point-in-time copy of the counters for `SweepStats`.
     pub fn snapshot(&self) -> IoStatsSnapshot {
-        let load = |a: &[AtomicU64; 3]| {
+        let load = |a: &[AtomicU64; 4]| {
             [
                 a[0].load(Ordering::Relaxed),
                 a[1].load(Ordering::Relaxed),
                 a[2].load(Ordering::Relaxed),
+                a[3].load(Ordering::Relaxed),
             ]
         };
         IoStatsSnapshot {
@@ -467,15 +481,15 @@ pub struct IoStatsSnapshot {
     /// Current shed level (0 = nothing shed).
     pub shed_level: u8,
     /// Fsyncs issued per stream.
-    pub syncs: [u64; 3],
+    pub syncs: [u64; 4],
     /// Transient-error retries spent.
     pub retries: u64,
     /// Virtual backoff charged across retries, in microseconds.
     pub backoff_us: u64,
     /// Records shed per stream under disk pressure.
-    pub shed: [u64; 3],
+    pub shed: [u64; 4],
     /// Append failures per stream (after retries, excluding sheds).
-    pub write_errors: [u64; 3],
+    pub write_errors: [u64; 4],
 }
 
 // ---------------------------------------------------------------------------
@@ -669,7 +683,7 @@ impl RecordIo for FaultIo {
 /// run's shared [`IoState`], and an optional fault harness.
 #[derive(Debug, Clone)]
 pub struct SinkOptions {
-    /// Which of the three streams this sink persists.
+    /// Which of the four streams this sink persists.
     pub stream: StreamKind,
     /// Fsync scheduling for this sink.
     pub policy: SyncPolicy,
@@ -1048,8 +1062,12 @@ mod tests {
     #[test]
     fn disk_full_raises_shed_level_in_order() {
         let state = IoState::new(0);
+        assert!(!state.should_shed(StreamKind::Metrics));
+        state.raise_shed_for(StreamKind::Metrics);
+        assert!(state.should_shed(StreamKind::Metrics));
         assert!(!state.should_shed(StreamKind::Events));
         state.raise_shed_for(StreamKind::Events);
+        assert!(state.should_shed(StreamKind::Metrics));
         assert!(state.should_shed(StreamKind::Events));
         assert!(!state.should_shed(StreamKind::Ledger));
         state.raise_shed_for(StreamKind::Ledger);
@@ -1059,7 +1077,7 @@ mod tests {
             "journal never sheds"
         );
         let snap = state.snapshot();
-        assert_eq!(snap.shed_level, 2);
+        assert_eq!(snap.shed_level, 3);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod config;
 pub mod durable;
 pub mod environment;
 pub mod pipeline;
+pub mod profile;
 pub mod provenance;
 pub mod report;
 pub mod scheduler;
@@ -58,6 +59,7 @@ pub mod training;
 /// (CLIs, benches, tests) interact with, re-exported in one place so
 /// downstream code does not depend on `telemetry`'s module layout.
 pub mod obs {
+    pub use crate::profile::{ProfileEntry, SpanProfile, StragglerEntry, Watchdog};
     pub use crate::telemetry::{
         chrome_trace, EventShardGuard, Histogram, HistogramSummary, MetricsRegistry,
         MetricsSnapshot, Progress, SpanGuard, SpanRecord, Telemetry,
@@ -68,6 +70,7 @@ pub use cache::{AnalysisCache, CacheStats};
 pub use config::PipelineConfig;
 pub use durable::{IoHarness, StreamKind, SyncPolicy};
 pub use pipeline::{AppRecord, DynamicStatus, Pipeline, RecoveryOutcome};
+pub use profile::{SpanProfile, StragglerEntry, Watchdog};
 pub use provenance::{AppProvenance, ProvenanceIndex, ProvenanceLedger};
 pub use report::{MeasurementReport, SweepStats};
 pub use scheduler::{Lane, Scheduler, WorkerStats};

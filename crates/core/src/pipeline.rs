@@ -27,9 +27,10 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{content_hash, AnalysisCache, BinaryVerdict, CacheStats};
 use crate::config::PipelineConfig;
 use crate::durable::{scan_path, FramedWriter, IoHarness, IoState, SinkOptions, StreamKind};
+use crate::profile::{SpanProfile, StragglerEntry, Watchdog};
 use crate::provenance::{AppProvenance, ProvenanceLedger};
 use crate::report::{MeasurementReport, SweepStats};
-use crate::scheduler::{Lane, Scheduler, WorkerStats};
+use crate::scheduler::{idle_workers, virtual_makespan_us, Lane, Scheduler, WorkerStats};
 use crate::sweep::QuarantineEntry;
 use crate::telemetry::{HistogramSummary, MetricsSnapshot, Progress, Telemetry};
 use crate::training;
@@ -275,6 +276,7 @@ impl Pipeline {
         }
         let io_state = IoState::new(self.config.io_retry_budget);
         let ledger_writer = self.open_ledger_writer(ledger.as_ref(), &io_state);
+        let observatory = Observatory::open(self, None, &io_state);
         let sweep_start = Instant::now();
         let indices: Vec<usize> = (0..corpus.len()).collect();
         let mut sweep_span = self.telemetry.span("sweep");
@@ -286,10 +288,14 @@ impl Pipeline {
             ledger_writer.as_ref(),
             None,
             &HashSet::new(),
+            observatory.as_ref(),
             sweep_span.id(),
         );
         drop(sweep_span);
         drop(ledger_writer);
+        if let Some(obs) = &observatory {
+            obs.finish(self);
+        }
         let sweep_ms = sweep_start.elapsed().as_millis() as u64;
         self.assemble(
             corpus,
@@ -305,6 +311,7 @@ impl Pipeline {
                 stream_shards: 1,
                 shard_contention: 0,
             },
+            observatory,
             sweep_ms,
             cache_mark,
             detector_mark,
@@ -511,6 +518,7 @@ impl Pipeline {
         let cache_mark = self.cache.stats();
         let detector_mark = self.detector.stats();
         let avm_marks = self.avm_counter_marks();
+        let observatory = Observatory::open(self, Some(journal), &io_state);
         let sweep_start = Instant::now();
         let mut sweep_span = self.telemetry.span("sweep");
         sweep_span.field("apps", pending.len());
@@ -530,9 +538,13 @@ impl Pipeline {
             },
             shards.as_ref(),
             &retry,
+            observatory.as_ref(),
             sweep_span.id(),
         );
         drop(sweep_span);
+        if let Some(obs) = &observatory {
+            obs.finish(self);
+        }
         let perf = SweepPerf {
             worker_stats,
             stream_shards: shards.as_ref().map_or(1, |s| s.shards.len()),
@@ -561,6 +573,7 @@ impl Pipeline {
             &io_state,
             Some(summary),
             perf,
+            observatory,
             sweep_ms,
             cache_mark,
             detector_mark,
@@ -869,6 +882,7 @@ impl Pipeline {
         ledger: Option<&Mutex<crate::provenance::LedgerWriter>>,
         shards: Option<&StreamShards>,
         retry: &HashSet<String>,
+        observatory: Option<&Observatory>,
         parent_span: u64,
     ) -> (Vec<SweepItem>, Vec<WorkerStats>) {
         let workers = self.config.effective_workers().min(indices.len().max(1));
@@ -881,8 +895,16 @@ impl Pipeline {
             };
             scheduler.seed(pos % workers, i, lane);
         }
+        if self.telemetry.is_enabled() {
+            // Baseline gauges for the --progress line, the metrics
+            // snapshots, and `dcltrace top`.
+            self.telemetry.gauge_set("sweep.workers", workers as u64);
+            self.telemetry
+                .gauge_set("sweep.total_apps", indices.len() as u64);
+            self.telemetry.gauge_set("sweep.done", 0);
+        }
         let (result_tx, result_rx) =
-            channel::bounded::<(usize, AppRecord, Option<AppProvenance>, u64)>(4 * workers);
+            channel::bounded::<(usize, AppRecord, Option<AppProvenance>, u64, u64)>(4 * workers);
         let progress =
             (self.config.progress && !indices.is_empty()).then(|| Progress::new(indices.len()));
 
@@ -918,7 +940,10 @@ impl Pipeline {
                             started.elapsed().as_micros() as u64,
                             virtual_us,
                         );
-                        if result_tx.send((i, record, provenance, span_id)).is_err() {
+                        if result_tx
+                            .send((i, record, provenance, span_id, virtual_us))
+                            .is_err()
+                        {
                             // Receiver gone: the sweep is shutting down.
                             break;
                         }
@@ -926,7 +951,8 @@ impl Pipeline {
                 });
             }
             drop(result_tx);
-            while let Ok((i, record, provenance, span_id)) = result_rx.recv() {
+            let mut collected_count = 0u64;
+            while let Ok((i, record, provenance, span_id, virtual_us)) = result_rx.recv() {
                 if let Some(writer) = journal {
                     let append = writer
                         .lock()
@@ -956,6 +982,22 @@ impl Pipeline {
                         Err(e) => {
                             eprintln!("dydroid: ledger append failed for {}: {e}", record.package);
                         }
+                    }
+                }
+                if self.telemetry.is_enabled() {
+                    // Observatory bookkeeping, all on the collector
+                    // thread: worker/utilization gauges from the live
+                    // scheduler counters, then the watchdog and metrics
+                    // snapshot hooks.
+                    collected_count += 1;
+                    let stats = scheduler.worker_stats();
+                    self.telemetry
+                        .gauge_set("sweep.busy_us", stats.iter().map(|w| w.busy_us).sum());
+                    self.telemetry
+                        .gauge_set("sweep.virtual_makespan_us", virtual_makespan_us(&stats));
+                    self.telemetry.gauge_set("sweep.done", collected_count);
+                    if let Some(obs) = observatory {
+                        obs.on_app_done(self, &record.package, span_id, virtual_us);
                     }
                 }
                 if let Some(progress) = &progress {
@@ -997,6 +1039,7 @@ impl Pipeline {
         io_state: &Arc<IoState>,
         recovery: Option<RecoverySummary>,
         perf: SweepPerf,
+        observatory: Option<Observatory>,
         sweep_ms: u64,
         cache_mark: CacheStats,
         detector_mark: dydroid_analysis::DetectorStats,
@@ -1122,6 +1165,50 @@ impl Pipeline {
                 }
             }
         }
+        // Observatory wrap-up: idle-worker warnings, then the straggler
+        // appendix — per-phase breakdowns filled from the flagged apps'
+        // child spans in one pass over the span store.
+        let (straggler_warnings, stragglers) = match &observatory {
+            Some(obs) => {
+                let idle = idle_workers(&perf.worker_stats);
+                if idle > 0 {
+                    self.telemetry
+                        .counter_add("watchdog.idle_workers", idle as u64);
+                    self.telemetry
+                        .emit_warning("idle_workers", "", &[("workers", idle as u64)]);
+                }
+                let (flagged, mut entries) = obs.take_stragglers();
+                entries.sort_by(|a, b| {
+                    b.0.virtual_us
+                        .cmp(&a.0.virtual_us)
+                        .then_with(|| a.0.package.cmp(&b.0.package))
+                });
+                entries.truncate(self.config.straggler_top);
+                let wanted: HashSet<u64> = entries.iter().map(|(_, id)| *id).collect();
+                let mut children: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+                if !wanted.is_empty() {
+                    for span in self.telemetry.spans() {
+                        if wanted.contains(&span.parent) {
+                            children
+                                .entry(span.parent)
+                                .or_default()
+                                .push((span.name, span.dur_us));
+                        }
+                    }
+                }
+                let entries: Vec<StragglerEntry> = entries
+                    .into_iter()
+                    .map(|(mut entry, id)| {
+                        let mut phases = children.remove(&id).unwrap_or_default();
+                        phases.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                        entry.phases = phases;
+                        entry
+                    })
+                    .collect();
+                (flagged, entries)
+            }
+            None => (0, Vec::new()),
+        };
         let snapshot = self.telemetry.snapshot();
         let app_wall = snapshot
             .histogram("span.app.us")
@@ -1175,6 +1262,7 @@ impl Pipeline {
             io_backoff_us: io.backoff_us,
             shed_events: io.shed[StreamKind::Events.index()],
             shed_provenance: io.shed[StreamKind::Ledger.index()],
+            shed_metrics: io.shed[StreamKind::Metrics.index()],
             recovered_records: recovery.recovered,
             recovery_dropped: recovery.dropped,
             inconsistent_apps: recovery.inconsistent,
@@ -1182,6 +1270,8 @@ impl Pipeline {
             stream_shards: perf.stream_shards,
             shard_contention: perf.shard_contention,
             worker_stats: perf.worker_stats,
+            straggler_warnings,
+            stragglers,
             app_wall,
             phases,
         };
@@ -1191,6 +1281,28 @@ impl Pipeline {
         if let Some(path) = &self.config.trace_out {
             if let Err(e) = self.telemetry.write_chrome_trace(Path::new(path)) {
                 eprintln!("dydroid: failed to write chrome trace to {path}: {e}");
+            }
+        }
+        // Span profile exports: the configured `profile_out`, plus a
+        // `<journal>.profile.folded` artifact beside every journaled
+        // telemetry run — the canonical event stream drops span lines at
+        // finalize, so this artifact is what `dcltrace profile` falls
+        // back to once a run completes.
+        if self.telemetry.is_enabled() && (self.config.profile_out.is_some() || journal.is_some()) {
+            let folded = SpanProfile::from_spans(&self.telemetry.spans()).folded();
+            if let Some(path) = &self.config.profile_out {
+                if let Err(e) = std::fs::write(path, &folded) {
+                    eprintln!("dydroid: failed to write span profile to {path}: {e}");
+                }
+            }
+            if let Some(journal) = journal {
+                let path = journal.profile_path();
+                if let Err(e) = std::fs::write(&path, &folded) {
+                    eprintln!(
+                        "dydroid: failed to write span profile to {}: {e}",
+                        path.display()
+                    );
+                }
             }
         }
         report
@@ -1971,6 +2083,182 @@ struct SweepPerf {
     worker_stats: Vec<WorkerStats>,
     stream_shards: usize,
     shard_contention: u64,
+}
+
+/// The live observability rig of one sweep (DESIGN.md §5j): the durable
+/// metrics snapshot stream and the straggler watchdog, fed by the
+/// collector as apps complete. Built only when telemetry is enabled and
+/// at least one of its pieces is configured on, so the disabled fast
+/// path stays a single branch per app.
+#[derive(Debug)]
+struct Observatory {
+    metrics: Option<MetricsStream>,
+    watchdog: Option<Mutex<Watchdog>>,
+    /// Flagged stragglers paired with their app span ids, so assemble
+    /// can fill per-phase breakdowns from the spans' children.
+    stragglers: Mutex<Vec<(StragglerEntry, u64)>>,
+}
+
+/// The durable metrics snapshot stream: the full metrics registry,
+/// CRC-framed to `<journal>.metrics.jsonl` every time the deterministic
+/// virtual clock (`monkey.virtual_us`) advances by the configured
+/// interval. First stream to shed under disk pressure; resume-stitched
+/// (the writer continues from the file's valid prefix) like every other
+/// stream.
+#[derive(Debug)]
+struct MetricsStream {
+    writer: Mutex<FramedWriter>,
+    /// `monkey.virtual_us` at the last snapshot.
+    last_mark: AtomicU64,
+    interval_us: u64,
+}
+
+impl Observatory {
+    /// Builds the rig for one run. `None` when telemetry is off or every
+    /// piece is disabled; the metrics stream additionally needs a
+    /// journal to sit beside.
+    fn open(
+        pipeline: &Pipeline,
+        journal: Option<&crate::sweep::Journal>,
+        io_state: &Arc<IoState>,
+    ) -> Option<Observatory> {
+        if !pipeline.telemetry.is_enabled() {
+            return None;
+        }
+        let config = &pipeline.config;
+        let metrics = journal
+            .filter(|_| config.metrics_interval_us > 0)
+            .and_then(|journal| {
+                let path = journal.metrics_path();
+                match FramedWriter::open(
+                    &path,
+                    pipeline.sink_options(StreamKind::Metrics, io_state),
+                ) {
+                    Ok(writer) => Some(MetricsStream {
+                        writer: Mutex::new(writer),
+                        last_mark: AtomicU64::new(
+                            pipeline.telemetry.counter_value("monkey.virtual_us"),
+                        ),
+                        interval_us: config.metrics_interval_us,
+                    }),
+                    Err(e) => {
+                        eprintln!(
+                            "dydroid: failed to open metrics stream {}: {e}",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            });
+        let watchdog =
+            (config.watchdog_k > 1.0).then(|| Mutex::new(Watchdog::new(config.watchdog_k)));
+        if metrics.is_none() && watchdog.is_none() {
+            return None;
+        }
+        Some(Observatory {
+            metrics,
+            watchdog,
+            stragglers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Collector hook, once per completed app: feeds the watchdog the
+    /// app's deterministic virtual cost (static-only apps charge none
+    /// and are not observations) and cuts a metrics snapshot when the
+    /// virtual clock has advanced a full interval.
+    fn on_app_done(&self, pipeline: &Pipeline, package: &str, span_id: u64, virtual_us: u64) {
+        if virtual_us > 0 {
+            if let Some(watchdog) = &self.watchdog {
+                let flagged = watchdog.lock().ok().and_then(|mut w| w.observe(virtual_us));
+                if let Some(median) = flagged {
+                    pipeline.telemetry.counter_add("watchdog.stragglers", 1);
+                    pipeline.telemetry.emit_warning(
+                        "straggler",
+                        package,
+                        &[("virtual_us", virtual_us), ("median_us", median)],
+                    );
+                    if let Ok(mut stragglers) = self.stragglers.lock() {
+                        stragglers.push((
+                            StragglerEntry {
+                                package: package.to_string(),
+                                virtual_us,
+                                median_virtual_us: median,
+                                phases: Vec::new(),
+                            },
+                            span_id,
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(stream) = &self.metrics {
+            let now = pipeline.telemetry.counter_value("monkey.virtual_us");
+            if now.saturating_sub(stream.last_mark.load(Ordering::Relaxed)) >= stream.interval_us {
+                stream.last_mark.store(now, Ordering::Relaxed);
+                stream.snapshot(pipeline, now);
+            }
+        }
+    }
+
+    /// End-of-sweep: one final snapshot (so a completed run's stream
+    /// always ends on the full registry) and an fsync.
+    fn finish(&self, pipeline: &Pipeline) {
+        if let Some(stream) = &self.metrics {
+            let now = pipeline.telemetry.counter_value("monkey.virtual_us");
+            stream.last_mark.store(now, Ordering::Relaxed);
+            stream.snapshot(pipeline, now);
+            if let Ok(mut writer) = stream.writer.lock() {
+                if let Err(e) = writer.sync_now() {
+                    eprintln!("dydroid: metrics stream sync failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Drains the flagged stragglers (with span ids) and the total flag
+    /// count, for [`SweepStats`].
+    fn take_stragglers(&self) -> (u64, Vec<(StragglerEntry, u64)>) {
+        let flagged = self
+            .watchdog
+            .as_ref()
+            .and_then(|w| w.lock().ok())
+            .map_or(0, |w| w.flagged());
+        let entries = self
+            .stragglers
+            .lock()
+            .map(|mut s| std::mem::take(&mut *s))
+            .unwrap_or_default();
+        (flagged, entries)
+    }
+}
+
+impl MetricsStream {
+    /// Serializes the full registry as one framed
+    /// `{"type":"metrics","virtual_us":…,"snapshot":…}` record. Write
+    /// failures degrade to a counter plus a single warning — snapshots
+    /// are derived data; losing one never corrupts the run.
+    fn snapshot(&self, pipeline: &Pipeline, virtual_us: u64) {
+        let snapshot = pipeline.telemetry.snapshot();
+        let Ok(json) = serde_json::to_string(&snapshot) else {
+            return;
+        };
+        let body =
+            format!("{{\"type\":\"metrics\",\"virtual_us\":{virtual_us},\"snapshot\":{json}}}");
+        if let Ok(mut writer) = self.writer.lock() {
+            if let Err(e) = writer.append_body(&body) {
+                pipeline
+                    .telemetry
+                    .counter_add("telemetry.metrics_write_errors", 1);
+                if pipeline
+                    .telemetry
+                    .counter_value("telemetry.metrics_write_errors")
+                    == 1
+                {
+                    eprintln!("dydroid: metrics stream: write failed ({e}); degrading");
+                }
+            }
+        }
+    }
 }
 
 /// Manifest-entry ceiling of the resource-sanity guard (permissions +

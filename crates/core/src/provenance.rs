@@ -909,7 +909,7 @@ fn ledger_bodies(records: &[AppProvenance]) -> io::Result<Vec<String>> {
 
 /// An append handle to a [`ProvenanceLedger`]; one framed record per
 /// line, flushed per append. Under sustained disk pressure (shed level
-/// ≥ 2) appends are shed — counted, not written — since the finalize at
+/// ≥ 3) appends are shed — counted, not written — since the finalize at
 /// run completion reconstructs the full ledger from memory.
 #[derive(Debug)]
 pub struct LedgerWriter {

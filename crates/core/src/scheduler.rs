@@ -242,6 +242,31 @@ pub fn virtual_makespan_us(stats: &[WorkerStats]) -> u64 {
     stats.iter().map(|s| s.virtual_us).max().unwrap_or(0)
 }
 
+/// Workers that executed nothing while the sweep held enough work to go
+/// around (at least two tasks per worker on average) — a wedged or
+/// starved worker, not a short sweep. The observatory's stall section
+/// reports these.
+pub fn idle_workers(stats: &[WorkerStats]) -> usize {
+    let total: u64 = stats.iter().map(|s| s.executed).sum();
+    if stats.len() < 2 || total < 2 * stats.len() as u64 {
+        return 0;
+    }
+    stats.iter().filter(|s| s.executed == 0).count()
+}
+
+/// Parallel balance of a sweep on the virtual clock: total virtual time
+/// over `workers × makespan`. `1.0` is perfect balance; it approaches
+/// `1/workers` when one worker carried the whole sweep (steal-
+/// imbalance, a straggler pinning a worker, or a contended queue).
+pub fn parallel_balance(stats: &[WorkerStats]) -> f64 {
+    let makespan = virtual_makespan_us(stats);
+    if stats.is_empty() || makespan == 0 {
+        return 1.0;
+    }
+    let total: u64 = stats.iter().map(|s| s.virtual_us).sum();
+    total as f64 / (stats.len() as f64 * makespan as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +382,45 @@ mod tests {
             total as u64 * 10
         );
         assert!(virtual_makespan_us(&stats) >= total as u64 * 10 / 4);
+    }
+
+    #[test]
+    fn idle_and_balance_diagnostics() {
+        // Short sweep: an idle worker is expected, not a stall.
+        let short = vec![
+            WorkerStats {
+                executed: 2,
+                ..Default::default()
+            },
+            WorkerStats::default(),
+        ];
+        assert_eq!(idle_workers(&short), 0);
+        // Enough work for everyone, one worker did none: flagged.
+        let starved = vec![
+            WorkerStats {
+                executed: 8,
+                virtual_us: 800,
+                ..Default::default()
+            },
+            WorkerStats::default(),
+        ];
+        assert_eq!(idle_workers(&starved), 1);
+        assert!((parallel_balance(&starved) - 0.5).abs() < 1e-9);
+        let balanced = vec![
+            WorkerStats {
+                executed: 4,
+                virtual_us: 400,
+                ..Default::default()
+            },
+            WorkerStats {
+                executed: 4,
+                virtual_us: 400,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(idle_workers(&balanced), 0);
+        assert!((parallel_balance(&balanced) - 1.0).abs() < 1e-9);
+        assert!((parallel_balance(&[]) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -289,6 +289,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Current value of the named gauge (0 if absent).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        let shard = self.shard(name).lock().expect("metrics shard poisoned");
+        match shard.get(name) {
+            Some(Metric::Gauge(g)) => g.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
     /// Records `v` into the named histogram, creating it if needed.
     pub fn record(&self, name: &str, v: u64) {
         if let Metric::Histo(h) = self.metric(name, || Metric::Histo(Arc::default())) {
@@ -603,6 +612,13 @@ impl Telemetry {
         }
     }
 
+    /// Current value of a named gauge (0 when disabled or absent).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.registry.gauge_value(name))
+    }
+
     /// Records a value into a named histogram.
     pub fn record(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
@@ -757,6 +773,25 @@ impl Telemetry {
         inner.write_event(&line);
     }
 
+    /// Emits a structured warning event (`{"type":"warn","kind":...}`)
+    /// to the live event stream — the observatory's channel for
+    /// straggler and stall alerts, which `dcltrace top` surfaces while
+    /// the sweep runs. Like span lines, warnings are live-only detail:
+    /// the finalized canonical stream drops them.
+    pub fn emit_warning(&self, kind: &str, app: &str, detail: &[(&str, u64)]) {
+        let Some(inner) = &self.inner else { return };
+        let mut pairs = vec![
+            ("type".to_string(), serde::Value::Str("warn".to_string())),
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("app".to_string(), serde::Value::Str(app.to_string())),
+        ];
+        for (name, value) in detail {
+            pairs.push(((*name).to_string(), value.to_json()));
+        }
+        pairs.push(("t_us".to_string(), inner.now_us().to_json()));
+        inner.write_event(&serde::Value::Object(pairs).to_compact_string());
+    }
+
     /// Loads span events from a previous session's JSONL stream so a
     /// resumed sweep extends the same timeline: stitched spans are
     /// retained for trace export and the span-id counter is advanced
@@ -906,8 +941,15 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> serde::Value {
 /// app). The ETA projects the remaining apps' virtual-clock charge
 /// (`monkey.virtual_us`, accumulated in microseconds so per-app deltas
 /// never truncate to zero) through the observed virtual-time-per-wall-
-/// second throughput, falling back to plain completion rate when no
-/// virtual time has been charged yet.
+/// second throughput — scaled by the run's parallel balance
+/// (`sweep.virtual_makespan_us ÷ monkey.virtual_us`, published by the
+/// sweep collector) so multi-worker ETAs reflect the *makespan* still
+/// ahead rather than the serial virtual time, which would be k× too
+/// pessimistic on k workers. Falls back to the serial projection when
+/// no makespan gauge is set, and to plain completion rate when no
+/// virtual time has been charged yet. The line also carries worker
+/// utilization (`sweep.busy_us` against workers × wall time) and the
+/// watchdog's running straggler count.
 #[derive(Debug)]
 pub struct Progress {
     total: usize,
@@ -941,17 +983,34 @@ impl Progress {
         let failed = self.failed.load(Ordering::Relaxed);
         let retried = telemetry.counter_value("sweep.retries");
         let virtual_us = telemetry.counter_value("monkey.virtual_us");
+        let makespan_us = telemetry.gauge_value("sweep.virtual_makespan_us");
+        let stalls = telemetry.counter_value("watchdog.stragglers");
         let elapsed = self.started.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
         } else {
             0.0
         };
+        let workers = telemetry.gauge_value("sweep.workers");
+        let busy_us = telemetry.gauge_value("sweep.busy_us");
+        let util = if workers > 0 && elapsed > 0.0 {
+            let capacity_us = workers as f64 * elapsed * 1e6;
+            (busy_us as f64 / capacity_us * 100.0).min(100.0)
+        } else {
+            0.0
+        };
         let remaining = self.total.saturating_sub(done) as f64;
         let eta = if virtual_us > 0 && elapsed > 0.0 {
-            // remaining × (virtual time per app) ÷ (virtual time per second)
+            // remaining × (virtual time per app) ÷ (virtual time per
+            // second), deflated to the makespan the workers actually
+            // realize when the collector publishes one.
             let per_app = virtual_us as f64 / done as f64;
-            remaining * per_app / (virtual_us as f64 / elapsed)
+            let balance = if makespan_us > 0 {
+                (makespan_us as f64 / virtual_us as f64).min(1.0)
+            } else {
+                1.0
+            };
+            remaining * per_app * balance / (virtual_us as f64 / elapsed).max(f64::MIN_POSITIVE)
         } else if rate > 0.0 {
             remaining / rate
         } else {
@@ -959,7 +1018,8 @@ impl Progress {
         };
         Some(format!(
             "sweep {done}/{total} · {failed} failed · {retried} retried · \
-             {rate:.1} apps/s · {virtual_ms:.1} virtual ms charged · ETA {eta:.1}s",
+             {rate:.1} apps/s · {util:.0}% util · {stalls} stalled · \
+             {virtual_ms:.1} virtual ms charged · ETA {eta:.1}s",
             total = self.total,
             virtual_ms = virtual_us as f64 / 1_000.0,
         ))
@@ -1254,6 +1314,13 @@ mod tests {
     fn progress_reports_on_schedule() {
         let t = Telemetry::new(true);
         t.counter_add("monkey.virtual_us", 500_500);
+        t.counter_add("watchdog.stragglers", 3);
+        t.gauge_set("sweep.workers", 4);
+        t.gauge_set("sweep.busy_us", 1);
+        // A 4-worker run that parallelizes perfectly: the makespan is a
+        // quarter of the serial virtual time, so the ETA must shrink by
+        // the same balance factor instead of staying k× pessimistic.
+        t.gauge_set("sweep.virtual_makespan_us", 500_500 / 4);
         let progress = Progress::new(20);
         let mut lines = Vec::new();
         for i in 0..20 {
@@ -1266,6 +1333,38 @@ mod tests {
         let last = lines.last().expect("final line");
         assert!(last.contains("sweep 20/20"), "got: {last}");
         assert!(last.contains("4 failed"), "got: {last}");
+        assert!(last.contains("3 stalled"), "got: {last}");
+        assert!(last.contains("% util"), "got: {last}");
         assert!(last.contains("500.5 virtual ms"), "got: {last}");
+        // At 20/20 nothing remains, so the balance-scaled ETA is zero.
+        assert!(last.contains("ETA 0.0s"), "got: {last}");
+    }
+
+    #[test]
+    fn progress_eta_scales_with_parallel_balance() {
+        let serial = Telemetry::new(true);
+        serial.counter_add("monkey.virtual_us", 1_000_000);
+        let balanced = Telemetry::new(true);
+        balanced.counter_add("monkey.virtual_us", 1_000_000);
+        balanced.gauge_set("sweep.virtual_makespan_us", 250_000);
+        let parse_eta = |line: &str| -> f64 {
+            let tail = line.rsplit("ETA ").next().expect("eta field");
+            tail.trim_end_matches('s').parse().expect("eta number")
+        };
+        // Same wall progress, same virtual charge: the run publishing a
+        // 4× parallel makespan must project ~¼ the ETA. Sleep long
+        // enough that the one-decimal rendering can tell them apart
+        // (ETA here is proportional to elapsed wall time).
+        let p1 = Progress::new(10);
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let eta_serial = parse_eta(&p1.on_app_done(false, &serial).expect("line at 1/10"));
+        let p2 = Progress::new(10);
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let eta_balanced = parse_eta(&p2.on_app_done(false, &balanced).expect("line at 1/10"));
+        assert!(eta_serial >= 1.0, "serial ETA too small: {eta_serial}");
+        assert!(
+            eta_balanced < eta_serial * 0.5,
+            "makespan balance not applied: serial {eta_serial} vs balanced {eta_balanced}"
+        );
     }
 }
